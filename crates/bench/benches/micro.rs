@@ -1,0 +1,197 @@
+//! Criterion microbenchmarks for the hot kernels, including the
+//! Clip-vs-Quickhull ablation from DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use geometry::predicates::{insphere, orient3d};
+use geometry::{convex_hull, Aabb, ConvexPolyhedron, Plane, Vec3};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn jittered_lattice(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n * n * n)
+        .map(|idx| {
+            let i = (idx % n) as f64;
+            let j = ((idx / n) % n) as f64;
+            let k = (idx / (n * n)) as f64;
+            Vec3::new(
+                i + 0.5 + rng.gen_range(-0.3..0.3),
+                j + 0.5 + rng.gen_range(-0.3..0.3),
+                k + 0.5 + rng.gen_range(-0.3..0.3),
+            )
+        })
+        .collect()
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pts: Vec<Vec3> = (0..1000)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            )
+        })
+        .collect();
+    c.bench_function("orient3d_filtered", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let r = orient3d(pts[i % 997], pts[(i + 1) % 997], pts[(i + 2) % 997], pts[(i + 3) % 997]);
+            i += 1;
+            black_box(r)
+        })
+    });
+    c.bench_function("insphere_filtered", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let r = insphere(
+                pts[i % 991],
+                pts[(i + 1) % 991],
+                pts[(i + 2) % 991],
+                pts[(i + 3) % 991],
+                pts[(i + 4) % 991],
+            );
+            i += 1;
+            black_box(r)
+        })
+    });
+}
+
+fn bench_clipping(c: &mut Criterion) {
+    // one Voronoi-cell-like clipping sequence
+    let site = Vec3::splat(4.5);
+    let pts = jittered_lattice(9, 2);
+    c.bench_function("cell_clip_sequence", |b| {
+        b.iter(|| {
+            let mut poly = ConvexPolyhedron::from_aabb(&Aabb::cube(9.0));
+            for &q in pts.iter().take(60) {
+                if q.dist2(site) > 1e-12 {
+                    if let Some(plane) = Plane::bisector(site, q) {
+                        poly.clip(&plane, Some(1), 1e-9);
+                    }
+                }
+            }
+            black_box(poly.volume())
+        })
+    });
+}
+
+fn bench_hull_ablation(c: &mut Criterion) {
+    // the paper's Qhull path (hull of cell vertices) vs the native clip
+    // measures of the same cell
+    let site = Vec3::splat(4.5);
+    let pts = jittered_lattice(9, 3);
+    let mut poly = ConvexPolyhedron::from_aabb(&Aabb::cube(9.0));
+    for &q in &pts {
+        if q.dist2(site) > 1e-12 {
+            if let Some(plane) = Plane::bisector(site, q) {
+                poly.clip(&plane, Some(1), 1e-9);
+            }
+        }
+    }
+    c.bench_function("ablation_volume_clip", |b| {
+        b.iter(|| black_box(poly.volume() + poly.surface_area()))
+    });
+    c.bench_function("ablation_volume_quickhull", |b| {
+        b.iter(|| {
+            let h = convex_hull(&poly.verts, 1e-9).unwrap();
+            black_box(h.volume() + h.surface_area())
+        })
+    });
+}
+
+fn bench_quickhull(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let pts: Vec<Vec3> = (0..200)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            )
+        })
+        .collect();
+    c.bench_function("quickhull_200pts", |b| {
+        b.iter(|| black_box(convex_hull(&pts, 1e-9).unwrap().faces.len()))
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    use fft3d::{fft3_forward, Complex, Grid3};
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut grid = Grid3::new([32, 32, 32], Complex::ZERO);
+    for v in grid.data_mut() {
+        *v = Complex::new(rng.gen_range(-1.0..1.0), 0.0);
+    }
+    c.bench_function("fft3d_32cubed", |b| {
+        b.iter(|| {
+            let mut g = grid.clone();
+            fft3_forward(&mut g);
+            black_box(g[(1, 1, 1)])
+        })
+    });
+}
+
+fn bench_cic(c: &mut Criterion) {
+    use fft3d::Grid3;
+    let pts = jittered_lattice(16, 6);
+    c.bench_function("cic_deposit_4096", |b| {
+        b.iter(|| {
+            let mut rho = Grid3::new([16, 16, 16], 0.0);
+            hacc::cic::deposit(&mut rho, &pts);
+            black_box(rho[(0, 0, 0)])
+        })
+    });
+}
+
+fn bench_delaunay(c: &mut Criterion) {
+    let pts = jittered_lattice(6, 7);
+    c.bench_function("delaunay_216pts", |b| {
+        b.iter(|| {
+            let dt = delaunay::Delaunay::new(&pts).unwrap();
+            black_box(dt.tetrahedra().len())
+        })
+    });
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    use diy::codec::{Decode, Encode};
+    // codec throughput for a particle-like payload
+    let payload: Vec<(u64, Vec3)> = jittered_lattice(8, 8)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
+    c.bench_function("codec_roundtrip_512_particles", |b| {
+        b.iter(|| {
+            let bytes = payload.to_bytes();
+            let back = Vec::<(u64, Vec3)>::from_bytes(&bytes).unwrap();
+            black_box(back.len())
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..2.0)).collect();
+    c.bench_function("histogram_100k", |b| {
+        b.iter(|| {
+            let h = postprocess::Histogram::from_samples(
+                samples.iter().copied(),
+                0.0,
+                2.0,
+                100,
+            );
+            black_box(h.kurtosis())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_predicates, bench_clipping, bench_hull_ablation, bench_quickhull,
+              bench_fft, bench_cic, bench_delaunay, bench_exchange, bench_histogram
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Figure 10 — strong and weak scaling of the tessellation.
+//!
+//! Paper setup: strong scaling for 128³–1024³ particles over 128–16384
+//! processes; weak scaling at 16384 particles/process. Total tessellation
+//! time including the write. Reported efficiencies: strong 30–41%, weak
+//! 86%.
+//!
+//! Scaled default here: strong scaling for 16³ and 32³ over 1–8 ranks;
+//! weak scaling holding particles/rank fixed at 16³/1 → 32³/8 (→ 64³/64
+//! with BENCH_FULL=1). Times are thread-CPU critical path, so the curves
+//! measure algorithmic scaling even on a single-core host.
+//!
+//! Expected shape: strong-scaling curves slope down with less-than-ideal
+//! efficiency (duplicated ghost work grows with block count); weak scaling
+//! per particle is near flat.
+
+use std::collections::BTreeMap;
+
+use bench_harness::{max_over_ranks, output_dir, secs, Table};
+use diy::comm::Runtime;
+use diy::timing::ThreadTimer;
+use geometry::Vec3;
+use hacc::SimParams;
+use tess::{tessellate, TessParams};
+
+/// One tessellation (including write), returning the critical-path seconds.
+fn tess_time(np: usize, nsteps: usize, nranks: usize) -> f64 {
+    let params = SimParams::paper_like(np);
+    let out = output_dir().join(format!("fig10_np{np}_r{nranks}.tess"));
+    let times = Runtime::run(nranks, |world| {
+        let (sim, _) = bench_harness::run_sim(world, params, nranks, nsteps);
+        let local: BTreeMap<u64, Vec<(u64, Vec3)>> = sim
+            .blocks
+            .iter()
+            .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
+            .collect();
+        let mut t = ThreadTimer::new();
+        t.start();
+        let r = tessellate(
+            world,
+            &sim.dec,
+            &sim.asn,
+            &local,
+            &TessParams::default().with_ghost(4.0).with_min_volume(0.2),
+        );
+        tess::io::write_tessellation(world, &out, &r.blocks).expect("write");
+        t.stop();
+        max_over_ranks(world, t.seconds())
+    });
+    times[0]
+}
+
+fn main() {
+    let full = std::env::var("BENCH_FULL").is_ok();
+    println!("# Figure 10: strong and weak scaling of tessellation (incl. write)");
+
+    // Strong scaling.
+    let mut strong = Table::new(&["Particles", "Ranks", "TessTime(s)", "Speedup", "Efficiency%"]);
+    let sizes: Vec<(usize, usize)> = if full {
+        vec![(16, 20), (32, 20), (64, 5)]
+    } else {
+        vec![(16, 20), (32, 20)]
+    };
+    for &(np, nsteps) in &sizes {
+        let mut base = None;
+        for nranks in [1usize, 2, 4, 8] {
+            let t = tess_time(np, nsteps, nranks);
+            let b = *base.get_or_insert(t);
+            let speedup = b / t;
+            let eff = 100.0 * speedup / nranks as f64;
+            strong.row(&[
+                format!("{np}^3"),
+                nranks.to_string(),
+                secs(t),
+                format!("{speedup:.2}"),
+                format!("{eff:.0}"),
+            ]);
+        }
+    }
+    println!("## Strong scaling (paper efficiency: 30-41%)");
+    strong.print();
+
+    // Weak scaling: fixed particles/rank (factor-8 steps, like the paper).
+    let mut weak = Table::new(&[
+        "Particles", "Ranks", "Particles/rank", "TessTime(s)", "Time/particle(us)", "Efficiency%",
+    ]);
+    let weak_configs: Vec<(usize, usize, usize)> = if full {
+        vec![(16, 1, 20), (32, 8, 20), (64, 64, 5)]
+    } else {
+        vec![(16, 1, 20), (32, 8, 20)]
+    };
+    let mut base_per_particle = None;
+    for &(np, nranks, nsteps) in &weak_configs {
+        let t = tess_time(np, nsteps, nranks);
+        let n = (np * np * np) as f64;
+        let per = t / n * 1e6;
+        // weak efficiency: ideal time is flat, i.e. per-particle time
+        // scales as 1/ranks
+        let b = *base_per_particle.get_or_insert(per);
+        let ideal = b / nranks as f64;
+        let eff = 100.0 * ideal / per;
+        weak.row(&[
+            format!("{np}^3"),
+            nranks.to_string(),
+            format!("{}", (np * np * np) / nranks),
+            secs(t),
+            format!("{per:.2}"),
+            format!("{eff:.0}"),
+        ]);
+    }
+    println!("## Weak scaling (paper efficiency: 86%)");
+    weak.print();
+}

@@ -1,0 +1,188 @@
+//! `tess-cli` — standalone command-line tessellation tool.
+//!
+//! The paper builds on Qhull, "a set of standalone command-line programs";
+//! this binary gives tess the same face for downstream users:
+//!
+//! ```text
+//! tess-cli generate   --n 1000 --box 10 --seed 1 --out points.bin
+//! tess-cli tessellate --points points.bin --box 10 --out mesh.tess \
+//!                     [--ghost 3.0] [--min-volume 0.5] [--ranks 4] \
+//!                     [--blocks 8] [--no-periodic]
+//! tess-cli info       --mesh mesh.tess
+//! ```
+//!
+//! Points files are the workspace codec encoding of `Vec<(u64, Vec3)>`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use diy::codec::{Decode, Encode};
+use diy::comm::Runtime;
+use diy::decomposition::{Assignment, Decomposition};
+use geometry::{Aabb, Vec3};
+use tess::{tessellate, TessParams};
+
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", raw[i]))?;
+            if key == "no-periodic" {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                flags.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.get(key)?.ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    use rand::{Rng, SeedableRng};
+    let n: usize = args.require("n")?;
+    let box_len: f64 = args.require("box")?;
+    let seed: u64 = args.get("seed")?.unwrap_or(42);
+    let out: String = args.require("out")?;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let points: Vec<(u64, Vec3)> = (0..n as u64)
+        .map(|id| {
+            (
+                id,
+                Vec3::new(
+                    rng.gen_range(0.0..box_len),
+                    rng.gen_range(0.0..box_len),
+                    rng.gen_range(0.0..box_len),
+                ),
+            )
+        })
+        .collect();
+    std::fs::write(&out, points.to_bytes()).map_err(|e| e.to_string())?;
+    println!("wrote {n} points to {out}");
+    Ok(())
+}
+
+fn run_tessellate(args: &Args) -> Result<(), String> {
+    let points_path: String = args.require("points")?;
+    let box_len: f64 = args.require("box")?;
+    let out: String = args.require("out")?;
+    let ranks: usize = args.get("ranks")?.unwrap_or(1);
+    let blocks: usize = args.get("blocks")?.unwrap_or(ranks);
+    let periodic = !args.flags.contains_key("no-periodic");
+
+    let bytes = std::fs::read(&points_path).map_err(|e| e.to_string())?;
+    let points = Vec::<(u64, Vec3)>::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!("{} points, box {box_len}, {blocks} blocks on {ranks} ranks", points.len());
+
+    let mut params = TessParams::default();
+    if let Some(g) = args.get::<f64>("ghost")? {
+        params = params.with_ghost(g);
+    }
+    if let Some(v) = args.get::<f64>("min-volume")? {
+        params = params.with_min_volume(v);
+    }
+
+    let domain = Aabb::cube(box_len);
+    let dec = Decomposition::regular(domain, blocks, [periodic; 3]);
+    let points_ref = &points;
+    let dec_ref = &dec;
+    let params_ref = &params;
+    let out_ref = out.clone();
+    let stats = Runtime::run(ranks, move |world| {
+        let asn = Assignment::new(blocks, world.nranks());
+        let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+            .blocks_of_rank(world.rank())
+            .map(|g| (g, Vec::new()))
+            .collect();
+        for &(id, p) in points_ref {
+            let gid = dec_ref.block_of_point(p);
+            if let Some(v) = local.get_mut(&gid) {
+                v.push((id, p));
+            }
+        }
+        let r = tessellate(world, dec_ref, &asn, &local, params_ref);
+        tess::io::write_tessellation(world, out_ref.as_ref(), &r.blocks)
+            .expect("write tessellation");
+        (tess::driver::global_stats(world, r.stats), r.ghost_used)
+    });
+    let (s, ghost) = stats[0];
+    println!(
+        "tessellated: {} cells kept, {} incomplete, {} culled (ghost {ghost:.3}); wrote {out}",
+        s.cells,
+        s.incomplete,
+        s.culled_early + s.culled_late
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let mesh: String = args.require("mesh")?;
+    let blocks = tess::io::read_tessellation(mesh.as_ref()).map_err(|e| e.to_string())?;
+    let cells: usize = blocks.iter().map(|b| b.cells.len()).sum();
+    let verts: usize = blocks.iter().map(|b| b.verts.len()).sum();
+    let faces: usize = blocks.iter().map(|b| b.num_faces()).sum();
+    let vol: f64 = blocks
+        .iter()
+        .flat_map(|b| b.cells.iter())
+        .map(|c| c.volume)
+        .sum();
+    println!("{mesh}: {} blocks, {cells} cells, {faces} faces, {verts} vertices", blocks.len());
+    println!("total cell volume {vol:.4}");
+    for b in &blocks {
+        println!(
+            "  block {}: bounds [{} .. {}], {} cells",
+            b.gid,
+            b.bounds.min,
+            b.bounds.max,
+            b.cells.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: tess-cli <generate|tessellate|info> --flag value …  (see module docs)";
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "generate" => generate(&args),
+        "tessellate" => run_tessellate(&args),
+        "info" => info(&args),
+        other => Err(format!("unknown command '{other}'\n{usage}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

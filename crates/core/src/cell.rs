@@ -1,0 +1,220 @@
+//! Local Voronoi cell computation with the security-radius criterion.
+
+use geometry::polyhedron::ClipResult;
+use geometry::{Aabb, ConvexPolyhedron, Plane, Vec3};
+
+use crate::grid::CandidateGrid;
+
+/// Outcome of computing one cell.
+pub struct ComputedCell {
+    pub poly: ConvexPolyhedron,
+    /// `true` when the security ball fit inside the known (ghosted) region,
+    /// so the cell is provably identical to the global Voronoi cell.
+    pub complete: bool,
+    /// Number of bisector planes tested (performance diagnostic).
+    pub candidates_tested: usize,
+}
+
+/// Compute the Voronoi cell of `site` against the `points` indexed by
+/// `grid`. `region` is the ghosted block box the points cover; `self_idx`
+/// is the site's index in `points` (skipped). `eps` is the clipping
+/// tolerance.
+pub fn compute_cell(
+    site: Vec3,
+    self_idx: u32,
+    points: &[Vec3],
+    grid: &CandidateGrid,
+    region: &Aabb,
+    eps: f64,
+) -> ComputedCell {
+    let mut poly = ConvexPolyhedron::from_aabb(region);
+    let mut tested = 0usize;
+
+    // 2 × max site-to-vertex distance, squared — any particle farther than
+    // this cannot clip the cell. Updated as the cell shrinks.
+    let mut sec2 = 4.0 * poly.max_vertex_dist2(site);
+
+    let mut ring_buf: Vec<u32> = Vec::new();
+    let mut ordered: Vec<(f64, u32)> = Vec::new();
+    'rings: for r in 0..=grid.max_ring() {
+        // No remaining candidate can be closer than this.
+        let lb = grid.ring_min_distance(r);
+        if lb * lb > sec2 {
+            break 'rings;
+        }
+        grid.ring_candidates(site, r, &mut ring_buf);
+        if ring_buf.is_empty() {
+            continue;
+        }
+        ordered.clear();
+        ordered.extend(ring_buf.iter().filter_map(|&i| {
+            if i == self_idx {
+                return None;
+            }
+            let d2 = points[i as usize].dist2(site);
+            if d2 < 1e-24 {
+                // coincident particle: no bisector exists; skip (both sites
+                // share the cell)
+                return None;
+            }
+            Some((d2, i))
+        }));
+        ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        for &(d2, i) in ordered.iter() {
+            if d2 > sec2 {
+                // sorted ascending: the rest of this ring is irrelevant
+                break;
+            }
+            let q = points[i as usize];
+            let plane = Plane::bisector(site, q).expect("distinct points");
+            tested += 1;
+            match poly.clip(&plane, Some(i as u64), eps) {
+                ClipResult::Clipped => {
+                    sec2 = 4.0 * poly.max_vertex_dist2(site);
+                }
+                ClipResult::Unchanged => {}
+                ClipResult::Empty => {
+                    // numerically impossible for a true Voronoi cell (the
+                    // site always belongs to its own cell), but guard
+                    // against degenerate input
+                    return ComputedCell { poly, complete: false, candidates_tested: tested };
+                }
+            }
+        }
+    }
+
+    // Complete iff the security ball is inside the region all particles are
+    // known for.
+    let sec = sec2.sqrt() * 0.5; // = max vertex distance
+    let complete = 2.0 * sec <= region.interior_distance(site) + eps;
+    ComputedCell { poly, complete, candidates_tested: tested }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize, jitter: f64) -> Vec<Vec3> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        (0..n)
+            .flat_map(|k| {
+                (0..n)
+                    .flat_map(move |j| {
+                        (0..n).map(move |i| {
+                            Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5)
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .map(move |p| {
+                p + Vec3::new(
+                    rng.gen_range(-jitter..=jitter.max(1e-300)),
+                    rng.gen_range(-jitter..=jitter.max(1e-300)),
+                    rng.gen_range(-jitter..=jitter.max(1e-300)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lattice_center_cell_is_unit_cube() {
+        let n = 7;
+        let pts = lattice(n, 0.0);
+        let region = Aabb::cube(n as f64);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let center_idx = (n / 2) + n * ((n / 2) + n * (n / 2));
+        let site = pts[center_idx];
+        let cell = compute_cell(site, center_idx as u32, &pts, &grid, &region, 1e-9);
+        assert!(cell.complete);
+        assert!((cell.poly.volume() - 1.0).abs() < 1e-9, "vol {}", cell.poly.volume());
+        assert!((cell.poly.surface_area() - 6.0).abs() < 1e-9);
+        assert!(cell.poly.check_closed());
+        // only the 6 face neighbors touch the cell
+        assert_eq!(cell.poly.neighbor_ids().count(), 6);
+        // far fewer candidates than the full point set were tested
+        assert!(cell.candidates_tested < pts.len() / 2, "{}", cell.candidates_tested);
+    }
+
+    #[test]
+    fn security_radius_terminates_early_on_jittered_lattice() {
+        let n = 9;
+        let pts = lattice(n, 0.2);
+        let region = Aabb::cube(n as f64);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let center_idx = (n / 2) + n * ((n / 2) + n * (n / 2));
+        let cell = compute_cell(pts[center_idx], center_idx as u32, &pts, &grid, &region, 1e-9);
+        assert!(cell.complete);
+        assert!(cell.poly.check_closed());
+        assert!(cell.candidates_tested < 150, "{}", cell.candidates_tested);
+    }
+
+    #[test]
+    fn boundary_cell_is_incomplete() {
+        let n = 5;
+        let pts = lattice(n, 0.0);
+        let region = Aabb::cube(n as f64);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        // corner particle: its cell is clipped by the region walls
+        let cell = compute_cell(pts[0], 0, &pts, &grid, &region, 1e-9);
+        assert!(!cell.complete);
+    }
+
+    #[test]
+    fn cell_contains_its_site_and_membership_is_correct() {
+        // Brute-force verification of Eq. (1): every point of the cell is
+        // nearer to the site than to any other particle.
+        let n = 5;
+        let pts = lattice(n, 0.3);
+        let region = Aabb::cube(n as f64);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let idx = 2 + n * (2 + n * 2);
+        let site = pts[idx];
+        let cell = compute_cell(site, idx as u32, &pts, &grid, &region, 1e-9);
+        assert!(cell.poly.contains(site, 1e-9));
+        // sample points inside the cell: centroid and face centroids
+        let mut samples = vec![cell.poly.centroid()];
+        for f in &cell.poly.faces {
+            samples.push(cell.poly.face_centroid(f).lerp(site, 0.01));
+        }
+        for s in samples {
+            let ds = s.dist2(site);
+            for (qi, &q) in pts.iter().enumerate() {
+                if qi != idx {
+                    assert!(
+                        ds <= q.dist2(s) + 1e-7,
+                        "cell point {s} closer to particle {qi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_points_split_the_region() {
+        let pts = vec![Vec3::new(1.0, 2.0, 2.0), Vec3::new(3.0, 2.0, 2.0)];
+        let region = Aabb::cube(4.0);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let cell = compute_cell(pts[0], 0, &pts, &grid, &region, 1e-9);
+        // half the box
+        assert!((cell.poly.volume() - 32.0).abs() < 1e-9);
+        // bounded by walls → incomplete
+        assert!(!cell.complete);
+        assert_eq!(cell.poly.neighbor_ids().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn coincident_particles_do_not_crash() {
+        let pts = vec![
+            Vec3::splat(2.0),
+            Vec3::splat(2.0), // exact duplicate
+            Vec3::new(1.0, 2.0, 2.0),
+        ];
+        let region = Aabb::cube(4.0);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let cell = compute_cell(pts[0], 0, &pts, &grid, &region, 1e-9);
+        assert!(!cell.poly.is_empty());
+        assert!(cell.poly.volume() > 0.0);
+    }
+}

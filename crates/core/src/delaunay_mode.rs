@@ -1,0 +1,249 @@
+//! Parallel Delaunay output mode.
+//!
+//! The paper notes (§I) that the same ghost-exchange + local-computation
+//! pattern applies to Delaunay tetrahedralizations, and tess's successor
+//! library emits them; this module does exactly that. Each block
+//! triangulates its own + ghost particles with the Bowyer–Watson engine,
+//! then keeps a tetrahedron only when
+//!
+//! 1. its lowest-global-id vertex is one of the block's *original*
+//!    particles (the duplicate-resolution rule — each tet has exactly one
+//!    owner across blocks), and
+//! 2. its circumsphere lies inside the ghosted region (the Delaunay
+//!    analogue of the cell security radius: no unseen particle can
+//!    invalidate the empty-circumsphere property).
+//!
+//! The union of owned, certified tetrahedra over all blocks is then
+//! exactly the global (periodic) Delaunay tetrahedralization.
+
+use delaunay::Delaunay;
+use diy::codec::{CodecError, Decode, Encode, Reader};
+use geometry::measures::tetra_circumcenter;
+use geometry::{Aabb, Vec3};
+
+/// One block's share of the distributed Delaunay tessellation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelaunayBlock {
+    pub gid: u64,
+    pub bounds: Aabb,
+    /// Tetrahedra as global particle ids, each sorted ascending.
+    pub tets: Vec<[u64; 4]>,
+    /// Tets dropped because their circumsphere left the ghost region.
+    pub uncertified: u64,
+}
+
+impl Encode for DelaunayBlock {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.gid.encode(buf);
+        self.bounds.encode(buf);
+        self.tets.encode(buf);
+        self.uncertified.encode(buf);
+    }
+}
+
+impl Decode for DelaunayBlock {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DelaunayBlock {
+            gid: u64::decode(r)?,
+            bounds: Aabb::decode(r)?,
+            tets: Vec::<[u64; 4]>::decode(r)?,
+            uncertified: u64::decode(r)?,
+        })
+    }
+}
+
+/// Tetrahedralize one block. `own`/`ghosts` as in
+/// [`crate::block::tessellate_block`]; ghost images carry the *original*
+/// particle's global id, so seam tets come out with torus-consistent
+/// vertex ids.
+pub fn delaunay_block(
+    gid: u64,
+    bounds: Aabb,
+    own: &[(u64, Vec3)],
+    ghosts: &[(u64, Vec3)],
+    ghost_size: f64,
+) -> Result<DelaunayBlock, delaunay::DelaunayError> {
+    let region = bounds.grown(ghost_size);
+    let mut ids: Vec<u64> = Vec::with_capacity(own.len() + ghosts.len());
+    let mut pts: Vec<Vec3> = Vec::with_capacity(own.len() + ghosts.len());
+    for &(id, p) in own.iter().chain(ghosts) {
+        ids.push(id);
+        pts.push(p);
+    }
+    let n_own = own.len();
+
+    if pts.len() < 4 {
+        return Ok(DelaunayBlock { gid, bounds, tets: Vec::new(), uncertified: 0 });
+    }
+    let dt = Delaunay::new(&pts)?;
+
+    let mut tets: Vec<[u64; 4]> = Vec::new();
+    let mut uncertified = 0u64;
+    for t in dt.tetrahedra() {
+        // ownership: the minimum *global id* vertex must be an original
+        // particle of this block
+        let gids = [
+            ids[t[0] as usize],
+            ids[t[1] as usize],
+            ids[t[2] as usize],
+            ids[t[3] as usize],
+        ];
+        let (min_slot, _) = gids
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &g)| g)
+            .expect("4 vertices");
+        if (t[min_slot] as usize) >= n_own {
+            continue; // the min-id vertex is a ghost: another block owns it
+        }
+        // certification: circumsphere inside the known region
+        let (a, b, c, d) = (
+            pts[t[0] as usize],
+            pts[t[1] as usize],
+            pts[t[2] as usize],
+            pts[t[3] as usize],
+        );
+        let Some(cc) = tetra_circumcenter(a, b, c, d) else {
+            uncertified += 1;
+            continue;
+        };
+        let radius = cc.dist(a);
+        let inside = region.contains_closed(cc) && region.interior_distance(cc) >= radius;
+        if !inside {
+            uncertified += 1;
+            continue;
+        }
+        let mut sorted = gids;
+        sorted.sort_unstable();
+        tets.push(sorted);
+    }
+    tets.sort_unstable();
+    Ok(DelaunayBlock { gid, bounds, tets, uncertified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghost::exchange_ghosts;
+    use diy::comm::Runtime;
+    use diy::decomposition::{Assignment, Decomposition};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeMap;
+
+    fn random_points(n: usize, box_len: f64, seed: u64) -> Vec<(u64, Vec3)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|id| {
+                (
+                    id,
+                    Vec3::new(
+                        rng.gen_range(0.0..box_len),
+                        rng.gen_range(0.0..box_len),
+                        rng.gen_range(0.0..box_len),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// The union of block tet sets must be independent of the block count
+    /// (the global periodic Delaunay), with no duplicates.
+    #[test]
+    fn parallel_tets_are_consistent_across_block_counts() {
+        let box_len = 6.0;
+        let particles = random_points(150, box_len, 9);
+        let domain = Aabb::cube(box_len);
+        let ghost = 3.0;
+
+        let run = |nblocks: usize| -> Vec<[u64; 4]> {
+            let dec = Decomposition::regular(domain, nblocks, [true; 3]);
+            let particles_ref = &particles;
+            let dec_ref = &dec;
+            let out = Runtime::run(2.min(nblocks), move |world| {
+                let asn = Assignment::new(nblocks, world.nranks());
+                let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                    .blocks_of_rank(world.rank())
+                    .map(|g| (g, Vec::new()))
+                    .collect();
+                for &(id, p) in particles_ref {
+                    let g = dec_ref.block_of_point(p);
+                    if let Some(v) = local.get_mut(&g) {
+                        v.push((id, p));
+                    }
+                }
+                let ghosts = exchange_ghosts(world, dec_ref, &asn, &local, ghost);
+                let mut tets = Vec::new();
+                for (&g, own) in &local {
+                    let empty = Vec::new();
+                    let gh = ghosts.get(&g).unwrap_or(&empty);
+                    let block =
+                        delaunay_block(g, dec_ref.block_bounds(g), own, gh, ghost).unwrap();
+                    tets.extend(block.tets);
+                }
+                tets
+            });
+            let mut all: Vec<[u64; 4]> = out.into_iter().flatten().collect();
+            all.sort_unstable();
+            all
+        };
+
+        let single = run(1);
+        assert!(!single.is_empty());
+        // no duplicates in the single-block (periodic) set
+        let mut dedup = single.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), single.len());
+
+        for nblocks in [2usize, 8] {
+            let multi = run(nblocks);
+            assert_eq!(multi, single, "nblocks={nblocks}");
+        }
+    }
+
+    #[test]
+    fn lattice_block_tets_fill_expected_volume() {
+        // interior of a lattice: every kept tet has positive volume and
+        // vertices are lattice ids
+        let n = 5;
+        let own: Vec<(u64, Vec3)> = (0..n * n * n)
+            .map(|i| {
+                (
+                    i as u64,
+                    Vec3::new(
+                        (i % n) as f64 + 0.5,
+                        ((i / n) % n) as f64 + 0.5,
+                        (i / (n * n)) as f64 + 0.5,
+                    ),
+                )
+            })
+            .collect();
+        let bounds = Aabb::cube(n as f64);
+        let block = delaunay_block(0, bounds, &own, &[], 2.0).unwrap();
+        assert!(!block.tets.is_empty());
+        for t in &block.tets {
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted ids {t:?}");
+            assert!(t[3] < (n * n * n) as u64);
+        }
+        // kept tets tile the convex hull of the lattice: [0.5, 4.5]³
+        let pos = |id: u64| own[id as usize].1;
+        let total: f64 = block
+            .tets
+            .iter()
+            .map(|t| {
+                geometry::measures::tetra_volume(pos(t[0]), pos(t[1]), pos(t[2]), pos(t[3]))
+            })
+            .sum();
+        assert!((total - 64.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn empty_and_tiny_blocks_are_fine() {
+        let bounds = Aabb::cube(1.0);
+        let b = delaunay_block(0, bounds, &[], &[], 1.0).unwrap();
+        assert!(b.tets.is_empty());
+        let two = vec![(0u64, Vec3::splat(0.2)), (1, Vec3::splat(0.8))];
+        let b = delaunay_block(0, bounds, &two, &[], 1.0).unwrap();
+        assert!(b.tets.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! Tessellation drivers: distributed (in-situ) and standalone (serial).
+
+use std::collections::BTreeMap;
+
+use diy::comm::{Runtime, World};
+use diy::decomposition::{Assignment, Decomposition};
+use diy::timing::ThreadTimer;
+use geometry::{Aabb, Vec3};
+
+use crate::block::tessellate_block;
+use crate::ghost::exchange_ghosts;
+use crate::model::MeshBlock;
+use crate::params::{GhostSpec, TessParams};
+use crate::stats::TessStats;
+
+/// Per-rank timing breakdown in thread-CPU seconds (see
+/// [`diy::timing`] for why CPU time rather than wall clock).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TessTiming {
+    /// Particle exchange (serialization + routing).
+    pub exchange_s: f64,
+    /// Local Voronoi computation.
+    pub compute_s: f64,
+}
+
+/// Result of one tessellation pass on one rank.
+pub struct TessResult {
+    /// Tessellated blocks owned by this rank.
+    pub blocks: BTreeMap<u64, MeshBlock>,
+    /// This rank's counters (merge across ranks for global stats).
+    pub stats: TessStats,
+    pub timing: TessTiming,
+    /// The ghost size actually used (resolved if `GhostSpec::Auto`).
+    pub ghost_used: f64,
+}
+
+/// Resolve the ghost size: explicit passthrough, or the auto estimate
+/// `factor × max over blocks of (block volume / own particles)^{1/3}`
+/// (a collective operation).
+pub fn resolve_ghost(
+    world: &mut World,
+    dec: &Decomposition,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    spec: GhostSpec,
+) -> f64 {
+    match spec {
+        GhostSpec::Explicit(g) => g,
+        GhostSpec::Auto { factor } => {
+            let local_max = local
+                .iter()
+                .map(|(&gid, particles)| {
+                    let vol = dec.block_bounds(gid).volume();
+                    let n = particles.len().max(1) as f64;
+                    (vol / n).powf(1.0 / 3.0)
+                })
+                .fold(0.0f64, f64::max);
+            let spacing = world.all_reduce(local_max, f64::max);
+            factor * spacing
+        }
+    }
+}
+
+/// Distributed (in-situ) tessellation: collective over all ranks of
+/// `world`. `local` maps each owned block gid to its original particles
+/// `(global id, position)`.
+pub fn tessellate(
+    world: &mut World,
+    dec: &Decomposition,
+    asn: &Assignment,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    params: &TessParams,
+) -> TessResult {
+    let ghost = resolve_ghost(world, dec, local, params.ghost);
+
+    let mut t_exchange = ThreadTimer::new();
+    let ghosts = t_exchange.time(|| exchange_ghosts(world, dec, asn, local, ghost));
+
+    let mut t_compute = ThreadTimer::new();
+    let mut blocks = BTreeMap::new();
+    let mut stats = TessStats::default();
+    t_compute.start();
+    for (&gid, own) in local {
+        let empty = Vec::new();
+        let g = ghosts.get(&gid).unwrap_or(&empty);
+        let (block, s) = tessellate_block(gid, dec.block_bounds(gid), own, g, ghost, params);
+        stats = stats.merge(s);
+        blocks.insert(gid, block);
+    }
+    t_compute.stop();
+
+    TessResult {
+        blocks,
+        stats,
+        timing: TessTiming {
+            exchange_s: t_exchange.seconds(),
+            compute_s: t_compute.seconds(),
+        },
+        ghost_used: ghost,
+    }
+}
+
+/// Standalone (serial) mode: one block covering the whole `domain`.
+/// Periodic dimensions receive mirrored ghost copies of the block's own
+/// particles, exactly as the distributed path would.
+///
+/// ```
+/// use geometry::{Aabb, Vec3};
+/// use tess::{tessellate_serial, TessParams};
+///
+/// // a 3×3×3 periodic lattice: every Voronoi cell is a unit cube
+/// let particles: Vec<(u64, Vec3)> = (0..27)
+///     .map(|i| {
+///         let (x, y, z) = (i % 3, (i / 3) % 3, i / 9);
+///         (i as u64, Vec3::new(x as f64 + 0.5, y as f64 + 0.5, z as f64 + 0.5))
+///     })
+///     .collect();
+/// let (block, stats) = tessellate_serial(
+///     &particles,
+///     Aabb::cube(3.0),
+///     [true; 3],
+///     &TessParams::default().with_ghost(1.5),
+/// );
+/// assert_eq!(stats.cells, 27);
+/// assert!((block.cells[0].volume - 1.0).abs() < 1e-9);
+/// ```
+pub fn tessellate_serial(
+    particles: &[(u64, Vec3)],
+    domain: Aabb,
+    periodic: [bool; 3],
+    params: &TessParams,
+) -> (MeshBlock, TessStats) {
+    let dec = Decomposition::with_dims(domain, [1, 1, 1], periodic);
+    let particles = particles.to_vec();
+    let params = *params;
+    let mut results = Runtime::run(1, move |world| {
+        let asn = Assignment::new(1, 1);
+        let local: BTreeMap<u64, Vec<(u64, Vec3)>> =
+            [(0u64, particles.clone())].into_iter().collect();
+        let r = tessellate(world, &dec, &asn, &local, &params);
+        let block = r.blocks.into_values().next().expect("one block");
+        (block, r.stats)
+    });
+    results.remove(0)
+}
+
+/// Merge per-rank stats into global stats (collective).
+pub fn global_stats(world: &mut World, stats: TessStats) -> TessStats {
+    diy::reduce::all_reduce_merge(world, stats, TessStats::merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize) -> Vec<(u64, Vec3)> {
+        (0..n * n * n)
+            .map(|idx| {
+                let i = idx % n;
+                let j = (idx / n) % n;
+                let k = idx / (n * n);
+                (
+                    idx as u64,
+                    Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5),
+                )
+            })
+            .collect()
+    }
+
+    fn jittered(n: usize, seed: u64, amp: f64) -> Vec<(u64, Vec3)> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        lattice(n)
+            .into_iter()
+            .map(|(id, p)| {
+                let q = p + Vec3::new(
+                    rng.gen_range(-amp..amp),
+                    rng.gen_range(-amp..amp),
+                    rng.gen_range(-amp..amp),
+                );
+                let ng = n as f64;
+                (id, Vec3::new(q.x.rem_euclid(ng), q.y.rem_euclid(ng), q.z.rem_euclid(ng)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_periodic_lattice_gives_all_unit_cells() {
+        let n = 6;
+        let particles = lattice(n);
+        let params = TessParams::default().with_ghost(2.0);
+        let (block, stats) =
+            tessellate_serial(&particles, Aabb::cube(n as f64), [true; 3], &params);
+        // periodic mirroring completes *every* cell
+        assert_eq!(stats.cells, (n * n * n) as u64);
+        assert_eq!(stats.incomplete, 0);
+        let total: f64 = block.cells.iter().map(|c| c.volume).sum();
+        assert!((total - (n * n * n) as f64).abs() < 1e-6, "total {total}");
+        for c in &block.cells {
+            assert!((c.volume - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cell_volumes_partition_the_periodic_box() {
+        // For any particle set, complete periodic Voronoi cells must tile
+        // the box: total volume == box volume.
+        let n = 5;
+        let particles = jittered(n, 3, 0.45);
+        let params = TessParams::default().with_ghost(2.5);
+        let (block, stats) =
+            tessellate_serial(&particles, Aabb::cube(n as f64), [true; 3], &params);
+        assert_eq!(stats.cells, (n * n * n) as u64, "all complete");
+        let total: f64 = block.cells.iter().map(|c| c.volume).sum();
+        let expect = (n * n * n) as f64;
+        assert!(
+            (total - expect).abs() < 1e-6 * expect,
+            "total {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_sufficient_ghost() {
+        let n = 6;
+        let particles = jittered(n, 9, 0.4);
+        let domain = Aabb::cube(n as f64);
+        let params = TessParams::default().with_ghost(2.5);
+
+        let (serial_block, _) = tessellate_serial(&particles, domain, [true; 3], &params);
+        let mut serial_vols: BTreeMap<u64, f64> = BTreeMap::new();
+        for c in &serial_block.cells {
+            serial_vols.insert(serial_block.site_id_of(c), c.volume);
+        }
+
+        let dec = Decomposition::regular(domain, 8, [true; 3]);
+        let particles2 = particles.clone();
+        let collected = Runtime::run(4, move |world| {
+            let asn = Assignment::new(8, world.nranks());
+            let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .map(|g| (g, Vec::new()))
+                .collect();
+            for &(id, p) in &particles2 {
+                let gid = dec.block_of_point(p);
+                if let Some(v) = local.get_mut(&gid) {
+                    v.push((id, p));
+                }
+            }
+            let r = tessellate(world, &dec, &asn, &local, &params);
+            r.blocks
+                .values()
+                .flat_map(|b| {
+                    b.cells
+                        .iter()
+                        .map(|c| (b.site_id_of(c), c.volume))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+        let parallel: BTreeMap<u64, f64> = collected.into_iter().flatten().collect();
+        assert_eq!(parallel.len(), serial_vols.len(), "same cell count");
+        for (id, v) in &parallel {
+            let sv = serial_vols[id];
+            assert!((v - sv).abs() < 1e-9, "cell {id}: {v} vs {sv}");
+        }
+    }
+
+    #[test]
+    fn insufficient_ghost_drops_boundary_cells() {
+        let n = 6;
+        let particles = lattice(n);
+        let domain = Aabb::cube(n as f64);
+        let dec = Decomposition::regular(domain, 8, [true; 3]);
+        let particles2 = particles.clone();
+        let kept = Runtime::run(2, move |world| {
+            let asn = Assignment::new(8, world.nranks());
+            let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .map(|g| (g, Vec::new()))
+                .collect();
+            for &(id, p) in &particles2 {
+                let gid = dec.block_of_point(p);
+                if let Some(v) = local.get_mut(&gid) {
+                    v.push((id, p));
+                }
+            }
+            let params = TessParams::default().with_ghost(0.0);
+            let r = tessellate(world, &dec, &asn, &local, &params);
+            let s = global_stats(world, r.stats);
+            (s.cells, s.incomplete)
+        });
+        let (cells, incomplete) = kept[0];
+        assert_eq!(cells + incomplete, (n * n * n) as u64);
+        assert!(incomplete > 0, "ghost 0 must lose boundary cells");
+    }
+
+    #[test]
+    fn auto_ghost_resolves_to_spacing_multiple() {
+        let n = 6;
+        let particles = lattice(n);
+        let domain = Aabb::cube(n as f64);
+        let dec = Decomposition::regular(domain, 8, [true; 3]);
+        let particles2 = particles.clone();
+        let ghosts = Runtime::run(2, move |world| {
+            let asn = Assignment::new(8, world.nranks());
+            let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .map(|g| (g, Vec::new()))
+                .collect();
+            for &(id, p) in &particles2 {
+                let gid = dec.block_of_point(p);
+                if let Some(v) = local.get_mut(&gid) {
+                    v.push((id, p));
+                }
+            }
+            resolve_ghost(world, &dec, &local, GhostSpec::Auto { factor: 4.0 })
+        });
+        // mean spacing is 1.0 → ghost 4.0 on every rank
+        for g in ghosts {
+            assert!((g - 4.0).abs() < 1e-9, "ghost {g}");
+        }
+    }
+
+    #[test]
+    fn auto_ghost_certifies_everything_on_evolved_like_data() {
+        let n = 6;
+        let particles = jittered(n, 21, 0.49);
+        let params = TessParams::default(); // Auto { factor: 5 }
+        let (_, stats) =
+            tessellate_serial(&particles, Aabb::cube(n as f64), [true; 3], &params);
+        assert_eq!(stats.incomplete, 0);
+        assert_eq!(stats.cells, (n * n * n) as u64);
+    }
+}

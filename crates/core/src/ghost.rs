@@ -1,0 +1,168 @@
+//! Neighborhood particle ghost-zone exchange (§III-C1).
+//!
+//! Every particle within the ghost distance of a block boundary is sent to
+//! each neighbor sharing that boundary — including periodic boundary
+//! neighbors, for which the particle's coordinates are translated to the
+//! far side of the domain (Figure 6's particles A and B). The exchange is
+//! bidirectional by construction: each block both sends and receives.
+
+use std::collections::BTreeMap;
+
+use diy::comm::World;
+use diy::decomposition::{Assignment, Decomposition};
+use diy::exchange::NeighborExchange;
+use geometry::Vec3;
+
+/// A particle headed to (or received by) a block: global id + position in
+/// the receiving block's frame.
+pub type GhostParticle = (u64, Vec3);
+
+/// Exchange ghost particles for all blocks owned by this rank.
+///
+/// `local` maps owned block gid → original particles `(id, position)`.
+/// Returns received ghosts per owned block, in deterministic order.
+pub fn exchange_ghosts(
+    world: &mut World,
+    dec: &Decomposition,
+    asn: &Assignment,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    ghost: f64,
+) -> BTreeMap<u64, Vec<GhostParticle>> {
+    let ex = NeighborExchange::new(dec, asn);
+    let mut outgoing: Vec<(u64, GhostParticle)> = Vec::new();
+    for (&gid, particles) in local {
+        for &(pid, pos) in particles {
+            for n in ex.destinations_near(gid, pos, ghost) {
+                outgoing.push((n.gid, (pid, pos + n.xform)));
+            }
+        }
+    }
+    let received = ex.exchange(world, outgoing);
+    // Ensure every owned block has an entry, even with no ghosts.
+    let mut out: BTreeMap<u64, Vec<GhostParticle>> = local
+        .keys()
+        .map(|&gid| (gid, Vec::new()))
+        .collect();
+    for (gid, items) in received {
+        out.insert(gid, items);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diy::comm::Runtime;
+    use geometry::Aabb;
+
+    fn block_particles(
+        dec: &Decomposition,
+        asn: &Assignment,
+        rank: usize,
+        all: &[(u64, Vec3)],
+    ) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
+        let mut m: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+            .blocks_of_rank(rank)
+            .map(|g| (g, Vec::new()))
+            .collect();
+        for &(id, p) in all {
+            let gid = dec.block_of_point(p);
+            if let Some(v) = m.get_mut(&gid) {
+                v.push((id, p));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn interior_particles_are_not_exchanged() {
+        let dec = Decomposition::with_dims(Aabb::cube(8.0), [2, 1, 1], [false; 3]);
+        let asn = Assignment::new(2, 1);
+        // particle at the center of block 0, far from the seam at x=4
+        let all = vec![(0u64, Vec3::new(1.0, 4.0, 4.0))];
+        Runtime::run(1, |w| {
+            let local = block_particles(&dec, &asn, w.rank(), &all);
+            let ghosts = exchange_ghosts(w, &dec, &asn, &local, 1.0);
+            assert!(ghosts[&0].is_empty());
+            assert!(ghosts[&1].is_empty());
+        });
+    }
+
+    #[test]
+    fn boundary_particles_cross_the_seam_both_ways() {
+        let dec = Decomposition::with_dims(Aabb::cube(8.0), [2, 1, 1], [false; 3]);
+        let asn = Assignment::new(2, 2);
+        let all = vec![
+            (10u64, Vec3::new(3.5, 4.0, 4.0)), // in block 0, near seam
+            (20u64, Vec3::new(4.5, 4.0, 4.0)), // in block 1, near seam
+        ];
+        Runtime::run(2, |w| {
+            let local = block_particles(&dec, &asn, w.rank(), &all);
+            let ghosts = exchange_ghosts(w, &dec, &asn, &local, 1.0);
+            if w.rank() == 0 {
+                assert_eq!(ghosts[&0], vec![(20, Vec3::new(4.5, 4.0, 4.0))]);
+            } else {
+                assert_eq!(ghosts[&1], vec![(10, Vec3::new(3.5, 4.0, 4.0))]);
+            }
+        });
+    }
+
+    #[test]
+    fn periodic_ghosts_are_translated() {
+        // Figure 6's particle A: near x=0 in a periodic box; block on the
+        // far side receives it at x ≈ L.
+        let dec = Decomposition::with_dims(Aabb::cube(8.0), [2, 1, 1], [true, false, false]);
+        let asn = Assignment::new(2, 1);
+        let all = vec![(5u64, Vec3::new(0.25, 4.0, 4.0))];
+        Runtime::run(1, |w| {
+            let local = block_particles(&dec, &asn, w.rank(), &all);
+            let ghosts = exchange_ghosts(w, &dec, &asn, &local, 1.0);
+            // block 1 spans [4,8); it receives the particle at x = 8.25
+            // (just past its upper edge, within the ghost distance)
+            assert_eq!(ghosts[&1], vec![(5, Vec3::new(8.25, 4.0, 4.0))]);
+        });
+    }
+
+    #[test]
+    fn single_periodic_block_mirrors_its_own_particles() {
+        // Standalone mode: one block, periodic domain. Ghosts are the
+        // block's own particles translated across the seams.
+        let dec = Decomposition::with_dims(Aabb::cube(4.0), [1, 1, 1], [true; 3]);
+        let asn = Assignment::new(1, 1);
+        // corner particle: mirrored across faces, edges, and the corner
+        let all = vec![(1u64, Vec3::new(0.5, 0.5, 0.5))];
+        Runtime::run(1, |w| {
+            let local = block_particles(&dec, &asn, w.rank(), &all);
+            let ghosts = exchange_ghosts(w, &dec, &asn, &local, 1.0);
+            let g = &ghosts[&0];
+            // 7 images within ghost distance: 3 faces + 3 edges + 1 corner
+            assert_eq!(g.len(), 7, "{g:?}");
+            for &(id, p) in g {
+                assert_eq!(id, 1);
+                // every image is outside the box but within the ghost halo
+                assert!(!dec.domain.contains(p));
+                assert!(dec.domain.grown(1.0).contains_closed(p));
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_zero_exchanges_nothing_interior() {
+        let dec = Decomposition::with_dims(Aabb::cube(8.0), [2, 2, 2], [true; 3]);
+        let asn = Assignment::new(8, 2);
+        let all: Vec<(u64, Vec3)> = (0..50)
+            .map(|i| {
+                let x = 0.3 + (i as f64 * 0.149) % 7.4;
+                (i, Vec3::new(x, (x * 1.7) % 8.0, (x * 2.3) % 8.0))
+            })
+            .collect();
+        Runtime::run(2, |w| {
+            let local = block_particles(&dec, &asn, w.rank(), &all);
+            let ghosts = exchange_ghosts(w, &dec, &asn, &local, 0.0);
+            // ghost 0 exchanges only particles exactly on boundaries; our
+            // set has none
+            let total: usize = ghosts.values().map(Vec::len).sum();
+            assert_eq!(total, 0);
+        });
+    }
+}

@@ -1,0 +1,216 @@
+//! Uniform acceleration grid for distance-ordered candidate iteration.
+//!
+//! The local cell computation needs candidate neighbors roughly in order of
+//! distance from a site so the security-radius test terminates early. A
+//! uniform grid over the ghosted block region gives candidates in
+//! Chebyshev "rings" of bins; the minimum possible distance of ring `r+1`
+//! provides the lower bound used by the termination test.
+
+use geometry::{Aabb, Vec3};
+
+/// Uniform binning of points over a region.
+pub struct CandidateGrid {
+    bounds: Aabb,
+    dims: [usize; 3],
+    inv_h: Vec3,
+    /// Smallest bin edge — used for ring distance lower bounds.
+    min_h: f64,
+    bins: Vec<Vec<u32>>,
+}
+
+impl CandidateGrid {
+    /// Build a grid over `bounds` holding `points`, aiming at about
+    /// `per_bin` points per bin.
+    pub fn build(bounds: Aabb, points: &[Vec3], per_bin: f64) -> Self {
+        let n = points.len().max(1);
+        let target_bins = (n as f64 / per_bin).max(1.0);
+        let e = bounds.extent();
+        let vol = (e.x * e.y * e.z).max(1e-300);
+        let h = (vol / target_bins).powf(1.0 / 3.0);
+        let dims = [
+            ((e.x / h).ceil() as usize).clamp(1, 256),
+            ((e.y / h).ceil() as usize).clamp(1, 256),
+            ((e.z / h).ceil() as usize).clamp(1, 256),
+        ];
+        let hx = e.x / dims[0] as f64;
+        let hy = e.y / dims[1] as f64;
+        let hz = e.z / dims[2] as f64;
+        let mut grid = CandidateGrid {
+            bounds,
+            dims,
+            inv_h: Vec3::new(1.0 / hx, 1.0 / hy, 1.0 / hz),
+            min_h: hx.min(hy).min(hz),
+            bins: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
+        };
+        for (i, &p) in points.iter().enumerate() {
+            let b = grid.bin_of(p);
+            grid.bins[b].push(i as u32);
+        }
+        grid
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Lower bound on the distance from any point in the center bin to any
+    /// point in a bin at Chebyshev ring `r` (`r >= 1`).
+    pub fn ring_min_distance(&self, r: usize) -> f64 {
+        (r.saturating_sub(1)) as f64 * self.min_h
+    }
+
+    /// Largest ring index that can contain any bin, from any center.
+    pub fn max_ring(&self) -> usize {
+        self.dims.iter().max().copied().unwrap_or(1)
+    }
+
+    fn coords_of(&self, p: Vec3) -> [isize; 3] {
+        let rel = p - self.bounds.min;
+        [
+            ((rel.x * self.inv_h.x) as isize).clamp(0, self.dims[0] as isize - 1),
+            ((rel.y * self.inv_h.y) as isize).clamp(0, self.dims[1] as isize - 1),
+            ((rel.z * self.inv_h.z) as isize).clamp(0, self.dims[2] as isize - 1),
+        ]
+    }
+
+    fn bin_of(&self, p: Vec3) -> usize {
+        let c = self.coords_of(p);
+        c[0] as usize + self.dims[0] * (c[1] as usize + self.dims[1] * c[2] as usize)
+    }
+
+    /// Point indices in the Chebyshev ring `r` of bins around `center`
+    /// (`r = 0` is the center bin itself).
+    pub fn ring_candidates(&self, center: Vec3, r: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let c = self.coords_of(center);
+        let ri = r as isize;
+        let (dx0, dx1) = (c[0] - ri, c[0] + ri);
+        for z in (c[2] - ri)..=(c[2] + ri) {
+            if z < 0 || z >= self.dims[2] as isize {
+                continue;
+            }
+            for y in (c[1] - ri)..=(c[1] + ri) {
+                if y < 0 || y >= self.dims[1] as isize {
+                    continue;
+                }
+                let on_shell_yz = (z - c[2]).abs() == ri || (y - c[1]).abs() == ri;
+                if on_shell_yz {
+                    for x in dx0..=dx1 {
+                        if x < 0 || x >= self.dims[0] as isize {
+                            continue;
+                        }
+                        out.extend_from_slice(&self.bins[self.index(x, y, z)]);
+                    }
+                } else {
+                    // only the two extreme x planes are on the shell
+                    for x in [dx0, dx1] {
+                        if x < 0 || x >= self.dims[0] as isize {
+                            continue;
+                        }
+                        if r == 0 && x == dx1 && dx0 == dx1 {
+                            continue; // avoid double-visiting the center bin
+                        }
+                        out.extend_from_slice(&self.bins[self.index(x, y, z)]);
+                        if dx0 == dx1 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn index(&self, x: isize, y: isize, z: isize) -> usize {
+        x as usize + self.dims[0] * (y as usize + self.dims[1] * z as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize) -> Vec<Vec3> {
+        (0..n)
+            .flat_map(|k| {
+                (0..n).flat_map(move |j| {
+                    (0..n).map(move |i| Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5))
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rings_partition_all_points() {
+        let pts = lattice(6);
+        let grid = CandidateGrid::build(Aabb::cube(6.0), &pts, 2.0);
+        let center = Vec3::splat(3.0);
+        let mut seen = vec![false; pts.len()];
+        let mut buf = Vec::new();
+        for r in 0..=grid.max_ring() {
+            grid.ring_candidates(center, r, &mut buf);
+            for &i in &buf {
+                assert!(!seen[i as usize], "point {i} appeared in two rings");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all points visited exactly once");
+    }
+
+    #[test]
+    fn ring_zero_is_center_bin_only() {
+        let pts = lattice(4);
+        let grid = CandidateGrid::build(Aabb::cube(4.0), &pts, 1.0);
+        let mut buf = Vec::new();
+        grid.ring_candidates(Vec3::splat(0.5), 0, &mut buf);
+        // no duplicates
+        let mut sorted = buf.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), buf.len());
+    }
+
+    #[test]
+    fn ring_min_distance_is_a_valid_lower_bound() {
+        let pts = lattice(8);
+        let grid = CandidateGrid::build(Aabb::cube(8.0), &pts, 2.0);
+        let center = Vec3::new(4.1, 3.9, 4.0);
+        let mut buf = Vec::new();
+        for r in 1..=grid.max_ring() {
+            let lb = grid.ring_min_distance(r);
+            grid.ring_candidates(center, r, &mut buf);
+            for &i in &buf {
+                let d = pts[i as usize].dist(center);
+                assert!(
+                    d >= lb - 1e-12,
+                    "ring {r}: point at distance {d} < bound {lb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_point() {
+        let grid = CandidateGrid::build(Aabb::cube(1.0), &[], 2.0);
+        let mut buf = Vec::new();
+        grid.ring_candidates(Vec3::splat(0.5), 0, &mut buf);
+        assert!(buf.is_empty());
+
+        let grid = CandidateGrid::build(Aabb::cube(1.0), &[Vec3::splat(0.2)], 2.0);
+        grid.ring_candidates(Vec3::splat(0.9), 0, &mut buf);
+        assert_eq!(buf, vec![0]);
+    }
+
+    #[test]
+    fn out_of_bounds_queries_clamp() {
+        let pts = lattice(4);
+        let grid = CandidateGrid::build(Aabb::cube(4.0), &pts, 2.0);
+        let mut buf = Vec::new();
+        // center outside the grid clamps to the nearest bin
+        grid.ring_candidates(Vec3::splat(-5.0), 0, &mut buf);
+        // should not panic; candidates come from the corner bin
+        for &i in &buf {
+            let p = pts[i as usize];
+            assert!(p.x < 4.0 && p.y < 4.0 && p.z < 4.0);
+        }
+    }
+}

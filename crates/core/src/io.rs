@@ -1,0 +1,175 @@
+//! Parallel tessellation I/O on top of `diy::io`.
+//!
+//! All blocks are written collectively into one file (the paper's §III-C2
+//! data model), indexed by gid, and can be read back serially or in
+//! parallel at any rank count.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use diy::codec::{Decode, Encode};
+use diy::comm::World;
+
+use crate::model::MeshBlock;
+
+/// Collectively write this rank's blocks; returns total file bytes.
+pub fn write_tessellation(
+    world: &mut World,
+    path: &Path,
+    blocks: &BTreeMap<u64, MeshBlock>,
+) -> io::Result<u64> {
+    let payloads: Vec<(u64, Vec<u8>)> = blocks
+        .iter()
+        .map(|(&gid, b)| (gid, b.to_bytes()))
+        .collect();
+    diy::io::write_blocks(world, path, &payloads)
+}
+
+/// Serial read of every block.
+pub fn read_tessellation(path: &Path) -> io::Result<Vec<MeshBlock>> {
+    diy::io::read_all_blocks(path)?
+        .into_iter()
+        .map(|(_, bytes)| {
+            MeshBlock::from_bytes(&bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+/// Parallel read: each rank receives a partition of the blocks.
+pub fn read_tessellation_parallel(world: &mut World, path: &Path) -> io::Result<Vec<MeshBlock>> {
+    diy::io::read_blocks_parallel(world, path)?
+        .into_iter()
+        .map(|(_, bytes)| {
+            MeshBlock::from_bytes(&bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{tessellate, tessellate_serial};
+    use crate::params::TessParams;
+    use diy::comm::Runtime;
+    use diy::decomposition::{Assignment, Decomposition};
+    use geometry::{Aabb, Vec3};
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tess-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn lattice(n: usize) -> Vec<(u64, Vec3)> {
+        (0..n * n * n)
+            .map(|idx| {
+                let i = idx % n;
+                let j = (idx / n) % n;
+                let k = idx / (n * n);
+                (
+                    idx as u64,
+                    Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_write_read_roundtrip() {
+        let (block, _) = tessellate_serial(
+            &lattice(4),
+            Aabb::cube(4.0),
+            [true; 3],
+            &TessParams::default().with_ghost(2.0),
+        );
+        let path = tmpfile("serial.tess");
+        let block2 = block.clone();
+        Runtime::run(1, move |w| {
+            let blocks: BTreeMap<u64, MeshBlock> = [(0u64, block2.clone())].into_iter().collect();
+            write_tessellation(w, &path, &blocks).unwrap();
+        });
+        let back = read_tessellation(&tmpfile("serial.tess")).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], block);
+    }
+
+    #[test]
+    fn parallel_write_serial_read() {
+        let n = 4;
+        let particles = lattice(n);
+        let domain = Aabb::cube(n as f64);
+        let dec = Decomposition::regular(domain, 4, [true; 3]);
+        let path = tmpfile("parallel.tess");
+        let path2 = path.clone();
+        let totals = Runtime::run(2, move |world| {
+            let asn = Assignment::new(4, world.nranks());
+            let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .map(|g| (g, Vec::new()))
+                .collect();
+            for &(id, p) in &particles {
+                let gid = dec.block_of_point(p);
+                if let Some(v) = local.get_mut(&gid) {
+                    v.push((id, p));
+                }
+            }
+            let params = TessParams::default().with_ghost(2.0);
+            let r = tessellate(world, &dec, &asn, &local, &params);
+            let bytes = write_tessellation(world, &path2, &r.blocks).unwrap();
+            (bytes, r.blocks.values().map(|b| b.cells.len()).sum::<usize>())
+        });
+        // both ranks report the same file size
+        assert_eq!(totals[0].0, totals[1].0);
+        let written_cells: usize = totals.iter().map(|t| t.1).sum();
+
+        let back = read_tessellation(&path).unwrap();
+        assert_eq!(back.len(), 4);
+        let read_cells: usize = back.iter().map(|b| b.cells.len()).sum();
+        assert_eq!(read_cells, written_cells);
+        assert_eq!(read_cells, n * n * n);
+        // gids are sorted and bounds tile the domain
+        let gids: Vec<u64> = back.iter().map(|b| b.gid).collect();
+        assert_eq!(gids, vec![0, 1, 2, 3]);
+        let vol: f64 = back.iter().map(|b| b.bounds.volume()).sum();
+        assert!((vol - domain.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_read_at_different_rank_count() {
+        let path = tmpfile("reread.tess");
+        // reuse the file from a fresh write
+        let n = 4;
+        let particles = lattice(n);
+        let domain = Aabb::cube(n as f64);
+        let dec = Decomposition::regular(domain, 4, [true; 3]);
+        let path2 = path.clone();
+        Runtime::run(4, move |world| {
+            let asn = Assignment::new(4, world.nranks());
+            let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .map(|g| (g, Vec::new()))
+                .collect();
+            for &(id, p) in &particles {
+                let gid = dec.block_of_point(p);
+                if let Some(v) = local.get_mut(&gid) {
+                    v.push((id, p));
+                }
+            }
+            let params = TessParams::default().with_ghost(2.0);
+            let r = tessellate(world, &dec, &asn, &local, &params);
+            write_tessellation(world, &path2, &r.blocks).unwrap();
+        });
+        let path3 = path.clone();
+        let counts = Runtime::run(3, move |world| {
+            read_tessellation_parallel(world, &path3)
+                .unwrap()
+                .iter()
+                .map(|b| b.cells.len())
+                .sum::<usize>()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), n * n * n);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tessellation statistics, mergeable across blocks and ranks.
+
+use diy::codec::{CodecError, Decode, Encode, Reader};
+
+/// Counters from one or more tessellated blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TessStats {
+    /// Original particles processed (= candidate sites).
+    pub sites: u64,
+    /// Ghost particles received.
+    pub ghosts_received: u64,
+    /// Cells kept in the output.
+    pub cells: u64,
+    /// Cells dropped because they could not be certified complete.
+    pub incomplete: u64,
+    /// Incomplete cells kept because `keep_incomplete` was set.
+    pub incomplete_kept: u64,
+    /// Cells culled by the conservative diameter bound (before hull work).
+    pub culled_early: u64,
+    /// Cells culled after exact volume computation.
+    pub culled_late: u64,
+    /// Deduplicated vertices stored.
+    pub verts: u64,
+    /// Face records stored.
+    pub faces: u64,
+}
+
+impl TessStats {
+    /// Combine counters (for block → rank → global reduction).
+    pub fn merge(mut self, o: TessStats) -> TessStats {
+        self.sites += o.sites;
+        self.ghosts_received += o.ghosts_received;
+        self.cells += o.cells;
+        self.incomplete += o.incomplete;
+        self.incomplete_kept += o.incomplete_kept;
+        self.culled_early += o.culled_early;
+        self.culled_late += o.culled_late;
+        self.verts += o.verts;
+        self.faces += o.faces;
+        self
+    }
+}
+
+impl Encode for TessStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in [
+            self.sites,
+            self.ghosts_received,
+            self.cells,
+            self.incomplete,
+            self.incomplete_kept,
+            self.culled_early,
+            self.culled_late,
+            self.verts,
+            self.faces,
+        ] {
+            v.encode(buf);
+        }
+    }
+}
+
+impl Decode for TessStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TessStats {
+            sites: u64::decode(r)?,
+            ghosts_received: u64::decode(r)?,
+            cells: u64::decode(r)?,
+            incomplete: u64::decode(r)?,
+            incomplete_kept: u64::decode(r)?,
+            culled_early: u64::decode(r)?,
+            culled_late: u64::decode(r)?,
+            verts: u64::decode(r)?,
+            faces: u64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = TessStats { sites: 1, cells: 2, verts: 3, ..Default::default() };
+        let b = TessStats { sites: 10, cells: 20, faces: 5, ..Default::default() };
+        let m = a.merge(b);
+        assert_eq!(m.sites, 11);
+        assert_eq!(m.cells, 22);
+        assert_eq!(m.verts, 3);
+        assert_eq!(m.faces, 5);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let s = TessStats {
+            sites: 7,
+            ghosts_received: 6,
+            cells: 5,
+            incomplete: 4,
+            incomplete_kept: 1,
+            culled_early: 3,
+            culled_late: 2,
+            verts: 9,
+            faces: 8,
+        };
+        assert_eq!(TessStats::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+}

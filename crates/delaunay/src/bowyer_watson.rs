@@ -1,0 +1,586 @@
+//! Incremental Bowyer–Watson tetrahedralization with exact predicates.
+//!
+//! Points are inserted one at a time into an initially huge enclosing
+//! tetrahedron. For each point: locate the containing tetrahedron by
+//! walking, grow the *cavity* of tetrahedra whose circumsphere contains the
+//! point, repair the cavity until it is star-shaped from the point, and
+//! retriangulate by connecting the point to every cavity boundary face.
+
+use std::collections::HashMap;
+
+use geometry::predicates::{insphere, orient3d, Orientation};
+use geometry::{Aabb, Vec3};
+
+/// Sentinel "no neighbor" id.
+const NONE: u32 = u32::MAX;
+
+/// One tetrahedron: vertex ids plus the adjacent tet across the face
+/// opposite each vertex.
+#[derive(Debug, Clone, Copy)]
+struct Tet {
+    v: [u32; 4],
+    adj: [u32; 4],
+    alive: bool,
+}
+
+/// Errors from triangulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DelaunayError {
+    /// Fewer than one input point.
+    Empty,
+    /// A point fell outside the enclosing tetrahedron (non-finite input).
+    OutOfBounds(usize),
+}
+
+impl std::fmt::Display for DelaunayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelaunayError::Empty => write!(f, "no input points"),
+            DelaunayError::OutOfBounds(i) => write!(f, "point {i} is outside the enclosing tetrahedron (non-finite?)"),
+        }
+    }
+}
+
+impl std::error::Error for DelaunayError {}
+
+/// A 3D Delaunay tetrahedralization.
+#[derive(Debug)]
+pub struct Delaunay {
+    /// Input points followed by the 4 enclosing-tet vertices.
+    points: Vec<Vec3>,
+    /// Number of *real* (input) points; ids >= this are virtual.
+    nreal: usize,
+    tets: Vec<Tet>,
+    /// A live tet id to start walks from.
+    last_alive: u32,
+    /// For each duplicate input index, the index of its first occurrence.
+    duplicate_of: Vec<Option<u32>>,
+}
+
+impl Delaunay {
+    /// Triangulate `points`. Exact duplicates are tolerated (they map to the
+    /// first occurrence and generate no tetrahedra).
+    pub fn new(points: &[Vec3]) -> Result<Self, DelaunayError> {
+        if points.is_empty() {
+            return Err(DelaunayError::Empty);
+        }
+        let bbox = Aabb::from_points(points).expect("non-empty");
+        let c = bbox.center();
+        let r = (bbox.extent().norm() * 0.5).max(1.0);
+        // Huge regular-ish tetrahedron; inscribed sphere radius ~ 33 r·K/100.
+        let k = 1000.0 * r;
+        let big = [
+            c + Vec3::new(k, k, k),
+            c + Vec3::new(k, -k, -k),
+            c + Vec3::new(-k, k, -k),
+            c + Vec3::new(-k, -k, k),
+        ];
+
+        let nreal = points.len();
+        let mut all_points = points.to_vec();
+        all_points.extend_from_slice(&big);
+        let bid = |i: usize| (nreal + i) as u32;
+
+        // Orient the first tet positively.
+        let mut v0 = [bid(0), bid(1), bid(2), bid(3)];
+        if orient3d(big[0], big[1], big[2], big[3]) == Orientation::Negative {
+            v0.swap(0, 1);
+        }
+        debug_assert_eq!(
+            orient3d(
+                all_points[v0[0] as usize],
+                all_points[v0[1] as usize],
+                all_points[v0[2] as usize],
+                all_points[v0[3] as usize]
+            ),
+            Orientation::Positive
+        );
+
+        let mut dt = Delaunay {
+            points: all_points,
+            nreal,
+            tets: vec![Tet { v: v0, adj: [NONE; 4], alive: true }],
+            last_alive: 0,
+            duplicate_of: vec![None; nreal],
+        };
+
+        for i in 0..nreal {
+            dt.insert(i as u32)?;
+        }
+        Ok(dt)
+    }
+
+    /// Number of real input points.
+    pub fn num_points(&self) -> usize {
+        self.nreal
+    }
+
+    /// Coordinates of point `v` (real or virtual).
+    pub fn point(&self, v: u32) -> Vec3 {
+        self.points[v as usize]
+    }
+
+    /// `true` when vertex id `v` is one of the four virtual enclosing
+    /// vertices.
+    pub fn is_virtual(&self, v: u32) -> bool {
+        (v as usize) >= self.nreal
+    }
+
+    /// All live tetrahedra made of real vertices only.
+    pub fn tetrahedra(&self) -> Vec<[u32; 4]> {
+        self.tets
+            .iter()
+            .filter(|t| t.alive && t.v.iter().all(|&v| !self.is_virtual(v)))
+            .map(|t| t.v)
+            .collect()
+    }
+
+    /// All live tetrahedra, including those touching virtual vertices.
+    pub fn all_tetrahedra(&self) -> Vec<[u32; 4]> {
+        self.tets.iter().filter(|t| t.alive).map(|t| t.v).collect()
+    }
+
+    /// The first-occurrence id for a duplicate input point, if `i` was a
+    /// duplicate.
+    pub fn duplicate_of(&self, i: u32) -> Option<u32> {
+        self.duplicate_of[i as usize]
+    }
+
+    fn tet_points(&self, t: &Tet) -> [Vec3; 4] {
+        [
+            self.points[t.v[0] as usize],
+            self.points[t.v[1] as usize],
+            self.points[t.v[2] as usize],
+            self.points[t.v[3] as usize],
+        ]
+    }
+
+    /// Oriented face opposite vertex slot `i`: the returned triple has the
+    /// remaining vertex on its `Positive` side.
+    fn face_opposite(&self, tet: &Tet, i: usize) -> [u32; 3] {
+        let others: Vec<u32> = (0..4).filter(|&j| j != i).map(|j| tet.v[j]).collect();
+        let mut f = [others[0], others[1], others[2]];
+        let opp = self.points[tet.v[i] as usize];
+        if orient3d(
+            self.points[f[0] as usize],
+            self.points[f[1] as usize],
+            self.points[f[2] as usize],
+            opp,
+        ) == Orientation::Negative
+        {
+            f.swap(1, 2);
+        }
+        f
+    }
+
+    /// Walk from a live tet to one whose closed interior contains `p`.
+    fn locate(&self, p: Vec3) -> Result<u32, DelaunayError> {
+        let mut cur = self.last_alive;
+        debug_assert!(self.tets[cur as usize].alive);
+        let mut steps = 0usize;
+        let limit = 8 * (self.tets.len() + 16);
+        'walk: loop {
+            steps += 1;
+            if steps > limit {
+                // should be impossible in a convex triangulation
+                return Err(DelaunayError::OutOfBounds(usize::MAX));
+            }
+            let tet = self.tets[cur as usize];
+            for i in 0..4 {
+                let f = self.face_opposite(&tet, i);
+                // p strictly beyond this face → step across.
+                if orient3d(
+                    self.points[f[0] as usize],
+                    self.points[f[1] as usize],
+                    self.points[f[2] as usize],
+                    p,
+                ) == Orientation::Negative
+                {
+                    let next = tet.adj[i];
+                    if next == NONE {
+                        return Err(DelaunayError::OutOfBounds(usize::MAX));
+                    }
+                    cur = next;
+                    continue 'walk;
+                }
+            }
+            return Ok(cur);
+        }
+    }
+
+    fn insert(&mut self, pid: u32) -> Result<(), DelaunayError> {
+        let p = self.points[pid as usize];
+        let start = match self.locate(p) {
+            Ok(t) => t,
+            Err(_) => return Err(DelaunayError::OutOfBounds(pid as usize)),
+        };
+
+        // Exact duplicate? Map and skip.
+        for &v in &self.tets[start as usize].v {
+            if self.points[v as usize] == p && v != pid {
+                self.duplicate_of[pid as usize] = Some(v);
+                return Ok(());
+            }
+        }
+
+        // Grow the cavity: tets whose circumsphere strictly contains p.
+        let mut in_cavity = vec![false; self.tets.len()];
+        let mut cavity: Vec<u32> = vec![start];
+        in_cavity[start as usize] = true;
+        let mut stack = vec![start];
+        while let Some(t) = stack.pop() {
+            let tet = self.tets[t as usize];
+            for i in 0..4 {
+                let n = tet.adj[i];
+                if n == NONE || in_cavity[n as usize] {
+                    continue;
+                }
+                let nt = self.tets[n as usize];
+                let [a, b, c, d] = self.tet_points(&nt);
+                if insphere(a, b, c, d, p) == Orientation::Positive {
+                    in_cavity[n as usize] = true;
+                    cavity.push(n);
+                    stack.push(n);
+                }
+            }
+        }
+
+        // Repair until star-shaped: every boundary face must see p strictly
+        // on its cavity side; otherwise absorb the offending neighbor.
+        // Boundary face list: (face oriented toward cavity, outside tet id).
+        let boundary = loop {
+            let mut boundary: Vec<([u32; 3], u32)> = Vec::new();
+            let mut grew = false;
+            for idx in 0..cavity.len() {
+                let t = cavity[idx];
+                let tet = self.tets[t as usize];
+                for i in 0..4 {
+                    let n = tet.adj[i];
+                    if n != NONE && in_cavity[n as usize] {
+                        continue;
+                    }
+                    // face opposite slot i, oriented with interior vertex
+                    // (and hence the cavity) on the Positive side
+                    let f = self.face_opposite(&tet, i);
+                    let o = orient3d(
+                        self.points[f[0] as usize],
+                        self.points[f[1] as usize],
+                        self.points[f[2] as usize],
+                        p,
+                    );
+                    if o != Orientation::Positive {
+                        // p is on or beyond this boundary face: cavity is not
+                        // star-shaped; absorb the neighbor if possible.
+                        if n == NONE {
+                            return Err(DelaunayError::OutOfBounds(pid as usize));
+                        }
+                        in_cavity[n as usize] = true;
+                        cavity.push(n);
+                        grew = true;
+                        break;
+                    }
+                    boundary.push((f, n));
+                }
+                if grew {
+                    break;
+                }
+            }
+            if !grew {
+                break boundary;
+            }
+        };
+
+        // Kill cavity tets.
+        for &t in &cavity {
+            self.tets[t as usize].alive = false;
+        }
+
+        // Create one new tet per boundary face.
+        let mut new_ids: Vec<u32> = Vec::with_capacity(boundary.len());
+        // Map from sorted face triple to (tet id, slot) for wiring new-new
+        // adjacency via shared (edge, apex=p) faces: every internal face of
+        // the new star contains p plus one boundary edge.
+        let mut edge_map: HashMap<(u32, u32), Vec<(u32, usize)>> = HashMap::new();
+        for (f, outside) in boundary {
+            let id = self.tets.len() as u32;
+            // tet (f0, f1, f2, p): p on the Positive side of f ⇒ positive
+            // orientation.
+            let tet = Tet {
+                v: [f[0], f[1], f[2], pid],
+                adj: [NONE, NONE, NONE, outside],
+            // adj[3] (face opposite p = the boundary face f) = outside tet
+                alive: true,
+            };
+            self.tets.push(tet);
+            in_cavity.push(false);
+            new_ids.push(id);
+            // fix the outside tet's back-pointer
+            if outside != NONE {
+                let out = &mut self.tets[outside as usize];
+                // find the slot of `out` whose opposite face is f
+                let fs: [u32; 3] = {
+                    let mut s = f;
+                    s.sort_unstable();
+                    s
+                };
+                for i in 0..4 {
+                    let mut of: Vec<u32> = (0..4).filter(|&j| j != i).map(|j| out.v[j]).collect();
+                    of.sort_unstable();
+                    if of == fs {
+                        out.adj[i] = id;
+                        break;
+                    }
+                }
+            }
+            // register p-containing faces via their boundary edges
+            for (a, b) in [(f[0], f[1]), (f[1], f[2]), (f[2], f[0])] {
+                let key = (a.min(b), a.max(b));
+                // slot of the vertex opposite this internal face: the face
+                // is (a, b, p); opposite vertex is the third f vertex
+                let third = f.iter().copied().find(|&x| x != a && x != b).unwrap();
+                let slot = [f[0], f[1], f[2], pid]
+                    .iter()
+                    .position(|&x| x == third)
+                    .unwrap();
+                edge_map.entry(key).or_default().push((id, slot));
+            }
+        }
+        // Wire new-new adjacency: each boundary edge is shared by exactly
+        // two new tets.
+        for (_, v) in edge_map {
+            debug_assert_eq!(v.len(), 2, "each cavity boundary edge borders two faces");
+            let (t1, s1) = v[0];
+            let (t2, s2) = v[1];
+            self.tets[t1 as usize].adj[s1] = t2;
+            self.tets[t2 as usize].adj[s2] = t1;
+        }
+
+        self.last_alive = *new_ids.last().expect("cavity had boundary faces");
+        Ok(())
+    }
+
+    /// Ids of the real points adjacent (by a Delaunay edge) to real point
+    /// `v`.
+    pub fn neighbors_of(&self, v: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for t in &self.tets {
+            if !t.alive || !t.v.contains(&v) {
+                continue;
+            }
+            for &u in &t.v {
+                if u != v && !self.is_virtual(u) && !out.contains(&u) {
+                    out.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Test helper: verify the empty-circumsphere property for every live
+    /// all-real tetrahedron against every real point. O(n·t) — use on small
+    /// inputs only.
+    pub fn check_delaunay(&self) -> bool {
+        for t in &self.tets {
+            if !t.alive || t.v.iter().any(|&v| self.is_virtual(v)) {
+                continue;
+            }
+            let [a, b, c, d] = self.tet_points(t);
+            for pid in 0..self.nreal as u32 {
+                if t.v.contains(&pid) {
+                    continue;
+                }
+                if insphere(a, b, c, d, self.points[pid as usize]) == Orientation::Positive {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Test helper: every live tet is positively oriented and adjacency is
+    /// mutual.
+    pub fn check_topology(&self) -> bool {
+        for (ti, t) in self.tets.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let [a, b, c, d] = self.tet_points(t);
+            if orient3d(a, b, c, d) != Orientation::Positive {
+                return false;
+            }
+            for i in 0..4 {
+                let n = t.adj[i];
+                if n == NONE {
+                    continue;
+                }
+                let nt = &self.tets[n as usize];
+                if !nt.alive {
+                    return false;
+                }
+                if !nt.adj.contains(&(ti as u32)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Live tets (with liveness filtering) that contain vertex `v`,
+    /// as indices into the internal tet array.
+    pub(crate) fn tets_around(&self, v: u32) -> Vec<usize> {
+        self.tets
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive && t.v.contains(&v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub(crate) fn tet_vertices(&self, ti: usize) -> [u32; 4] {
+        self.tets[ti].v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::measures::tetra_volume;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn total_volume(dt: &Delaunay) -> f64 {
+        dt.tetrahedra()
+            .iter()
+            .map(|&[a, b, c, d]| {
+                tetra_volume(dt.point(a), dt.point(b), dt.point(c), dt.point(d))
+            })
+            .sum()
+    }
+
+    #[test]
+    fn single_tetrahedron() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let dt = Delaunay::new(&pts).unwrap();
+        assert_eq!(dt.tetrahedra().len(), 1);
+        assert!(dt.check_topology());
+        assert!(dt.check_delaunay());
+        assert!((total_volume(&dt) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cube_corners_cospherical() {
+        // All 8 corners lie on one sphere: the ultimate degenerate case.
+        let pts: Vec<Vec3> = Aabb::cube(1.0).corners().to_vec();
+        let dt = Delaunay::new(&pts).unwrap();
+        assert!(dt.check_topology());
+        assert!(dt.check_delaunay());
+        // union of real tets fills the cube
+        assert!((total_volume(&dt) - 1.0).abs() < 1e-9, "vol {}", total_volume(&dt));
+    }
+
+    #[test]
+    fn regular_grid_is_handled() {
+        let n = 3;
+        let pts: Vec<Vec3> = (0..n)
+            .flat_map(|i| {
+                (0..n).flat_map(move |j| {
+                    (0..n).map(move |k| Vec3::new(i as f64, j as f64, k as f64))
+                })
+            })
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        assert!(dt.check_topology());
+        assert!(dt.check_delaunay());
+        assert!((total_volume(&dt) - 8.0).abs() < 1e-9, "vol {}", total_volume(&dt));
+    }
+
+    #[test]
+    fn random_points_satisfy_empty_circumsphere() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for n in [10usize, 40, 120] {
+            let pts: Vec<Vec3> = (0..n)
+                .map(|_| {
+                    Vec3::new(
+                        rng.gen_range(0.0..10.0),
+                        rng.gen_range(0.0..10.0),
+                        rng.gen_range(0.0..10.0),
+                    )
+                })
+                .collect();
+            let dt = Delaunay::new(&pts).unwrap();
+            assert!(dt.check_topology(), "n={n}");
+            assert!(dt.check_delaunay(), "n={n}");
+            // volume equals the convex hull volume
+            let hull = geometry::convex_hull(&pts, 1e-9).unwrap();
+            assert!(
+                (total_volume(&dt) - hull.volume()).abs() < 1e-6 * hull.volume(),
+                "n={n}: {} vs {}",
+                total_volume(&dt),
+                hull.volume()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_are_mapped() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0), // duplicate of 1
+        ];
+        let dt = Delaunay::new(&pts).unwrap();
+        assert_eq!(dt.duplicate_of(4), Some(1));
+        assert_eq!(dt.duplicate_of(1), None);
+        assert_eq!(dt.tetrahedra().len(), 1);
+    }
+
+    #[test]
+    fn neighbors_in_a_lattice() {
+        // Center of a 3x3x3 lattice: Delaunay neighbors include the 6
+        // face-adjacent points.
+        let n = 3;
+        let pts: Vec<Vec3> = (0..n)
+            .flat_map(|k| {
+                (0..n).flat_map(move |j| {
+                    (0..n).map(move |i| Vec3::new(i as f64, j as f64, k as f64))
+                })
+            })
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        let center = 13u32; // (1,1,1)
+        let nbrs = dt.neighbors_of(center);
+        for face_nbr in [4u32, 10, 12, 14, 16, 22] {
+            assert!(nbrs.contains(&face_nbr), "missing {face_nbr} in {nbrs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(Delaunay::new(&[]).unwrap_err(), DelaunayError::Empty);
+    }
+
+    #[test]
+    fn collinear_and_coplanar_inputs_do_not_crash() {
+        // These have no 3D triangulation of real tets, but insertion into
+        // the big tet must still succeed with valid topology.
+        let line: Vec<Vec3> = (0..5).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let dt = Delaunay::new(&line).unwrap();
+        assert!(dt.check_topology());
+        assert_eq!(dt.tetrahedra().len(), 0);
+
+        let plane: Vec<Vec3> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| Vec3::new(i as f64, j as f64, 0.0)))
+            .collect();
+        let dt = Delaunay::new(&plane).unwrap();
+        assert!(dt.check_topology());
+        assert_eq!(dt.tetrahedra().len(), 0);
+    }
+}

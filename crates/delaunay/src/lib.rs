@@ -1,0 +1,21 @@
+//! Incremental 3D Delaunay tetrahedralization (Bowyer–Watson) and its
+//! Voronoi dual.
+//!
+//! The paper computes Voronoi cells with Qhull; its successor library also
+//! emits Delaunay tessellations. This crate provides an independent,
+//! from-scratch Delaunay implementation used two ways:
+//!
+//! * **cross-validation** — Voronoi cells extracted from the Delaunay dual
+//!   must match the half-space-clipping cells computed by `tess`
+//!   (two independent algorithms, one answer);
+//! * **Delaunay output mode** — the extension listed in DESIGN.md §6.
+//!
+//! Robustness comes from the exact `orient3d` / `insphere` predicates in
+//! the `geometry` crate, so grid-like (cospherical) particle arrangements
+//! from early simulation time steps are handled without perturbation hacks.
+
+pub mod bowyer_watson;
+pub mod voronoi_dual;
+
+pub use bowyer_watson::{Delaunay, DelaunayError};
+pub use voronoi_dual::DualCell;

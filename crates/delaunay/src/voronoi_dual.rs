@@ -1,0 +1,183 @@
+//! Voronoi cells as the dual of the Delaunay tetrahedralization.
+//!
+//! Each real input point's Voronoi cell has one vertex per incident
+//! Delaunay tetrahedron — the tet's circumcenter. A cell is *finite* only
+//! when no incident tetrahedron touches a virtual (enclosing-tet) vertex;
+//! infinite cells are reported as `None`, mirroring how `tess` drops
+//! incomplete cells at block boundaries.
+
+use geometry::measures::tetra_circumcenter;
+use geometry::quickhull::convex_hull;
+use geometry::Vec3;
+
+use crate::bowyer_watson::Delaunay;
+
+/// A finite Voronoi cell extracted from the dual.
+#[derive(Debug, Clone)]
+pub struct DualCell {
+    /// The site (input point id).
+    pub site: u32,
+    /// Circumcenters of the incident tetrahedra = the cell's vertices.
+    pub vertices: Vec<Vec3>,
+}
+
+impl DualCell {
+    /// Cell volume via the convex hull of the dual vertices (the cell is
+    /// convex, so its hull *is* the cell). `None` for degenerate vertex
+    /// sets.
+    pub fn volume(&self) -> Option<f64> {
+        convex_hull(&self.vertices, 1e-9).ok().map(|h| h.volume())
+    }
+
+    /// Cell surface area via the hull.
+    pub fn surface_area(&self) -> Option<f64> {
+        convex_hull(&self.vertices, 1e-9).ok().map(|h| h.surface_area())
+    }
+}
+
+/// Extract the finite Voronoi cell of real point `site`, or `None` when the
+/// cell is unbounded (touches the enclosing tetrahedron).
+pub fn voronoi_cell(dt: &Delaunay, site: u32) -> Option<DualCell> {
+    assert!((site as usize) < dt.num_points(), "site must be a real point");
+    if dt.duplicate_of(site).is_some() {
+        return None;
+    }
+    let tets = dt.tets_around(site);
+    if tets.is_empty() {
+        return None;
+    }
+    let mut vertices = Vec::with_capacity(tets.len());
+    for ti in tets {
+        let v = dt.tet_vertices(ti);
+        if v.iter().any(|&x| dt.is_virtual(x)) {
+            return None; // unbounded cell
+        }
+        let c = tetra_circumcenter(
+            dt.point(v[0]),
+            dt.point(v[1]),
+            dt.point(v[2]),
+            dt.point(v[3]),
+        )?;
+        vertices.push(c);
+    }
+    Some(DualCell { site, vertices })
+}
+
+/// Extract every finite cell.
+pub fn all_finite_cells(dt: &Delaunay) -> Vec<DualCell> {
+    (0..dt.num_points() as u32)
+        .filter_map(|s| voronoi_cell(dt, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn lattice_interior_cell_is_unit_cube() {
+        let n = 5;
+        let pts: Vec<Vec3> = (0..n)
+            .flat_map(|k| {
+                (0..n).flat_map(move |j| {
+                    (0..n).map(move |i| Vec3::new(i as f64, j as f64, k as f64))
+                })
+            })
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        // center point (2,2,2) has id 2 + 5*(2 + 5*2) = 62
+        let cell = voronoi_cell(&dt, 62).expect("interior cell is finite");
+        let vol = cell.volume().expect("non-degenerate");
+        assert!((vol - 1.0).abs() < 1e-6, "vol {vol}");
+        let area = cell.surface_area().unwrap();
+        assert!((area - 6.0).abs() < 1e-6, "area {area}");
+    }
+
+    #[test]
+    fn boundary_cells_are_infinite() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ];
+        let dt = Delaunay::new(&pts).unwrap();
+        // every point is on the convex hull → all cells unbounded
+        for s in 0..5 {
+            assert!(voronoi_cell(&dt, s).is_none(), "site {s}");
+        }
+    }
+
+    #[test]
+    fn cell_vertices_are_equidistant_witnesses() {
+        // Dual vertices are circumcenters: each is equidistant from the
+        // site and 3 other points, and no point is closer.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pts: Vec<Vec3> = (0..80)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                    rng.gen_range(0.0..4.0),
+                )
+            })
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        let cells = all_finite_cells(&dt);
+        assert!(!cells.is_empty());
+        for cell in cells.iter().take(10) {
+            let site = pts[cell.site as usize];
+            for &v in cell.vertices.iter().take(6) {
+                let r = v.dist(site);
+                // no input point may be strictly closer to the dual vertex
+                // than the site (allowing ties on the circumsphere)
+                for &q in &pts {
+                    assert!(v.dist(q) > r - 1e-7, "closer point to dual vertex");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finite_cell_volumes_are_positive_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let pts: Vec<Vec3> = (0..120)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..5.0),
+                    rng.gen_range(0.0..5.0),
+                    rng.gen_range(0.0..5.0),
+                )
+            })
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        let cells = all_finite_cells(&dt);
+        assert!(cells.len() > 10, "expect interior cells, got {}", cells.len());
+        for c in &cells {
+            if let Some(v) = c.volume() {
+                // Cells near the hull are finite but can extend well beyond
+                // the point cloud; only positivity and finiteness are
+                // guaranteed here.
+                assert!(v > 0.0 && v.is_finite(), "volume {v}");
+            }
+        }
+        // A cell whose every dual vertex lies inside the sample box is a
+        // genuinely interior cell and must be smaller than the box.
+        let interior: Vec<&DualCell> = cells
+            .iter()
+            .filter(|c| {
+                c.vertices.iter().all(|v| {
+                    (0.0..5.0).contains(&v.x) && (0.0..5.0).contains(&v.y) && (0.0..5.0).contains(&v.z)
+                })
+            })
+            .collect();
+        assert!(!interior.is_empty());
+        for c in interior {
+            let v = c.volume().unwrap();
+            assert!(v > 0.0 && v < 125.0, "interior volume {v}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Rank runtime: a simulated distributed-memory machine.
+//!
+//! [`Runtime::run`] spawns one OS thread per rank. Each rank owns its data
+//! privately; ranks communicate only by sending serialized messages through
+//! unbounded channels (so sends never block and no send/recv deadlock is
+//! possible). The API mirrors the MPI subset DIY uses: tagged point-to-point
+//! messages, barrier, gather/broadcast, all-gather, all-reduce, and
+//! exclusive scan.
+//!
+//! ## Determinism
+//!
+//! Message arrival order between different senders is nondeterministic, but
+//! every collective and the [`crate::exchange`] layer sort received data by
+//! source rank, so algorithm results are reproducible run to run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::codec::{Decode, Encode};
+
+struct Envelope {
+    from: usize,
+    tag: u64,
+    bytes: Vec<u8>,
+}
+
+/// Shared counters for transport statistics (read after the run).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    pub messages: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+/// Entry point for SPMD execution.
+pub struct Runtime;
+
+impl Runtime {
+    /// Run `f` on `nranks` ranks (one OS thread each) and collect each
+    /// rank's return value, indexed by rank.
+    ///
+    /// ```
+    /// use diy::comm::Runtime;
+    ///
+    /// let sums = Runtime::run(4, |world| {
+    ///     // every rank contributes its rank id; all receive the total
+    ///     world.all_reduce(world.rank() as u64, |a, b| a + b)
+    /// });
+    /// assert_eq!(sums, vec![6, 6, 6, 6]);
+    /// ```
+    pub fn run<R, F>(nranks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut World) -> R + Sync,
+    {
+        Self::run_with_stats(nranks, f).0
+    }
+
+    /// Like [`Runtime::run`] but also returns transport statistics.
+    pub fn run_with_stats<R, F>(nranks: usize, f: F) -> (Vec<R>, (u64, u64))
+    where
+        R: Send,
+        F: Fn(&mut World) -> R + Sync,
+    {
+        assert!(nranks > 0, "need at least one rank");
+        let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(nranks);
+        let mut rxs: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        let barrier = Arc::new(Barrier::new(nranks));
+        let stats = Arc::new(CommStats::default());
+
+        let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, rx) in rxs.iter_mut().enumerate() {
+                let rx = rx.take().expect("receiver taken once");
+                let txs = txs.clone();
+                let barrier = Arc::clone(&barrier);
+                let stats = Arc::clone(&stats);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut world = World {
+                        rank,
+                        nranks,
+                        txs,
+                        rx,
+                        pending: Vec::new(),
+                        barrier,
+                        coll_seq: 0,
+                        stats,
+                    };
+                    f(&mut world)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        let msg = stats.messages.load(Ordering::Relaxed);
+        let bytes = stats.bytes.load(Ordering::Relaxed);
+        (
+            results.into_iter().map(|r| r.expect("rank completed")).collect(),
+            (msg, bytes),
+        )
+    }
+}
+
+/// One rank's view of the machine: its identity plus communication handles.
+pub struct World {
+    rank: usize,
+    nranks: usize,
+    txs: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    /// Messages received while waiting for a different (from, tag).
+    pending: Vec<Envelope>,
+    barrier: Arc<Barrier>,
+    /// Collective sequence number; identical across ranks because all ranks
+    /// execute collectives in the same (SPMD) order.
+    coll_seq: u64,
+    stats: Arc<CommStats>,
+}
+
+/// Tag bit reserved for internal collective traffic.
+const COLLECTIVE_BIT: u64 = 1 << 63;
+
+impl World {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Send raw bytes to `to` with a user `tag` (must not set the top bit).
+    pub fn send_bytes(&self, to: usize, tag: u64, bytes: Vec<u8>) {
+        debug_assert!(tag & COLLECTIVE_BIT == 0, "top tag bit is reserved");
+        self.send_raw(to, tag, bytes);
+    }
+
+    fn send_raw(&self, to: usize, tag: u64, bytes: Vec<u8>) {
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.txs[to]
+            .send(Envelope { from: self.rank, tag, bytes })
+            .expect("receiver alive for the duration of the run");
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`.
+    /// Out-of-order messages are buffered, so interleavings cannot drop data.
+    pub fn recv_bytes(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            return self.pending.remove(i).bytes;
+        }
+        loop {
+            let env = self.rx.recv().expect("senders alive for the duration of the run");
+            if env.from == from && env.tag == tag {
+                return env.bytes;
+            }
+            self.pending.push(env);
+        }
+    }
+
+    /// Typed send.
+    pub fn send<T: Encode>(&self, to: usize, tag: u64, value: &T) {
+        self.send_bytes(to, tag, value.to_bytes());
+    }
+
+    /// Typed receive (panics on decode failure — a protocol bug, not an
+    /// input error).
+    pub fn recv<T: Decode>(&mut self, from: usize, tag: u64) -> T {
+        let bytes = self.recv_bytes(from, tag);
+        T::from_bytes(&bytes).expect("peer encoded the agreed type")
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn next_coll_tag(&mut self) -> u64 {
+        let tag = COLLECTIVE_BIT | self.coll_seq;
+        self.coll_seq += 1;
+        tag
+    }
+
+    /// Gather one value per rank at `root`; returns `Some(values)` (indexed
+    /// by rank) only at the root.
+    pub fn gather<T: Encode + Decode>(&mut self, root: usize, value: &T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.nranks).map(|_| None).collect();
+            out[root] = Some(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
+            for from in 0..self.nranks {
+                if from != root {
+                    out[from] = Some(self.recv(from, tag));
+                }
+            }
+            Some(out.into_iter().map(|v| v.expect("gathered")).collect())
+        } else {
+            self.send_raw(root, tag, value.to_bytes());
+            None
+        }
+    }
+
+    /// Broadcast `value` (significant at `root`) to all ranks.
+    pub fn broadcast<T: Encode + Decode>(&mut self, root: usize, value: Option<&T>) -> T {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let v = value.expect("root provides the value");
+            let bytes = v.to_bytes();
+            for to in 0..self.nranks {
+                if to != root {
+                    self.send_raw(to, tag, bytes.clone());
+                }
+            }
+            T::from_bytes(&bytes).expect("self roundtrip")
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Gather one value per rank on every rank.
+    pub fn all_gather<T: Encode + Decode>(&mut self, value: &T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered.as_ref())
+    }
+
+    /// Reduce with a binary operator, result on every rank. The fold is
+    /// performed in rank order, so non-commutative reductions are
+    /// deterministic.
+    pub fn all_reduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Encode + Decode,
+        F: Fn(T, T) -> T,
+    {
+        let mut all = self.all_gather(&value);
+        let first = all.remove(0);
+        all.into_iter().fold(first, op)
+    }
+
+    /// Exclusive prefix sum of `value` over ranks (rank 0 receives 0);
+    /// also returns the global total. Used to compute file offsets for
+    /// collective writes.
+    pub fn exclusive_scan_u64(&mut self, value: u64) -> (u64, u64) {
+        let all = self.all_gather(&value);
+        let prefix: u64 = all[..self.rank].iter().sum();
+        let total: u64 = all.iter().sum();
+        (prefix, total)
+    }
+
+    /// Personalized all-to-all: send `outgoing[r]` to rank `r`, receive one
+    /// buffer from every rank (indexed by source). Empty buffers are
+    /// exchanged too, which doubles as a synchronization point.
+    pub fn all_to_all(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(outgoing.len(), self.nranks);
+        let tag = self.next_coll_tag();
+        for (to, bytes) in outgoing.into_iter().enumerate() {
+            if to == self.rank {
+                // deliver locally below
+                self.pending.push(Envelope { from: self.rank, tag, bytes });
+            } else {
+                self.send_raw(to, tag, bytes);
+            }
+        }
+        (0..self.nranks).map(|from| self.recv_bytes(from, tag)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let r = Runtime::run(1, |w| {
+            assert_eq!(w.rank(), 0);
+            assert_eq!(w.nranks(), 1);
+            w.barrier();
+            w.rank() * 10
+        });
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let r = Runtime::run(8, |w| w.rank() * w.rank());
+        assert_eq!(r, (0..8).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let r = Runtime::run(4, |w| {
+            let next = (w.rank() + 1) % w.nranks();
+            let prev = (w.rank() + w.nranks() - 1) % w.nranks();
+            w.send(next, 7, &(w.rank() as u64));
+            w.recv::<u64>(prev, 7)
+        });
+        assert_eq!(r, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn tagged_messages_do_not_cross() {
+        let r = Runtime::run(2, |w| {
+            if w.rank() == 0 {
+                // send tag 2 first, then tag 1: receiver asks for 1 first
+                w.send(1, 2, &22u32);
+                w.send(1, 1, &11u32);
+                0
+            } else {
+                let a: u32 = w.recv(0, 1);
+                let b: u32 = w.recv(0, 2);
+                assert_eq!((a, b), (11, 22));
+                1
+            }
+        });
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn gather_and_broadcast() {
+        Runtime::run(5, |w| {
+            let g = w.gather(2, &(w.rank() as u64 + 100));
+            if w.rank() == 2 {
+                assert_eq!(g.unwrap(), vec![100, 101, 102, 103, 104]);
+            } else {
+                assert!(g.is_none());
+            }
+            let b = w.broadcast(3, if w.rank() == 3 { Some(&999u64) } else { None });
+            assert_eq!(b, 999);
+        });
+    }
+
+    #[test]
+    fn all_gather_and_all_reduce() {
+        Runtime::run(6, |w| {
+            let all = w.all_gather(&(w.rank() as u32));
+            assert_eq!(all, (0..6u32).collect::<Vec<_>>());
+            let sum = w.all_reduce(w.rank() as u64, |a, b| a + b);
+            assert_eq!(sum, 15);
+            let max = w.all_reduce(w.rank() as u64, |a, b| a.max(b));
+            assert_eq!(max, 5);
+        });
+    }
+
+    #[test]
+    fn exclusive_scan() {
+        Runtime::run(4, |w| {
+            let v = (w.rank() as u64 + 1) * 10; // 10,20,30,40
+            let (prefix, total) = w.exclusive_scan_u64(v);
+            let expect = [0u64, 10, 30, 60][w.rank()];
+            assert_eq!(prefix, expect);
+            assert_eq!(total, 100);
+        });
+    }
+
+    #[test]
+    fn all_to_all_delivers_per_source() {
+        Runtime::run(3, |w| {
+            let outgoing: Vec<Vec<u8>> = (0..3)
+                .map(|to| vec![(w.rank() * 10 + to) as u8])
+                .collect();
+            let incoming = w.all_to_all(outgoing);
+            for (from, buf) in incoming.iter().enumerate() {
+                assert_eq!(buf, &vec![(from * 10 + w.rank()) as u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        Runtime::run(4, |w| {
+            for i in 0..50u64 {
+                let s = w.all_reduce(i + w.rank() as u64, |a, b| a + b);
+                assert_eq!(s, 4 * i + 6);
+            }
+        });
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let (_, (msgs, bytes)) = Runtime::run_with_stats(2, |w| {
+            if w.rank() == 0 {
+                w.send(1, 1, &vec![0u8; 100]);
+            } else {
+                let _: Vec<u8> = w.recv(0, 1);
+            }
+        });
+        assert_eq!(msgs, 1);
+        assert_eq!(bytes, 108); // 8-byte length prefix + 100 payload
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Runtime::run(8, |w| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            w.barrier();
+            // all ranks incremented before any proceeds
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+}

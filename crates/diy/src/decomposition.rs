@@ -1,0 +1,348 @@
+//! Regular block decomposition of a 3D domain with periodic neighborhoods.
+//!
+//! The global domain is split into a `dims[0] × dims[1] × dims[2]` grid of
+//! blocks. Each block knows its 26-neighborhood; when a dimension is
+//! periodic, blocks on one edge of the domain are linked to blocks on the
+//! opposite edge (*periodic boundary neighbors*, one of the two features the
+//! paper added to DIY). Each neighbor link carries the coordinate
+//! translation to apply to data sent across the periodic seam.
+
+use geometry::{Aabb, Vec3};
+
+/// One neighbor link of a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Global id of the neighboring block.
+    pub gid: u64,
+    /// Direction of the link in block-grid steps (components in -1..=1).
+    pub dir: [i32; 3],
+    /// Translation to add to a point's coordinates when sending it to this
+    /// neighbor. Zero unless the link crosses a periodic boundary.
+    pub xform: Vec3,
+    /// `true` when the link wraps around a periodic boundary.
+    pub periodic: bool,
+}
+
+/// A regular decomposition of `domain` into a grid of blocks.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    pub domain: Aabb,
+    pub dims: [usize; 3],
+    pub periodic: [bool; 3],
+}
+
+impl Decomposition {
+    /// Decompose `domain` into exactly `nblocks` blocks using a near-cubic
+    /// factorization (mirrors DIY's regular decomposer).
+    pub fn regular(domain: Aabb, nblocks: usize, periodic: [bool; 3]) -> Self {
+        assert!(nblocks > 0, "need at least one block");
+        let dims = factor3(nblocks);
+        Decomposition { domain, dims, periodic }
+    }
+
+    /// Decompose with explicit per-dimension block counts.
+    pub fn with_dims(domain: Aabb, dims: [usize; 3], periodic: [bool; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "block grid dims must be positive");
+        Decomposition { domain, dims, periodic }
+    }
+
+    pub fn nblocks(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Grid coordinates of block `gid` (x fastest).
+    pub fn coords(&self, gid: u64) -> [usize; 3] {
+        let g = gid as usize;
+        assert!(g < self.nblocks(), "gid {gid} out of range");
+        [
+            g % self.dims[0],
+            (g / self.dims[0]) % self.dims[1],
+            g / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// Global id of the block at grid coordinates `c`.
+    pub fn gid(&self, c: [usize; 3]) -> u64 {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
+        (c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])) as u64
+    }
+
+    /// Spatial bounds of block `gid`.
+    ///
+    /// Computed from the global bounds so adjacent blocks share exact
+    /// boundary coordinates (no accumulation of rounding across the grid).
+    pub fn block_bounds(&self, gid: u64) -> Aabb {
+        let c = self.coords(gid);
+        let lo = self.domain.min;
+        let e = self.domain.extent();
+        let f = |d: usize, i: usize| lo[d] + e[d] * (i as f64) / (self.dims[d] as f64);
+        Aabb::new(
+            Vec3::new(f(0, c[0]), f(1, c[1]), f(2, c[2])),
+            Vec3::new(f(0, c[0] + 1), f(1, c[1] + 1), f(2, c[2] + 1)),
+        )
+    }
+
+    /// The block owning point `p` (after periodic wrapping in periodic
+    /// dimensions; non-periodic dimensions clamp to the domain).
+    pub fn block_of_point(&self, p: Vec3) -> u64 {
+        let e = self.domain.extent();
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            let mut x = p[d];
+            if self.periodic[d] {
+                x = self.domain.min[d] + (x - self.domain.min[d]).rem_euclid(e[d]);
+            }
+            let t = ((x - self.domain.min[d]) / e[d] * self.dims[d] as f64).floor();
+            c[d] = (t as isize).clamp(0, self.dims[d] as isize - 1) as usize;
+        }
+        self.gid(c)
+    }
+
+    /// All neighbor links of block `gid`: the (up to) 26 surrounding grid
+    /// cells, including periodic wrap-around links. With small grids a
+    /// neighbor may be the block itself (self-link across the periodic
+    /// seam) or the same block may appear under several distinct
+    /// translations; each `(gid, xform)` pair is reported once.
+    pub fn neighbors(&self, gid: u64) -> Vec<Neighbor> {
+        let c = self.coords(gid);
+        let e = self.domain.extent();
+        let mut out = Vec::with_capacity(26);
+        for dz in -1i32..=1 {
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let dir = [dx, dy, dz];
+                    let mut nc = [0usize; 3];
+                    let mut xform = Vec3::ZERO;
+                    let mut wraps = false;
+                    let mut valid = true;
+                    for d in 0..3 {
+                        let raw = c[d] as i32 + dir[d];
+                        if raw < 0 {
+                            if !self.periodic[d] {
+                                valid = false;
+                                break;
+                            }
+                            nc[d] = self.dims[d] - 1;
+                            // Crossing the lower boundary: data moves up by L.
+                            xform[d] = e[d];
+                            wraps = true;
+                        } else if raw as usize >= self.dims[d] {
+                            if !self.periodic[d] {
+                                valid = false;
+                                break;
+                            }
+                            nc[d] = 0;
+                            // Crossing the upper boundary: data moves down by L.
+                            xform[d] = -e[d];
+                            wraps = true;
+                        } else {
+                            nc[d] = raw as usize;
+                        }
+                    }
+                    if !valid {
+                        continue;
+                    }
+                    let n = Neighbor {
+                        gid: self.gid(nc),
+                        dir,
+                        xform,
+                        periodic: wraps,
+                    };
+                    // With 1 or 2 blocks in a dimension, different directions
+                    // can alias to the same (gid, xform); keep one.
+                    if !out
+                        .iter()
+                        .any(|o: &Neighbor| o.gid == n.gid && (o.xform - n.xform).norm() < 1e-12)
+                    {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Near-cubic factorization of `n` into three factors, largest spread
+/// minimized (greedy over the prime factorization, matching DIY's decomposer
+/// closely enough for benchmarking).
+pub fn factor3(n: usize) -> [usize; 3] {
+    let mut best = [n, 1, 1];
+    let mut best_score = usize::MAX;
+    // Enumerate all factorizations a*b*c = n with a <= b <= c.
+    let mut a = 1;
+    while a * a * a <= n {
+        if n % a == 0 {
+            let m = n / a;
+            let mut b = a;
+            while b * b <= m {
+                if m % b == 0 {
+                    let c = m / b;
+                    let score = c - a; // minimize spread
+                    if score < best_score {
+                        best_score = score;
+                        best = [a, b, c];
+                    }
+                }
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+/// Assignment of blocks to ranks (contiguous ranges, DIY's default).
+#[derive(Debug, Clone, Copy)]
+pub struct Assignment {
+    pub nblocks: usize,
+    pub nranks: usize,
+}
+
+impl Assignment {
+    pub fn new(nblocks: usize, nranks: usize) -> Self {
+        assert!(nranks > 0 && nblocks > 0);
+        assert!(
+            nblocks >= nranks,
+            "need at least one block per rank ({nblocks} blocks, {nranks} ranks)"
+        );
+        Assignment { nblocks, nranks }
+    }
+
+    /// The rank that owns block `gid`.
+    pub fn rank_of_block(&self, gid: u64) -> usize {
+        let g = gid as usize;
+        assert!(g < self.nblocks);
+        // Inverse of the contiguous ranges produced by `blocks_of_rank`.
+        ((g + 1) * self.nranks - 1) / self.nblocks
+    }
+
+    /// The contiguous range of block gids owned by `rank`.
+    pub fn blocks_of_rank(&self, rank: usize) -> std::ops::Range<u64> {
+        assert!(rank < self.nranks);
+        let lo = (rank * self.nblocks) / self.nranks;
+        let hi = ((rank + 1) * self.nblocks) / self.nranks;
+        lo as u64..hi as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_is_near_cubic() {
+        assert_eq!(factor3(1), [1, 1, 1]);
+        assert_eq!(factor3(8), [2, 2, 2]);
+        assert_eq!(factor3(64), [4, 4, 4]);
+        assert_eq!(factor3(12), [2, 2, 3]);
+        assert_eq!(factor3(7), [1, 1, 7]); // prime: nothing better exists
+        let f = factor3(24);
+        assert_eq!(f.iter().product::<usize>(), 24);
+        assert_eq!(f, [2, 3, 4]);
+    }
+
+    #[test]
+    fn coords_gid_roundtrip() {
+        let dec = Decomposition::with_dims(Aabb::cube(8.0), [2, 3, 4], [true; 3]);
+        for gid in 0..dec.nblocks() as u64 {
+            assert_eq!(dec.gid(dec.coords(gid)), gid);
+        }
+    }
+
+    #[test]
+    fn block_bounds_tile_the_domain() {
+        let dec = Decomposition::regular(Aabb::cube(10.0), 8, [true; 3]);
+        assert_eq!(dec.dims, [2, 2, 2]);
+        let total: f64 = (0..8).map(|g| dec.block_bounds(g).volume()).sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+        // shared boundary coordinates are exact
+        let b0 = dec.block_bounds(0);
+        let b1 = dec.block_bounds(1);
+        assert_eq!(b0.max.x, b1.min.x);
+    }
+
+    #[test]
+    fn block_of_point_matches_bounds() {
+        let dec = Decomposition::with_dims(Aabb::cube(9.0), [3, 3, 3], [true; 3]);
+        for gid in 0..dec.nblocks() as u64 {
+            let c = dec.block_bounds(gid).center();
+            assert_eq!(dec.block_of_point(c), gid);
+        }
+        // periodic wrap
+        assert_eq!(
+            dec.block_of_point(Vec3::new(-0.5, 0.5, 0.5)),
+            dec.block_of_point(Vec3::new(8.5, 0.5, 0.5))
+        );
+    }
+
+    #[test]
+    fn interior_block_has_26_neighbors() {
+        let dec = Decomposition::with_dims(Aabb::cube(4.0), [4, 4, 4], [false; 3]);
+        let center = dec.gid([1, 1, 1]);
+        assert_eq!(dec.neighbors(center).len(), 26);
+        // corner block of a non-periodic domain has only 7
+        assert_eq!(dec.neighbors(dec.gid([0, 0, 0])).len(), 7);
+    }
+
+    #[test]
+    fn periodic_corner_has_26_neighbors_with_transforms() {
+        let dec = Decomposition::with_dims(Aabb::cube(4.0), [4, 4, 4], [true; 3]);
+        let ns = dec.neighbors(dec.gid([0, 0, 0]));
+        assert_eq!(ns.len(), 26);
+        let wrapped: Vec<_> = ns.iter().filter(|n| n.periodic).collect();
+        // 26 - 7 interior links wrap
+        assert_eq!(wrapped.len(), 19);
+        // the (-1,-1,-1) link goes to block (3,3,3) and shifts data up by L
+        let diag = ns.iter().find(|n| n.dir == [-1, -1, -1]).unwrap();
+        assert_eq!(diag.gid, dec.gid([3, 3, 3]));
+        assert_eq!(diag.xform, Vec3::splat(4.0));
+    }
+
+    #[test]
+    fn two_block_periodic_dimension_keeps_distinct_transforms() {
+        // With 2 blocks in x, block 0's +x and -x neighbors are both block 1,
+        // but with different transforms; both links must be kept.
+        let dec = Decomposition::with_dims(Aabb::cube(2.0), [2, 1, 1], [true, false, false]);
+        let ns = dec.neighbors(0);
+        let to_b1: Vec<_> = ns.iter().filter(|n| n.gid == 1).collect();
+        assert_eq!(to_b1.len(), 2);
+        let xs: Vec<f64> = to_b1.iter().map(|n| n.xform.x).collect();
+        assert!(xs.contains(&0.0) && (xs.contains(&2.0) || xs.contains(&-2.0)));
+    }
+
+    #[test]
+    fn single_block_periodic_has_self_links() {
+        let dec = Decomposition::with_dims(Aabb::cube(5.0), [1, 1, 1], [true; 3]);
+        let ns = dec.neighbors(0);
+        assert!(!ns.is_empty());
+        assert!(ns.iter().all(|n| n.gid == 0 && n.periodic));
+        // 26 directions alias to (self, xform) pairs; the 26 distinct
+        // translations survive deduplication
+        assert_eq!(ns.len(), 26);
+    }
+
+    #[test]
+    fn assignment_is_contiguous_and_consistent() {
+        for (nb, nr) in [(8, 4), (10, 3), (16, 16), (7, 2), (64, 5)] {
+            let a = Assignment::new(nb, nr);
+            let mut seen = 0u64;
+            for r in 0..nr {
+                for g in a.blocks_of_rank(r) {
+                    assert_eq!(a.rank_of_block(g), r, "nb={nb} nr={nr} g={g}");
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, nb as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_ranks_than_blocks_rejected() {
+        let _ = Assignment::new(2, 4);
+    }
+}

@@ -1,0 +1,277 @@
+//! Collective parallel block I/O to a single shared file.
+//!
+//! Mirrors DIY's I/O layer: every rank writes its blocks' payloads at
+//! disjoint offsets computed by an exclusive scan, then rank 0 appends a
+//! footer indexing every block. A file written at one rank count can be read
+//! back at any other rank count (blocks are addressed by gid, not rank).
+//!
+//! Layout:
+//!
+//! ```text
+//! [magic u64][version u32][pad u32]          header (16 bytes)
+//! [block payloads ...]                       each rank at its scan offset
+//! [n u64][(gid u64, offset u64, len u64)*n]  footer
+//! [footer_offset u64][magic u64]             trailer (16 bytes)
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use crate::codec::{Decode, Encode, Reader};
+use crate::comm::World;
+
+const MAGIC: u64 = 0x5445_5353_4449_5931; // "TESSDIY1"
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+const TRAILER_LEN: u64 = 16;
+
+/// One footer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRecord {
+    pub gid: u64,
+    pub offset: u64,
+    pub len: u64,
+}
+
+impl Encode for BlockRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.gid.encode(buf);
+        self.offset.encode(buf);
+        self.len.encode(buf);
+    }
+}
+
+impl Decode for BlockRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+        Ok(BlockRecord {
+            gid: u64::decode(r)?,
+            offset: u64::decode(r)?,
+            len: u64::decode(r)?,
+        })
+    }
+}
+
+/// Collectively write `blocks` (gid, payload) from every rank into `path`.
+///
+/// Returns the total bytes written (same value on every rank). Must be
+/// called by all ranks of `world`.
+pub fn write_blocks(
+    world: &mut World,
+    path: &Path,
+    blocks: &[(u64, Vec<u8>)],
+) -> io::Result<u64> {
+    let my_size: u64 = blocks.iter().map(|(_, b)| b.len() as u64).sum();
+    let (my_offset, total_payload) = world.exclusive_scan_u64(my_size);
+
+    // Rank 0 creates/truncates; everyone else opens after the barrier.
+    if world.rank() == 0 {
+        File::create(path)?;
+    }
+    world.barrier();
+    let file = OpenOptions::new().write(true).open(path)?;
+
+    // Header.
+    if world.rank() == 0 {
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        MAGIC.encode(&mut header);
+        VERSION.encode(&mut header);
+        0u32.encode(&mut header);
+        file.write_all_at(&header, 0)?;
+    }
+
+    // Payloads at scan offsets.
+    let mut records: Vec<BlockRecord> = Vec::with_capacity(blocks.len());
+    let mut off = HEADER_LEN + my_offset;
+    for (gid, payload) in blocks {
+        file.write_all_at(payload, off)?;
+        records.push(BlockRecord {
+            gid: *gid,
+            offset: off,
+            len: payload.len() as u64,
+        });
+        off += payload.len() as u64;
+    }
+
+    // Footer: gather all records at rank 0 and append.
+    let gathered = world.gather(0, &records.clone());
+    if world.rank() == 0 {
+        let mut all: Vec<BlockRecord> = gathered.expect("root").into_iter().flatten().collect();
+        all.sort_by_key(|r| r.gid);
+        let footer_offset = HEADER_LEN + total_payload;
+        let mut footer = Vec::new();
+        all.encode(&mut footer);
+        footer_offset.encode(&mut footer);
+        MAGIC.encode(&mut footer);
+        file.write_all_at(&footer, footer_offset)?;
+    }
+    world.barrier();
+    // every rank recomputes the global record count for the return value
+    let n: u64 = world.all_reduce(blocks.len() as u64, |a, b| a + b);
+    let footer_len = 8 + 24 * n; // count prefix + records
+    Ok(HEADER_LEN + total_payload + footer_len + TRAILER_LEN)
+}
+
+/// Read the footer index of a block file.
+pub fn read_index(path: &Path) -> io::Result<Vec<BlockRecord>> {
+    let mut file = File::open(path)?;
+    let flen = file.seek(SeekFrom::End(0))?;
+    if flen < HEADER_LEN + TRAILER_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "file too short"));
+    }
+    let mut trailer = [0u8; TRAILER_LEN as usize];
+    file.read_exact_at(&mut trailer, flen - TRAILER_LEN)?;
+    let mut r = Reader::new(&trailer);
+    let footer_offset = u64::decode(&mut r).map_err(invalid)?;
+    let magic = u64::decode(&mut r).map_err(invalid)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trailer magic"));
+    }
+    let mut header = [0u8; 8];
+    file.read_exact_at(&mut header, 0)?;
+    if u64::from_le_bytes(header) != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad header magic"));
+    }
+    let footer_len = flen - TRAILER_LEN - footer_offset;
+    let mut footer = vec![0u8; footer_len as usize];
+    file.read_exact_at(&mut footer, footer_offset)?;
+    let mut r = Reader::new(&footer);
+    Vec::<BlockRecord>::decode(&mut r).map_err(invalid)
+}
+
+/// Read one block's payload.
+pub fn read_block(path: &Path, record: &BlockRecord) -> io::Result<Vec<u8>> {
+    let file = File::open(path)?;
+    let mut buf = vec![0u8; record.len as usize];
+    file.read_exact_at(&mut buf, record.offset)?;
+    Ok(buf)
+}
+
+/// Read all blocks sequentially (serial convenience).
+pub fn read_all_blocks(path: &Path) -> io::Result<Vec<(u64, Vec<u8>)>> {
+    let index = read_index(path)?;
+    index
+        .iter()
+        .map(|r| Ok((r.gid, read_block(path, r)?)))
+        .collect()
+}
+
+/// Collective read: each rank reads the blocks a contiguous partition of the
+/// index assigns to it (independent of the writer's rank count).
+pub fn read_blocks_parallel(
+    world: &mut World,
+    path: &Path,
+) -> io::Result<Vec<(u64, Vec<u8>)>> {
+    let index = read_index(path)?;
+    let n = index.len();
+    let lo = world.rank() * n / world.nranks();
+    let hi = (world.rank() + 1) * n / world.nranks();
+    index[lo..hi]
+        .iter()
+        .map(|r| Ok((r.gid, read_block(path, r)?)))
+        .collect()
+}
+
+fn invalid(e: crate::codec::CodecError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Runtime;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("diy-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_single_rank() {
+        let path = tmpfile("single.diy");
+        Runtime::run(1, |w| {
+            let blocks = vec![(0u64, vec![1u8, 2, 3]), (1u64, vec![9u8; 100])];
+            write_blocks(w, &path, &blocks).unwrap();
+        });
+        let back = read_all_blocks(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], (0, vec![1, 2, 3]));
+        assert_eq!(back[1], (1, vec![9u8; 100]));
+    }
+
+    #[test]
+    fn roundtrip_multi_rank_disjoint_offsets() {
+        let path = tmpfile("multi.diy");
+        Runtime::run(4, |w| {
+            // each rank writes 2 blocks with rank-dependent sizes
+            let blocks: Vec<(u64, Vec<u8>)> = (0..2)
+                .map(|i| {
+                    let gid = (w.rank() * 2 + i) as u64;
+                    (gid, vec![gid as u8; 10 + w.rank() * 7])
+                })
+                .collect();
+            write_blocks(w, &path, &blocks).unwrap();
+        });
+        let back = read_all_blocks(&path).unwrap();
+        assert_eq!(back.len(), 8);
+        for (gid, payload) in back {
+            let rank = (gid / 2) as usize;
+            assert_eq!(payload, vec![gid as u8; 10 + rank * 7]);
+        }
+    }
+
+    #[test]
+    fn index_is_sorted_by_gid() {
+        let path = tmpfile("sorted.diy");
+        Runtime::run(3, |w| {
+            // write gids in reverse order per rank
+            let gid = (2 - w.rank()) as u64;
+            let blocks = vec![(gid, vec![gid as u8])];
+            write_blocks(w, &path, &blocks).unwrap();
+        });
+        let idx = read_index(&path).unwrap();
+        let gids: Vec<u64> = idx.iter().map(|r| r.gid).collect();
+        assert_eq!(gids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_read_covers_all_blocks_any_rank_count() {
+        let path = tmpfile("reread.diy");
+        Runtime::run(4, |w| {
+            let gid = w.rank() as u64;
+            write_blocks(w, &path, &[(gid, vec![gid as u8; 5])]).unwrap();
+        });
+        // read back with a different rank count
+        let per_rank = Runtime::run(3, |w| read_blocks_parallel(w, &path).unwrap());
+        let mut all: Vec<u64> = per_rank.into_iter().flatten().map(|(g, _)| g).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let path = tmpfile("corrupt.diy");
+        std::fs::write(&path, b"not a block file, definitely too weird").unwrap();
+        assert!(read_index(&path).is_err());
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(read_index(&path).is_err());
+    }
+
+    #[test]
+    fn empty_rank_participates() {
+        let path = tmpfile("empty-rank.diy");
+        Runtime::run(3, |w| {
+            // rank 1 writes nothing
+            let blocks: Vec<(u64, Vec<u8>)> = if w.rank() == 1 {
+                vec![]
+            } else {
+                vec![(w.rank() as u64, vec![7u8; 3])]
+            };
+            write_blocks(w, &path, &blocks).unwrap();
+        });
+        let back = read_all_blocks(&path).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! `diy` — data-parallel building blocks for block-structured analysis.
+//!
+//! This crate reimplements the role DIY plays in the paper (Peterka et al.,
+//! LDAV'11 / SC'12 §III-C): it owns the block decomposition, the neighborhood
+//! connectivity (including **periodic boundary neighbors**), scalable
+//! neighbor data exchange (including **targeted exchange** of particles near
+//! block boundaries), collectives, and parallel block I/O to a single file.
+//!
+//! ## Distributed-memory model
+//!
+//! The paper runs over MPI on an IBM Blue Gene/P. Here the distributed
+//! machine is *simulated*: [`comm::Runtime::run`] spawns one OS thread per
+//! rank, each rank owns its block data privately, and every byte that
+//! crosses a rank boundary is explicitly serialized through message channels
+//! (see `DESIGN.md` for why this preserves the algorithmic behaviour). No
+//! shared mutable state exists between ranks; the API is deliberately shaped
+//! like a message-passing library so the algorithms above it are the same
+//! ones that would run over MPI.
+
+pub mod codec;
+pub mod comm;
+pub mod decomposition;
+pub mod exchange;
+pub mod io;
+pub mod reduce;
+pub mod timing;
+
+pub use codec::{Decode, Encode, Reader};
+pub use comm::{Runtime, World};
+pub use decomposition::{Assignment, Decomposition, Neighbor};
+pub use exchange::NeighborExchange;

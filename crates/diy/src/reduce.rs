@@ -1,0 +1,107 @@
+//! Tree-structured global reductions over serialized values.
+//!
+//! DIY's "merge" reduction: values are combined pairwise up a binary tree
+//! (log₂ *n* rounds), optionally broadcast back down. Used by the
+//! postprocessing tools to merge histograms and connected-component label
+//! maps across ranks without gathering all raw data at one rank.
+
+use crate::codec::{Decode, Encode};
+use crate::comm::World;
+
+/// Tag space reserved for reductions; offset by round so successive
+/// reductions do not interfere (callers must not reuse these tags).
+const REDUCE_TAG_BASE: u64 = 0x7000_0000_0000;
+
+/// Merge-reduce `value` up a binary tree; returns `Some(result)` at rank 0,
+/// `None` elsewhere. `merge` must be associative.
+pub fn reduce_merge<T, F>(world: &mut World, value: T, merge: F) -> Option<T>
+where
+    T: Encode + Decode,
+    F: Fn(T, T) -> T,
+{
+    let rank = world.rank();
+    let n = world.nranks();
+    let mut acc = value;
+    let mut dist = 1usize;
+    let mut round = 0u64;
+    while dist < n {
+        let tag = REDUCE_TAG_BASE + round;
+        if rank % (2 * dist) == 0 {
+            let partner = rank + dist;
+            if partner < n {
+                let other: T = world.recv(partner, tag);
+                // Keep rank order (lower rank is the left operand) so
+                // non-commutative merges are deterministic.
+                acc = merge(acc, other);
+            }
+        } else if rank % (2 * dist) == dist {
+            let partner = rank - dist;
+            world.send(partner, tag, &acc);
+            // This rank's participation ends, but it must keep looping
+            // through the barrier-free protocol? No further sends target it
+            // in this reduction, so it can exit.
+            return None;
+        }
+        dist *= 2;
+        round += 1;
+    }
+    if rank == 0 {
+        Some(acc)
+    } else {
+        None
+    }
+}
+
+/// Merge-reduce followed by a broadcast of the result to all ranks.
+pub fn all_reduce_merge<T, F>(world: &mut World, value: T, merge: F) -> T
+where
+    T: Encode + Decode,
+    F: Fn(T, T) -> T,
+{
+    let reduced = reduce_merge(world, value, merge);
+    world.broadcast(0, reduced.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Runtime;
+
+    #[test]
+    fn sum_over_various_rank_counts() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 16] {
+            let results = Runtime::run(n, |w| {
+                reduce_merge(w, w.rank() as u64, |a, b| a + b)
+            });
+            let expect: u64 = (0..n as u64).sum();
+            assert_eq!(results[0], Some(expect), "n={n}");
+            for r in &results[1..] {
+                assert_eq!(*r, None);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_broadcasts_everywhere() {
+        let results = Runtime::run(6, |w| {
+            all_reduce_merge(w, vec![w.rank() as u32], |mut a, b| {
+                a.extend(b);
+                a
+            })
+        });
+        for r in results {
+            // rank order preserved by the tree merge
+            assert_eq!(r, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn non_commutative_merge_is_deterministic() {
+        let results = Runtime::run(8, |w| {
+            all_reduce_merge(w, format!("{}", w.rank()), |a, b| format!("({a}{b})"))
+        });
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+    }
+}

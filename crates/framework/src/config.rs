@@ -1,0 +1,197 @@
+//! Cosmology-tools configuration (the file next to the simulation input
+//! deck in Figure 4).
+//!
+//! Format: one directive per line, `#` comments.
+//!
+//! ```text
+//! # run the tessellation every 10 steps and at the final step
+//! tool tess       every=10  last=true
+//! tool halos      at=50,100
+//! tool stats      every=25
+//! output_dir out/
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// When a tool runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ToolSchedule {
+    pub name: String,
+    /// Run every `n` steps (step % n == 0, step > 0).
+    pub every: Option<usize>,
+    /// Run at these explicit steps.
+    pub at: BTreeSet<usize>,
+    /// Always run at the final step.
+    pub last: bool,
+}
+
+impl ToolSchedule {
+    /// Should the tool fire at `step` of a run with `nsteps` total?
+    pub fn fires_at(&self, step: usize, nsteps: usize) -> bool {
+        if self.last && step == nsteps {
+            return true;
+        }
+        if self.at.contains(&step) {
+            return true;
+        }
+        if let Some(n) = self.every {
+            if n > 0 && step > 0 && step % n == 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Parsed framework configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrameworkConfig {
+    pub tools: Vec<ToolSchedule>,
+    pub output_dir: PathBuf,
+}
+
+/// Configuration parse errors (line number + message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl FrameworkConfig {
+    /// Parse the input-deck text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut cfg = FrameworkConfig {
+            tools: Vec::new(),
+            output_dir: PathBuf::from("."),
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: String| ConfigError { line: lineno + 1, message: m };
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("tool") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("tool needs a name".into()))?
+                        .to_string();
+                    let mut sched = ToolSchedule { name, ..Default::default() };
+                    for opt in parts {
+                        let (key, value) = opt
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("expected key=value, got '{opt}'")))?;
+                        match key {
+                            "every" => {
+                                sched.every = Some(value.parse().map_err(|_| {
+                                    err(format!("bad every value '{value}'"))
+                                })?)
+                            }
+                            "at" => {
+                                for s in value.split(',') {
+                                    sched.at.insert(s.parse().map_err(|_| {
+                                        err(format!("bad at value '{s}'"))
+                                    })?);
+                                }
+                            }
+                            "last" => {
+                                sched.last = value.parse().map_err(|_| {
+                                    err(format!("bad last value '{value}'"))
+                                })?
+                            }
+                            _ => return Err(err(format!("unknown option '{key}'"))),
+                        }
+                    }
+                    cfg.tools.push(sched);
+                }
+                Some("output_dir") => {
+                    let dir = parts
+                        .next()
+                        .ok_or_else(|| err("output_dir needs a path".into()))?;
+                    cfg.output_dir = PathBuf::from(dir);
+                }
+                Some(other) => return Err(err(format!("unknown directive '{other}'"))),
+                None => unreachable!("empty lines skipped"),
+            }
+        }
+        Ok(cfg)
+    }
+
+    pub fn schedule_for(&self, name: &str) -> Option<&ToolSchedule> {
+        self.tools.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_example() {
+        let cfg = FrameworkConfig::parse(
+            "# comment\n\
+             tool tess every=10 last=true\n\
+             tool halos at=50,100\n\
+             tool stats every=25   # trailing comment\n\
+             output_dir out/\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.tools.len(), 3);
+        assert_eq!(cfg.output_dir, PathBuf::from("out/"));
+        let tess = cfg.schedule_for("tess").unwrap();
+        assert_eq!(tess.every, Some(10));
+        assert!(tess.last);
+        let halos = cfg.schedule_for("halos").unwrap();
+        assert_eq!(halos.at, [50, 100].into_iter().collect());
+    }
+
+    #[test]
+    fn schedule_semantics() {
+        let s = ToolSchedule {
+            name: "x".into(),
+            every: Some(10),
+            at: [7].into_iter().collect(),
+            last: true,
+        };
+        assert!(!s.fires_at(0, 100), "step 0 never fires via every");
+        assert!(s.fires_at(10, 100));
+        assert!(s.fires_at(7, 100));
+        assert!(!s.fires_at(11, 100));
+        assert!(s.fires_at(100, 100));
+        // 'last' applies even off-cadence
+        let s2 = ToolSchedule { name: "y".into(), last: true, ..Default::default() };
+        assert!(s2.fires_at(33, 33));
+        assert!(!s2.fires_at(32, 33));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "tool",
+            "tool x every=abc",
+            "tool x at=1,zz",
+            "tool x strange=1",
+            "frobnicate 3",
+            "tool x every",
+        ] {
+            let e = FrameworkConfig::parse(bad).unwrap_err();
+            assert_eq!(e.line, 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_config_is_valid() {
+        let cfg = FrameworkConfig::parse("\n  \n# only comments\n").unwrap();
+        assert!(cfg.tools.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! The in-situ cosmology tools framework (Figure 4).
+//!
+//! The paper wraps tess in a framework that "runs various analysis tools at
+//! selected time steps, saves results to parallel storage" and is driven by
+//! a configuration file next to the simulation input deck. This crate
+//! provides exactly that:
+//!
+//! * [`tool::AnalysisTool`] — the common analysis interface the paper says
+//!   all tools will be incorporated under,
+//! * [`config`] — the cosmology-tools configuration (which tools run, at
+//!   which cadence), parsed from a simple input-deck format,
+//! * [`runner::InSituRunner`] — drives the simulation and invokes the
+//!   scheduled tools at the right time steps,
+//! * [`tools`] — the level-1 analyses named in Figure 4: the Voronoi
+//!   tessellation (via `tess`), a friends-of-friends halo finder, a
+//!   multistream / velocity-dispersion classifier, and in-situ summary
+//!   statistics.
+
+pub mod config;
+pub mod runner;
+pub mod tool;
+pub mod tools;
+
+pub use config::{FrameworkConfig, ToolSchedule};
+pub use runner::InSituRunner;
+pub use tool::{AnalysisTool, ToolContext, ToolReport};
+pub use tools::halo_finder::{FofHalo, FofParams, HaloFinderTool};
+pub use tools::stats_tool::StatsTool;
+pub use tools::tess_tool::TessTool;
+pub use tools::voids_tool::VoidsTool;
+pub use tools::multistream::MultistreamTool;

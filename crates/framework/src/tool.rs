@@ -1,0 +1,36 @@
+//! The common analysis-tool interface.
+
+use std::path::PathBuf;
+
+use diy::comm::World;
+use hacc::Simulation;
+
+/// What a tool sees when invoked: the live simulation state at one step.
+pub struct ToolContext<'a> {
+    pub sim: &'a Simulation,
+    /// Simulation step index at invocation time.
+    pub step: usize,
+    /// Scale factor at invocation time.
+    pub a: f64,
+    /// Directory for tool outputs (shared across ranks).
+    pub output_dir: PathBuf,
+}
+
+/// One tool invocation's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolReport {
+    pub tool: String,
+    pub step: usize,
+    /// Human-readable one-liner for the run log.
+    pub summary: String,
+    /// Files the tool wrote (rank 0's view).
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// A level-1 in-situ analysis (Figure 4). `run` is collective: every rank
+/// of `world` calls it at the same step.
+pub trait AnalysisTool: Send {
+    fn name(&self) -> &str;
+
+    fn run(&mut self, world: &mut World, ctx: &ToolContext<'_>) -> ToolReport;
+}

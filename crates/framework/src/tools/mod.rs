@@ -1,0 +1,7 @@
+//! The level-1 analysis tools named in Figure 4.
+
+pub mod halo_finder;
+pub mod multistream;
+pub mod stats_tool;
+pub mod tess_tool;
+pub mod voids_tool;

@@ -1,0 +1,56 @@
+//! The Voronoi tessellation as a framework tool: tessellate the live
+//! particles and write the mesh to parallel storage.
+
+use std::collections::BTreeMap;
+
+use diy::comm::World;
+use geometry::Vec3;
+use tess::{tessellate, TessParams};
+
+use crate::tool::{AnalysisTool, ToolContext, ToolReport};
+
+/// Runs `tess` at scheduled steps and writes `tess_step{N}.bin`.
+pub struct TessTool {
+    pub params: TessParams,
+    /// Global stats per invocation (step, stats, ghost used).
+    pub history: Vec<(usize, tess::TessStats, f64)>,
+}
+
+impl TessTool {
+    pub fn new(params: TessParams) -> Self {
+        TessTool { params, history: Vec::new() }
+    }
+}
+
+impl AnalysisTool for TessTool {
+    fn name(&self) -> &str {
+        "tess"
+    }
+
+    fn run(&mut self, world: &mut World, ctx: &ToolContext<'_>) -> ToolReport {
+        let sim = ctx.sim;
+        let local: BTreeMap<u64, Vec<(u64, Vec3)>> = sim
+            .blocks
+            .iter()
+            .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
+            .collect();
+        let result = tessellate(world, &sim.dec, &sim.asn, &local, &self.params);
+        let stats = tess::driver::global_stats(world, result.stats);
+
+        std::fs::create_dir_all(&ctx.output_dir).ok();
+        let path = ctx.output_dir.join(format!("tess_step{}.bin", ctx.step));
+        let bytes = tess::io::write_tessellation(world, &path, &result.blocks)
+            .expect("tessellation write");
+
+        self.history.push((ctx.step, stats, result.ghost_used));
+        ToolReport {
+            tool: self.name().to_string(),
+            step: ctx.step,
+            summary: format!(
+                "step {}: {} cells ({} incomplete dropped, ghost {:.2}), {} bytes",
+                ctx.step, stats.cells, stats.incomplete, result.ghost_used, bytes
+            ),
+            artifacts: vec![path],
+        }
+    }
+}

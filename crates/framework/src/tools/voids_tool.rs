@@ -1,0 +1,143 @@
+//! In-situ void finding: tessellation + distributed connected-component
+//! labeling inside the simulation loop.
+//!
+//! The paper's §V future work: "we are also considering moving more
+//! postprocessing tasks in situ, such as connected component labeling,
+//! Minkowski functionals, and histogram summary statistics" — this tool
+//! does the first, and feeds the temporal tracker
+//! ([`postprocess::tracking`]) with a component snapshot per invocation.
+
+use std::collections::BTreeMap;
+
+use diy::comm::World;
+use geometry::Vec3;
+use postprocess::components::{label_components_parallel, Components};
+use postprocess::tracking::{classify_events, Event};
+use tess::{tessellate, TessParams};
+
+use crate::tool::{AnalysisTool, ToolContext, ToolReport};
+
+/// In-situ void finder with step-to-step tracking.
+pub struct VoidsTool {
+    pub tess_params: TessParams,
+    /// Absolute minimum cell volume for a void member.
+    pub min_volume: f64,
+    /// Minimum shared cells for a temporal link.
+    pub min_overlap: u64,
+    /// (step, components) snapshots.
+    pub snapshots: Vec<(usize, Components)>,
+    /// Events between consecutive snapshots.
+    pub events: Vec<(usize, Vec<Event>)>,
+}
+
+impl VoidsTool {
+    pub fn new(tess_params: TessParams, min_volume: f64) -> Self {
+        VoidsTool {
+            tess_params,
+            min_volume,
+            min_overlap: 1,
+            snapshots: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisTool for VoidsTool {
+    fn name(&self) -> &str {
+        "voids"
+    }
+
+    fn run(&mut self, world: &mut World, ctx: &ToolContext<'_>) -> ToolReport {
+        let sim = ctx.sim;
+        let local: BTreeMap<u64, Vec<(u64, Vec3)>> = sim
+            .blocks
+            .iter()
+            .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
+            .collect();
+        let result = tessellate(world, &sim.dec, &sim.asn, &local, &self.tess_params);
+        let mut comps = label_components_parallel(
+            world,
+            &sim.dec,
+            &sim.asn,
+            &result.blocks,
+            self.min_volume,
+        );
+        // globalize the site→label map so temporal tracking sees the same
+        // picture on every rank regardless of particle migration
+        let local_labels: Vec<(u64, u64)> =
+            comps.labels.iter().map(|(&s, &l)| (s, l)).collect();
+        let all_labels = world.all_gather(&local_labels);
+        comps.labels = all_labels.into_iter().flatten().collect();
+
+        let mut summary = format!(
+            "step {}: {} voids above {:.2} (Mpc/h)^3, largest {} cells",
+            ctx.step,
+            comps.num_components(),
+            self.min_volume,
+            comps.by_volume().first().map(|(_, s)| s.cells).unwrap_or(0),
+        );
+        if let Some((_, prev)) = self.snapshots.last() {
+            let ev = classify_events(prev, &comps, self.min_overlap);
+            let births = ev.iter().filter(|e| matches!(e, Event::Birth { .. })).count();
+            let deaths = ev.iter().filter(|e| matches!(e, Event::Death { .. })).count();
+            let merges = ev.iter().filter(|e| matches!(e, Event::Merge { .. })).count();
+            let splits = ev.iter().filter(|e| matches!(e, Event::Split { .. })).count();
+            summary.push_str(&format!(
+                "; since last: {births} births, {deaths} deaths, {merges} merges, {splits} splits"
+            ));
+            self.events.push((ctx.step, ev));
+        }
+        self.snapshots.push((ctx.step, comps));
+
+        ToolReport {
+            tool: self.name().to_string(),
+            step: ctx.step,
+            summary,
+            artifacts: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameworkConfig;
+    use crate::runner::InSituRunner;
+    use diy::comm::Runtime;
+    use hacc::SimParams;
+
+    #[test]
+    fn voids_tool_tracks_components_in_situ() {
+        let dir = std::env::temp_dir().join("voids-tool-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reports = Runtime::run(2, |w| {
+            let params = SimParams {
+                np: 16,
+                ..SimParams::paper_like(16)
+            };
+            let mut sim = hacc::Simulation::init(w, params, 8);
+            let cfg = FrameworkConfig::parse(&format!(
+                "tool voids every=5\noutput_dir {}\n",
+                dir.display()
+            ))
+            .unwrap();
+            let mut runner = InSituRunner::new(cfg);
+            runner.register(Box::new(VoidsTool::new(
+                TessParams::default().with_ghost(4.0),
+                1.5,
+            )));
+            runner.run(w, &mut sim, 15)
+        });
+        for r in &reports {
+            let voids: Vec<_> = r.iter().filter(|rep| rep.tool == "voids").collect();
+            assert_eq!(voids.len(), 3, "steps 5, 10, 15");
+            // second and later invocations report tracking events
+            assert!(voids[1].summary.contains("since last"), "{}", voids[1].summary);
+        }
+        // all ranks agree on the summaries (same global component view)
+        assert_eq!(
+            reports[0].iter().map(|r| &r.summary).collect::<Vec<_>>(),
+            reports[1].iter().map(|r| &r.summary).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Axis-aligned bounding boxes, including periodic-domain helpers.
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned box `[min, max)` in 3D.
+///
+/// Blocks of the domain decomposition, ghost regions, and the global
+/// simulation box are all `Aabb`s. The half-open convention means a particle
+/// on a shared block face belongs to exactly one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Create a box from its corners. Panics if `min > max` in any dimension.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "Aabb min {min} must be <= max {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Cube `[0, side)^3`.
+    pub fn cube(side: f64) -> Self {
+        Aabb::new(Vec3::ZERO, Vec3::splat(side))
+    }
+
+    /// Smallest box containing all `points`. `None` when empty.
+    pub fn from_points(points: &[Vec3]) -> Option<Self> {
+        let first = *points.first()?;
+        let (min, max) = points
+            .iter()
+            .fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        Some(Aabb { min, max })
+    }
+
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        self.min.midpoint(self.max)
+    }
+
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Half-open containment test (`min <= p < max` per dimension).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x < self.max.x
+            && p.y >= self.min.y
+            && p.y < self.max.y
+            && p.z >= self.min.z
+            && p.z < self.max.z
+    }
+
+    /// Closed containment test (`min <= p <= max` per dimension); used for
+    /// ghost regions where boundary points must be kept.
+    #[inline]
+    pub fn contains_closed(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Box grown by `g` on every side (clamped so min <= max is preserved
+    /// only if `g >= -extent/2`; callers pass non-negative ghost sizes).
+    pub fn grown(&self, g: f64) -> Aabb {
+        Aabb::new(self.min - Vec3::splat(g), self.max + Vec3::splat(g))
+    }
+
+    /// `true` iff the two boxes overlap (closed comparison).
+    pub fn intersects(&self, o: &Aabb) -> bool {
+        self.min.x <= o.max.x
+            && o.min.x <= self.max.x
+            && self.min.y <= o.max.y
+            && o.min.y <= self.max.y
+            && self.min.z <= o.max.z
+            && o.min.z <= self.max.z
+    }
+
+    /// Euclidean distance from `p` to the box (0 if inside).
+    pub fn distance(&self, p: Vec3) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Minimum distance from `p` to the box boundary when `p` is inside;
+    /// 0 when `p` is outside. Used by the security-radius test: a Voronoi
+    /// cell is certified complete only if its circumradius is smaller than
+    /// this "room" within the ghosted region.
+    pub fn interior_distance(&self, p: Vec3) -> f64 {
+        if !self.contains_closed(p) {
+            return 0.0;
+        }
+        let dx = (p.x - self.min.x).min(self.max.x - p.x);
+        let dy = (p.y - self.min.y).min(self.max.y - p.y);
+        let dz = (p.z - self.min.z).min(self.max.z - p.z);
+        dx.min(dy).min(dz)
+    }
+
+    /// Wrap `p` into the box, treating it as a periodic domain.
+    pub fn wrap(&self, p: Vec3) -> Vec3 {
+        let e = self.extent();
+        let mut q = p;
+        for d in 0..3 {
+            if e[d] > 0.0 {
+                let mut v = (q[d] - self.min[d]) % e[d];
+                if v < 0.0 {
+                    v += e[d];
+                }
+                q[d] = self.min[d] + v;
+            }
+        }
+        q
+    }
+
+    /// Minimum-image displacement `b - a` under periodic boundary conditions
+    /// over this box (robust to inputs any number of box lengths apart).
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let e = self.extent();
+        let mut d = b - a;
+        for k in 0..3 {
+            if e[k] > 0.0 {
+                d[k] = (d[k] + e[k] * 0.5).rem_euclid(e[k]) - e[k] * 0.5;
+            }
+        }
+        d
+    }
+
+    /// Periodic distance between `a` and `b`.
+    pub fn periodic_dist(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm()
+    }
+
+    /// The eight corner points.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_measures() {
+        let b = Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.center(), Vec3::new(1.0, 1.5, 2.0));
+        assert_eq!(b.extent(), Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_box_panics() {
+        let _ = Aabb::new(Vec3::ONE, Vec3::ZERO);
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 5.0, 0.0),
+            Vec3::new(0.5, 0.0, 4.0),
+        ];
+        let b = Aabb::from_points(&pts).unwrap();
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 4.0));
+        assert!(Aabb::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let b = Aabb::cube(1.0);
+        assert!(b.contains(Vec3::ZERO));
+        assert!(!b.contains(Vec3::ONE));
+        assert!(b.contains_closed(Vec3::ONE));
+        assert!(b.contains(Vec3::splat(0.999)));
+        assert!(!b.contains(Vec3::new(1.0, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn grown_and_intersects() {
+        let b = Aabb::cube(1.0);
+        let g = b.grown(0.5);
+        assert_eq!(g.min, Vec3::splat(-0.5));
+        assert_eq!(g.max, Vec3::splat(1.5));
+        let other = Aabb::new(Vec3::splat(1.2), Vec3::splat(2.0));
+        assert!(!b.intersects(&other));
+        assert!(g.intersects(&other));
+    }
+
+    #[test]
+    fn distances() {
+        let b = Aabb::cube(2.0);
+        assert_eq!(b.distance(Vec3::splat(1.0)), 0.0);
+        assert_eq!(b.distance(Vec3::new(3.0, 1.0, 1.0)), 1.0);
+        assert!((b.distance(Vec3::new(3.0, 3.0, 1.0)) - 2f64.sqrt()).abs() < 1e-15);
+        assert_eq!(b.interior_distance(Vec3::splat(1.0)), 1.0);
+        assert_eq!(b.interior_distance(Vec3::new(0.25, 1.0, 1.0)), 0.25);
+        assert_eq!(b.interior_distance(Vec3::new(5.0, 1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn periodic_wrap_and_min_image() {
+        let b = Aabb::cube(10.0);
+        assert_eq!(b.wrap(Vec3::new(12.0, -3.0, 5.0)), Vec3::new(2.0, 7.0, 5.0));
+        // nearest image of 9.5 seen from 0.5 is -0.5, i.e. displacement -1
+        let d = b.min_image(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0));
+        assert_eq!(d, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.periodic_dist(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn corners_are_contained_closed() {
+        let b = Aabb::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(3.0, 4.0, 0.75));
+        for c in b.corners() {
+            assert!(b.contains_closed(c));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Exact floating-point expansion arithmetic (Shewchuk).
+//!
+//! An *expansion* represents a real number exactly as a sum of `f64`
+//! components that are nonoverlapping and sorted by increasing magnitude.
+//! Every operation here (sum, difference, product) is exact: no rounding
+//! error is ever discarded, so the sign of the final expansion is the true
+//! sign of the real value. This is the foundation of the robust geometric
+//! predicates in [`crate::predicates`].
+//!
+//! The implementation favors clarity over the last factor of performance;
+//! the predicates use these routines only when a cheap floating-point filter
+//! cannot certify the sign, which is rare for simulation data.
+
+/// Error-free transformation: `a + b = hi + lo` exactly, with `hi = fl(a+b)`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let hi = a + b;
+    let bvirt = hi - a;
+    let avirt = hi - bvirt;
+    let broundoff = b - bvirt;
+    let aroundoff = a - avirt;
+    (hi, aroundoff + broundoff)
+}
+
+/// Error-free transformation requiring `|a| >= |b|` (or a == 0).
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let hi = a + b;
+    let bvirt = hi - a;
+    (hi, b - bvirt)
+}
+
+/// Error-free transformation: `a - b = hi + lo` exactly.
+#[inline]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let hi = a - b;
+    let bvirt = a - hi;
+    let avirt = hi + bvirt;
+    let broundoff = bvirt - b;
+    let aroundoff = a - avirt;
+    (hi, aroundoff + broundoff)
+}
+
+/// Veltkamp splitting constant for f64: 2^27 + 1.
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Split `a` into high and low halves with at most 26 significand bits each.
+#[inline]
+pub fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let ahi = c - abig;
+    (ahi, a - ahi)
+}
+
+/// Error-free transformation: `a * b = hi + lo` exactly, with `hi = fl(a*b)`.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let hi = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = hi - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (hi, alo * blo - err3)
+}
+
+/// An exact real number as a sum of nonoverlapping f64 components, sorted by
+/// increasing magnitude. Zero components are eliminated, so an empty
+/// component list represents exactly zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expansion {
+    comps: Vec<f64>,
+}
+
+impl Expansion {
+    /// The exact value 0.
+    pub fn zero() -> Self {
+        Expansion { comps: Vec::new() }
+    }
+
+    /// An expansion holding the single component `v`.
+    pub fn from_f64(v: f64) -> Self {
+        debug_assert!(v.is_finite());
+        if v == 0.0 {
+            Self::zero()
+        } else {
+            Expansion { comps: vec![v] }
+        }
+    }
+
+    /// The exact difference `a - b` as a (<= 2)-component expansion.
+    pub fn from_diff(a: f64, b: f64) -> Self {
+        let (hi, lo) = two_diff(a, b);
+        Self::from_parts(hi, lo)
+    }
+
+    /// The exact product `a * b` as a (<= 2)-component expansion.
+    pub fn from_product(a: f64, b: f64) -> Self {
+        let (hi, lo) = two_product(a, b);
+        Self::from_parts(hi, lo)
+    }
+
+    fn from_parts(hi: f64, lo: f64) -> Self {
+        let mut comps = Vec::with_capacity(2);
+        if lo != 0.0 {
+            comps.push(lo);
+        }
+        if hi != 0.0 {
+            comps.push(hi);
+        }
+        Expansion { comps }
+    }
+
+    /// Number of nonzero components.
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
+    /// Exactly zero?
+    pub fn is_zero(&self) -> bool {
+        self.comps.is_empty()
+    }
+
+    /// Exact sign of the represented value: -1, 0, or +1.
+    ///
+    /// Because components are nonoverlapping and sorted by increasing
+    /// magnitude, the sign of the whole is the sign of the largest (last)
+    /// component.
+    pub fn sign(&self) -> i32 {
+        match self.comps.last() {
+            None => 0,
+            Some(&c) if c > 0.0 => 1,
+            Some(_) => -1,
+        }
+    }
+
+    /// Best single-f64 approximation (sum of components, smallest first).
+    pub fn estimate(&self) -> f64 {
+        self.comps.iter().sum()
+    }
+
+    /// Exact sum of `self` and the single component `b`
+    /// (Shewchuk's GROW-EXPANSION with zero elimination).
+    pub fn grow(&self, b: f64) -> Expansion {
+        let mut q = b;
+        let mut out = Vec::with_capacity(self.comps.len() + 1);
+        for &e in &self.comps {
+            let (sum, err) = two_sum(q, e);
+            if err != 0.0 {
+                out.push(err);
+            }
+            q = sum;
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        Expansion { comps: out }
+    }
+
+    /// Exact sum of two expansions.
+    pub fn add(&self, other: &Expansion) -> Expansion {
+        // Repeated GROW-EXPANSION: O(m*n) but exact and simple; fallback-path
+        // only, so the cost is acceptable.
+        let (small, big) = if self.len() < other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut acc = big.clone();
+        for &c in &small.comps {
+            acc = acc.grow(c);
+        }
+        acc
+    }
+
+    /// Exact difference `self - other`.
+    pub fn sub(&self, other: &Expansion) -> Expansion {
+        self.add(&other.neg())
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> Expansion {
+        Expansion {
+            comps: self.comps.iter().map(|&c| -c).collect(),
+        }
+    }
+
+    /// Exact product of `self` by the scalar `b`
+    /// (Shewchuk's SCALE-EXPANSION with zero elimination).
+    pub fn scale(&self, b: f64) -> Expansion {
+        if b == 0.0 || self.is_zero() {
+            return Expansion::zero();
+        }
+        let mut out = Vec::with_capacity(2 * self.comps.len());
+        let (mut q, err) = two_product(self.comps[0], b);
+        if err != 0.0 {
+            out.push(err);
+        }
+        for &e in &self.comps[1..] {
+            let (phi, plo) = two_product(e, b);
+            let (sum, err) = two_sum(q, plo);
+            if err != 0.0 {
+                out.push(err);
+            }
+            let (newq, err2) = fast_two_sum(phi, sum);
+            if err2 != 0.0 {
+                out.push(err2);
+            }
+            q = newq;
+        }
+        if q != 0.0 {
+            out.push(q);
+        }
+        // SCALE-EXPANSION's output is already ordered; zero elimination keeps
+        // the relative order, which preserves the nonoverlapping invariant.
+        Expansion { comps: out }
+    }
+
+    /// Exact product of two expansions (distributes `scale` over `other`).
+    pub fn mul(&self, other: &Expansion) -> Expansion {
+        let mut acc = Expansion::zero();
+        for &c in &other.comps {
+            acc = acc.add(&self.scale(c));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_sum_is_exact_on_cancellation() {
+        // 1 + 2^-60 is not representable; the error term captures the rest.
+        let (hi, lo) = two_sum(1.0, 2f64.powi(-60));
+        assert_eq!(hi, 1.0);
+        assert_eq!(lo, 2f64.powi(-60));
+    }
+
+    #[test]
+    fn two_product_is_exact() {
+        let a = 1.0 + 2f64.powi(-30);
+        let b = 1.0 + 2f64.powi(-30);
+        let (hi, lo) = two_product(a, b);
+        // a*b = 1 + 2^-29 + 2^-60 exactly
+        assert_eq!(hi + lo, a * b);
+        assert_eq!(lo, 2f64.powi(-60));
+    }
+
+    #[test]
+    fn sign_of_tiny_differences() {
+        // x = (1 + 2^-52) - 1 - 2^-52 must be exactly zero.
+        let e = Expansion::from_diff(1.0 + 2f64.powi(-52), 1.0);
+        let e = e.sub(&Expansion::from_f64(2f64.powi(-52)));
+        assert_eq!(e.sign(), 0);
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn grow_and_add_accumulate_exactly() {
+        // Sum 1 + 2^-53 + 2^-53 = 1 + 2^-52 exactly (naive f64 gives 1.0).
+        let tiny = 2f64.powi(-53);
+        let e = Expansion::from_f64(1.0).grow(tiny).grow(tiny);
+        assert_eq!(e.estimate(), 1.0 + 2f64.powi(-52));
+        let naive = 1.0 + tiny + tiny;
+        assert_eq!(naive, 1.0); // demonstrates why expansions are needed
+    }
+
+    #[test]
+    fn scale_is_exact() {
+        let e = Expansion::from_f64(1.0).grow(2f64.powi(-53));
+        let s = e.scale(3.0);
+        // 3 * (1 + 2^-53) = 3 + 3*2^-53; check against two_product pieces
+        let direct = Expansion::from_product(1.0, 3.0).add(&Expansion::from_product(2f64.powi(-53), 3.0));
+        assert_eq!(s.sign(), 1);
+        assert_eq!(s.sub(&direct).sign(), 0);
+    }
+
+    #[test]
+    fn mul_matches_integer_arithmetic() {
+        // Products of moderate integers are exactly representable; expansion
+        // multiplication must agree.
+        let a = Expansion::from_f64(123_456_789.0);
+        let b = Expansion::from_f64(987_654_321.0);
+        let p = a.mul(&b);
+        assert_eq!(p.estimate(), 123_456_789.0 * 987_654_321.0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_estimate_close(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+            let e = Expansion::from_f64(a).add(&Expansion::from_f64(b));
+            prop_assert_eq!(e.estimate(), a + b);
+        }
+
+        #[test]
+        fn diff_sign_matches_comparison(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let e = Expansion::from_diff(a, b);
+            let expect = if a > b { 1 } else if a < b { -1 } else { 0 };
+            prop_assert_eq!(e.sign(), expect);
+        }
+
+        #[test]
+        fn product_sign_is_exact(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let e = Expansion::from_product(a, b);
+            let expect = if a * b > 0.0 { 1 } else if a * b < 0.0 { -1 } else { 0 };
+            // a*b rounded may be zero while true product is not, but only
+            // for subnormal-scale products, excluded by the input ranges
+            // unless a or b is 0.
+            if a == 0.0 || b == 0.0 {
+                prop_assert_eq!(e.sign(), 0);
+            } else {
+                prop_assert_eq!(e.sign(), expect);
+            }
+        }
+
+        #[test]
+        fn sub_then_add_roundtrips_to_zero(
+            vals in proptest::collection::vec(-1e9f64..1e9, 1..8)
+        ) {
+            let mut e = Expansion::zero();
+            for &v in &vals {
+                e = e.grow(v);
+            }
+            let mut back = e.clone();
+            for &v in &vals {
+                back = back.sub(&Expansion::from_f64(v));
+            }
+            prop_assert_eq!(back.sign(), 0);
+        }
+
+        #[test]
+        fn mul_distributes_over_small_ints(
+            a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000
+        ) {
+            // (a + b) * c computed as expansions equals exact integer result.
+            let e = Expansion::from_f64(a as f64).add(&Expansion::from_f64(b as f64));
+            let p = e.mul(&Expansion::from_f64(c as f64));
+            prop_assert_eq!(p.estimate(), ((a + b) * c) as f64);
+        }
+    }
+}

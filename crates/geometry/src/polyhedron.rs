@@ -1,0 +1,508 @@
+//! Convex polyhedra with half-space clipping.
+//!
+//! A Voronoi cell is constructed by starting from a bounding box and
+//! repeatedly clipping it by the perpendicular bisector planes between the
+//! cell's site and its candidate neighbors (the Voro++ approach). The
+//! polyhedron is stored as a vertex array plus polygonal faces; every face
+//! remembers which neighbor's bisector created it, which later gives the
+//! cell-adjacency graph (used for connected-component void finding) for free.
+
+use std::collections::HashMap;
+
+use crate::measures::{polygon_area, polygon_vertex_centroid, tetra_volume_signed};
+use crate::plane::Plane;
+use crate::vec3::Vec3;
+use crate::Aabb;
+
+/// One polygonal face of a convex polyhedron.
+#[derive(Debug, Clone)]
+pub struct Face {
+    /// Supporting plane, oriented with the normal pointing out of the cell.
+    pub plane: Plane,
+    /// Ordered vertex loop (counterclockwise seen from outside).
+    pub verts: Vec<u32>,
+    /// Global id of the neighbor site whose bisector generated this face;
+    /// `None` for faces of the initial bounding volume.
+    pub neighbor: Option<u64>,
+}
+
+/// Result of clipping by one half-space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClipResult {
+    /// The polyhedron lies entirely inside; nothing changed.
+    Unchanged,
+    /// The plane cut the polyhedron; a new face was created.
+    Clipped,
+    /// Nothing remains on the inside.
+    Empty,
+}
+
+/// A convex polyhedron (vertices + polygonal faces with outward planes).
+#[derive(Debug, Clone)]
+pub struct ConvexPolyhedron {
+    pub verts: Vec<Vec3>,
+    pub faces: Vec<Face>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    In,
+    On,
+    Out,
+}
+
+impl ConvexPolyhedron {
+    /// Axis-aligned box as a polyhedron; all faces carry `neighbor: None`.
+    pub fn from_aabb(b: &Aabb) -> Self {
+        let (lo, hi) = (b.min, b.max);
+        let verts = vec![
+            Vec3::new(lo.x, lo.y, lo.z), // 0
+            Vec3::new(hi.x, lo.y, lo.z), // 1
+            Vec3::new(lo.x, hi.y, lo.z), // 2
+            Vec3::new(hi.x, hi.y, lo.z), // 3
+            Vec3::new(lo.x, lo.y, hi.z), // 4
+            Vec3::new(hi.x, lo.y, hi.z), // 5
+            Vec3::new(lo.x, hi.y, hi.z), // 6
+            Vec3::new(hi.x, hi.y, hi.z), // 7
+        ];
+        // Loops are counterclockwise when viewed from outside the box.
+        let face = |n: Vec3, d: f64, loop_: [u32; 4]| Face {
+            plane: Plane { n, d },
+            verts: loop_.to_vec(),
+            neighbor: None,
+        };
+        let faces = vec![
+            face(Vec3::new(-1.0, 0.0, 0.0), -lo.x, [0, 4, 6, 2]),
+            face(Vec3::new(1.0, 0.0, 0.0), hi.x, [1, 3, 7, 5]),
+            face(Vec3::new(0.0, -1.0, 0.0), -lo.y, [0, 1, 5, 4]),
+            face(Vec3::new(0.0, 1.0, 0.0), hi.y, [2, 6, 7, 3]),
+            face(Vec3::new(0.0, 0.0, -1.0), -lo.z, [0, 2, 3, 1]),
+            face(Vec3::new(0.0, 0.0, 1.0), hi.z, [4, 5, 7, 6]),
+        ];
+        ConvexPolyhedron { verts, faces }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.verts.len() < 4 || self.faces.len() < 4
+    }
+
+    /// Clip by the inside half-space of `plane` (`n·x <= d`), tagging any
+    /// newly created face with `neighbor`.
+    ///
+    /// `eps` is the absolute tolerance for classifying a vertex as lying on
+    /// the plane; pass a value small relative to the cell size (e.g.
+    /// [`crate::EPS`] times the domain scale).
+    pub fn clip(&mut self, plane: &Plane, neighbor: Option<u64>, eps: f64) -> ClipResult {
+        let classes: Vec<Class> = self
+            .verts
+            .iter()
+            .map(|&v| {
+                let d = plane.signed_distance(v);
+                if d < -eps {
+                    Class::In
+                } else if d > eps {
+                    Class::Out
+                } else {
+                    Class::On
+                }
+            })
+            .collect();
+
+        let n_out = classes.iter().filter(|&&c| c == Class::Out).count();
+        if n_out == 0 {
+            return ClipResult::Unchanged;
+        }
+        let n_in = classes.iter().filter(|&&c| c == Class::In).count();
+        if n_in == 0 {
+            self.verts.clear();
+            self.faces.clear();
+            return ClipResult::Empty;
+        }
+
+        // Cache one intersection vertex per cut undirected edge so adjacent
+        // faces share it and the result stays watertight.
+        let mut cut_cache: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut verts = std::mem::take(&mut self.verts);
+        let old_faces = std::mem::take(&mut self.faces);
+        let mut new_faces: Vec<Face> = Vec::with_capacity(old_faces.len() + 1);
+
+        for face in old_faces {
+            let n = face.verts.len();
+            let mut loop_out: Vec<u32> = Vec::with_capacity(n + 2);
+            for i in 0..n {
+                let vi = face.verts[i];
+                let vj = face.verts[(i + 1) % n];
+                let ci = classes[vi as usize];
+                let cj = classes[vj as usize];
+                if ci != Class::Out {
+                    loop_out.push(vi);
+                }
+                let crossing = matches!(
+                    (ci, cj),
+                    (Class::In, Class::Out) | (Class::Out, Class::In)
+                );
+                if crossing {
+                    let key = (vi.min(vj), vi.max(vj));
+                    let idx = *cut_cache.entry(key).or_insert_with(|| {
+                        let a = verts[vi as usize];
+                        let b = verts[vj as usize];
+                        let t = plane
+                            .intersect_segment(a, b)
+                            .unwrap_or(0.5)
+                            .clamp(0.0, 1.0);
+                        verts.push(a.lerp(b, t));
+                        (verts.len() - 1) as u32
+                    });
+                    loop_out.push(idx);
+                }
+            }
+            dedup_loop(&mut loop_out);
+            if loop_out.len() >= 3 {
+                new_faces.push(Face {
+                    plane: face.plane,
+                    verts: loop_out,
+                    neighbor: face.neighbor,
+                });
+            }
+        }
+
+        // Build the closing face from every vertex now lying on the plane.
+        let mut on_plane: Vec<u32> = Vec::new();
+        for f in &new_faces {
+            for &v in &f.verts {
+                let is_new = (v as usize) >= classes.len();
+                if is_new || classes[v as usize] == Class::On {
+                    if !on_plane.contains(&v) {
+                        on_plane.push(v);
+                    }
+                }
+            }
+        }
+        if on_plane.len() >= 3 {
+            let centroid = {
+                let mut c = Vec3::ZERO;
+                for &v in &on_plane {
+                    c += verts[v as usize];
+                }
+                c / on_plane.len() as f64
+            };
+            let (u, w) = plane.basis();
+            // Sort counterclockwise around +n: (u, w, n) is right-handed.
+            on_plane.sort_by(|&a, &b| {
+                let pa = verts[a as usize] - centroid;
+                let pb = verts[b as usize] - centroid;
+                let aa = pa.dot(w).atan2(pa.dot(u));
+                let ab = pb.dot(w).atan2(pb.dot(u));
+                aa.partial_cmp(&ab).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            new_faces.push(Face {
+                plane: *plane,
+                verts: on_plane,
+                neighbor,
+            });
+        }
+
+        self.verts = verts;
+        self.faces = new_faces;
+        self.compact();
+        if self.is_empty() {
+            self.verts.clear();
+            self.faces.clear();
+            ClipResult::Empty
+        } else {
+            ClipResult::Clipped
+        }
+    }
+
+    /// Drop unreferenced vertices and remap face indices.
+    fn compact(&mut self) {
+        let mut map: Vec<u32> = vec![u32::MAX; self.verts.len()];
+        let mut kept: Vec<Vec3> = Vec::with_capacity(self.verts.len());
+        for face in &mut self.faces {
+            for v in &mut face.verts {
+                let old = *v as usize;
+                if map[old] == u32::MAX {
+                    map[old] = kept.len() as u32;
+                    kept.push(self.verts[old]);
+                }
+                *v = map[old];
+            }
+        }
+        self.verts = kept;
+    }
+
+    /// Volume via the divergence theorem (exact for the stored polygonal
+    /// faces; positive for outward-oriented faces).
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        // Reference point inside (vertex mean) reduces cancellation.
+        let r = self.vertex_mean();
+        let mut v = 0.0;
+        for face in &self.faces {
+            let f0 = self.verts[face.verts[0] as usize];
+            for i in 1..face.verts.len() - 1 {
+                let fi = self.verts[face.verts[i] as usize];
+                let fj = self.verts[face.verts[i + 1] as usize];
+                v += tetra_volume_signed(r, f0, fi, fj);
+            }
+        }
+        v
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.faces
+            .iter()
+            .map(|f| {
+                let pts: Vec<Vec3> = f.verts.iter().map(|&v| self.verts[v as usize]).collect();
+                polygon_area(&pts)
+            })
+            .sum()
+    }
+
+    /// Volume-weighted centroid; falls back to the vertex mean for
+    /// (near-)degenerate polyhedra.
+    pub fn centroid(&self) -> Vec3 {
+        let r = self.vertex_mean();
+        let mut vol = 0.0;
+        let mut c = Vec3::ZERO;
+        for face in &self.faces {
+            let f0 = self.verts[face.verts[0] as usize];
+            for i in 1..face.verts.len() - 1 {
+                let fi = self.verts[face.verts[i] as usize];
+                let fj = self.verts[face.verts[i + 1] as usize];
+                let v = tetra_volume_signed(r, f0, fi, fj);
+                vol += v;
+                c += (r + f0 + fi + fj) * (v / 4.0);
+            }
+        }
+        if vol.abs() > 1e-300 {
+            c / vol
+        } else {
+            r
+        }
+    }
+
+    /// Arithmetic mean of the vertices.
+    pub fn vertex_mean(&self) -> Vec3 {
+        let mut c = Vec3::ZERO;
+        for &v in &self.verts {
+            c += v;
+        }
+        c / self.verts.len().max(1) as f64
+    }
+
+    /// Squared distance from `p` to the farthest vertex; the security-radius
+    /// criterion compares twice the square root of this against the distance
+    /// to the nearest unprocessed candidate site.
+    pub fn max_vertex_dist2(&self, p: Vec3) -> f64 {
+        self.verts
+            .iter()
+            .map(|&v| v.dist2(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum pairwise squared distance between vertices (cell "diameter"²).
+    /// Used by the paper's conservative early volume cull.
+    pub fn max_pairwise_dist2(&self) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..self.verts.len() {
+            for j in i + 1..self.verts.len() {
+                best = best.max(self.verts[i].dist2(self.verts[j]));
+            }
+        }
+        best
+    }
+
+    /// Undirected edge list as vertex index pairs (each edge once).
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for face in &self.faces {
+            let n = face.verts.len();
+            for i in 0..n {
+                let a = face.verts[i];
+                let b = face.verts[(i + 1) % n];
+                let e = (a.min(b), a.max(b));
+                if !edges.contains(&e) {
+                    edges.push(e);
+                }
+            }
+        }
+        edges
+    }
+
+    /// A watertight convex polyhedron satisfies Euler's formula
+    /// `V - E + F = 2` and every edge is shared by exactly two faces.
+    pub fn check_closed(&self) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for face in &self.faces {
+            let n = face.verts.len();
+            for i in 0..n {
+                let a = face.verts[i];
+                let b = face.verts[(i + 1) % n];
+                *counts.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        let all_twice = counts.values().all(|&c| c == 2);
+        let v = self.verts.len() as i64;
+        let e = counts.len() as i64;
+        let f = self.faces.len() as i64;
+        all_twice && v - e + f == 2
+    }
+
+    /// `true` when `p` lies inside or on every face's half-space.
+    pub fn contains(&self, p: Vec3, eps: f64) -> bool {
+        self.faces.iter().all(|f| f.plane.signed_distance(p) <= eps)
+    }
+
+    /// Ids of the neighbor sites whose bisectors form the faces.
+    pub fn neighbor_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.faces.iter().filter_map(|f| f.neighbor)
+    }
+
+    /// Points of one face's loop, in order.
+    pub fn face_points(&self, face: &Face) -> Vec<Vec3> {
+        face.verts.iter().map(|&v| self.verts[v as usize]).collect()
+    }
+
+    /// Centroid of one face's vertex loop.
+    pub fn face_centroid(&self, face: &Face) -> Vec3 {
+        polygon_vertex_centroid(&self.face_points(face))
+    }
+}
+
+/// Remove consecutive duplicate indices (and a duplicated first/last pair).
+fn dedup_loop(loop_: &mut Vec<u32>) {
+    loop_.dedup();
+    while loop_.len() > 1 && loop_.first() == loop_.last() {
+        loop_.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EPS;
+
+    fn unit_cube() -> ConvexPolyhedron {
+        ConvexPolyhedron::from_aabb(&Aabb::cube(1.0))
+    }
+
+    #[test]
+    fn cube_measures() {
+        let c = unit_cube();
+        assert!((c.volume() - 1.0).abs() < 1e-12);
+        assert!((c.surface_area() - 6.0).abs() < 1e-12);
+        assert!((c.centroid() - Vec3::splat(0.5)).norm() < 1e-12);
+        assert!(c.check_closed());
+        assert_eq!(c.edges().len(), 12);
+    }
+
+    #[test]
+    fn clip_keeps_half_the_cube() {
+        let mut c = unit_cube();
+        let plane = Plane::from_point_normal(Vec3::splat(0.5), Vec3::new(1.0, 0.0, 0.0));
+        let r = c.clip(&plane, Some(42), EPS);
+        assert_eq!(r, ClipResult::Clipped);
+        assert!((c.volume() - 0.5).abs() < 1e-12);
+        assert!((c.surface_area() - 4.0).abs() < 1e-12);
+        assert!(c.check_closed());
+        assert_eq!(c.neighbor_ids().collect::<Vec<_>>(), vec![42]);
+    }
+
+    #[test]
+    fn clip_outside_is_noop() {
+        let mut c = unit_cube();
+        let plane = Plane::from_point_normal(Vec3::splat(2.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(c.clip(&plane, None, EPS), ClipResult::Unchanged);
+        assert!((c.volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_everything_empties() {
+        let mut c = unit_cube();
+        let plane = Plane::from_point_normal(Vec3::splat(-1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(c.clip(&plane, None, EPS), ClipResult::Empty);
+        assert!(c.is_empty());
+        assert_eq!(c.volume(), 0.0);
+    }
+
+    #[test]
+    fn clip_corner_produces_triangle_face() {
+        let mut c = unit_cube();
+        // Cut off the corner at the origin.
+        let n = Vec3::splat(-1.0).normalized().unwrap();
+        let plane = Plane::from_point_normal(Vec3::new(0.25, 0.0, 0.0), n);
+        assert_eq!(c.clip(&plane, Some(7), EPS), ClipResult::Clipped);
+        // removed tetra corner: volume 0.25³/6
+        let expect = 1.0 - 0.25f64.powi(3) / 6.0;
+        assert!((c.volume() - expect).abs() < 1e-12, "vol {}", c.volume());
+        assert!(c.check_closed());
+        // New face is a triangle tagged with the neighbor id.
+        let new_face = c.faces.iter().find(|f| f.neighbor == Some(7)).unwrap();
+        assert_eq!(new_face.verts.len(), 3);
+    }
+
+    #[test]
+    fn clip_through_vertices_stays_watertight() {
+        let mut c = unit_cube();
+        // Diagonal plane through four cube vertices: x = y plane.
+        let n = Vec3::new(1.0, -1.0, 0.0).normalized().unwrap();
+        let plane = Plane::from_point_normal(Vec3::ZERO, n);
+        let r = c.clip(&plane, Some(1), EPS);
+        assert_eq!(r, ClipResult::Clipped);
+        assert!((c.volume() - 0.5).abs() < 1e-9, "vol {}", c.volume());
+        assert!(c.check_closed());
+    }
+
+    #[test]
+    fn sequential_bisector_clips_build_voronoi_cell() {
+        // Site at the center of a 3x3x3 lattice: its Voronoi cell must be the
+        // unit cube centered on it.
+        let site = Vec3::splat(1.5);
+        let mut cell = ConvexPolyhedron::from_aabb(&Aabb::cube(3.0));
+        let mut id = 0u64;
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    let q = Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5);
+                    if q.dist2(site) > 1e-12 {
+                        let b = Plane::bisector(site, q).unwrap();
+                        cell.clip(&b, Some(id), EPS);
+                    }
+                    id += 1;
+                }
+            }
+        }
+        assert!((cell.volume() - 1.0).abs() < 1e-9, "vol {}", cell.volume());
+        assert!((cell.surface_area() - 6.0).abs() < 1e-9);
+        assert!((cell.centroid() - site).norm() < 1e-9);
+        assert!(cell.check_closed());
+        // 6 face-adjacent neighbors survive; corner/edge bisectors are cut away.
+        assert_eq!(cell.neighbor_ids().count(), 6);
+        assert!(cell.contains(site, EPS));
+    }
+
+    #[test]
+    fn compaction_drops_unused_vertices() {
+        let mut c = unit_cube();
+        let plane = Plane::from_point_normal(Vec3::splat(0.5), Vec3::new(0.0, 0.0, 1.0));
+        c.clip(&plane, None, EPS);
+        // Half-cube has 8 vertices again (4 old bottom + 4 new cuts).
+        assert_eq!(c.verts.len(), 8);
+        assert!(c.check_closed());
+    }
+
+    #[test]
+    fn max_distances() {
+        let c = unit_cube();
+        let d2 = c.max_vertex_dist2(Vec3::ZERO);
+        assert!((d2 - 3.0).abs() < 1e-12);
+        assert!((c.max_pairwise_dist2() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,379 @@
+//! Robust geometric predicates: `orient3d` and `insphere`.
+//!
+//! Each predicate first evaluates a plain floating-point determinant with a
+//! static error bound (Shewchuk's "stage A" filter). When the magnitude of
+//! the determinant exceeds the bound the sign is certain and returned
+//! directly; otherwise the predicate is recomputed *exactly* with
+//! floating-point expansions, so the result is always the true sign.
+
+use crate::expansion::Expansion;
+use crate::vec3::Vec3;
+
+/// Machine epsilon for f64 halved, as used by Shewchuk's error bounds
+/// (the roundoff of a single operation is at most `EPSILON` times the
+/// magnitude of the result).
+const EPSILON: f64 = f64::EPSILON / 2.0;
+
+/// Static filter bound for `orient3d` (Shewchuk's `o3derrboundA`).
+const O3D_BOUND: f64 = (7.0 + 56.0 * EPSILON) * EPSILON;
+
+/// Static filter bound for `insphere` (Shewchuk's `isperrboundA`).
+const INS_BOUND: f64 = (16.0 + 224.0 * EPSILON) * EPSILON;
+
+/// Orientation of a point with respect to a plane or sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Positive determinant (e.g. `d` below the plane of `(a, b, c)` when
+    /// `(a, b, c)` appears counterclockwise seen from above).
+    Positive,
+    Negative,
+    /// Exactly degenerate (coplanar / cospherical).
+    Zero,
+}
+
+impl Orientation {
+    fn from_sign(s: i32) -> Self {
+        match s.cmp(&0) {
+            std::cmp::Ordering::Greater => Orientation::Positive,
+            std::cmp::Ordering::Less => Orientation::Negative,
+            std::cmp::Ordering::Equal => Orientation::Zero,
+        }
+    }
+
+    pub fn sign(self) -> i32 {
+        match self {
+            Orientation::Positive => 1,
+            Orientation::Negative => -1,
+            Orientation::Zero => 0,
+        }
+    }
+}
+
+/// Sign of the determinant
+///
+/// ```text
+/// | ax-dx  ay-dy  az-dz |
+/// | bx-dx  by-dy  bz-dz |
+/// | cx-dx  cy-dy  cz-dz |
+/// ```
+///
+/// Positive when `d` sees the triangle `(a, b, c)` in clockwise order —
+/// equivalently, when `d` lies on the negative side of the plane through
+/// `a, b, c` oriented by the right-hand rule.
+pub fn orient3d(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Orientation {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+    let adz = a.z - d.z;
+    let bdz = b.z - d.z;
+    let cdz = c.z - d.z;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+
+    let det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) + cdz * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * adz.abs()
+        + (cdxady.abs() + adxcdy.abs()) * bdz.abs()
+        + (adxbdy.abs() + bdxady.abs()) * cdz.abs();
+    let errbound = O3D_BOUND * permanent;
+
+    if det > errbound {
+        return Orientation::Positive;
+    }
+    if det < -errbound {
+        return Orientation::Negative;
+    }
+    orient3d_exact(a, b, c, d)
+}
+
+/// Fully exact `orient3d` via expansion arithmetic. Public for testing.
+pub fn orient3d_exact(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Orientation {
+    let adx = Expansion::from_diff(a.x, d.x);
+    let bdx = Expansion::from_diff(b.x, d.x);
+    let cdx = Expansion::from_diff(c.x, d.x);
+    let ady = Expansion::from_diff(a.y, d.y);
+    let bdy = Expansion::from_diff(b.y, d.y);
+    let cdy = Expansion::from_diff(c.y, d.y);
+    let adz = Expansion::from_diff(a.z, d.z);
+    let bdz = Expansion::from_diff(b.z, d.z);
+    let cdz = Expansion::from_diff(c.z, d.z);
+
+    let m1 = bdx.mul(&cdy).sub(&cdx.mul(&bdy));
+    let m2 = cdx.mul(&ady).sub(&adx.mul(&cdy));
+    let m3 = adx.mul(&bdy).sub(&bdx.mul(&ady));
+
+    let det = adz.mul(&m1).add(&bdz.mul(&m2)).add(&cdz.mul(&m3));
+    Orientation::from_sign(det.sign())
+}
+
+/// Sign of the `insphere` determinant for the sphere through `a, b, c, d`
+/// and the query point `e`.
+///
+/// When `orient3d(a, b, c, d)` is `Positive`, a `Positive` result means `e`
+/// lies strictly inside the circumsphere of the tetrahedron `(a, b, c, d)`.
+/// (For negatively oriented tetrahedra the meaning flips; callers normalize
+/// orientation first.)
+pub fn insphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> Orientation {
+    let aex = a.x - e.x;
+    let bex = b.x - e.x;
+    let cex = c.x - e.x;
+    let dex = d.x - e.x;
+    let aey = a.y - e.y;
+    let bey = b.y - e.y;
+    let cey = c.y - e.y;
+    let dey = d.y - e.y;
+    let aez = a.z - e.z;
+    let bez = b.z - e.z;
+    let cez = c.z - e.z;
+    let dez = d.z - e.z;
+
+    let aexbey = aex * bey;
+    let bexaey = bex * aey;
+    let ab = aexbey - bexaey;
+    let bexcey = bex * cey;
+    let cexbey = cex * bey;
+    let bc = bexcey - cexbey;
+    let cexdey = cex * dey;
+    let dexcey = dex * cey;
+    let cd = cexdey - dexcey;
+    let dexaey = dex * aey;
+    let aexdey = aex * dey;
+    let da = dexaey - aexdey;
+    let aexcey = aex * cey;
+    let cexaey = cex * aey;
+    let ac = aexcey - cexaey;
+    let bexdey = bex * dey;
+    let dexbey = dex * bey;
+    let bd = bexdey - dexbey;
+
+    let abc = aez * bc - bez * ac + cez * ab;
+    let bcd = bez * cd - cez * bd + dez * bc;
+    let cda = cez * da + dez * ac + aez * cd;
+    let dab = dez * ab + aez * bd + bez * da;
+
+    let alift = aex * aex + aey * aey + aez * aez;
+    let blift = bex * bex + bey * bey + bez * bez;
+    let clift = cex * cex + cey * cey + cez * cez;
+    let dlift = dex * dex + dey * dey + dez * dez;
+
+    let det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+    let aezplus = aez.abs();
+    let bezplus = bez.abs();
+    let cezplus = cez.abs();
+    let dezplus = dez.abs();
+    let aexbeyplus = aexbey.abs();
+    let bexaeyplus = bexaey.abs();
+    let bexceyplus = bexcey.abs();
+    let cexbeyplus = cexbey.abs();
+    let cexdeyplus = cexdey.abs();
+    let dexceyplus = dexcey.abs();
+    let dexaeyplus = dexaey.abs();
+    let aexdeyplus = aexdey.abs();
+    let aexceyplus = aexcey.abs();
+    let cexaeyplus = cexaey.abs();
+    let bexdeyplus = bexdey.abs();
+    let dexbeyplus = dexbey.abs();
+    let permanent = ((cexdeyplus + dexceyplus) * bezplus
+        + (dexbeyplus + bexdeyplus) * cezplus
+        + (bexceyplus + cexbeyplus) * dezplus)
+        * alift
+        + ((dexaeyplus + aexdeyplus) * cezplus
+            + (aexceyplus + cexaeyplus) * dezplus
+            + (cexdeyplus + dexceyplus) * aezplus)
+            * blift
+        + ((aexbeyplus + bexaeyplus) * dezplus
+            + (bexdeyplus + dexbeyplus) * aezplus
+            + (dexaeyplus + aexdeyplus) * bezplus)
+            * clift
+        + ((bexceyplus + cexbeyplus) * aezplus
+            + (cexaeyplus + aexceyplus) * bezplus
+            + (aexbeyplus + bexaeyplus) * cezplus)
+            * dlift;
+    let errbound = INS_BOUND * permanent;
+
+    if det > errbound {
+        return Orientation::Positive;
+    }
+    if det < -errbound {
+        return Orientation::Negative;
+    }
+    insphere_exact(a, b, c, d, e)
+}
+
+/// Fully exact `insphere` via expansion arithmetic. Public for testing.
+pub fn insphere_exact(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> Orientation {
+    let ax = Expansion::from_diff(a.x, e.x);
+    let bx = Expansion::from_diff(b.x, e.x);
+    let cx = Expansion::from_diff(c.x, e.x);
+    let dx = Expansion::from_diff(d.x, e.x);
+    let ay = Expansion::from_diff(a.y, e.y);
+    let by = Expansion::from_diff(b.y, e.y);
+    let cy = Expansion::from_diff(c.y, e.y);
+    let dy = Expansion::from_diff(d.y, e.y);
+    let az = Expansion::from_diff(a.z, e.z);
+    let bz = Expansion::from_diff(b.z, e.z);
+    let cz = Expansion::from_diff(c.z, e.z);
+    let dz = Expansion::from_diff(d.z, e.z);
+
+    let ab = ax.mul(&by).sub(&bx.mul(&ay));
+    let bc = bx.mul(&cy).sub(&cx.mul(&by));
+    let cd = cx.mul(&dy).sub(&dx.mul(&cy));
+    let da = dx.mul(&ay).sub(&ax.mul(&dy));
+    let ac = ax.mul(&cy).sub(&cx.mul(&ay));
+    let bd = bx.mul(&dy).sub(&dx.mul(&by));
+
+    let abc = az.mul(&bc).sub(&bz.mul(&ac)).add(&cz.mul(&ab));
+    let bcd = bz.mul(&cd).sub(&cz.mul(&bd)).add(&dz.mul(&bc));
+    let cda = cz.mul(&da).add(&dz.mul(&ac)).add(&az.mul(&cd));
+    let dab = dz.mul(&ab).add(&az.mul(&bd)).add(&bz.mul(&da));
+
+    let alift = ax.mul(&ax).add(&ay.mul(&ay)).add(&az.mul(&az));
+    let blift = bx.mul(&bx).add(&by.mul(&by)).add(&bz.mul(&bz));
+    let clift = cx.mul(&cx).add(&cy.mul(&cy)).add(&cz.mul(&cz));
+    let dlift = dx.mul(&dx).add(&dy.mul(&dy)).add(&dz.mul(&dz));
+
+    let det = dlift
+        .mul(&abc)
+        .sub(&clift.mul(&dab))
+        .add(&blift.mul(&cda))
+        .sub(&alift.mul(&bcd));
+    Orientation::from_sign(det.sign())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3::new(x, y, z)
+    }
+
+    #[test]
+    fn orient3d_simple_cases() {
+        let a = v(0.0, 0.0, 0.0);
+        let b = v(1.0, 0.0, 0.0);
+        let c = v(0.0, 1.0, 0.0);
+        // d below the plane z=0 gives positive determinant
+        assert_eq!(orient3d(a, b, c, v(0.0, 0.0, -1.0)), Orientation::Positive);
+        assert_eq!(orient3d(a, b, c, v(0.0, 0.0, 1.0)), Orientation::Negative);
+        assert_eq!(orient3d(a, b, c, v(0.3, 0.3, 0.0)), Orientation::Zero);
+    }
+
+    #[test]
+    fn orient3d_detects_tiny_perturbations() {
+        // Nearly coplanar: exact arithmetic must resolve the true sign.
+        let a = v(0.0, 0.0, 0.0);
+        let b = v(1.0, 0.0, 0.0);
+        let c = v(0.0, 1.0, 0.0);
+        let eps = 2f64.powi(-52);
+        assert_eq!(orient3d(a, b, c, v(0.25, 0.25, -eps)), Orientation::Positive);
+        assert_eq!(orient3d(a, b, c, v(0.25, 0.25, eps)), Orientation::Negative);
+    }
+
+    #[test]
+    fn orient3d_exact_coplanar_with_offset_coordinates() {
+        // Large shared offsets provoke catastrophic cancellation in the
+        // naive determinant; the exact path must still return Zero.
+        let o = 1e7;
+        let a = v(o, o, o);
+        let b = v(o + 1.0, o, o);
+        let c = v(o, o + 1.0, o);
+        let d = v(o + 0.125, o + 0.375, o);
+        assert_eq!(orient3d(a, b, c, d), Orientation::Zero);
+    }
+
+    #[test]
+    fn insphere_simple_cases() {
+        // Positively oriented regular-ish tetrahedron
+        let a = v(0.0, 0.0, 0.0);
+        let b = v(1.0, 0.0, 0.0);
+        let c = v(0.0, 1.0, 0.0);
+        let d = v(0.0, 0.0, -1.0); // below so orient3d(a,b,c,d) > 0
+        assert_eq!(orient3d(a, b, c, d), Orientation::Positive);
+        // circumsphere of this tet passes through all four; its center is at
+        // (0.5, 0.5, -0.5) with radius sqrt(0.75)
+        let center = v(0.5, 0.5, -0.5);
+        assert_eq!(insphere(a, b, c, d, center), Orientation::Positive);
+        assert_eq!(insphere(a, b, c, d, v(10.0, 10.0, 10.0)), Orientation::Negative);
+        // a point exactly on the sphere
+        assert_eq!(insphere(a, b, c, d, v(1.0, 1.0, 0.0)), Orientation::Zero);
+    }
+
+    #[test]
+    fn insphere_cospherical_grid_points() {
+        // The 8 corners of a cube are cospherical: any 5 of them must give
+        // exactly Zero. This is the degeneracy that breaks naive Delaunay
+        // implementations on grid-like particle data.
+        let c = [
+            v(0.0, 0.0, 0.0),
+            v(1.0, 0.0, 0.0),
+            v(0.0, 1.0, 0.0),
+            v(1.0, 1.0, 0.0),
+            v(0.0, 0.0, 1.0),
+            v(1.0, 0.0, 1.0),
+            v(0.0, 1.0, 1.0),
+            v(1.0, 1.0, 1.0),
+        ];
+        assert_eq!(insphere(c[0], c[1], c[2], c[4], c[7]), Orientation::Zero);
+        assert_eq!(insphere(c[0], c[1], c[3], c[5], c[6]), Orientation::Zero);
+    }
+
+    proptest! {
+        #[test]
+        fn filtered_matches_exact_orient3d(
+            coords in proptest::collection::vec(-100.0f64..100.0, 12)
+        ) {
+            let a = v(coords[0], coords[1], coords[2]);
+            let b = v(coords[3], coords[4], coords[5]);
+            let c = v(coords[6], coords[7], coords[8]);
+            let d = v(coords[9], coords[10], coords[11]);
+            prop_assert_eq!(orient3d(a, b, c, d), orient3d_exact(a, b, c, d));
+        }
+
+        #[test]
+        fn filtered_matches_exact_insphere(
+            coords in proptest::collection::vec(-10.0f64..10.0, 15)
+        ) {
+            let a = v(coords[0], coords[1], coords[2]);
+            let b = v(coords[3], coords[4], coords[5]);
+            let c = v(coords[6], coords[7], coords[8]);
+            let d = v(coords[9], coords[10], coords[11]);
+            let e = v(coords[12], coords[13], coords[14]);
+            prop_assert_eq!(insphere(a, b, c, d, e), insphere_exact(a, b, c, d, e));
+        }
+
+        #[test]
+        fn orient3d_antisymmetry(
+            coords in proptest::collection::vec(-100.0f64..100.0, 12)
+        ) {
+            let a = v(coords[0], coords[1], coords[2]);
+            let b = v(coords[3], coords[4], coords[5]);
+            let c = v(coords[6], coords[7], coords[8]);
+            let d = v(coords[9], coords[10], coords[11]);
+            // Swapping two rows flips the sign.
+            prop_assert_eq!(orient3d(a, b, c, d).sign(), -orient3d(b, a, c, d).sign());
+        }
+
+        #[test]
+        fn orient3d_zero_for_duplicate_points(
+            coords in proptest::collection::vec(-100.0f64..100.0, 9)
+        ) {
+            let a = v(coords[0], coords[1], coords[2]);
+            let b = v(coords[3], coords[4], coords[5]);
+            let c = v(coords[6], coords[7], coords[8]);
+            prop_assert_eq!(orient3d(a, a, b, c), Orientation::Zero);
+            prop_assert_eq!(orient3d(a, b, a, c), Orientation::Zero);
+            prop_assert_eq!(orient3d(a, b, c, a), Orientation::Zero);
+        }
+    }
+}

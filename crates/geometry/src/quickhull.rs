@@ -1,0 +1,436 @@
+//! 3D convex hull via the Quickhull algorithm.
+//!
+//! This plays the role Qhull plays in the paper (§III-C): given the vertices
+//! of a Voronoi cell, order them into faces and compute the cell's volume and
+//! surface area. It is also exposed as a general-purpose hull routine and is
+//! cross-validated against the half-space-clipping cell construction.
+
+use crate::measures::{tetra_volume_signed, triangle_area};
+use crate::vec3::Vec3;
+
+/// A convex hull of a point set: triangle faces indexing the *input* points.
+#[derive(Debug, Clone)]
+pub struct Hull {
+    /// Input points (copied so the hull is self-contained).
+    pub points: Vec<Vec3>,
+    /// Triangles `[a, b, c]` with counterclockwise winding seen from outside.
+    pub faces: Vec<[u32; 3]>,
+}
+
+/// Errors from hull construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HullError {
+    /// Fewer than 4 input points.
+    TooFewPoints,
+    /// All points (nearly) coincident, collinear, or coplanar.
+    Degenerate,
+}
+
+impl std::fmt::Display for HullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HullError::TooFewPoints => write!(f, "convex hull needs at least 4 points"),
+            HullError::Degenerate => write!(f, "input points are degenerate (coplanar or worse)"),
+        }
+    }
+}
+
+impl std::error::Error for HullError {}
+
+struct QhFace {
+    v: [u32; 3],
+    n: Vec3, // outward unit normal
+    d: f64,  // plane offset
+    outside: Vec<u32>,
+    alive: bool,
+}
+
+impl QhFace {
+    fn dist(&self, p: Vec3) -> f64 {
+        self.n.dot(p) - self.d
+    }
+}
+
+/// Compute the convex hull of `points`.
+///
+/// `eps` is the absolute thickness tolerance: points within `eps` of a face
+/// plane are treated as on the hull surface (not outside). Pass a value
+/// small relative to the point-cloud diameter.
+pub fn convex_hull(points: &[Vec3], eps: f64) -> Result<Hull, HullError> {
+    if points.len() < 4 {
+        return Err(HullError::TooFewPoints);
+    }
+
+    let (i0, i1) = extreme_pair(points);
+    if points[i0].dist2(points[i1]) <= eps * eps {
+        return Err(HullError::Degenerate);
+    }
+    let i2 = farthest_from_line(points, i0, i1);
+    let line_area = triangle_area(points[i0], points[i1], points[i2]);
+    if line_area <= eps * points[i0].dist(points[i1]) {
+        return Err(HullError::Degenerate);
+    }
+    let i3 = farthest_from_plane(points, i0, i1, i2);
+    let vol6 = (points[i1] - points[i0])
+        .cross(points[i2] - points[i0])
+        .dot(points[i3] - points[i0]);
+    if vol6.abs() <= eps * line_area {
+        return Err(HullError::Degenerate);
+    }
+
+    // Order the initial tetrahedron so all faces point outward.
+    let (a, b, c, d) = if vol6 > 0.0 {
+        (i0, i1, i2, i3)
+    } else {
+        (i0, i2, i1, i3)
+    };
+    let interior = (points[a] + points[b] + points[c] + points[d]) / 4.0;
+
+    let mut faces: Vec<QhFace> = Vec::new();
+    for tri in [[a, b, c], [a, d, b], [b, d, c], [a, c, d]] {
+        faces.push(make_face(points, [tri[0] as u32, tri[1] as u32, tri[2] as u32], interior));
+    }
+
+    // Assign every point to the first face it is outside of.
+    let initial = [a, b, c, d];
+    for (pi, &p) in points.iter().enumerate() {
+        if initial.contains(&pi) {
+            continue;
+        }
+        for f in faces.iter_mut() {
+            if f.dist(p) > eps {
+                f.outside.push(pi as u32);
+                break;
+            }
+        }
+    }
+
+    loop {
+        // Pick the face with the farthest outside point.
+        let mut best: Option<(usize, u32, f64)> = None;
+        for (fi, f) in faces.iter().enumerate() {
+            if !f.alive {
+                continue;
+            }
+            for &pi in &f.outside {
+                let dd = f.dist(points[pi as usize]);
+                if best.map_or(true, |(_, _, bd)| dd > bd) {
+                    best = Some((fi, pi, dd));
+                }
+            }
+        }
+        let Some((_, apex, _)) = best else { break };
+        let apex_p = points[apex as usize];
+
+        // Find all faces visible from the apex.
+        let visible: Vec<usize> = faces
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.alive && f.dist(apex_p) > eps)
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(!visible.is_empty());
+
+        // Horizon = directed edges of visible faces whose reverse edge does
+        // not belong to a visible face.
+        let mut vis_edges: Vec<(u32, u32)> = Vec::new();
+        for &fi in &visible {
+            let [x, y, z] = faces[fi].v;
+            vis_edges.extend_from_slice(&[(x, y), (y, z), (z, x)]);
+        }
+        let horizon: Vec<(u32, u32)> = vis_edges
+            .iter()
+            .copied()
+            .filter(|&(x, y)| !vis_edges.contains(&(y, x)))
+            .collect();
+
+        // Collect orphaned outside points and kill visible faces.
+        let mut orphans: Vec<u32> = Vec::new();
+        for &fi in &visible {
+            faces[fi].alive = false;
+            orphans.append(&mut faces[fi].outside);
+        }
+
+        // New faces from horizon edges to the apex (keeps winding outward:
+        // horizon edges are wound counterclockwise around the visible region).
+        let mut new_face_ids: Vec<usize> = Vec::new();
+        for (x, y) in horizon {
+            let f = make_face(points, [x, y, apex], interior);
+            new_face_ids.push(faces.len());
+            faces.push(f);
+        }
+
+        // Redistribute orphans to the new faces.
+        for pi in orphans {
+            if pi == apex {
+                continue;
+            }
+            let p = points[pi as usize];
+            for &fi in &new_face_ids {
+                if faces[fi].dist(p) > eps {
+                    faces[fi].outside.push(pi);
+                    break;
+                }
+            }
+        }
+    }
+
+    let tri: Vec<[u32; 3]> = faces
+        .into_iter()
+        .filter(|f| f.alive)
+        .map(|f| f.v)
+        .collect();
+    Ok(Hull {
+        points: points.to_vec(),
+        faces: tri,
+    })
+}
+
+fn make_face(points: &[Vec3], v: [u32; 3], interior: Vec3) -> QhFace {
+    let (p0, p1, p2) = (
+        points[v[0] as usize],
+        points[v[1] as usize],
+        points[v[2] as usize],
+    );
+    let mut n = (p1 - p0).cross(p2 - p0);
+    let mut v = v;
+    if n.dot(interior - p0) > 0.0 {
+        // flip to point away from the interior
+        n = -n;
+        v.swap(1, 2);
+    }
+    let n = n.normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+    QhFace {
+        v,
+        n,
+        d: n.dot(p0),
+        outside: Vec::new(),
+        alive: true,
+    }
+}
+
+fn extreme_pair(points: &[Vec3]) -> (usize, usize) {
+    // Extremes along each axis; take the pair with the largest separation.
+    let mut lo = [0usize; 3];
+    let mut hi = [0usize; 3];
+    for (i, p) in points.iter().enumerate() {
+        for d in 0..3 {
+            if p[d] < points[lo[d]][d] {
+                lo[d] = i;
+            }
+            if p[d] > points[hi[d]][d] {
+                hi[d] = i;
+            }
+        }
+    }
+    let mut best = (lo[0], hi[0]);
+    let mut best_d = 0.0;
+    for d in 0..3 {
+        let dd = points[lo[d]].dist2(points[hi[d]]);
+        if dd > best_d {
+            best_d = dd;
+            best = (lo[d], hi[d]);
+        }
+    }
+    best
+}
+
+fn farthest_from_line(points: &[Vec3], i0: usize, i1: usize) -> usize {
+    let a = points[i0];
+    let dir = points[i1] - a;
+    let mut best = (0usize, -1.0f64);
+    for (i, &p) in points.iter().enumerate() {
+        let d = dir.cross(p - a).norm2();
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+fn farthest_from_plane(points: &[Vec3], i0: usize, i1: usize, i2: usize) -> usize {
+    let a = points[i0];
+    let n = (points[i1] - a).cross(points[i2] - a);
+    let mut best = (0usize, -1.0f64);
+    for (i, &p) in points.iter().enumerate() {
+        let d = n.dot(p - a).abs();
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+impl Hull {
+    /// Hull volume (sum of signed tetrahedra from the centroid).
+    pub fn volume(&self) -> f64 {
+        let c = self.interior_point();
+        self.faces
+            .iter()
+            .map(|&[a, b, d]| {
+                tetra_volume_signed(
+                    c,
+                    self.points[a as usize],
+                    self.points[b as usize],
+                    self.points[d as usize],
+                )
+            })
+            .sum()
+    }
+
+    /// Hull surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.faces
+            .iter()
+            .map(|&[a, b, c]| {
+                triangle_area(
+                    self.points[a as usize],
+                    self.points[b as usize],
+                    self.points[c as usize],
+                )
+            })
+            .sum()
+    }
+
+    /// Mean of the hull's referenced vertices (inside, by convexity).
+    pub fn interior_point(&self) -> Vec3 {
+        let mut seen = std::collections::HashSet::new();
+        let mut c = Vec3::ZERO;
+        for f in &self.faces {
+            for &v in f {
+                if seen.insert(v) {
+                    c += self.points[v as usize];
+                }
+            }
+        }
+        c / seen.len().max(1) as f64
+    }
+
+    /// Indices of the input points that lie on the hull.
+    pub fn vertex_indices(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.faces.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Every point must be inside (or within `eps` of) every face plane.
+    pub fn contains_all_points(&self, eps: f64) -> bool {
+        self.faces.iter().all(|&[a, b, c]| {
+            let (pa, pb, pc) = (
+                self.points[a as usize],
+                self.points[b as usize],
+                self.points[c as usize],
+            );
+            let n = (pb - pa).cross(pc - pa);
+            let Some(n) = n.normalized() else {
+                return true;
+            };
+            let d = n.dot(pa);
+            self.points.iter().all(|&p| n.dot(p) - d <= eps)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn tetrahedron_hull() {
+        let pts = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let h = convex_hull(&pts, EPS).unwrap();
+        assert_eq!(h.faces.len(), 4);
+        assert!((h.volume() - 1.0 / 6.0).abs() < 1e-12);
+        assert!(h.contains_all_points(1e-9));
+    }
+
+    #[test]
+    fn cube_hull_with_interior_points() {
+        let mut pts: Vec<Vec3> = crate::Aabb::cube(2.0).corners().to_vec();
+        // interior points must not appear on the hull
+        pts.push(Vec3::splat(1.0));
+        pts.push(Vec3::new(0.5, 1.0, 1.5));
+        let h = convex_hull(&pts, EPS).unwrap();
+        assert!((h.volume() - 8.0).abs() < 1e-9);
+        assert!((h.surface_area() - 24.0).abs() < 1e-9);
+        let hv = h.vertex_indices();
+        assert_eq!(hv.len(), 8);
+        assert!(!hv.contains(&8));
+        assert!(!hv.contains(&9));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert_eq!(
+            convex_hull(&[Vec3::ZERO, Vec3::ONE, Vec3::splat(2.0)], EPS).unwrap_err(),
+            HullError::TooFewPoints
+        );
+        // collinear
+        let line: Vec<Vec3> = (0..6).map(|i| Vec3::splat(i as f64)).collect();
+        assert_eq!(convex_hull(&line, EPS).unwrap_err(), HullError::Degenerate);
+        // coplanar
+        let plane: Vec<Vec3> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| Vec3::new(i as f64, j as f64, 0.0)))
+            .collect();
+        assert_eq!(convex_hull(&plane, EPS).unwrap_err(), HullError::Degenerate);
+        // coincident
+        let same = vec![Vec3::ONE; 10];
+        assert_eq!(convex_hull(&same, EPS).unwrap_err(), HullError::Degenerate);
+    }
+
+    #[test]
+    fn random_points_in_sphere() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        for trial in 0..10 {
+            let n = 10 + trial * 30;
+            let pts: Vec<Vec3> = (0..n)
+                .map(|_| {
+                    loop {
+                        let p = Vec3::new(
+                            rng.gen_range(-1.0..1.0),
+                            rng.gen_range(-1.0..1.0),
+                            rng.gen_range(-1.0..1.0),
+                        );
+                        if p.norm2() <= 1.0 {
+                            return p;
+                        }
+                    }
+                })
+                .collect();
+            let h = convex_hull(&pts, EPS).unwrap();
+            assert!(h.contains_all_points(1e-7), "trial {trial}");
+            // Euler: V - E + F = 2 with E = 3F/2 for triangulated closed surface
+            let v = h.vertex_indices().len() as i64;
+            let f = h.faces.len() as i64;
+            assert_eq!(v - 3 * f / 2 + f, 2, "Euler failed: V={v} F={f}");
+            assert!(h.volume() > 0.0 && h.volume() < 4.2);
+        }
+    }
+
+    #[test]
+    fn hull_volume_le_bounding_box() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pts: Vec<Vec3> = (0..200)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..3.0),
+                    rng.gen_range(0.0..2.0),
+                    rng.gen_range(0.0..1.0),
+                )
+            })
+            .collect();
+        let h = convex_hull(&pts, EPS).unwrap();
+        assert!(h.volume() <= 6.0);
+        assert!(h.volume() > 3.0); // 200 uniform points fill most of the box
+    }
+}

@@ -1,0 +1,313 @@
+//! 3-component `f64` vector used throughout the workspace.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A point or vector in 3D space.
+///
+/// Deliberately a plain `Copy` struct of three `f64`s: particle arrays are
+/// stored as `Vec<Vec3>` (array-of-structs), which matches the access pattern
+/// of cell construction (all three coordinates of a site are consumed
+/// together).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All three components set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Euclidean distance to `o`.
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Squared Euclidean distance to `o` (no sqrt; preferred in hot loops).
+    #[inline]
+    pub fn dist2(self, o: Vec3) -> f64 {
+        (self - o).norm2()
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero vectors.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 0.0 && n.is_finite() {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Midpoint of `self` and `o`.
+    #[inline]
+    pub fn midpoint(self, o: Vec3) -> Vec3 {
+        (self + o) * 0.5
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Largest component magnitude (L∞ norm).
+    #[inline]
+    pub fn max_abs(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// `true` iff all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Linear interpolation: `self + t * (o - self)`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// Components as an array, for indexed access by dimension.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, -3.0, 9.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 7.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(b.cross(a), Vec3::new(0.0, 0.0, -1.0));
+        // cross product is perpendicular to both inputs
+        let u = Vec3::new(1.5, -2.0, 0.3);
+        let v = Vec3::new(0.7, 4.0, -1.1);
+        let c = u.cross(v);
+        assert!(c.dot(u).abs() < 1e-12);
+        assert!(c.dot(v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm2(), 25.0);
+        assert_eq!(Vec3::ZERO.dist(v), 5.0);
+        assert_eq!(Vec3::ZERO.dist2(v), 25.0);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.midpoint(b), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(a.lerp(b, 0.25), Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn component_min_max_and_index() {
+        let a = Vec3::new(1.0, 5.0, -3.0);
+        let b = Vec3::new(2.0, -1.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, -1.0, -3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 0.0));
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[1], 5.0);
+        assert_eq!(a[2], -3.0);
+        assert_eq!(a.max_abs(), 5.0);
+        let mut c = a;
+        c[1] = 9.0;
+        assert_eq!(c.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based cross-validation between the geometry engines:
+//! the clipped-polyhedron measures must agree with the quickhull measures
+//! of the same vertex set (the paper's Qhull role), and both must respect
+//! basic geometric inequalities.
+
+use geometry::{convex_hull, Aabb, ConvexPolyhedron, Plane, Vec3};
+use proptest::prelude::*;
+
+/// Clip a box cell by bisectors toward a set of random neighbor points.
+fn clipped_cell(site: Vec3, neighbors: &[Vec3], bounds: &Aabb) -> ConvexPolyhedron {
+    let mut poly = ConvexPolyhedron::from_aabb(bounds);
+    for (i, &q) in neighbors.iter().enumerate() {
+        if q.dist2(site) > 1e-12 {
+            if let Some(plane) = Plane::bisector(site, q) {
+                poly.clip(&plane, Some(i as u64), 1e-9);
+            }
+        }
+    }
+    poly
+}
+
+fn neighbors_strategy() -> impl Strategy<Value = Vec<Vec3>> {
+    proptest::collection::vec((0.05f64..3.95, 0.05f64..3.95, 0.05f64..3.95), 4..40)
+        .prop_map(|v| v.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Volume and area from the clipped polyhedron equal those of the
+    /// convex hull of its vertices (two independent code paths).
+    #[test]
+    fn clip_measures_match_quickhull(neighbors in neighbors_strategy()) {
+        let bounds = Aabb::cube(4.0);
+        let site = Vec3::splat(2.0);
+        let poly = clipped_cell(site, &neighbors, &bounds);
+        prop_assume!(!poly.is_empty());
+        if let Ok(hull) = convex_hull(&poly.verts, 1e-9) {
+            let (v1, v2) = (poly.volume(), hull.volume());
+            prop_assert!((v1 - v2).abs() < 1e-7 * v1.max(1e-9), "volume {} vs {}", v1, v2);
+            let (a1, a2) = (poly.surface_area(), hull.surface_area());
+            prop_assert!((a1 - a2).abs() < 1e-6 * a1.max(1e-9), "area {} vs {}", a1, a2);
+        }
+    }
+
+    /// The cell always contains its site, stays watertight, and shrinks
+    /// monotonically as more planes are applied.
+    #[test]
+    fn clipping_is_monotone_and_watertight(neighbors in neighbors_strategy()) {
+        let bounds = Aabb::cube(4.0);
+        let site = Vec3::splat(2.0);
+        let mut poly = ConvexPolyhedron::from_aabb(&bounds);
+        let mut prev_volume = poly.volume();
+        for (i, &q) in neighbors.iter().enumerate() {
+            if q.dist2(site) > 1e-12 {
+                if let Some(plane) = Plane::bisector(site, q) {
+                    poly.clip(&plane, Some(i as u64), 1e-9);
+                    prop_assume!(!poly.is_empty());
+                    let v = poly.volume();
+                    prop_assert!(v <= prev_volume + 1e-9, "{} > {}", v, prev_volume);
+                    prev_volume = v;
+                }
+            }
+        }
+        prop_assert!(poly.contains(site, 1e-9));
+        prop_assert!(poly.check_closed());
+        // isoperimetric inequality for the convex cell
+        let (v, s) = (poly.volume(), poly.surface_area());
+        prop_assert!(s.powi(3) >= 36.0 * std::f64::consts::PI * v * v * 0.999);
+    }
+
+    /// The hull of random points contains all of them and its volume is
+    /// monotone under point insertion.
+    #[test]
+    fn hull_volume_monotone_under_insertion(
+        pts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 8..40),
+        extra in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let pts: Vec<Vec3> = pts.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)).collect();
+        let Ok(h1) = convex_hull(&pts, 1e-9) else { return Ok(()); };
+        prop_assert!(h1.contains_all_points(1e-7));
+        let mut more = pts.clone();
+        more.push(Vec3::new(extra.0, extra.1, extra.2));
+        let Ok(h2) = convex_hull(&more, 1e-9) else { return Ok(()); };
+        prop_assert!(h2.volume() >= h1.volume() - 1e-9);
+    }
+
+    /// Periodic helpers: wrap lands inside, min_image is within half the
+    /// box and consistent with wrap distances.
+    #[test]
+    fn periodic_wrap_and_min_image_consistent(
+        a in (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0),
+        b in (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0),
+    ) {
+        let bx = Aabb::cube(10.0);
+        let pa = Vec3::new(a.0, a.1, a.2);
+        let pb = Vec3::new(b.0, b.1, b.2);
+        let wa = bx.wrap(pa);
+        prop_assert!(bx.contains(wa) || (wa - bx.max).max_abs() < 1e-9);
+        let d = bx.min_image(pa, pb);
+        for k in 0..3 {
+            prop_assert!(d[k].abs() <= 5.0 + 1e-9);
+        }
+        // periodic distance is invariant under wrapping either argument
+        let d1 = bx.periodic_dist(pa, pb);
+        let d2 = bx.periodic_dist(bx.wrap(pa), bx.wrap(pb));
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+}

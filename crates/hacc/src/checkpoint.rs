@@ -1,0 +1,171 @@
+//! HACC-style particle checkpoints.
+//!
+//! §III-C2 compares the tessellation output against "a HACC checkpoint
+//! that saves only particle data [using] 40 bytes per particle". This
+//! module implements that exact record — per particle:
+//!
+//! ```text
+//! position   3 × f32   12 B
+//! velocity   3 × f32   12 B
+//! potential      f32    4 B
+//! id             u64    8 B
+//! mask           u32    4 B
+//!                      ----
+//!                      40 B
+//! ```
+//!
+//! written collectively through the same single-file block I/O as the
+//! tessellation, so checkpoints can be produced in situ at selected steps.
+
+use std::io;
+use std::path::Path;
+
+use diy::codec::{CodecError, Decode, Encode, Reader};
+use diy::comm::World;
+use geometry::Vec3;
+
+use crate::sim::{Particle, Simulation};
+
+/// Exact HACC record size.
+pub const BYTES_PER_PARTICLE: usize = 40;
+
+/// One checkpoint record (f32 precision, as HACC stores).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointRecord {
+    pub pos: [f32; 3],
+    pub vel: [f32; 3],
+    pub phi: f32,
+    pub id: u64,
+    pub mask: u32,
+}
+
+impl CheckpointRecord {
+    pub fn from_particle(p: &Particle) -> Self {
+        CheckpointRecord {
+            pos: [p.pos.x as f32, p.pos.y as f32, p.pos.z as f32],
+            vel: [p.mom.x as f32, p.mom.y as f32, p.mom.z as f32],
+            phi: 0.0,
+            id: p.id,
+            mask: 0,
+        }
+    }
+
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(self.pos[0] as f64, self.pos[1] as f64, self.pos[2] as f64)
+    }
+}
+
+impl Encode for CheckpointRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in self.pos.iter().chain(&self.vel) {
+            v.encode(buf);
+        }
+        self.phi.encode(buf);
+        self.id.encode(buf);
+        self.mask.encode(buf);
+    }
+}
+
+impl Decode for CheckpointRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointRecord {
+            pos: [f32::decode(r)?, f32::decode(r)?, f32::decode(r)?],
+            vel: [f32::decode(r)?, f32::decode(r)?, f32::decode(r)?],
+            phi: f32::decode(r)?,
+            id: u64::decode(r)?,
+            mask: u32::decode(r)?,
+        })
+    }
+}
+
+/// Collectively write a checkpoint of the live simulation (one I/O block
+/// per owned decomposition block). Returns total file bytes.
+pub fn write_checkpoint(world: &mut World, sim: &Simulation, path: &Path) -> io::Result<u64> {
+    let blocks: Vec<(u64, Vec<u8>)> = sim
+        .blocks
+        .iter()
+        .map(|(&gid, particles)| {
+            // raw records, no per-block length prefix: the block length
+            // divided by 40 is the particle count
+            let mut buf = Vec::with_capacity(particles.len() * BYTES_PER_PARTICLE);
+            for p in particles {
+                CheckpointRecord::from_particle(p).encode(&mut buf);
+            }
+            (gid, buf)
+        })
+        .collect();
+    diy::io::write_blocks(world, path, &blocks)
+}
+
+/// Serial read of all records (any rank count may have written them).
+pub fn read_checkpoint(path: &Path) -> io::Result<Vec<CheckpointRecord>> {
+    let mut out = Vec::new();
+    for (_, bytes) in diy::io::read_all_blocks(path)? {
+        if bytes.len() % BYTES_PER_PARTICLE != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint block is not a whole number of records",
+            ));
+        }
+        let mut r = Reader::new(&bytes);
+        while !r.is_empty() {
+            out.push(
+                CheckpointRecord::decode(&mut r)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            );
+        }
+    }
+    out.sort_by_key(|rec| rec.id);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimParams;
+    use diy::comm::Runtime;
+
+    #[test]
+    fn record_is_exactly_40_bytes() {
+        let rec = CheckpointRecord {
+            pos: [1.0, 2.0, 3.0],
+            vel: [4.0, 5.0, 6.0],
+            phi: 7.0,
+            id: 8,
+            mask: 9,
+        };
+        assert_eq!(rec.to_bytes().len(), BYTES_PER_PARTICLE);
+        assert_eq!(CheckpointRecord::from_bytes(&rec.to_bytes()).unwrap(), rec);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_at_40_bytes_per_particle() {
+        let dir = std::env::temp_dir().join("hacc-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let params = SimParams::paper_like(8);
+        let path2 = path.clone();
+        let sizes = Runtime::run(2, move |w| {
+            let mut sim = Simulation::init(w, params, 4);
+            sim.run_steps(w, 3);
+            write_checkpoint(w, &sim, &path2).unwrap()
+        });
+        let n = 8usize * 8 * 8;
+        // payload = exactly 40 B/particle (+ header/footer framing)
+        let payload = n * BYTES_PER_PARTICLE;
+        assert!(sizes[0] as usize >= payload);
+        assert!((sizes[0] as usize - payload) < 256 + 24 * 8, "framing only");
+
+        let records = read_checkpoint(&path).unwrap();
+        assert_eq!(records.len(), n);
+        // ids complete and sorted
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            // positions within the box at f32 precision
+            let p = r.position();
+            for d in 0..3 {
+                assert!((-1e-3..8.001).contains(&p[d]), "{p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Background cosmology in code units.
+//!
+//! Code units: lengths in grid cells, time in 1/H₀, and a critical-density
+//! matter-only (Einstein–de Sitter) universe. In these units the comoving
+//! Poisson equation is `∇²φ = (3/2) Ωm δ / a` and the Hubble rate is
+//! `H(a) = a^{-3/2}`. EdS keeps the growth function trivial (`D(a) = a`),
+//! which both simplifies the Zel'dovich setup and makes tests exact.
+
+/// Background parameters (Einstein–de Sitter: Ωm = 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Cosmology {
+    /// Matter density parameter (1.0 for EdS; kept explicit so the Poisson
+    /// factor is visible in formulas).
+    pub omega_m: f64,
+}
+
+impl Default for Cosmology {
+    fn default() -> Self {
+        Cosmology { omega_m: 1.0 }
+    }
+}
+
+impl Cosmology {
+    /// Hubble rate `H(a)` in units of H₀.
+    pub fn hubble(&self, a: f64) -> f64 {
+        (self.omega_m / (a * a * a)).sqrt()
+    }
+
+    /// `da/dt` in code units.
+    pub fn a_dot(&self, a: f64) -> f64 {
+        a * self.hubble(a)
+    }
+
+    /// Linear growth factor, normalized so `D(1) = 1` (EdS: `D = a`).
+    pub fn growth(&self, a: f64) -> f64 {
+        a
+    }
+
+    /// Kick coefficient: `dp/da = -∇φ / (da/dt)`, so a momentum update over
+    /// `da` multiplies the force by this factor.
+    pub fn kick_factor(&self, a: f64, da: f64) -> f64 {
+        da / self.a_dot(a)
+    }
+
+    /// Drift coefficient: `dx/da = p / (a² da/dt)`.
+    pub fn drift_factor(&self, a: f64, da: f64) -> f64 {
+        da / (a * a * self.a_dot(a))
+    }
+
+    /// Zel'dovich momentum per unit displacement at scale factor `a`:
+    /// `p = a² ẋ` with `ẋ = H(a) ψ` gives `p = a² H(a) ψ`.
+    pub fn zeldovich_momentum_factor(&self, a: f64) -> f64 {
+        a * a * self.hubble(a)
+    }
+
+    /// Poisson right-hand-side factor: `∇²φ = poisson_factor(a) · δ`.
+    pub fn poisson_factor(&self, a: f64) -> f64 {
+        1.5 * self.omega_m / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eds_relations() {
+        let c = Cosmology::default();
+        assert_eq!(c.hubble(1.0), 1.0);
+        assert!((c.hubble(0.25) - 8.0).abs() < 1e-12); // a^{-3/2}
+        assert!((c.a_dot(0.25) - 2.0).abs() < 1e-12); // a^{-1/2}
+        assert_eq!(c.growth(0.3), 0.3);
+        assert!((c.zeldovich_momentum_factor(0.25) - 0.5).abs() < 1e-12); // sqrt(a)
+        assert!((c.poisson_factor(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kick_and_drift_scale_with_da() {
+        let c = Cosmology::default();
+        let a = 0.5;
+        assert!((c.kick_factor(a, 0.02) - 2.0 * c.kick_factor(a, 0.01)).abs() < 1e-15);
+        assert!((c.drift_factor(a, 0.02) - 2.0 * c.drift_factor(a, 0.01)).abs() < 1e-15);
+        // drift = kick / a²
+        assert!((c.drift_factor(a, 0.01) - c.kick_factor(a, 0.01) / (a * a)).abs() < 1e-15);
+    }
+}

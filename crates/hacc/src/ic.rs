@@ -1,0 +1,255 @@
+//! Zel'dovich initial conditions from a Gaussian random field.
+//!
+//! The HACC configuration in the paper initializes particles on a grid with
+//! 1 Mpc/h spacing and evolves them from a linear density field. Here:
+//!
+//! 1. draw white noise on the grid (deterministic per seed),
+//! 2. color it in Fourier space with `√P(k)` (BBKS shape),
+//! 3. rescale the realized field to a requested RMS density contrast
+//!    (absolute normalization is a free parameter at this box size),
+//! 4. convert to a displacement field `ψ(k) = i k δ(k)/k²`,
+//! 5. displace particles off the lattice (`x = q + ψ`) and assign the
+//!    Zel'dovich momenta `p = a² H(a) ψ`.
+//!
+//! Working on the realized field keeps Hermitian symmetry automatic (the
+//! noise is drawn in real space) and makes every rank able to regenerate
+//! the ICs bit-for-bit from the seed alone — which is how the distributed
+//! simulation avoids a scatter of initial data.
+
+use fft3d::{fft3_forward, fft3_inverse, freq, Complex, Grid3};
+use geometry::Vec3;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::cosmology::Cosmology;
+use crate::power::PowerSpectrum;
+
+/// Parameters of the initial-condition generator.
+#[derive(Debug, Clone, Copy)]
+pub struct IcParams {
+    /// Particles (and grid points) per dimension; must be a power of two.
+    pub np: usize,
+    /// Physical box size in Mpc/h (the paper uses `np` → 1 Mpc/h spacing).
+    pub box_size: f64,
+    /// RNG seed; same seed ⇒ identical field on every rank.
+    pub seed: u64,
+    /// Target RMS of the initial density contrast (sets the clustering
+    /// strength at `a_init`).
+    pub delta_rms: f64,
+    /// Spectrum shape.
+    pub spectrum: PowerSpectrum,
+}
+
+/// Positions (grid units, wrapped to `[0, np)`) and momenta of all `np³`
+/// particles, indexed by lattice id `i + np (j + np k)`.
+pub struct InitialConditions {
+    pub positions: Vec<Vec3>,
+    pub momenta: Vec<Vec3>,
+    /// RMS displacement actually realized, in grid cells (diagnostic).
+    pub rms_displacement: f64,
+}
+
+/// Generate Zel'dovich initial conditions at scale factor `a_init`.
+pub fn zeldovich(p: &IcParams, cosmo: &Cosmology, a_init: f64) -> InitialConditions {
+    let ng = p.np;
+    assert!(ng.is_power_of_two(), "np must be a power of two for the FFT");
+    let n3 = ng * ng * ng;
+
+    // 1. white noise (Box–Muller; two normals per draw, one kept for
+    //    simplicity — determinism matters more than throughput here)
+    let mut rng = ChaCha8Rng::seed_from_u64(p.seed);
+    let mut field = Grid3::new([ng, ng, ng], Complex::ZERO);
+    for v in field.data_mut() {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        *v = Complex::new(gauss, 0.0);
+    }
+
+    // 2. color with sqrt(P(k)), k physical (h/Mpc)
+    fft3_forward(&mut field);
+    let two_pi_over_l = 2.0 * std::f64::consts::PI / p.box_size;
+    for k in 0..ng {
+        for j in 0..ng {
+            for i in 0..ng {
+                let fx = freq(i, ng) as f64;
+                let fy = freq(j, ng) as f64;
+                let fz = freq(k, ng) as f64;
+                let kmag = two_pi_over_l * (fx * fx + fy * fy + fz * fz).sqrt();
+                let amp = p.spectrum.eval(kmag).sqrt();
+                field[(i, j, k)] = field[(i, j, k)].scale(amp);
+            }
+        }
+    }
+    field[(0, 0, 0)] = Complex::ZERO; // zero-mean field
+
+    // 3. rescale realized delta to the requested RMS
+    let mut delta = field.clone();
+    fft3_inverse(&mut delta);
+    let rms = (delta.data().iter().map(|c| c.re * c.re).sum::<f64>() / n3 as f64).sqrt();
+    let scale = if rms > 0.0 { p.delta_rms / rms } else { 0.0 };
+    for v in field.data_mut() {
+        *v = v.scale(scale);
+    }
+
+    // 4. displacement field per component: ψ_d(k) = i k_d δ(k) / k²,
+    //    k in grid units (2π f / ng) so ψ comes out in cells
+    let mut displacement: Vec<Grid3<f64>> = Vec::with_capacity(3);
+    let two_pi_over_n = 2.0 * std::f64::consts::PI / ng as f64;
+    for d in 0..3 {
+        let mut psi = Grid3::new([ng, ng, ng], Complex::ZERO);
+        for k in 0..ng {
+            for j in 0..ng {
+                for i in 0..ng {
+                    let kf = [
+                        two_pi_over_n * freq(i, ng) as f64,
+                        two_pi_over_n * freq(j, ng) as f64,
+                        two_pi_over_n * freq(k, ng) as f64,
+                    ];
+                    let k2 = kf[0] * kf[0] + kf[1] * kf[1] + kf[2] * kf[2];
+                    if k2 > 0.0 {
+                        // i * k_d / k² * δ(k)
+                        let f = field[(i, j, k)];
+                        psi[(i, j, k)] = Complex::new(-f.im, f.re).scale(kf[d] / k2);
+                    }
+                }
+            }
+        }
+        fft3_inverse(&mut psi);
+        let mut real = Grid3::new([ng, ng, ng], 0.0);
+        for (idx, c) in psi.data().iter().enumerate() {
+            real.data_mut()[idx] = c.re;
+        }
+        displacement.push(real);
+    }
+
+    // 5. displace lattice particles and assign momenta
+    let pfac = cosmo.zeldovich_momentum_factor(a_init);
+    let mut positions = Vec::with_capacity(n3);
+    let mut momenta = Vec::with_capacity(n3);
+    let mut disp2_sum = 0.0;
+    for k in 0..ng {
+        for j in 0..ng {
+            for i in 0..ng {
+                let psi = Vec3::new(
+                    displacement[0][(i, j, k)],
+                    displacement[1][(i, j, k)],
+                    displacement[2][(i, j, k)],
+                );
+                disp2_sum += psi.norm2();
+                let q = Vec3::new(i as f64, j as f64, k as f64);
+                let mut x = q + psi;
+                // wrap into [0, ng)
+                for d in 0..3 {
+                    x[d] = x[d].rem_euclid(ng as f64);
+                }
+                positions.push(x);
+                momenta.push(psi * pfac);
+            }
+        }
+    }
+
+    InitialConditions {
+        positions,
+        momenta,
+        rms_displacement: (disp2_sum / n3 as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(delta_rms: f64, seed: u64) -> IcParams {
+        IcParams {
+            np: 16,
+            box_size: 16.0,
+            seed,
+            delta_rms,
+            spectrum: PowerSpectrum::default(),
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_gives_undisturbed_lattice() {
+        let ic = zeldovich(&params(0.0, 1), &Cosmology::default(), 0.05);
+        assert_eq!(ic.positions.len(), 16 * 16 * 16);
+        assert_eq!(ic.rms_displacement, 0.0);
+        for (idx, p) in ic.positions.iter().enumerate() {
+            let i = idx % 16;
+            let j = (idx / 16) % 16;
+            let k = idx / 256;
+            assert_eq!(*p, Vec3::new(i as f64, j as f64, k as f64));
+        }
+        assert!(ic.momenta.iter().all(|m| m.norm2() == 0.0));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic_different_seed_is_not() {
+        let a = zeldovich(&params(0.1, 7), &Cosmology::default(), 0.05);
+        let b = zeldovich(&params(0.1, 7), &Cosmology::default(), 0.05);
+        let c = zeldovich(&params(0.1, 8), &Cosmology::default(), 0.05);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.momenta, b.momenta);
+        assert_ne!(a.positions, c.positions);
+    }
+
+    #[test]
+    fn positions_stay_in_box_and_mean_displacement_vanishes() {
+        let ic = zeldovich(&params(0.3, 3), &Cosmology::default(), 0.05);
+        let ng = 16.0;
+        let mut mean = Vec3::ZERO;
+        for (idx, p) in ic.positions.iter().enumerate() {
+            assert!(p.x >= 0.0 && p.x < ng && p.y >= 0.0 && p.y < ng && p.z >= 0.0 && p.z < ng);
+            let i = (idx % 16) as f64;
+            let j = ((idx / 16) % 16) as f64;
+            let k = (idx / 256) as f64;
+            // min-image displacement
+            let mut d = *p - Vec3::new(i, j, k);
+            for c in 0..3 {
+                if d[c] > ng / 2.0 {
+                    d[c] -= ng;
+                }
+                if d[c] < -ng / 2.0 {
+                    d[c] += ng;
+                }
+            }
+            mean += d;
+        }
+        mean = mean / ic.positions.len() as f64;
+        // zero mode was removed, so net displacement ~ 0
+        assert!(mean.norm() < 1e-10, "mean displacement {mean}");
+        assert!(ic.rms_displacement > 0.0);
+    }
+
+    #[test]
+    fn momenta_proportional_to_displacement() {
+        let cosmo = Cosmology::default();
+        let a = 0.04;
+        let ic = zeldovich(&params(0.2, 5), &cosmo, a);
+        let pfac = cosmo.zeldovich_momentum_factor(a);
+        // check one particle's momentum / displacement ratio
+        for idx in [0usize, 100, 4000] {
+            let i = (idx % 16) as f64;
+            let j = ((idx / 16) % 16) as f64;
+            let k = (idx / 256) as f64;
+            let mut d = ic.positions[idx] - Vec3::new(i, j, k);
+            for c in 0..3 {
+                if d[c] > 8.0 {
+                    d[c] -= 16.0;
+                }
+                if d[c] < -8.0 {
+                    d[c] += 16.0;
+                }
+            }
+            assert!((ic.momenta[idx] - d * pfac).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_amplitude_gives_larger_displacements() {
+        let small = zeldovich(&params(0.05, 2), &Cosmology::default(), 0.05);
+        let large = zeldovich(&params(0.5, 2), &Cosmology::default(), 0.05);
+        assert!(large.rms_displacement > 5.0 * small.rms_displacement);
+    }
+}

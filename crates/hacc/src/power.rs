@@ -1,0 +1,87 @@
+//! Initial matter power spectrum.
+//!
+//! `P(k) = A kⁿ T²(k)` with the BBKS (Bardeen–Bond–Kaiser–Szalay) transfer
+//! function. The absolute normalization `A` is irrelevant here because the
+//! initial-condition generator rescales the realized density field to a
+//! requested RMS (see [`crate::ic`]); only the *shape* matters, and BBKS
+//! gives the familiar turnover that concentrates power on the large scales
+//! where voids form.
+
+/// BBKS transfer function of the shape variable `q = k / Γ` (k in h/Mpc).
+pub fn bbks_transfer(q: f64) -> f64 {
+    if q <= 0.0 {
+        return 1.0;
+    }
+    let x = 2.34 * q;
+    // (ln(1+x)/x) * [1 + 3.89q + (16.1q)² + (5.46q)³ + (6.71q)⁴]^{-1/4}
+    let ln_term = if x < 1e-8 { 1.0 } else { (1.0 + x).ln() / x };
+    let poly = 1.0
+        + 3.89 * q
+        + (16.1 * q).powi(2)
+        + (5.46 * q).powi(3)
+        + (6.71 * q).powi(4);
+    ln_term * poly.powf(-0.25)
+}
+
+/// Power-spectrum shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSpectrum {
+    /// Primordial spectral index n_s.
+    pub spectral_index: f64,
+    /// BBKS shape parameter Γ (≈ Ωm·h; 0.21 is the classic CDM value).
+    pub gamma: f64,
+}
+
+impl Default for PowerSpectrum {
+    fn default() -> Self {
+        PowerSpectrum {
+            spectral_index: 1.0,
+            gamma: 0.21,
+        }
+    }
+}
+
+impl PowerSpectrum {
+    /// Un-normalized `P(k)` (k in h/Mpc).
+    pub fn eval(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            return 0.0;
+        }
+        let t = bbks_transfer(k / self.gamma);
+        k.powf(self.spectral_index) * t * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_limits() {
+        // T -> 1 on large scales
+        assert!((bbks_transfer(1e-9) - 1.0).abs() < 1e-6);
+        // strictly decreasing and small on small scales
+        assert!(bbks_transfer(0.1) > bbks_transfer(1.0));
+        assert!(bbks_transfer(10.0) < 0.01);
+    }
+
+    #[test]
+    fn spectrum_has_a_turnover() {
+        let p = PowerSpectrum::default();
+        assert_eq!(p.eval(0.0), 0.0);
+        // rises on large scales (P ~ k), falls on small scales (P ~ k^{-3} ln²k)
+        assert!(p.eval(0.02) > p.eval(0.002));
+        assert!(p.eval(0.05) > p.eval(2.0));
+        // peak near k ≈ 0.05·(Γ/0.21)
+        let peak_region = p.eval(0.04);
+        assert!(peak_region > p.eval(0.004) && peak_region > p.eval(0.8));
+    }
+
+    #[test]
+    fn spectral_index_changes_large_scale_slope() {
+        let p1 = PowerSpectrum { spectral_index: 1.0, gamma: 0.21 };
+        let p2 = PowerSpectrum { spectral_index: 2.0, gamma: 0.21 };
+        let ratio_small_k = p2.eval(1e-4) / p1.eval(1e-4);
+        assert!((ratio_small_k - 1e-4).abs() / 1e-4 < 1e-3);
+    }
+}

@@ -1,0 +1,368 @@
+//! Distributed slab-decomposed FFT Poisson solver.
+//!
+//! HACC's spectral solver distributes the PM grid across ranks; the basic
+//! `sim` path instead reduces the grid to rank 0 (a serial bottleneck
+//! documented in DESIGN.md). This module removes that bottleneck with the
+//! classic slab algorithm:
+//!
+//! 1. each rank owns a contiguous range of z-planes (a *z-slab*),
+//! 2. forward-FFT the x and y lines of the slab locally,
+//! 3. transpose (personalized all-to-all) so each rank owns a contiguous
+//!    range of x-planes with *all* z — then FFT the z lines locally,
+//! 4. apply the discrete Green's function (each rank knows its global x
+//!    range),
+//! 5. inverse z FFT, transpose back, inverse x/y FFT, normalize.
+//!
+//! The result is the potential, again as z-slabs. Output is bit-identical
+//! to the serial [`crate::poisson::solve_potential`] because the same
+//! radix-2 line transforms run in the same order along each axis.
+
+use diy::comm::World;
+use fft3d::{freq, Complex, Fft};
+
+/// Contiguous z-plane range owned by `rank` of `nranks` for an `ng` grid.
+pub fn slab_range(ng: usize, nranks: usize, rank: usize) -> std::ops::Range<usize> {
+    let lo = rank * ng / nranks;
+    let hi = (rank + 1) * ng / nranks;
+    lo..hi
+}
+
+/// A z-slab of complex grid data: planes `zrange` of an `ng³` grid, stored
+/// x-fastest (`idx = x + ng*(y + ng*(z - z0))`).
+pub struct Slab {
+    pub ng: usize,
+    pub z0: usize,
+    pub data: Vec<Complex>,
+}
+
+impl Slab {
+    pub fn new(ng: usize, zrange: std::ops::Range<usize>) -> Self {
+        Slab {
+            ng,
+            z0: zrange.start,
+            data: vec![Complex::ZERO; ng * ng * zrange.len()],
+        }
+    }
+
+    pub fn nz(&self) -> usize {
+        self.data.len() / (self.ng * self.ng)
+    }
+
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, zlocal: usize) -> usize {
+        x + self.ng * (y + self.ng * zlocal)
+    }
+}
+
+/// Transform x and y lines of a z-slab in place.
+fn transform_xy(slab: &mut Slab, inverse: bool) {
+    let ng = slab.ng;
+    let plan = Fft::new(ng);
+    let mut line = vec![Complex::ZERO; ng];
+    for zl in 0..slab.nz() {
+        // x lines (contiguous)
+        for y in 0..ng {
+            let base = slab.idx(0, y, zl);
+            line.copy_from_slice(&slab.data[base..base + ng]);
+            plan.transform(&mut line, inverse);
+            slab.data[base..base + ng].copy_from_slice(&line);
+        }
+        // y lines
+        for x in 0..ng {
+            for (y, slot) in line.iter_mut().enumerate() {
+                *slot = slab.data[slab.idx(x, y, zl)];
+            }
+            plan.transform(&mut line, inverse);
+            for (y, &v) in line.iter().enumerate() {
+                let i = slab.idx(x, y, zl);
+                slab.data[i] = v;
+            }
+        }
+    }
+}
+
+/// An x-slab: planes `xrange` with all y, z (`idx = (x-x0) + nx*(y + ng*z)`).
+pub struct XSlab {
+    pub ng: usize,
+    pub x0: usize,
+    pub nx: usize,
+    pub data: Vec<Complex>,
+}
+
+impl XSlab {
+    #[inline]
+    pub fn idx(&self, xlocal: usize, y: usize, z: usize) -> usize {
+        xlocal + self.nx * (y + self.ng * z)
+    }
+}
+
+/// Transpose z-slabs to x-slabs (collective).
+fn transpose_forward(world: &mut World, slab: &Slab) -> XSlab {
+    let ng = slab.ng;
+    let nranks = world.nranks();
+    // pack one buffer per destination: all (x in dest range, y, local z)
+    let outgoing: Vec<Vec<u8>> = (0..nranks)
+        .map(|dest| {
+            let xr = slab_range(ng, nranks, dest);
+            let mut buf = Vec::with_capacity(xr.len() * ng * slab.nz() * 16);
+            for zl in 0..slab.nz() {
+                for y in 0..ng {
+                    for x in xr.clone() {
+                        let c = slab.data[slab.idx(x, y, zl)];
+                        buf.extend_from_slice(&c.re.to_le_bytes());
+                        buf.extend_from_slice(&c.im.to_le_bytes());
+                    }
+                }
+            }
+            buf
+        })
+        .collect();
+    let incoming = world.all_to_all(outgoing);
+
+    let xr = slab_range(ng, nranks, world.rank());
+    let mut xs = XSlab {
+        ng,
+        x0: xr.start,
+        nx: xr.len(),
+        data: vec![Complex::ZERO; xr.len() * ng * ng],
+    };
+    for (src, buf) in incoming.iter().enumerate() {
+        let zr = slab_range(ng, nranks, src);
+        let mut off = 0;
+        for z in zr {
+            for y in 0..ng {
+                for xl in 0..xs.nx {
+                    let re = f64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let im = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+                    off += 16;
+                    let i = xs.idx(xl, y, z);
+                    xs.data[i] = Complex::new(re, im);
+                }
+            }
+        }
+    }
+    xs
+}
+
+/// Transpose x-slabs back to z-slabs (collective).
+fn transpose_backward(world: &mut World, xs: &XSlab) -> Slab {
+    let ng = xs.ng;
+    let nranks = world.nranks();
+    let outgoing: Vec<Vec<u8>> = (0..nranks)
+        .map(|dest| {
+            let zr = slab_range(ng, nranks, dest);
+            let mut buf = Vec::with_capacity(zr.len() * ng * xs.nx * 16);
+            for z in zr {
+                for y in 0..ng {
+                    for xl in 0..xs.nx {
+                        let c = xs.data[xs.idx(xl, y, z)];
+                        buf.extend_from_slice(&c.re.to_le_bytes());
+                        buf.extend_from_slice(&c.im.to_le_bytes());
+                    }
+                }
+            }
+            buf
+        })
+        .collect();
+    let incoming = world.all_to_all(outgoing);
+
+    let zr = slab_range(ng, nranks, world.rank());
+    let mut slab = Slab::new(ng, zr.clone());
+    for (src, buf) in incoming.iter().enumerate() {
+        let xr = slab_range(ng, nranks, src);
+        let mut off = 0;
+        for zl in 0..slab.nz() {
+            for y in 0..ng {
+                for x in xr.clone() {
+                    let re = f64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let im = f64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+                    off += 16;
+                    let i = slab.idx(x, y, zl);
+                    slab.data[i] = Complex::new(re, im);
+                }
+            }
+        }
+    }
+    slab
+}
+
+/// Transform the z lines of an x-slab in place.
+fn transform_z(xs: &mut XSlab, inverse: bool) {
+    let ng = xs.ng;
+    let plan = Fft::new(ng);
+    let mut line = vec![Complex::ZERO; ng];
+    for xl in 0..xs.nx {
+        for y in 0..ng {
+            for (z, slot) in line.iter_mut().enumerate() {
+                *slot = xs.data[xs.idx(xl, y, z)];
+            }
+            plan.transform(&mut line, inverse);
+            for (z, &v) in line.iter().enumerate() {
+                let i = xs.idx(xl, y, z);
+                xs.data[i] = v;
+            }
+        }
+    }
+}
+
+/// Distributed Poisson solve: input is this rank's z-slab of the (real)
+/// density contrast; output is the same slab of the potential.
+/// `rhs_factor` as in [`crate::poisson::solve_potential`]. Collective.
+pub fn solve_potential_slab(
+    world: &mut World,
+    delta_slab: &[f64],
+    ng: usize,
+    rhs_factor: f64,
+) -> Vec<f64> {
+    let zr = slab_range(ng, world.nranks(), world.rank());
+    assert_eq!(delta_slab.len(), ng * ng * zr.len());
+    let mut slab = Slab::new(ng, zr);
+    for (c, &v) in slab.data.iter_mut().zip(delta_slab) {
+        *c = Complex::new(v, 0.0);
+    }
+
+    // forward: xy local, transpose, z local
+    transform_xy(&mut slab, false);
+    let mut xs = transpose_forward(world, &slab);
+    transform_z(&mut xs, false);
+
+    // Green's function on the distributed spectrum
+    let pi = std::f64::consts::PI;
+    let sin2 = |idx: usize| {
+        let t = (pi * freq(idx, ng) as f64 / ng as f64).sin();
+        t * t
+    };
+    for xl in 0..xs.nx {
+        let x = xs.x0 + xl;
+        for y in 0..ng {
+            for z in 0..ng {
+                let denom = 4.0 * (sin2(x) + sin2(y) + sin2(z));
+                let i = xs.idx(xl, y, z);
+                if denom == 0.0 {
+                    xs.data[i] = Complex::ZERO;
+                } else {
+                    xs.data[i] = xs.data[i].scale(-rhs_factor / denom);
+                }
+            }
+        }
+    }
+
+    // inverse: z local, transpose back, xy local, normalize by 1/N³
+    transform_z(&mut xs, true);
+    let mut slab = transpose_backward(world, &xs);
+    transform_xy(&mut slab, true);
+    let scale = 1.0 / (ng * ng * ng) as f64;
+    slab.data.iter().map(|c| c.re * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::solve_potential;
+    use diy::comm::Runtime;
+    use fft3d::Grid3;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_delta(ng: usize, seed: u64) -> Grid3<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = Grid3::new([ng, ng, ng], 0.0);
+        for v in g.data_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mean: f64 = g.data().iter().sum::<f64>() / g.len() as f64;
+        for v in g.data_mut() {
+            *v -= mean;
+        }
+        g
+    }
+
+    #[test]
+    fn slab_ranges_cover_grid() {
+        for (ng, nranks) in [(8usize, 1usize), (8, 2), (8, 3), (16, 5), (16, 16)] {
+            let mut total = 0;
+            let mut prev_end = 0;
+            for r in 0..nranks {
+                let range = slab_range(ng, nranks, r);
+                assert_eq!(range.start, prev_end);
+                prev_end = range.end;
+                total += range.len();
+            }
+            assert_eq!(total, ng, "ng={ng} nranks={nranks}");
+        }
+    }
+
+    #[test]
+    fn distributed_solve_matches_serial_exactly() {
+        let ng = 8;
+        let delta = random_delta(ng, 3);
+        let factor = 1.5;
+        let serial = solve_potential(&delta, factor);
+
+        for nranks in [1usize, 2, 3, 4] {
+            let delta_ref = &delta;
+            let results = Runtime::run(nranks, move |world| {
+                let zr = slab_range(ng, world.nranks(), world.rank());
+                let mut local = Vec::with_capacity(ng * ng * zr.len());
+                for z in zr.clone() {
+                    for y in 0..ng {
+                        for x in 0..ng {
+                            local.push(delta_ref[(x, y, z)]);
+                        }
+                    }
+                }
+                (zr.start, solve_potential_slab(world, &local, ng, factor))
+            });
+            for (z0, phi_slab) in results {
+                let mut i = 0;
+                let nz = phi_slab.len() / (ng * ng);
+                for zl in 0..nz {
+                    for y in 0..ng {
+                        for x in 0..ng {
+                            let expect = serial[(x, y, z0 + zl)];
+                            let got = phi_slab[i];
+                            i += 1;
+                            assert!(
+                                (got - expect).abs() < 1e-12,
+                                "nranks={nranks} ({x},{y},{}): {got} vs {expect}",
+                                z0 + zl
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposes_are_inverses() {
+        let ng = 8;
+        Runtime::run(3, |world| {
+            let zr = slab_range(ng, world.nranks(), world.rank());
+            let mut slab = Slab::new(ng, zr.clone());
+            // unique value per global cell
+            for zl in 0..slab.nz() {
+                for y in 0..ng {
+                    for x in 0..ng {
+                        let i = slab.idx(x, y, zl);
+                        let gid = x + ng * (y + ng * (zr.start + zl));
+                        slab.data[i] = Complex::new(gid as f64, -(gid as f64));
+                    }
+                }
+            }
+            let orig = slab.data.clone();
+            let xs = transpose_forward(world, &slab);
+            // check x-slab contents
+            for xl in 0..xs.nx {
+                for y in 0..ng {
+                    for z in 0..ng {
+                        let gid = (xs.x0 + xl) + ng * (y + ng * z);
+                        assert_eq!(xs.data[xs.idx(xl, y, z)].re, gid as f64);
+                    }
+                }
+            }
+            let back = transpose_backward(world, &xs);
+            assert_eq!(back.data, orig);
+        });
+    }
+}

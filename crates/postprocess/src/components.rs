@@ -1,0 +1,429 @@
+//! Connected-component labeling of Voronoi cells — the void finder.
+//!
+//! Cells that survive the volume threshold are joined into components along
+//! shared faces: every cell face records the global id of the site on its
+//! far side, so the adjacency graph needs no extra geometry. Components of
+//! large cells are the paper's cosmological voids (§IV-B, Figure 9).
+//!
+//! Two implementations:
+//! * [`label_components_serial`] — union-find over in-memory blocks.
+//! * [`label_components_parallel`] — distributed iterative min-label
+//!   propagation: each round, cells adjacent to remote cells exchange
+//!   labels with neighboring blocks; repeat until a global fixed point
+//!   (this is the paper's future-work item "label connected components
+//!   automatically in situ").
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use diy::codec::{CodecError, Decode, Encode, Reader};
+use diy::comm::World;
+use diy::decomposition::{Assignment, Decomposition};
+use diy::exchange::NeighborExchange;
+use tess::{MeshBlock, NO_NEIGHBOR};
+
+/// Aggregate description of one component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentSummary {
+    pub cells: u64,
+    pub volume: f64,
+    pub area: f64,
+}
+
+impl Encode for ComponentSummary {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.cells.encode(buf);
+        self.volume.encode(buf);
+        self.area.encode(buf);
+    }
+}
+
+impl Decode for ComponentSummary {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ComponentSummary {
+            cells: u64::decode(r)?,
+            volume: f64::decode(r)?,
+            area: f64::decode(r)?,
+        })
+    }
+}
+
+/// Labeling result. Labels are the minimum site id in the component.
+#[derive(Debug, Clone, Default)]
+pub struct Components {
+    /// site id → component label (sites known to this rank only).
+    pub labels: BTreeMap<u64, u64>,
+    /// component label → summary (global).
+    pub summaries: BTreeMap<u64, ComponentSummary>,
+}
+
+impl Components {
+    pub fn num_components(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Components sorted by decreasing volume.
+    pub fn by_volume(&self) -> Vec<(u64, ComponentSummary)> {
+        let mut v: Vec<(u64, ComponentSummary)> =
+            self.summaries.iter().map(|(&l, &s)| (l, s)).collect();
+        v.sort_by(|a, b| b.1.volume.partial_cmp(&a.1.volume).unwrap());
+        v
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // hook the larger root under the smaller so the final label is
+            // the minimum id in the component
+            if ra < rb {
+                self.parent[rb] = ra;
+            } else {
+                self.parent[ra] = rb;
+            }
+        }
+    }
+}
+
+/// Serial labeling over in-memory blocks, considering only cells whose
+/// volume is at least `min_volume`.
+pub fn label_components_serial(blocks: &[MeshBlock], min_volume: f64) -> Components {
+    // Index kept sites.
+    let mut site_index: HashMap<u64, usize> = HashMap::new();
+    let mut sites: Vec<u64> = Vec::new();
+    let mut volumes: Vec<f64> = Vec::new();
+    let mut areas: Vec<f64> = Vec::new();
+    for b in blocks {
+        for c in &b.cells {
+            if c.volume >= min_volume {
+                let id = b.site_id_of(c);
+                site_index.insert(id, sites.len());
+                sites.push(id);
+                volumes.push(c.volume);
+                areas.push(c.area);
+            }
+        }
+    }
+
+    let mut uf = UnionFind::new(sites.len());
+    for b in blocks {
+        for c in &b.cells {
+            if c.volume < min_volume {
+                continue;
+            }
+            let me = site_index[&b.site_id_of(c)];
+            for f in &c.faces {
+                if f.neighbor == NO_NEIGHBOR {
+                    continue;
+                }
+                if let Some(&other) = site_index.get(&f.neighbor) {
+                    uf.union(me, other);
+                }
+            }
+        }
+    }
+
+    let mut out = Components::default();
+    // Roots are indices in insertion order, not site ids; compute each
+    // root's minimum site id to get the canonical label.
+    let mut root_label: HashMap<usize, u64> = HashMap::new();
+    for i in 0..sites.len() {
+        let r = uf.find(i);
+        let e = root_label.entry(r).or_insert(u64::MAX);
+        *e = (*e).min(sites[i]);
+    }
+    for i in 0..sites.len() {
+        let r = uf.find(i);
+        let label = root_label[&r];
+        out.labels.insert(sites[i], label);
+        let s = out
+            .summaries
+            .entry(label)
+            .or_insert(ComponentSummary { cells: 0, volume: 0.0, area: 0.0 });
+        s.cells += 1;
+        s.volume += volumes[i];
+        s.area += areas[i];
+    }
+    out
+}
+
+/// Distributed labeling (collective). `local` maps owned block gid → block.
+/// Returns labels for local sites plus global summaries (identical on every
+/// rank).
+pub fn label_components_parallel(
+    world: &mut World,
+    dec: &Decomposition,
+    asn: &Assignment,
+    local: &BTreeMap<u64, MeshBlock>,
+    min_volume: f64,
+) -> Components {
+    // Local structures: site → (label, volume, area, remote-adjacent?)
+    struct CellInfo {
+        label: u64,
+        volume: f64,
+        area: f64,
+        neighbors: Vec<u64>,
+    }
+    let mut cells: HashMap<u64, CellInfo> = HashMap::new();
+    let mut kept: HashSet<u64> = HashSet::new();
+    for b in local.values() {
+        for c in &b.cells {
+            if c.volume >= min_volume {
+                kept.insert(b.site_id_of(c));
+            }
+        }
+    }
+    for b in local.values() {
+        for c in &b.cells {
+            if c.volume < min_volume {
+                continue;
+            }
+            let id = b.site_id_of(c);
+            let neighbors: Vec<u64> = c
+                .faces
+                .iter()
+                .map(|f| f.neighbor)
+                .filter(|&n| n != NO_NEIGHBOR)
+                .collect();
+            cells.insert(
+                id,
+                CellInfo { label: id, volume: c.volume, area: c.area, neighbors },
+            );
+        }
+    }
+
+    // Local propagation to a fixed point (equivalent to local union-find).
+    let local_sweep = |cells: &mut HashMap<u64, CellInfo>| -> bool {
+        let mut changed = false;
+        loop {
+            let mut round = false;
+            let snapshot: Vec<(u64, Vec<u64>, u64)> = cells
+                .iter()
+                .map(|(&id, c)| (id, c.neighbors.clone(), c.label))
+                .collect();
+            for (id, neighbors, label) in snapshot {
+                let mut best = label;
+                for n in &neighbors {
+                    if let Some(nc) = cells.get(n) {
+                        best = best.min(nc.label);
+                    }
+                }
+                if best < label {
+                    cells.get_mut(&id).expect("exists").label = best;
+                    round = true;
+                }
+                // push my label to local neighbors too
+                for n in neighbors {
+                    if let Some(nc) = cells.get_mut(&n) {
+                        if best < nc.label {
+                            nc.label = best;
+                            round = true;
+                        }
+                    }
+                }
+            }
+            if !round {
+                break;
+            }
+            changed = true;
+        }
+        changed
+    };
+    local_sweep(&mut cells);
+
+    // Iterative boundary exchange: cells with remote neighbors broadcast
+    // (remote_site, my_label) to all neighboring blocks; owners apply min.
+    let ex = NeighborExchange::new(dec, asn);
+    let owned_gids: Vec<u64> = local.keys().copied().collect();
+    loop {
+        let mut outgoing: Vec<(u64, (u64, u64))> = Vec::new();
+        for (&id, c) in &cells {
+            for &n in &c.neighbors {
+                if !cells.contains_key(&n) && !kept.contains(&n) {
+                    // remote (or not kept anywhere — the owner will ignore)
+                    for &gid in &owned_gids {
+                        for link in dec.neighbors(gid) {
+                            outgoing.push((link.gid, (n, c.label)));
+                        }
+                    }
+                    let _ = id;
+                }
+            }
+        }
+        // dedup to keep message volume sane
+        outgoing.sort_unstable();
+        outgoing.dedup();
+
+        let incoming = ex.exchange(world, outgoing);
+        let mut changed = false;
+        for (_, items) in incoming {
+            for (site, label) in items {
+                if let Some(c) = cells.get_mut(&site) {
+                    if label < c.label {
+                        c.label = label;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            local_sweep(&mut cells);
+        }
+        let any_changed = world.all_reduce(changed as u64, |a, b| a.max(b));
+        if any_changed == 0 {
+            break;
+        }
+    }
+
+    // Global summaries by merging per-rank partials.
+    let partial: Vec<(u64, ComponentSummary)> = {
+        let mut m: BTreeMap<u64, ComponentSummary> = BTreeMap::new();
+        for c in cells.values() {
+            let s = m
+                .entry(c.label)
+                .or_insert(ComponentSummary { cells: 0, volume: 0.0, area: 0.0 });
+            s.cells += 1;
+            s.volume += c.volume;
+            s.area += c.area;
+        }
+        m.into_iter().collect()
+    };
+    let merged = diy::reduce::all_reduce_merge(world, partial, |a, b| {
+        let mut m: BTreeMap<u64, ComponentSummary> = a.into_iter().collect();
+        for (label, s) in b {
+            let e = m
+                .entry(label)
+                .or_insert(ComponentSummary { cells: 0, volume: 0.0, area: 0.0 });
+            e.cells += s.cells;
+            e.volume += s.volume;
+            e.area += s.area;
+        }
+        m.into_iter().collect()
+    });
+
+    Components {
+        labels: cells.into_iter().map(|(id, c)| (id, c.label)).collect(),
+        summaries: merged.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::{Aabb, Vec3};
+    use tess::{Cell, Face};
+
+    /// Build a fake 1D chain of cells: cell i adjacent to i-1 and i+1, with
+    /// given volumes.
+    fn chain_block(vols: &[f64]) -> MeshBlock {
+        let mut b = MeshBlock::empty(0, Aabb::cube(1.0));
+        for (i, &v) in vols.iter().enumerate() {
+            b.particles.push(Vec3::splat(0.5));
+            b.site_ids.push(i as u64);
+            let mut faces = Vec::new();
+            if i > 0 {
+                faces.push(Face { neighbor: (i - 1) as u64, verts: vec![] });
+            }
+            if i + 1 < vols.len() {
+                faces.push(Face { neighbor: (i + 1) as u64, verts: vec![] });
+            }
+            b.cells.push(Cell {
+                site_idx: i as u32,
+                volume: v,
+                area: 1.0,
+                complete: true,
+                faces,
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn one_chain_is_one_component() {
+        let b = chain_block(&[1.0; 5]);
+        let c = label_components_serial(&[b], 0.5);
+        assert_eq!(c.num_components(), 1);
+        let s = c.summaries[&0];
+        assert_eq!(s.cells, 5);
+        assert!((s.volume - 5.0).abs() < 1e-12);
+        // every site labeled 0 (the min id)
+        assert!(c.labels.values().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn threshold_splits_the_chain() {
+        // middle cell too small → two components
+        let b = chain_block(&[1.0, 1.0, 0.1, 1.0, 1.0]);
+        let c = label_components_serial(&[b], 0.5);
+        assert_eq!(c.num_components(), 2);
+        assert_eq!(c.summaries[&0].cells, 2);
+        assert_eq!(c.summaries[&3].cells, 2);
+        assert_eq!(c.labels[&0], 0);
+        assert_eq!(c.labels[&1], 0);
+        assert_eq!(c.labels[&3], 3);
+        assert_eq!(c.labels[&4], 3);
+        assert!(!c.labels.contains_key(&2));
+    }
+
+    #[test]
+    fn by_volume_sorts_descending() {
+        let b = chain_block(&[1.0, 1.0, 0.1, 3.0, 3.0]);
+        let c = label_components_serial(&[b], 0.5);
+        let sorted = c.by_volume();
+        assert_eq!(sorted[0].0, 3);
+        assert!((sorted[0].1.volume - 6.0).abs() < 1e-12);
+        assert_eq!(sorted[1].0, 0);
+    }
+
+    #[test]
+    fn serial_labels_real_tessellation_components() {
+        // Two dense clusters separated by a sparse gap: thresholding on
+        // volume keeps the big (sparse) cells and yields ≥1 component;
+        // keeping everything yields exactly one component spanning the box.
+        let mut particles: Vec<(u64, Vec3)> = Vec::new();
+        let mut id = 0;
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    particles.push((
+                        id,
+                        Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5),
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        let (block, _) = tess::tessellate_serial(
+            &particles,
+            Aabb::cube(6.0),
+            [true; 3],
+            &tess::TessParams::default().with_ghost(2.0),
+        );
+        let all = label_components_serial(&[block], 0.0);
+        assert_eq!(all.num_components(), 1, "a full tessellation is connected");
+        assert_eq!(all.summaries.values().next().unwrap().cells, 216);
+    }
+}

@@ -1,0 +1,254 @@
+//! Histograms with the summary statistics the paper reports.
+//!
+//! Figures 8 and 11 annotate each histogram with bin count, range, bin
+//! width, skewness, and kurtosis. Skewness is the standardized third
+//! moment; kurtosis is the standardized fourth moment in Pearson's
+//! convention (a normal distribution scores 3, not 0).
+
+/// A fixed-range histogram over `f64` samples.
+///
+/// ```
+/// use postprocess::Histogram;
+///
+/// let h = Histogram::from_samples([0.05, 0.07, 0.1, 0.9], 0.0, 1.0, 10);
+/// assert_eq!(h.n(), 4);
+/// assert_eq!(h.counts[0], 2);     // 0.05, 0.07
+/// assert!(h.skewness() > 0.0);    // mass near zero, tail to the right
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+    /// Samples outside `[lo, hi]`.
+    pub outliers: u64,
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Histogram {
+    /// Build from samples with `nbins` equal bins over `[lo, hi]`.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>, lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0 && hi > lo, "invalid histogram spec");
+        let mut h = Histogram {
+            lo,
+            hi,
+            counts: vec![0; nbins],
+            outliers: 0,
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+        };
+        for s in samples {
+            h.push(s);
+        }
+        h
+    }
+
+    /// Build with the range taken from the samples themselves (the paper's
+    /// figures annotate the observed range).
+    pub fn auto_range(samples: &[f64], nbins: usize) -> Self {
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if lo.is_finite() && hi > lo {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        };
+        Self::from_samples(samples.iter().copied(), lo, hi, nbins)
+    }
+
+    /// Add one sample (updates moments streaming-style).
+    pub fn push(&mut self, x: f64) {
+        // Welford-style update of central moments (Pébay's formulas).
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+
+        if x < self.lo || x > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut b = ((x - self.lo) / w) as usize;
+        if b >= self.counts.len() {
+            b = self.counts.len() - 1; // x == hi
+        }
+        self.counts[b] += 1;
+    }
+
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standardized third moment.
+    pub fn skewness(&self) -> f64 {
+        let n = self.n as f64;
+        if self.n < 2 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        (self.m3 / n) / (self.m2 / n).powf(1.5)
+    }
+
+    /// Standardized fourth moment (Pearson: normal = 3).
+    pub fn kurtosis(&self) -> f64 {
+        let n = self.n as f64;
+        if self.n < 2 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        (self.m4 / n) / (self.m2 / n).powi(2)
+    }
+
+    /// Fraction of in-range samples falling in the lowest `frac` of the
+    /// range (the paper: "75% of the cells are in the smallest 10% of the
+    /// volume range").
+    pub fn fraction_below(&self, frac: f64) -> f64 {
+        let cut = (self.counts.len() as f64 * frac).ceil() as usize;
+        let below: u64 = self.counts[..cut.min(self.counts.len())].iter().sum();
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            below as f64 / total as f64
+        }
+    }
+
+    /// Render rows of `bin_center value` for plotting / EXPERIMENTS.md.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        let w = self.bin_width();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn counts_and_bins() {
+        let h = Histogram::from_samples([0.05, 0.15, 0.15, 0.95, 1.0], 0.0, 1.0, 10);
+        assert_eq!(h.n(), 5);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[9], 2); // 0.95 and the hi edge 1.0
+        assert_eq!(h.outliers, 0);
+        assert!((h.bin_width() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn outliers_counted_but_not_binned() {
+        let h = Histogram::from_samples([-1.0, 0.5, 2.0], 0.0, 1.0, 4);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
+        assert_eq!(h.n(), 3); // moments still include everything
+    }
+
+    #[test]
+    fn moments_of_known_distributions() {
+        // symmetric uniform: skewness 0, kurtosis 9/5
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..200_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let h = Histogram::from_samples(samples.iter().copied(), -1.0, 1.0, 50);
+        assert!(h.mean().abs() < 0.01);
+        assert!((h.variance() - 1.0 / 3.0).abs() < 0.01);
+        assert!(h.skewness().abs() < 0.03);
+        assert!((h.kurtosis() - 1.8).abs() < 0.05, "kurtosis {}", h.kurtosis());
+    }
+
+    #[test]
+    fn gaussian_kurtosis_is_three() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let h = Histogram::auto_range(&samples, 100);
+        assert!(h.skewness().abs() < 0.05);
+        assert!((h.kurtosis() - 3.0).abs() < 0.1, "kurtosis {}", h.kurtosis());
+    }
+
+    #[test]
+    fn skewed_distribution_has_positive_skewness() {
+        // exponential-ish: x = -ln(u): skewness 2, kurtosis 9
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| -(rng.gen_range(f64::EPSILON..1.0f64)).ln())
+            .collect();
+        let h = Histogram::auto_range(&samples, 100);
+        assert!((h.skewness() - 2.0).abs() < 0.2, "skew {}", h.skewness());
+        assert!((h.kurtosis() - 9.0).abs() < 1.0, "kurt {}", h.kurtosis());
+    }
+
+    #[test]
+    fn fraction_below_matches_paper_style_query() {
+        // 75 samples near zero, 25 spread high
+        let mut samples = vec![0.01; 75];
+        samples.extend((0..25).map(|i| 0.2 + 0.03 * i as f64));
+        let h = Histogram::from_samples(samples.iter().copied(), 0.0, 1.0, 100);
+        assert!((h.fraction_below(0.1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_cover_the_range() {
+        let h = Histogram::from_samples([0.5], 0.0, 1.0, 4);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].0 - 0.125).abs() < 1e-15);
+        assert!((rows[3].0 - 0.875).abs() < 1e-15);
+        assert_eq!(rows[2].1, 1);
+    }
+
+    #[test]
+    fn auto_range_handles_degenerate_input() {
+        let h = Histogram::auto_range(&[5.0, 5.0, 5.0], 10);
+        // degenerate range falls back without panicking
+        assert_eq!(h.n(), 3);
+        let h = Histogram::auto_range(&[], 10);
+        assert_eq!(h.n(), 0);
+        assert_eq!(h.skewness(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Postprocessing tools — the ParaView cosmology-tools plugin, as a library.
+//!
+//! The paper's plugin (§III-D, Figure 7) provides four functions, all
+//! reimplemented here:
+//!
+//! 1. **parallel reading** of the tess output file (via [`tess::io`]),
+//! 2. **threshold filtering** of cells by volume ([`threshold`]),
+//! 3. **connected-component labeling** of the surviving cells — the void
+//!    finder ([`components`], serial and distributed),
+//! 4. **Minkowski functionals** of each component: volume, surface area,
+//!    integrated mean curvature, Euler characteristic/genus, plus the
+//!    derived thickness/breadth/length ([`minkowski`]).
+//!
+//! It also provides the statistical machinery behind Figures 8 and 11
+//! ([`histogram`], [`density`]) and a small SVG renderer ([`render`])
+//! standing in for the interactive views of Figures 1 and 9.
+
+pub mod components;
+pub mod density;
+pub mod histogram;
+pub mod minkowski;
+pub mod render;
+pub mod threshold;
+pub mod tracking;
+
+pub use components::{label_components_serial, ComponentSummary, Components};
+pub use density::{density_contrast, DensityField};
+pub use histogram::Histogram;
+pub use minkowski::{minkowski_functionals, Minkowski};
+pub use threshold::VolumeFilter;

@@ -1,0 +1,221 @@
+//! Temporal tracking of connected components (voids) across time steps.
+//!
+//! The paper's §V: "We will also look to tracking temporal evolution of
+//! connected components by using the feature tree method of Chen et
+//! al. [23]". This module implements the overlap-based core of that
+//! method: components at consecutive time steps are matched by the
+//! particle (site) ids they share — ids are persistent labels, so no
+//! geometric registration is needed — and each feature's fate is
+//! classified as continuation, merge, split, birth, or death.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::components::Components;
+
+/// An overlap edge between a component at time A and one at time B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overlap {
+    pub label_a: u64,
+    pub label_b: u64,
+    /// Sites present in both components.
+    pub shared: u64,
+    /// Jaccard index `|A∩B| / |A∪B|`.
+    pub jaccard: f64,
+}
+
+/// The fate of features between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// One-to-one match.
+    Continue { from: u64, to: u64 },
+    /// Several earlier components merged into one.
+    Merge { from: Vec<u64>, to: u64 },
+    /// One earlier component split into several.
+    Split { from: u64, to: Vec<u64> },
+    /// A component with no predecessor.
+    Birth { to: u64 },
+    /// A component with no successor.
+    Death { from: u64 },
+}
+
+/// Compute all overlap edges between two labelings with at least
+/// `min_shared` shared sites.
+pub fn overlaps(a: &Components, b: &Components, min_shared: u64) -> Vec<Overlap> {
+    // site -> label maps are already in Components::labels
+    let mut pair_counts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for (site, &la) in &a.labels {
+        if let Some(&lb) = b.labels.get(site) {
+            *pair_counts.entry((la, lb)).or_insert(0) += 1;
+        }
+    }
+    let size_a: BTreeMap<u64, u64> = a.summaries.iter().map(|(&l, s)| (l, s.cells)).collect();
+    let size_b: BTreeMap<u64, u64> = b.summaries.iter().map(|(&l, s)| (l, s.cells)).collect();
+    pair_counts
+        .into_iter()
+        .filter(|&(_, shared)| shared >= min_shared)
+        .map(|((la, lb), shared)| {
+            let union = size_a.get(&la).copied().unwrap_or(0)
+                + size_b.get(&lb).copied().unwrap_or(0)
+                - shared;
+            Overlap {
+                label_a: la,
+                label_b: lb,
+                shared,
+                jaccard: if union > 0 { shared as f64 / union as f64 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Classify the events between two snapshots from their overlap edges.
+pub fn classify_events(a: &Components, b: &Components, min_shared: u64) -> Vec<Event> {
+    let edges = overlaps(a, b, min_shared);
+    let mut succ: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut pred: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for e in &edges {
+        succ.entry(e.label_a).or_default().insert(e.label_b);
+        pred.entry(e.label_b).or_default().insert(e.label_a);
+    }
+
+    let mut events = Vec::new();
+    // births & merges & continues, in B-label order
+    for &lb in b.summaries.keys() {
+        match pred.get(&lb) {
+            None => events.push(Event::Birth { to: lb }),
+            Some(ps) if ps.len() == 1 => {
+                let from = *ps.iter().next().expect("one");
+                // only a Continue if the predecessor maps solely here
+                if succ.get(&from).map(|s| s.len()) == Some(1) {
+                    events.push(Event::Continue { from, to: lb });
+                }
+                // otherwise handled below as part of a Split
+            }
+            Some(ps) => events.push(Event::Merge {
+                from: ps.iter().copied().collect(),
+                to: lb,
+            }),
+        }
+    }
+    // splits & deaths, in A-label order
+    for &la in a.summaries.keys() {
+        match succ.get(&la) {
+            None => events.push(Event::Death { from: la }),
+            Some(ss) if ss.len() > 1 => events.push(Event::Split {
+                from: la,
+                to: ss.iter().copied().collect(),
+            }),
+            _ => {}
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentSummary;
+
+    /// Build a Components value from (label, sites) groups.
+    fn comps(groups: &[(u64, &[u64])]) -> Components {
+        let mut c = Components::default();
+        for &(label, sites) in groups {
+            for &s in sites {
+                c.labels.insert(s, label);
+            }
+            c.summaries.insert(
+                label,
+                ComponentSummary { cells: sites.len() as u64, volume: sites.len() as f64, area: 0.0 },
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn continuation_is_tracked() {
+        let a = comps(&[(0, &[0, 1, 2, 3])]);
+        let b = comps(&[(1, &[1, 2, 3, 4])]);
+        let ov = overlaps(&a, &b, 1);
+        assert_eq!(ov.len(), 1);
+        assert_eq!(ov[0].shared, 3);
+        assert!((ov[0].jaccard - 3.0 / 5.0).abs() < 1e-12);
+        let ev = classify_events(&a, &b, 1);
+        assert_eq!(ev, vec![Event::Continue { from: 0, to: 1 }]);
+    }
+
+    #[test]
+    fn merge_and_split() {
+        // two voids at t1 merge into one at t2
+        let a = comps(&[(0, &[0, 1, 2]), (10, &[10, 11, 12])]);
+        let b = comps(&[(0, &[0, 1, 2, 10, 11, 12])]);
+        let ev = classify_events(&a, &b, 1);
+        assert!(ev.contains(&Event::Merge { from: vec![0, 10], to: 0 }));
+
+        // and the reverse is a split
+        let ev = classify_events(&b, &a, 1);
+        assert!(ev.contains(&Event::Split { from: 0, to: vec![0, 10] }));
+    }
+
+    #[test]
+    fn birth_and_death() {
+        let a = comps(&[(0, &[0, 1])]);
+        let b = comps(&[(5, &[5, 6])]);
+        let ev = classify_events(&a, &b, 1);
+        assert!(ev.contains(&Event::Birth { to: 5 }));
+        assert!(ev.contains(&Event::Death { from: 0 }));
+        assert_eq!(ev.len(), 2);
+    }
+
+    #[test]
+    fn min_shared_suppresses_weak_links() {
+        let a = comps(&[(0, &[0, 1, 2, 3, 4])]);
+        let b = comps(&[(1, &[4, 10, 11, 12])]); // only 1 shared site
+        let ev = classify_events(&a, &b, 2);
+        assert!(ev.contains(&Event::Death { from: 0 }));
+        assert!(ev.contains(&Event::Birth { to: 1 }));
+        let ev = classify_events(&a, &b, 1);
+        assert_eq!(ev, vec![Event::Continue { from: 0, to: 1 }]);
+    }
+
+    #[test]
+    fn real_tessellation_voids_track_over_time() {
+        // the same clustered point set, slightly perturbed: the big void
+        // components must continue rather than die
+        use geometry::{Aabb, Vec3};
+        // A coarse lattice (cells of volume 8) whose whole tessellation is
+        // one component above threshold 4; a slightly shifted snapshot must
+        // track to it as a continuation.
+        let make = |shift: f64| {
+            let mut particles = Vec::new();
+            let mut id = 0u64;
+            for i in 0..6 {
+                for j in 0..6 {
+                    for k in 0..6 {
+                        let p = Vec3::new(
+                            (i as f64 * 2.0 + 1.0 + shift).rem_euclid(12.0),
+                            j as f64 * 2.0 + 1.0,
+                            k as f64 * 2.0 + 1.0,
+                        );
+                        particles.push((id, p));
+                        id += 1;
+                    }
+                }
+            }
+            let (block, _) = tess::tessellate_serial(
+                &particles,
+                Aabb::cube(12.0),
+                [true; 3],
+                &tess::TessParams::default().with_ghost(6.0),
+            );
+            crate::components::label_components_serial(&[block], 4.0)
+        };
+        let a = make(0.0);
+        let b = make(0.05);
+        assert!(a.num_components() >= 1);
+        let ev = classify_events(&a, &b, 1);
+        assert!(
+            ev.iter().any(|e| matches!(e, Event::Continue { .. } | Event::Merge { .. } | Event::Split { .. })),
+            "{ev:?}"
+        );
+        assert!(!ev.iter().any(|e| matches!(e, Event::Death { .. })), "{ev:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-validate the two independent Voronoi constructions: the
+//! half-space-clipping cells of `tess` against the Delaunay dual of the
+//! `delaunay` crate — two algorithms, one answer. Also demonstrates the
+//! Delaunay output mode (the paper's successor library emits both).
+//!
+//! ```sh
+//! cargo run --release --example delaunay_crosscheck
+//! ```
+
+use meshing_universe::delaunay::{voronoi_dual, Delaunay};
+use meshing_universe::geometry::{Aabb, Vec3};
+use meshing_universe::tess::{self, TessParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let n = 400;
+    let box_len = 8.0;
+    let particles: Vec<(u64, Vec3)> = (0..n)
+        .map(|id| {
+            (
+                id,
+                Vec3::new(
+                    rng.gen_range(0.0..box_len),
+                    rng.gen_range(0.0..box_len),
+                    rng.gen_range(0.0..box_len),
+                ),
+            )
+        })
+        .collect();
+
+    // Clip-based cells in a periodic box.
+    let (block, _) = tess::tessellate_serial(
+        &particles,
+        Aabb::cube(box_len),
+        [true; 3],
+        &TessParams::default(),
+    );
+
+    // Delaunay of the same points in a NON-periodic sense: mirror ghosts by
+    // hand so interior cells see the same neighborhood.
+    let mut padded: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+    for &(_, p) in &particles {
+        for dx in [-1i32, 0, 1] {
+            for dy in [-1i32, 0, 1] {
+                for dz in [-1i32, 0, 1] {
+                    if (dx, dy, dz) == (0, 0, 0) {
+                        continue;
+                    }
+                    let q = p + Vec3::new(
+                        dx as f64 * box_len,
+                        dy as f64 * box_len,
+                        dz as f64 * box_len,
+                    );
+                    // keep a 3 Mpc shell of images
+                    if Aabb::cube(box_len).grown(3.0).contains_closed(q) {
+                        padded.push(q);
+                    }
+                }
+            }
+        }
+    }
+    println!("triangulating {} points ({} images)…", padded.len(), padded.len() - n as usize);
+    let dt = Delaunay::new(&padded).expect("triangulation");
+    println!("{} tetrahedra", dt.tetrahedra().len());
+
+    let mut compared = 0;
+    let mut max_rel = 0.0f64;
+    let interior = Aabb::cube(box_len).grown(1.0);
+    for cell in &block.cells {
+        let site_id = block.site_id_of(cell);
+        let Some(dual) = voronoi_dual::voronoi_cell(&dt, site_id as u32) else {
+            continue;
+        };
+        // Skip cells whose dual vertices approach the mirror shell: their
+        // Delaunay neighborhoods may be truncated by the finite padding.
+        if !dual.vertices.iter().all(|v| interior.contains_closed(*v)) {
+            continue;
+        }
+        let Some(dual_vol) = dual.volume() else { continue };
+        let rel = (dual_vol - cell.volume).abs() / cell.volume;
+        max_rel = max_rel.max(rel);
+        compared += 1;
+    }
+    println!("compared {compared} cells: max relative volume difference {max_rel:.2e}");
+    assert!(max_rel < 1e-6, "the two constructions disagree!");
+    println!("ok — clip-based cells match the Delaunay dual");
+}

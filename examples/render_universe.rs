@@ -1,0 +1,63 @@
+//! Render Figure-1-style imagery: the Voronoi tessellation of an evolved
+//! box as SVG, plus a Figure-9-style sequence of rising volume thresholds.
+//!
+//! ```sh
+//! cargo run --release --example render_universe
+//! # → universe.svg, universe_t0.50.svg, … in the working directory
+//! ```
+
+use meshing_universe::geometry::Aabb;
+use meshing_universe::hacc;
+use meshing_universe::postprocess::render::{render_to_file, RenderOptions};
+use meshing_universe::tess::{self, TessParams};
+
+fn main() {
+    let np = 32;
+    let nsteps = 80;
+    println!("evolving {np}^3 particles for {nsteps} steps…");
+    let params = hacc::SimParams::paper_like(np);
+    let cosmo = hacc::Cosmology::default();
+    let ic = hacc::ic::zeldovich(
+        &hacc::ic::IcParams {
+            np,
+            box_size: params.box_size,
+            seed: params.seed,
+            delta_rms: params.initial_delta_rms,
+            spectrum: params.spectrum,
+        },
+        &cosmo,
+        params.a_init,
+    );
+    let solver = hacc::PmSolver::new(np, cosmo);
+    let (mut pos, mut mom) = (ic.positions, ic.momenta);
+    for k in 0..nsteps {
+        solver.step(&mut pos, &mut mom, params.a_at(k), params.da_at(k));
+    }
+    let particles: Vec<(u64, _)> =
+        pos.into_iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
+
+    println!("tessellating…");
+    let (block, _) = tess::tessellate_serial(
+        &particles,
+        Aabb::cube(np as f64),
+        [true; 3],
+        &TessParams::default(),
+    );
+    let blocks = vec![block];
+
+    // A slab view (8 Mpc/h deep), like the paper's figures — full-depth
+    // renders of 32³ cells produce very large SVGs.
+    let slab = RenderOptions { zmin: 14.0, zmax: 18.0, ..RenderOptions::default() };
+    render_to_file(&blocks, &slab, "universe.svg".as_ref()).unwrap();
+    println!("wrote universe.svg");
+    for threshold in [0.5, 0.75, 1.0] {
+        let name = format!("universe_t{threshold:.2}.svg");
+        render_to_file(
+            &blocks,
+            &RenderOptions { vmin: threshold, ..slab },
+            name.as_ref(),
+        )
+        .unwrap();
+        println!("wrote {name} (cells above {threshold} (Mpc/h)^3 — voids emerge)");
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the *Meshing the Universe* reproduction.
+//!
+//! Re-exports every subsystem so examples and integration tests can depend on
+//! a single crate. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use delaunay;
+pub use diy;
+pub use fft3d;
+pub use framework;
+pub use geometry;
+pub use hacc;
+pub use postprocess;
+pub use tess;

@@ -1,0 +1,196 @@
+//! Integration test of the Figure 5 pipeline: ghost exchange → local cells
+//! → dedup/cull → parallel write, validated against the standalone path
+//! and across rank counts.
+
+use std::collections::BTreeMap;
+
+use meshing_universe::diy::comm::Runtime;
+use meshing_universe::diy::decomposition::{Assignment, Decomposition};
+use meshing_universe::geometry::{Aabb, Vec3};
+use meshing_universe::hacc;
+use meshing_universe::tess::{self, TessParams};
+
+fn evolved(np: usize, nsteps: usize) -> Vec<(u64, Vec3)> {
+    let params = hacc::SimParams::paper_like(np);
+    let cosmo = hacc::Cosmology::default();
+    let ic = hacc::ic::zeldovich(
+        &hacc::ic::IcParams {
+            np,
+            box_size: params.box_size,
+            seed: 7,
+            delta_rms: params.initial_delta_rms,
+            spectrum: params.spectrum,
+        },
+        &cosmo,
+        params.a_init,
+    );
+    let solver = hacc::PmSolver::new(np, cosmo);
+    let (mut pos, mut mom) = (ic.positions, ic.momenta);
+    for k in 0..nsteps {
+        solver.step(&mut pos, &mut mom, params.a_at(k), params.da_at(k));
+    }
+    pos.into_iter().enumerate().map(|(i, p)| (i as u64, p)).collect()
+}
+
+fn partition(
+    particles: &[(u64, Vec3)],
+    dec: &Decomposition,
+    asn: &Assignment,
+    rank: usize,
+) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
+    let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> =
+        asn.blocks_of_rank(rank).map(|g| (g, Vec::new())).collect();
+    for &(id, p) in particles {
+        let gid = dec.block_of_point(p);
+        if let Some(v) = local.get_mut(&gid) {
+            v.push((id, p));
+        }
+    }
+    local
+}
+
+/// The tessellation of evolved (clustered!) particles must be identical
+/// regardless of block count and rank count, and identical to serial.
+#[test]
+fn evolved_box_parallel_equals_serial_across_rank_counts() {
+    let np = 12usize.next_power_of_two() / 2; // 8³ = 512 particles
+    let particles = evolved(np, 30);
+    let domain = Aabb::cube(np as f64);
+    let params = TessParams::default().with_ghost(4.0);
+
+    let (serial_block, serial_stats) =
+        tess::tessellate_serial(&particles, domain, [true; 3], &params);
+    assert_eq!(
+        serial_stats.cells + serial_stats.incomplete,
+        (np * np * np) as u64
+    );
+    let serial: BTreeMap<u64, (f64, f64)> = serial_block
+        .cells
+        .iter()
+        .map(|c| (serial_block.site_id_of(c), (c.volume, c.area)))
+        .collect();
+    // clustered data should still certify nearly everything at ghost 4
+    assert!(serial.len() as f64 > 0.95 * (np * np * np) as f64);
+
+    for (nblocks, nranks) in [(4usize, 2usize), (8, 4), (8, 8)] {
+        let dec = Decomposition::regular(domain, nblocks, [true; 3]);
+        let particles_ref = &particles;
+        let serial_ref = &serial;
+        let dec_ref = &dec;
+        let params_ref = &params;
+        let counted = Runtime::run(nranks, move |world| {
+            let asn = Assignment::new(nblocks, world.nranks());
+            let local = partition(particles_ref, dec_ref, &asn, world.rank());
+            let r = tess::tessellate(world, dec_ref, &asn, &local, params_ref);
+            let mut matched = 0u64;
+            let mut total = 0u64;
+            for b in r.blocks.values() {
+                for c in &b.cells {
+                    total += 1;
+                    let id = b.site_id_of(c);
+                    let (sv, sa) = serial_ref[&id];
+                    assert!(
+                        (c.volume - sv).abs() < 1e-9 * sv.max(1.0),
+                        "cell {id} volume {} vs serial {sv}",
+                        c.volume
+                    );
+                    assert!((c.area - sa).abs() < 1e-9 * sa.max(1.0));
+                    matched += 1;
+                }
+            }
+            (world.all_reduce(matched, |a, b| a + b), world.all_reduce(total, |a, b| a + b))
+        });
+        let (matched, total) = counted[0];
+        assert_eq!(matched, total);
+        assert_eq!(total, serial.len() as u64, "nblocks={nblocks} nranks={nranks}");
+    }
+}
+
+/// Write in parallel, read serially and in parallel at another rank count,
+/// and check the mesh content survives.
+#[test]
+fn tessellation_file_roundtrip_across_rank_counts() {
+    let np = 8;
+    let particles = evolved(np, 10);
+    let domain = Aabb::cube(np as f64);
+    let dir = std::env::temp_dir().join("mu-parallel-pipeline");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.tess");
+
+    let dec = Decomposition::regular(domain, 8, [true; 3]);
+    let particles_ref = &particles;
+    let dec_ref = &dec;
+    let path_ref = path.clone();
+    Runtime::run(4, move |world| {
+        let asn = Assignment::new(8, world.nranks());
+        let local = partition(particles_ref, dec_ref, &asn, world.rank());
+        let r = tess::tessellate(
+            world,
+            dec_ref,
+            &asn,
+            &local,
+            &TessParams::default().with_ghost(3.0),
+        );
+        tess::io::write_tessellation(world, &path_ref, &r.blocks).unwrap();
+    });
+
+    let serial_read = tess::io::read_tessellation(&path).unwrap();
+    assert_eq!(serial_read.len(), 8);
+    let total_serial: usize = serial_read.iter().map(|b| b.cells.len()).sum();
+    assert!(total_serial > 0);
+
+    let path_ref = path.clone();
+    let parallel_counts = Runtime::run(3, move |world| {
+        tess::io::read_tessellation_parallel(world, &path_ref)
+            .unwrap()
+            .iter()
+            .map(|b| b.cells.len())
+            .sum::<usize>()
+    });
+    assert_eq!(parallel_counts.iter().sum::<usize>(), total_serial);
+
+    // volumes still partition the box
+    let total_volume: f64 = serial_read
+        .iter()
+        .flat_map(|b| b.cells.iter())
+        .map(|c| c.volume)
+        .sum();
+    // some boundary cells may be dropped as incomplete; the rest must not
+    // exceed the box volume
+    assert!(total_volume <= domain.volume() * (1.0 + 1e-9));
+    assert!(total_volume > 0.5 * domain.volume());
+}
+
+/// Determinism: the whole distributed pipeline is bitwise reproducible.
+#[test]
+fn distributed_pipeline_is_deterministic() {
+    let np = 8;
+    let particles = evolved(np, 5);
+    let domain = Aabb::cube(np as f64);
+    let run = || {
+        let dec = Decomposition::regular(domain, 8, [true; 3]);
+        let particles_ref = &particles;
+        let dec_ref = &dec;
+        let out = Runtime::run(4, move |world| {
+            let asn = Assignment::new(8, world.nranks());
+            let local = partition(particles_ref, dec_ref, &asn, world.rank());
+            let r = tess::tessellate(
+                world,
+                dec_ref,
+                &asn,
+                &local,
+                &TessParams::default().with_ghost(3.0),
+            );
+            r.blocks
+                .values()
+                .flat_map(|b| b.cells.iter().map(|c| (b.site_id_of(c), c.volume)))
+                .collect::<Vec<_>>()
+        });
+        let mut all: Vec<(u64, f64)> = out.into_iter().flatten().collect();
+        all.sort_by_key(|&(id, _)| id);
+        all
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,128 @@
+//! Property-based invariants of the tessellation over random particle
+//! configurations (proptest).
+
+use meshing_universe::geometry::{Aabb, Vec3};
+use meshing_universe::tess::{self, TessParams};
+use proptest::prelude::*;
+
+/// Random particle sets that satisfy the tessellation's standing
+/// assumption (shared with the paper): cells are small compared to the
+/// ghost region, so no periodic Voronoi cell wraps around the torus. Fully
+/// collinear or tightly clustered sets violate that — their cells span the
+/// box — so the generator anchors one jittered particle per octant.
+fn particles_strategy(max_n: usize, box_len: f64) -> impl Strategy<Value = Vec<(u64, Vec3)>> {
+    let h = box_len / 2.0;
+    let anchors = proptest::collection::vec(0.0..h * 0.9, 24).prop_map(move |j| {
+        (0..8)
+            .map(|o| {
+                Vec3::new(
+                    (o & 1) as f64 * h + 0.05 * h + j[o * 3],
+                    ((o >> 1) & 1) as f64 * h + 0.05 * h + j[o * 3 + 1],
+                    ((o >> 2) & 1) as f64 * h + 0.05 * h + j[o * 3 + 2],
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    let extras = proptest::collection::vec((0.0..box_len, 0.0..box_len, 0.0..box_len), 8..max_n);
+    (anchors, extras).prop_map(|(anchor_pts, extra_pts)| {
+        anchor_pts
+            .into_iter()
+            .chain(extra_pts.into_iter().map(|(x, y, z)| Vec3::new(x, y, z)))
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Complete periodic Voronoi cells tile the box exactly.
+    #[test]
+    fn complete_cells_partition_the_periodic_box(
+        particles in particles_strategy(60, 5.0)
+    ) {
+        let domain = Aabb::cube(5.0);
+        let (block, stats) = tess::tessellate_serial(
+            &particles,
+            domain,
+            [true; 3],
+            // generous ghost: sparse random sets have big cells
+            &TessParams::default().with_ghost(5.0),
+        );
+        prop_assert_eq!(stats.cells as usize, particles.len());
+        let total: f64 = block.cells.iter().map(|c| c.volume).sum();
+        prop_assert!((total - domain.volume()).abs() < 1e-6 * domain.volume(),
+            "total {} vs {}", total, domain.volume());
+        // every cell contains its own site
+        for c in &block.cells {
+            prop_assert!(c.volume > 0.0);
+            prop_assert!(c.area > 0.0);
+            // isoperimetric inequality per convex cell
+            prop_assert!(c.area.powi(3) >= 36.0 * std::f64::consts::PI * c.volume.powi(2) * 0.999);
+        }
+    }
+
+    /// Face-neighbor relations are symmetric: if q is a face neighbor of
+    /// p's cell, then p is a face neighbor of q's cell.
+    #[test]
+    fn face_adjacency_is_symmetric(
+        particles in particles_strategy(50, 5.0)
+    ) {
+        let (block, _) = tess::tessellate_serial(
+            &particles,
+            Aabb::cube(5.0),
+            [true; 3],
+            &TessParams::default().with_ghost(5.0),
+        );
+        // Tolerance-based clipping can keep an eps-scale sliver face in one
+        // cell of a near-tangent pair and not the other, so symmetry is
+        // only guaranteed for faces with non-degenerate area.
+        let min_area = 1e-7;
+        let all_sets: std::collections::HashMap<u64, std::collections::BTreeSet<u64>> =
+            block.cells.iter().map(|c| {
+                (block.site_id_of(c),
+                 c.faces.iter().filter(|f| f.neighbor != tess::NO_NEIGHBOR)
+                    .map(|f| f.neighbor).collect())
+            }).collect();
+        for c in &block.cells {
+            let site = block.site_id_of(c);
+            for f in &c.faces {
+                if f.neighbor == tess::NO_NEIGHBOR {
+                    continue;
+                }
+                let area = meshing_universe::geometry::measures::polygon_area(
+                    &block.face_points(f),
+                );
+                if area < min_area {
+                    continue;
+                }
+                prop_assert!(
+                    all_sets.get(&f.neighbor).is_some_and(|s| s.contains(&site)),
+                    "asymmetric adjacency {} -> {} (face area {})", site, f.neighbor, area
+                );
+            }
+        }
+    }
+
+    /// Volume thresholding commutes: tessellate-then-filter equals
+    /// tessellate-with-min_volume.
+    #[test]
+    fn culling_matches_postfiltering(
+        particles in particles_strategy(50, 5.0)
+    ) {
+        let domain = Aabb::cube(5.0);
+        let base = TessParams::default().with_ghost(5.0);
+        let (full, _) = tess::tessellate_serial(&particles, domain, [true; 3], &base);
+        let threshold = 5.0f64.powi(3) / particles.len() as f64; // mean volume
+        let culled_params = TessParams { min_volume: Some(threshold), ..base };
+        let (culled, _) = tess::tessellate_serial(&particles, domain, [true; 3], &culled_params);
+
+        let expected: std::collections::BTreeSet<u64> = full.cells.iter()
+            .filter(|c| c.volume >= threshold)
+            .map(|c| full.site_id_of(c)).collect();
+        let got: std::collections::BTreeSet<u64> = culled.cells.iter()
+            .map(|c| culled.site_id_of(c)).collect();
+        prop_assert_eq!(expected, got);
+    }
+}
