@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Continuous-integration gate (no forge runner in this environment; run
+# locally or from any scheduler). Fails on the first broken step.
+#
+#   ./ci.sh            full gate: build, tests, formatting, lints
+#
+# Everything runs offline: external dependencies resolve to the vendored
+# shims under crates/shims/ (see crates/shims/README.md).
+set -eu
+
+echo "==> cargo build --release (workspace)"
+cargo build --release --workspace
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings (all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI green"

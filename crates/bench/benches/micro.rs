@@ -37,7 +37,12 @@ fn bench_predicates(c: &mut Criterion) {
     c.bench_function("orient3d_filtered", |b| {
         let mut i = 0;
         b.iter(|| {
-            let r = orient3d(pts[i % 997], pts[(i + 1) % 997], pts[(i + 2) % 997], pts[(i + 3) % 997]);
+            let r = orient3d(
+                pts[i % 997],
+                pts[(i + 1) % 997],
+                pts[(i + 2) % 997],
+                pts[(i + 3) % 997],
+            );
             i += 1;
             black_box(r)
         })
@@ -177,12 +182,7 @@ fn bench_histogram(c: &mut Criterion) {
     let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..2.0)).collect();
     c.bench_function("histogram_100k", |b| {
         b.iter(|| {
-            let h = postprocess::Histogram::from_samples(
-                samples.iter().copied(),
-                0.0,
-                2.0,
-                100,
-            );
+            let h = postprocess::Histogram::from_samples(samples.iter().copied(), 0.0, 2.0, 100);
             black_box(h.kurtosis())
         })
     });

@@ -8,11 +8,12 @@
 //! exchange and compute times, and the fraction of cells certified
 //! complete.
 
-use bench_harness::{evolved_particles_cached, max_over_ranks, partition_particles, secs, Table};
+use bench_harness::{evolved_particles_cached, partition_particles, secs, Table};
 use diy::comm::Runtime;
 use diy::decomposition::{Assignment, Decomposition};
+use diy::metrics::collect_report;
 use geometry::Aabb;
-use tess::{tessellate, TessParams};
+use tess::{tessellate, TessParams, PHASE_GHOST_EXCHANGE, PHASE_VORONOI};
 
 fn main() {
     let np = std::env::var("BENCH_NP")
@@ -20,13 +21,20 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(32usize);
     let nsteps = 100;
-    println!("# Ablation: ghost size vs exchange volume vs certified cells ({np}^3, 8 blocks, 4 ranks)");
+    println!(
+        "# Ablation: ghost size vs exchange volume vs certified cells ({np}^3, 8 blocks, 4 ranks)"
+    );
     let particles = evolved_particles_cached(np, nsteps);
     let domain = Aabb::cube(np as f64);
     let dec = Decomposition::regular(domain, 8, [true; 3]);
 
     let mut table = Table::new(&[
-        "Ghost", "GhostParticles", "Exchange(s)", "Voronoi(s)", "Complete%", "GhostsPerOwn%",
+        "Ghost",
+        "GhostParticles",
+        "Exchange(s)",
+        "Voronoi(s)",
+        "Complete%",
+        "GhostsPerOwn%",
     ]);
     for ghost in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
         let particles_ref = &particles;
@@ -37,10 +45,11 @@ fn main() {
             let params = TessParams::default().with_ghost(ghost);
             let r = tessellate(world, dec_ref, &asn, &local, &params);
             let stats = tess::driver::global_stats(world, r.stats);
+            let report = collect_report(world);
             (
                 stats,
-                max_over_ranks(world, r.timing.exchange_s),
-                max_over_ranks(world, r.timing.compute_s),
+                report.cpu_max(PHASE_GHOST_EXCHANGE),
+                report.cpu_max(PHASE_VORONOI),
             )
         });
         let (stats, exch, comp) = rows[0];
@@ -51,7 +60,10 @@ fn main() {
             secs(exch),
             secs(comp),
             format!("{:.2}", 100.0 * stats.cells as f64 / total as f64),
-            format!("{:.0}", 100.0 * stats.ghosts_received as f64 / stats.sites as f64),
+            format!(
+                "{:.0}",
+                100.0 * stats.ghosts_received as f64 / stats.sites as f64
+            ),
         ]);
     }
     table.print();

@@ -13,7 +13,10 @@ use hacc::sim::SolverKind;
 use hacc::{SimParams, Simulation};
 
 fn step_time(np: usize, nranks: usize, solver: SolverKind, nsteps: usize) -> f64 {
-    let params = SimParams { solver, ..SimParams::paper_like(np) };
+    let params = SimParams {
+        solver,
+        ..SimParams::paper_like(np)
+    };
     let times = Runtime::run(nranks, |world| {
         let mut sim = Simulation::init(world, params, nranks.max(2));
         // warm-up step excluded from timing

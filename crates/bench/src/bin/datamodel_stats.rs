@@ -12,7 +12,10 @@ use geometry::Aabb;
 use tess::{tessellate_serial, TessParams};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn report(label: &str, block: &tess::MeshBlock, nparticles: usize, table: &mut Table) {
@@ -49,8 +52,15 @@ fn main() {
     let nparticles = particles.len();
 
     let mut table = Table::new(&[
-        "Output", "Cells", "Faces/cell", "Verts/face", "VertRefs/cell", "NewVerts/cell",
-        "Bytes/particle", "Geom%", "Conn%",
+        "Output",
+        "Cells",
+        "Faces/cell",
+        "Verts/face",
+        "VertRefs/cell",
+        "NewVerts/cell",
+        "Bytes/particle",
+        "Geom%",
+        "Conn%",
     ]);
 
     let (full, _) = tessellate_serial(&particles, domain, [false; 3], &TessParams::default());
@@ -58,7 +68,11 @@ fn main() {
 
     // the paper's usual mode: cull the smallest 10% of the volume range
     let vmax = full.cells.iter().map(|c| c.volume).fold(0.0, f64::max);
-    let vmin = full.cells.iter().map(|c| c.volume).fold(f64::INFINITY, f64::min);
+    let vmin = full
+        .cells
+        .iter()
+        .map(|c| c.volume)
+        .fold(f64::INFINITY, f64::min);
     let threshold = vmin + 0.1 * (vmax - vmin);
     let (culled, _) = tessellate_serial(
         &particles,

@@ -16,26 +16,25 @@
 
 use std::collections::BTreeMap;
 
-use bench_harness::{max_over_ranks, output_dir, secs, Table};
+use bench_harness::{output_dir, secs, Table};
 use diy::comm::Runtime;
-use diy::timing::ThreadTimer;
+use diy::metrics::collect_report;
 use geometry::Vec3;
 use hacc::SimParams;
-use tess::{tessellate, TessParams};
+use tess::{tessellate, TessParams, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI};
 
-/// One tessellation (including write), returning the critical-path seconds.
+/// One tessellation (including write), returning the critical-path seconds
+/// summed over the tessellation phases of the merged run report.
 fn tess_time(np: usize, nsteps: usize, nranks: usize) -> f64 {
     let params = SimParams::paper_like(np);
     let out = output_dir().join(format!("fig10_np{np}_r{nranks}.tess"));
     let times = Runtime::run(nranks, |world| {
-        let (sim, _) = bench_harness::run_sim(world, params, nranks, nsteps);
+        let sim = bench_harness::run_sim(world, params, nranks, nsteps);
         let local: BTreeMap<u64, Vec<(u64, Vec3)>> = sim
             .blocks
             .iter()
             .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
             .collect();
-        let mut t = ThreadTimer::new();
-        t.start();
         let r = tessellate(
             world,
             &sim.dec,
@@ -44,8 +43,10 @@ fn tess_time(np: usize, nsteps: usize, nranks: usize) -> f64 {
             &TessParams::default().with_ghost(4.0).with_min_volume(0.2),
         );
         tess::io::write_tessellation(world, &out, &r.blocks).expect("write");
-        t.stop();
-        max_over_ranks(world, t.seconds())
+        let report = collect_report(world);
+        report.cpu_max(PHASE_GHOST_EXCHANGE)
+            + report.cpu_max(PHASE_VORONOI)
+            + report.cpu_max(PHASE_OUTPUT)
     });
     times[0]
 }
@@ -55,7 +56,13 @@ fn main() {
     println!("# Figure 10: strong and weak scaling of tessellation (incl. write)");
 
     // Strong scaling.
-    let mut strong = Table::new(&["Particles", "Ranks", "TessTime(s)", "Speedup", "Efficiency%"]);
+    let mut strong = Table::new(&[
+        "Particles",
+        "Ranks",
+        "TessTime(s)",
+        "Speedup",
+        "Efficiency%",
+    ]);
     let sizes: Vec<(usize, usize)> = if full {
         vec![(16, 20), (32, 20), (64, 5)]
     } else {
@@ -82,7 +89,12 @@ fn main() {
 
     // Weak scaling: fixed particles/rank (factor-8 steps, like the paper).
     let mut weak = Table::new(&[
-        "Particles", "Ranks", "Particles/rank", "TessTime(s)", "Time/particle(us)", "Efficiency%",
+        "Particles",
+        "Ranks",
+        "Particles/rank",
+        "TessTime(s)",
+        "Time/particle(us)",
+        "Efficiency%",
     ]);
     let weak_configs: Vec<(usize, usize, usize)> = if full {
         vec![(16, 1, 20), (32, 8, 20), (64, 64, 5)]

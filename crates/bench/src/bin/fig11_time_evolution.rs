@@ -16,7 +16,10 @@ use postprocess::{density_contrast, Histogram};
 use tess::{tessellate_serial, TessParams};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -26,13 +29,19 @@ fn main() {
     let mean_density = 1.0; // np³ particles in an np³ box
 
     let mut table = Table::new(&[
-        "Step", "Cells", "DeltaMin", "DeltaMax", "Skewness", "Kurtosis", "PaperSkew", "PaperKurt",
+        "Step",
+        "Cells",
+        "DeltaMin",
+        "DeltaMax",
+        "Skewness",
+        "Kurtosis",
+        "PaperSkew",
+        "PaperKurt",
     ]);
     let paper = [(11usize, 1.6, 4.1), (21, 2.0, 5.5), (31, 4.5, 23.0)];
     for &(step, pskew, pkurt) in &paper {
         let particles = evolved_particles_cached(np, step);
-        let (block, _) =
-            tessellate_serial(&particles, domain, [false; 3], &TessParams::default());
+        let (block, _) = tessellate_serial(&particles, domain, [false; 3], &TessParams::default());
         let blocks = vec![block];
         let field = density_contrast(&blocks, mean_density);
         let deltas = field.contrasts();
@@ -58,8 +67,11 @@ fn main() {
         };
         render_to_file(&blocks, &slab, &svg).expect("render");
         let csv: String = h.rows().iter().map(|(c, n)| format!("{c},{n}\n")).collect();
-        std::fs::write(output_dir().join(format!("fig11_delta_hist_step{step}.csv")), csv)
-            .expect("csv");
+        std::fs::write(
+            output_dir().join(format!("fig11_delta_hist_step{step}.csv")),
+            csv,
+        )
+        .expect("csv");
     }
     table.print();
     println!("# expectation: range of δ expands; skewness and kurtosis increase with time");

@@ -14,7 +14,10 @@ use postprocess::Histogram;
 use tess::{tessellate_serial, TessParams};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -29,7 +32,10 @@ fn main() {
         [false; 3],
         &TessParams::default(),
     );
-    println!("# {} cells ({} incomplete dropped)", stats.cells, stats.incomplete);
+    println!(
+        "# {} cells ({} incomplete dropped)",
+        stats.cells, stats.incomplete
+    );
 
     let volumes: Vec<f64> = block.cells.iter().map(|c| c.volume).collect();
     // paper's binning
@@ -46,18 +52,17 @@ fn main() {
         "# fraction of ALL cells with volume below 10% of the range (0.2): {:.1}%  (paper: 75%)",
         100.0 * below as f64 / volumes.len() as f64
     );
-    println!("# cells below 0.02 (off-histogram small cells): {}", h.outliers);
+    println!(
+        "# cells below 0.02 (off-histogram small cells): {}",
+        h.outliers
+    );
 
     let mut table = Table::new(&["BinCenter", "Count"]);
     for (center, count) in h.rows() {
         table.row(&[format!("{center:.3}"), count.to_string()]);
     }
     let csv_path = output_dir().join("fig8_histogram.csv");
-    let csv: String = h
-        .rows()
-        .iter()
-        .map(|(c, n)| format!("{c},{n}\n"))
-        .collect();
+    let csv: String = h.rows().iter().map(|(c, n)| format!("{c},{n}\n")).collect();
     std::fs::write(&csv_path, csv).expect("write csv");
     println!("# full histogram written to {}", csv_path.display());
 

@@ -16,7 +16,10 @@ use std::collections::HashSet;
 use tess::{tessellate_serial, TessParams};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -30,17 +33,18 @@ fn main() {
     let blocks = vec![block];
 
     let mut table = Table::new(&[
-        "MinVolume", "CellsKept", "Components", "Components>=2cells", "LargestCells",
-        "LargestVolume", "LargestGenus",
+        "MinVolume",
+        "CellsKept",
+        "Components",
+        "Components>=2cells",
+        "LargestCells",
+        "LargestVolume",
+        "LargestGenus",
     ]);
     for threshold in [0.0, 0.5, 0.75, 1.0] {
         let comps = label_components_serial(&blocks, threshold);
         let kept: u64 = comps.summaries.values().map(|s| s.cells).sum();
-        let multi = comps
-            .summaries
-            .values()
-            .filter(|s| s.cells >= 2)
-            .count();
+        let multi = comps.summaries.values().filter(|s| s.cells >= 2).count();
         let (largest_cells, largest_vol, genus) = comps
             .by_volume()
             .first()

@@ -19,7 +19,10 @@ use geometry::Aabb;
 use tess::{tessellate, tessellate_serial, TessParams};
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -48,7 +51,13 @@ fn main() {
         serial_stats.cells, serial_stats.incomplete
     );
 
-    let mut table = Table::new(&["GhostSize", "CellsInSerial", "Blocks", "MatchingCells", "%Accuracy"]);
+    let mut table = Table::new(&[
+        "GhostSize",
+        "CellsInSerial",
+        "Blocks",
+        "MatchingCells",
+        "%Accuracy",
+    ]);
     for ghost in [0.0, 1.0, 2.0, 3.0, 4.0] {
         for nblocks in [2usize, 4, 8] {
             let dec = Decomposition::regular(domain, nblocks, [false; 3]);
@@ -58,8 +67,7 @@ fn main() {
             let dec_ref = &dec;
             let matching: u64 = Runtime::run(nranks, move |world| {
                 let asn = Assignment::new(nblocks, world.nranks());
-                let local =
-                    partition_particles(particles_ref, dec_ref, &asn, world.rank());
+                let local = partition_particles(particles_ref, dec_ref, &asn, world.rank());
                 // keep incomplete cells: the paper's parallel version
                 // *computes* wrong boundary cells at small ghost rather
                 // than dropping them, and the mismatch shows up here

@@ -6,9 +6,11 @@
 //! with the smallest 10% of the volume range culled.
 //!
 //! Scaled default here: 16³ and 32³ (64³ with BENCH_FULL=1) over 1–8
-//! ranks, one block per rank (the paper's configuration). Times are
-//! per-rank thread-CPU seconds reduced with max (critical path) — see
-//! `bench_harness` docs.
+//! ranks, one block per rank (the paper's configuration). Every breakdown
+//! column is derived from the merged [`diy::metrics::RunReport`]: per-phase
+//! thread-CPU seconds reduced with max across ranks (critical path) — see
+//! `bench_harness` docs. Each configuration's full report is also written
+//! as machine-readable JSON next to the tessellation file.
 //!
 //! Expected shape (paper): tessellation is 1–10% of total time; exchange
 //! time negligible; the serial Voronoi computation dominates tessellation
@@ -16,28 +18,34 @@
 
 use std::collections::BTreeMap;
 
-use bench_harness::{bytes_h, max_over_ranks, output_dir, secs, Table};
+use bench_harness::{bytes_h, output_dir, secs, Table};
 use diy::comm::Runtime;
-use diy::timing::ThreadTimer;
+use diy::metrics::collect_report;
 use geometry::Vec3;
 use hacc::SimParams;
 use postprocess::VolumeFilter;
-use tess::{tessellate, TessParams};
+use tess::{tessellate, TessParams, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI};
 
 fn main() {
     let full = std::env::var("BENCH_FULL").is_ok();
-    let mut configs: Vec<(usize, usize, Vec<usize>)> = vec![
-        (16, 100, vec![1, 2, 4, 8]),
-        (32, 50, vec![1, 2, 4, 8]),
-    ];
+    let mut configs: Vec<(usize, usize, Vec<usize>)> =
+        vec![(16, 100, vec![1, 2, 4, 8]), (32, 50, vec![1, 2, 4, 8])];
     if full {
         configs.push((64, 10, vec![2, 4, 8, 16]));
     }
 
     println!("# Table II: in-situ performance (thread-CPU critical path; see DESIGN.md)");
     let mut table = Table::new(&[
-        "Particles", "Steps", "Processes", "Total(s)", "Sim(s)", "TessTotal(s)",
-        "Exchange(s)", "Voronoi(s)", "Output(s)", "OutputSize",
+        "Particles",
+        "Steps",
+        "Processes",
+        "Total(s)",
+        "Sim(s)",
+        "TessTotal(s)",
+        "Exchange(s)",
+        "Voronoi(s)",
+        "Output(s)",
+        "OutputSize",
     ]);
 
     for (np, nsteps, rank_list) in configs {
@@ -45,37 +53,31 @@ fn main() {
             let out_path = output_dir().join(format!("table2_np{np}_r{nranks}.tess"));
             let params = SimParams::paper_like(np);
             let rows = Runtime::run(nranks, |world| {
-                // simulation phase
-                let (sim, sim_s) = bench_harness::run_sim(world, params, nranks, nsteps);
+                // simulation phase (recorded under the "sim" span)
+                let sim = bench_harness::run_sim(world, params, nranks, nsteps);
 
                 // tessellation phase with the paper's 10%-of-range cull:
-                // first resolve the threshold from a pre-pass on volumes?
-                // The paper uses a fixed threshold; we use 10% of the
+                // the paper uses a fixed threshold; we use 10% of the
                 // small-scale characteristic range [0, 2] (Mpc/h)³ → 0.2.
                 let local: BTreeMap<u64, Vec<(u64, Vec3)>> = sim
                     .blocks
                     .iter()
-                    .map(|(&gid, ps)| {
-                        (gid, ps.iter().map(|p| (p.id, p.pos)).collect())
-                    })
+                    .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
                     .collect();
-                let tess_params = TessParams::default()
-                    .with_ghost(4.0)
-                    .with_min_volume(0.2);
+                let tess_params = TessParams::default().with_ghost(4.0).with_min_volume(0.2);
                 let result = tessellate(world, &sim.dec, &sim.asn, &local, &tess_params);
 
-                let mut t_out = ThreadTimer::new();
-                let bytes = t_out
-                    .time(|| tess::io::write_tessellation(world, &out_path, &result.blocks))
-                    .expect("write");
-
-                let exch = max_over_ranks(world, result.timing.exchange_s);
-                let comp = max_over_ranks(world, result.timing.compute_s);
-                let outp = max_over_ranks(world, t_out.seconds());
-                (sim_s, exch, comp, outp, bytes)
+                let bytes =
+                    tess::io::write_tessellation(world, &out_path, &result.blocks).expect("write");
+                (collect_report(world), bytes)
             });
-            let (sim_s, exch, comp, outp, bytes) = rows[0];
+            let (report, bytes) = &rows[0];
+            let sim_s = report.cpu_max(hacc::PHASE_SIM);
+            let exch = report.cpu_max(PHASE_GHOST_EXCHANGE);
+            let comp = report.cpu_max(PHASE_VORONOI);
+            let outp = report.cpu_max(PHASE_OUTPUT);
             let tess_total = exch + comp + outp;
+            assert!(report.is_conserved(), "transport conservation violated");
             table.row(&[
                 format!("{np}^3"),
                 nsteps.to_string(),
@@ -86,8 +88,10 @@ fn main() {
                 secs(exch),
                 secs(comp),
                 secs(outp),
-                bytes_h(bytes),
+                bytes_h(*bytes),
             ]);
+            let json_path = output_dir().join(format!("table2_np{np}_r{nranks}.report.json"));
+            std::fs::write(&json_path, report.to_json()).expect("write report json");
             // sanity echo of what survived the cull
             let blocks = tess::io::read_tessellation(&out_path).expect("read back");
             let kept: usize = blocks.iter().map(|b| b.cells.len()).sum();
@@ -96,7 +100,10 @@ fn main() {
                 .iter()
                 .all(|b| b.cells.iter().all(|c| filter.keeps(c.volume)));
             assert!(all_pass, "culled file must only hold cells above threshold");
-            eprintln!("  np={np} ranks={nranks}: {kept} cells kept above 0.2 (Mpc/h)^3");
+            eprintln!(
+                "  np={np} ranks={nranks}: {kept} cells kept above 0.2 (Mpc/h)^3; report: {}",
+                json_path.display()
+            );
         }
     }
     table.print();

@@ -57,10 +57,8 @@ pub fn partition_particles(
     asn: &Assignment,
     rank: usize,
 ) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
-    let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
-        .blocks_of_rank(rank)
-        .map(|g| (g, Vec::new()))
-        .collect();
+    let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> =
+        asn.blocks_of_rank(rank).map(|g| (g, Vec::new())).collect();
     for &(id, p) in particles {
         let gid = dec.block_of_point(p);
         if let Some(v) = local.get_mut(&gid) {
@@ -75,21 +73,13 @@ pub fn max_over_ranks(world: &mut World, v: f64) -> f64 {
     world.all_reduce(v, f64::max)
 }
 
-/// Initialize and advance a distributed simulation, timing each rank's
-/// thread-CPU seconds; returns (sim, max-over-ranks sim seconds).
-pub fn run_sim(
-    world: &mut World,
-    params: SimParams,
-    nblocks: usize,
-    nsteps: usize,
-) -> (Simulation, f64) {
-    let mut t = diy::timing::ThreadTimer::new();
-    t.start();
+/// Initialize and advance a distributed simulation. Its cost lands in the
+/// world's metrics under the [`hacc::PHASE_SIM`] span; read it back from
+/// [`diy::metrics::collect_report`].
+pub fn run_sim(world: &mut World, params: SimParams, nblocks: usize, nsteps: usize) -> Simulation {
     let mut sim = Simulation::init(world, params, nblocks);
     sim.run_steps(world, nsteps);
-    t.stop();
-    let secs = max_over_ranks(world, t.seconds());
-    (sim, secs)
+    sim
 }
 
 /// Fixed-width table printer.
@@ -213,7 +203,10 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().filter(|&c| c == '-').count(), lines[1].len());
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
         assert!(lines[2].ends_with("2"));
     }
 

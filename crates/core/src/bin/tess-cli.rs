@@ -97,7 +97,10 @@ fn run_tessellate(args: &Args) -> Result<(), String> {
 
     let bytes = std::fs::read(&points_path).map_err(|e| e.to_string())?;
     let points = Vec::<(u64, Vec3)>::from_bytes(&bytes).map_err(|e| e.to_string())?;
-    println!("{} points, box {box_len}, {blocks} blocks on {ranks} ranks", points.len());
+    println!(
+        "{} points, box {box_len}, {blocks} blocks on {ranks} ranks",
+        points.len()
+    );
 
     let mut params = TessParams::default();
     if let Some(g) = args.get::<f64>("ghost")? {
@@ -151,7 +154,10 @@ fn info(args: &Args) -> Result<(), String> {
         .flat_map(|b| b.cells.iter())
         .map(|c| c.volume)
         .sum();
-    println!("{mesh}: {} blocks, {cells} cells, {faces} faces, {verts} vertices", blocks.len());
+    println!(
+        "{mesh}: {} blocks, {cells} cells, {faces} faces, {verts} vertices",
+        blocks.len()
+    );
     println!("total cell volume {vol:.4}");
     for b in &blocks {
         println!(

@@ -68,12 +68,10 @@ pub fn tessellate_block(
             // Volume / area: native clip path or the paper's Qhull path.
             let (volume, area) = match params.hull_mode {
                 HullMode::Clip => (cell.poly.volume(), cell.poly.surface_area()),
-                HullMode::Quickhull => {
-                    match geometry::convex_hull(&cell.poly.verts, params.eps) {
-                        Ok(h) => (h.volume(), h.surface_area()),
-                        Err(_) => (cell.poly.volume(), cell.poly.surface_area()),
-                    }
-                }
+                HullMode::Quickhull => match geometry::convex_hull(&cell.poly.verts, params.eps) {
+                    Ok(h) => (h.volume(), h.surface_area()),
+                    Err(_) => (cell.poly.volume(), cell.poly.surface_area()),
+                },
             };
             // Exact cull after the volume is known.
             if let Some(minv) = params.min_volume {
@@ -104,9 +102,11 @@ pub fn tessellate_block(
         .collect();
 
     // Assemble the block (serial: vertex dedup is a shared hash map).
-    let mut stats = TessStats::default();
-    stats.sites = n_own as u64;
-    stats.ghosts_received = ghosts.len() as u64;
+    let mut stats = TessStats {
+        sites: n_own as u64,
+        ghosts_received: ghosts.len() as u64,
+        ..Default::default()
+    };
     let mut block = MeshBlock::empty(gid, bounds);
     let mut vert_index: HashMap<(i64, i64, i64), u32> = HashMap::new();
     // Quantization for vertex dedup within a block: 1e-6 domain units.
@@ -292,8 +292,14 @@ mod tests {
         let own = lattice_particles(n, 1.0);
         let bounds = Aabb::cube(n as f64);
         let base = TessParams::default().with_ghost(2.0);
-        let clip = TessParams { hull_mode: HullMode::Clip, ..base };
-        let hull = TessParams { hull_mode: HullMode::Quickhull, ..base };
+        let clip = TessParams {
+            hull_mode: HullMode::Clip,
+            ..base
+        };
+        let hull = TessParams {
+            hull_mode: HullMode::Quickhull,
+            ..base
+        };
         let (b1, _) = tessellate_block(0, bounds, &own, &[], 2.0, &clip);
         let (b2, _) = tessellate_block(0, bounds, &own, &[], 2.0, &hull);
         assert_eq!(b1.cells.len(), b2.cells.len());

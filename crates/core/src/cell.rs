@@ -78,7 +78,11 @@ pub fn compute_cell(
                     // numerically impossible for a true Voronoi cell (the
                     // site always belongs to its own cell), but guard
                     // against degenerate input
-                    return ComputedCell { poly, complete: false, candidates_tested: tested };
+                    return ComputedCell {
+                        poly,
+                        complete: false,
+                        candidates_tested: tested,
+                    };
                 }
             }
         }
@@ -88,7 +92,11 @@ pub fn compute_cell(
     // known for.
     let sec = sec2.sqrt() * 0.5; // = max vertex distance
     let complete = 2.0 * sec <= region.interior_distance(site) + eps;
-    ComputedCell { poly, complete, candidates_tested: tested }
+    ComputedCell {
+        poly,
+        complete,
+        candidates_tested: tested,
+    }
 }
 
 #[cfg(test)]
@@ -102,9 +110,8 @@ mod tests {
             .flat_map(|k| {
                 (0..n)
                     .flat_map(move |j| {
-                        (0..n).map(move |i| {
-                            Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5)
-                        })
+                        (0..n)
+                            .map(move |i| Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5))
                     })
                     .collect::<Vec<_>>()
             })
@@ -128,13 +135,21 @@ mod tests {
         let site = pts[center_idx];
         let cell = compute_cell(site, center_idx as u32, &pts, &grid, &region, 1e-9);
         assert!(cell.complete);
-        assert!((cell.poly.volume() - 1.0).abs() < 1e-9, "vol {}", cell.poly.volume());
+        assert!(
+            (cell.poly.volume() - 1.0).abs() < 1e-9,
+            "vol {}",
+            cell.poly.volume()
+        );
         assert!((cell.poly.surface_area() - 6.0).abs() < 1e-9);
         assert!(cell.poly.check_closed());
         // only the 6 face neighbors touch the cell
         assert_eq!(cell.poly.neighbor_ids().count(), 6);
         // far fewer candidates than the full point set were tested
-        assert!(cell.candidates_tested < pts.len() / 2, "{}", cell.candidates_tested);
+        assert!(
+            cell.candidates_tested < pts.len() / 2,
+            "{}",
+            cell.candidates_tested
+        );
     }
 
     #[test]
@@ -144,7 +159,14 @@ mod tests {
         let region = Aabb::cube(n as f64);
         let grid = CandidateGrid::build(region, &pts, 2.0);
         let center_idx = (n / 2) + n * ((n / 2) + n * (n / 2));
-        let cell = compute_cell(pts[center_idx], center_idx as u32, &pts, &grid, &region, 1e-9);
+        let cell = compute_cell(
+            pts[center_idx],
+            center_idx as u32,
+            &pts,
+            &grid,
+            &region,
+            1e-9,
+        );
         assert!(cell.complete);
         assert!(cell.poly.check_closed());
         assert!(cell.candidates_tested < 150, "{}", cell.candidates_tested);

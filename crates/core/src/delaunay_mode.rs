@@ -73,7 +73,12 @@ pub fn delaunay_block(
     let n_own = own.len();
 
     if pts.len() < 4 {
-        return Ok(DelaunayBlock { gid, bounds, tets: Vec::new(), uncertified: 0 });
+        return Ok(DelaunayBlock {
+            gid,
+            bounds,
+            tets: Vec::new(),
+            uncertified: 0,
+        });
     }
     let dt = Delaunay::new(&pts)?;
 
@@ -118,7 +123,12 @@ pub fn delaunay_block(
         tets.push(sorted);
     }
     tets.sort_unstable();
-    Ok(DelaunayBlock { gid, bounds, tets, uncertified })
+    Ok(DelaunayBlock {
+        gid,
+        bounds,
+        tets,
+        uncertified,
+    })
 }
 
 #[cfg(test)]
@@ -177,8 +187,7 @@ mod tests {
                 for (&g, own) in &local {
                     let empty = Vec::new();
                     let gh = ghosts.get(&g).unwrap_or(&empty);
-                    let block =
-                        delaunay_block(g, dec_ref.block_bounds(g), own, gh, ghost).unwrap();
+                    let block = delaunay_block(g, dec_ref.block_bounds(g), own, gh, ghost).unwrap();
                     tets.extend(block.tets);
                 }
                 tets
@@ -230,9 +239,7 @@ mod tests {
         let total: f64 = block
             .tets
             .iter()
-            .map(|t| {
-                geometry::measures::tetra_volume(pos(t[0]), pos(t[1]), pos(t[2]), pos(t[3]))
-            })
+            .map(|t| geometry::measures::tetra_volume(pos(t[0]), pos(t[1]), pos(t[2]), pos(t[3])))
             .sum();
         assert!((total - 64.0).abs() < 1e-6, "total {total}");
     }

@@ -4,7 +4,6 @@ use std::collections::BTreeMap;
 
 use diy::comm::{Runtime, World};
 use diy::decomposition::{Assignment, Decomposition};
-use diy::timing::ThreadTimer;
 use geometry::{Aabb, Vec3};
 
 use crate::block::tessellate_block;
@@ -13,23 +12,23 @@ use crate::model::MeshBlock;
 use crate::params::{GhostSpec, TessParams};
 use crate::stats::TessStats;
 
-/// Per-rank timing breakdown in thread-CPU seconds (see
-/// [`diy::timing`] for why CPU time rather than wall clock).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct TessTiming {
-    /// Particle exchange (serialization + routing).
-    pub exchange_s: f64,
-    /// Local Voronoi computation.
-    pub compute_s: f64,
-}
+/// Phase span covering ghost resolution + particle exchange (see
+/// [`diy::metrics`]).
+pub const PHASE_GHOST_EXCHANGE: &str = "ghost_exchange";
+/// Phase span covering the local Voronoi computation.
+pub const PHASE_VORONOI: &str = "voronoi";
+/// Phase span covering the collective tessellation write
+/// ([`crate::io::write_tessellation`]).
+pub const PHASE_OUTPUT: &str = "output";
 
-/// Result of one tessellation pass on one rank.
+/// Result of one tessellation pass on one rank. Timing lives in the
+/// world's metrics under the [`PHASE_GHOST_EXCHANGE`] / [`PHASE_VORONOI`]
+/// spans; collect it with [`diy::metrics::collect_report`].
 pub struct TessResult {
     /// Tessellated blocks owned by this rank.
     pub blocks: BTreeMap<u64, MeshBlock>,
     /// This rank's counters (merge across ranks for global stats).
     pub stats: TessStats,
-    pub timing: TessTiming,
     /// The ghost size actually used (resolved if `GhostSpec::Auto`).
     pub ghost_used: f64,
 }
@@ -70,15 +69,17 @@ pub fn tessellate(
     local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
     params: &TessParams,
 ) -> TessResult {
-    let ghost = resolve_ghost(world, dec, local, params.ghost);
+    let metrics = world.metrics();
+    let (ghost, ghosts) = {
+        let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+        let ghost = resolve_ghost(world, dec, local, params.ghost);
+        let ghosts = exchange_ghosts(world, dec, asn, local, ghost);
+        (ghost, ghosts)
+    };
 
-    let mut t_exchange = ThreadTimer::new();
-    let ghosts = t_exchange.time(|| exchange_ghosts(world, dec, asn, local, ghost));
-
-    let mut t_compute = ThreadTimer::new();
+    let _span = metrics.phase(PHASE_VORONOI);
     let mut blocks = BTreeMap::new();
     let mut stats = TessStats::default();
-    t_compute.start();
     for (&gid, own) in local {
         let empty = Vec::new();
         let g = ghosts.get(&gid).unwrap_or(&empty);
@@ -86,15 +87,10 @@ pub fn tessellate(
         stats = stats.merge(s);
         blocks.insert(gid, block);
     }
-    t_compute.stop();
 
     TessResult {
         blocks,
         stats,
-        timing: TessTiming {
-            exchange_s: t_exchange.seconds(),
-            compute_s: t_compute.seconds(),
-        },
         ghost_used: ghost,
     }
 }
@@ -178,7 +174,10 @@ mod tests {
                     rng.gen_range(-amp..amp),
                 );
                 let ng = n as f64;
-                (id, Vec3::new(q.x.rem_euclid(ng), q.y.rem_euclid(ng), q.z.rem_euclid(ng)))
+                (
+                    id,
+                    Vec3::new(q.x.rem_euclid(ng), q.y.rem_euclid(ng), q.z.rem_euclid(ng)),
+                )
             })
             .collect()
     }
@@ -325,8 +324,7 @@ mod tests {
         let n = 6;
         let particles = jittered(n, 21, 0.49);
         let params = TessParams::default(); // Auto { factor: 5 }
-        let (_, stats) =
-            tessellate_serial(&particles, Aabb::cube(n as f64), [true; 3], &params);
+        let (_, stats) = tessellate_serial(&particles, Aabb::cube(n as f64), [true; 3], &params);
         assert_eq!(stats.incomplete, 0);
         assert_eq!(stats.cells, (n * n * n) as u64);
     }

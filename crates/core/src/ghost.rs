@@ -39,10 +39,8 @@ pub fn exchange_ghosts(
     }
     let received = ex.exchange(world, outgoing);
     // Ensure every owned block has an entry, even with no ghosts.
-    let mut out: BTreeMap<u64, Vec<GhostParticle>> = local
-        .keys()
-        .map(|&gid| (gid, Vec::new()))
-        .collect();
+    let mut out: BTreeMap<u64, Vec<GhostParticle>> =
+        local.keys().map(|&gid| (gid, Vec::new())).collect();
     for (gid, items) in received {
         out.insert(gid, items);
     }
@@ -61,10 +59,8 @@ mod tests {
         rank: usize,
         all: &[(u64, Vec3)],
     ) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
-        let mut m: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
-            .blocks_of_rank(rank)
-            .map(|g| (g, Vec::new()))
-            .collect();
+        let mut m: BTreeMap<u64, Vec<(u64, Vec3)>> =
+            asn.blocks_of_rank(rank).map(|g| (g, Vec::new())).collect();
         for &(id, p) in all {
             let gid = dec.block_of_point(p);
             if let Some(v) = m.get_mut(&gid) {

@@ -14,15 +14,15 @@ use diy::comm::World;
 use crate::model::MeshBlock;
 
 /// Collectively write this rank's blocks; returns total file bytes.
+/// Recorded under the [`crate::driver::PHASE_OUTPUT`] metrics span.
 pub fn write_tessellation(
     world: &mut World,
     path: &Path,
     blocks: &BTreeMap<u64, MeshBlock>,
 ) -> io::Result<u64> {
-    let payloads: Vec<(u64, Vec<u8>)> = blocks
-        .iter()
-        .map(|(&gid, b)| (gid, b.to_bytes()))
-        .collect();
+    let _span = world.metrics().phase(crate::driver::PHASE_OUTPUT);
+    let payloads: Vec<(u64, Vec<u8>)> =
+        blocks.iter().map(|(&gid, b)| (gid, b.to_bytes())).collect();
     diy::io::write_blocks(world, path, &payloads)
 }
 
@@ -119,7 +119,10 @@ mod tests {
             let params = TessParams::default().with_ghost(2.0);
             let r = tessellate(world, &dec, &asn, &local, &params);
             let bytes = write_tessellation(world, &path2, &r.blocks).unwrap();
-            (bytes, r.blocks.values().map(|b| b.cells.len()).sum::<usize>())
+            (
+                bytes,
+                r.blocks.values().map(|b| b.cells.len()).sum::<usize>(),
+            )
         });
         // both ranks report the same file size
         assert_eq!(totals[0].0, totals[1].0);

@@ -39,8 +39,10 @@ pub mod model;
 pub mod params;
 pub mod stats;
 
-pub use driver::{tessellate, tessellate_serial, TessResult, TessTiming};
+pub use delaunay_mode::{delaunay_block, DelaunayBlock};
+pub use driver::{
+    tessellate, tessellate_serial, TessResult, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI,
+};
 pub use model::{Cell, Face, MeshBlock, NO_NEIGHBOR};
 pub use params::{GhostSpec, HullMode, TessParams};
-pub use delaunay_mode::{delaunay_block, DelaunayBlock};
 pub use stats::TessStats;

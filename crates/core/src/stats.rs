@@ -81,8 +81,18 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = TessStats { sites: 1, cells: 2, verts: 3, ..Default::default() };
-        let b = TessStats { sites: 10, cells: 20, faces: 5, ..Default::default() };
+        let a = TessStats {
+            sites: 1,
+            cells: 2,
+            verts: 3,
+            ..Default::default()
+        };
+        let b = TessStats {
+            sites: 10,
+            cells: 20,
+            faces: 5,
+            ..Default::default()
+        };
         let m = a.merge(b);
         assert_eq!(m.sites, 11);
         assert_eq!(m.cells, 22);

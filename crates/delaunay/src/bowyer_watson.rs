@@ -36,7 +36,10 @@ impl std::fmt::Display for DelaunayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DelaunayError::Empty => write!(f, "no input points"),
-            DelaunayError::OutOfBounds(i) => write!(f, "point {i} is outside the enclosing tetrahedron (non-finite?)"),
+            DelaunayError::OutOfBounds(i) => write!(
+                f,
+                "point {i} is outside the enclosing tetrahedron (non-finite?)"
+            ),
         }
     }
 }
@@ -99,7 +102,11 @@ impl Delaunay {
         let mut dt = Delaunay {
             points: all_points,
             nreal,
-            tets: vec![Tet { v: v0, adj: [NONE; 4], alive: true }],
+            tets: vec![Tet {
+                v: v0,
+                adj: [NONE; 4],
+                alive: true,
+            }],
             last_alive: 0,
             duplicate_of: vec![None; nreal],
         };
@@ -308,7 +315,7 @@ impl Delaunay {
             let tet = Tet {
                 v: [f[0], f[1], f[2], pid],
                 adj: [NONE, NONE, NONE, outside],
-            // adj[3] (face opposite p = the boundary face f) = outside tet
+                // adj[3] (face opposite p = the boundary face f) = outside tet
                 alive: true,
             };
             self.tets.push(tet);
@@ -452,9 +459,7 @@ mod tests {
     fn total_volume(dt: &Delaunay) -> f64 {
         dt.tetrahedra()
             .iter()
-            .map(|&[a, b, c, d]| {
-                tetra_volume(dt.point(a), dt.point(b), dt.point(c), dt.point(d))
-            })
+            .map(|&[a, b, c, d]| tetra_volume(dt.point(a), dt.point(b), dt.point(c), dt.point(d)))
             .sum()
     }
 
@@ -481,7 +486,11 @@ mod tests {
         assert!(dt.check_topology());
         assert!(dt.check_delaunay());
         // union of real tets fills the cube
-        assert!((total_volume(&dt) - 1.0).abs() < 1e-9, "vol {}", total_volume(&dt));
+        assert!(
+            (total_volume(&dt) - 1.0).abs() < 1e-9,
+            "vol {}",
+            total_volume(&dt)
+        );
     }
 
     #[test]
@@ -489,15 +498,18 @@ mod tests {
         let n = 3;
         let pts: Vec<Vec3> = (0..n)
             .flat_map(|i| {
-                (0..n).flat_map(move |j| {
-                    (0..n).map(move |k| Vec3::new(i as f64, j as f64, k as f64))
-                })
+                (0..n)
+                    .flat_map(move |j| (0..n).map(move |k| Vec3::new(i as f64, j as f64, k as f64)))
             })
             .collect();
         let dt = Delaunay::new(&pts).unwrap();
         assert!(dt.check_topology());
         assert!(dt.check_delaunay());
-        assert!((total_volume(&dt) - 8.0).abs() < 1e-9, "vol {}", total_volume(&dt));
+        assert!(
+            (total_volume(&dt) - 8.0).abs() < 1e-9,
+            "vol {}",
+            total_volume(&dt)
+        );
     }
 
     #[test]
@@ -549,9 +561,8 @@ mod tests {
         let n = 3;
         let pts: Vec<Vec3> = (0..n)
             .flat_map(|k| {
-                (0..n).flat_map(move |j| {
-                    (0..n).map(move |i| Vec3::new(i as f64, j as f64, k as f64))
-                })
+                (0..n)
+                    .flat_map(move |j| (0..n).map(move |i| Vec3::new(i as f64, j as f64, k as f64)))
             })
             .collect();
         let dt = Delaunay::new(&pts).unwrap();

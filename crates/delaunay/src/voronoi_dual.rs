@@ -31,14 +31,19 @@ impl DualCell {
 
     /// Cell surface area via the hull.
     pub fn surface_area(&self) -> Option<f64> {
-        convex_hull(&self.vertices, 1e-9).ok().map(|h| h.surface_area())
+        convex_hull(&self.vertices, 1e-9)
+            .ok()
+            .map(|h| h.surface_area())
     }
 }
 
 /// Extract the finite Voronoi cell of real point `site`, or `None` when the
 /// cell is unbounded (touches the enclosing tetrahedron).
 pub fn voronoi_cell(dt: &Delaunay, site: u32) -> Option<DualCell> {
-    assert!((site as usize) < dt.num_points(), "site must be a real point");
+    assert!(
+        (site as usize) < dt.num_points(),
+        "site must be a real point"
+    );
     if dt.duplicate_of(site).is_some() {
         return None;
     }
@@ -81,9 +86,8 @@ mod tests {
         let n = 5;
         let pts: Vec<Vec3> = (0..n)
             .flat_map(|k| {
-                (0..n).flat_map(move |j| {
-                    (0..n).map(move |i| Vec3::new(i as f64, j as f64, k as f64))
-                })
+                (0..n)
+                    .flat_map(move |j| (0..n).map(move |i| Vec3::new(i as f64, j as f64, k as f64)))
             })
             .collect();
         let dt = Delaunay::new(&pts).unwrap();
@@ -155,7 +159,11 @@ mod tests {
             .collect();
         let dt = Delaunay::new(&pts).unwrap();
         let cells = all_finite_cells(&dt);
-        assert!(cells.len() > 10, "expect interior cells, got {}", cells.len());
+        assert!(
+            cells.len() > 10,
+            "expect interior cells, got {}",
+            cells.len()
+        );
         for c in &cells {
             if let Some(v) = c.volume() {
                 // Cells near the hull are finite but can extend well beyond
@@ -170,7 +178,9 @@ mod tests {
             .iter()
             .filter(|c| {
                 c.vertices.iter().all(|v| {
-                    (0.0..5.0).contains(&v.x) && (0.0..5.0).contains(&v.y) && (0.0..5.0).contains(&v.z)
+                    (0.0..5.0).contains(&v.x)
+                        && (0.0..5.0).contains(&v.y)
+                        && (0.0..5.0).contains(&v.z)
                 })
             })
             .collect();

@@ -43,7 +43,10 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
         }
@@ -296,7 +299,7 @@ mod tests {
         roundtrip(u64::MAX / 3);
         roundtrip(-123i32);
         roundtrip(i64::MIN);
-        roundtrip(3.14159f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(f64::NEG_INFINITY);
         roundtrip(true);
         roundtrip(false);

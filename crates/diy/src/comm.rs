@@ -13,24 +13,17 @@
 //! every collective and the [`crate::exchange`] layer sort received data by
 //! source rank, so algorithm results are reproducible run to run.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::codec::{Decode, Encode};
+use crate::metrics::MetricsHandle;
 
 struct Envelope {
     from: usize,
     tag: u64,
     bytes: Vec<u8>,
-}
-
-/// Shared counters for transport statistics (read after the run).
-#[derive(Debug, Default)]
-pub struct CommStats {
-    pub messages: AtomicU64,
-    pub bytes: AtomicU64,
 }
 
 /// Entry point for SPMD execution.
@@ -54,15 +47,6 @@ impl Runtime {
         R: Send,
         F: Fn(&mut World) -> R + Sync,
     {
-        Self::run_with_stats(nranks, f).0
-    }
-
-    /// Like [`Runtime::run`] but also returns transport statistics.
-    pub fn run_with_stats<R, F>(nranks: usize, f: F) -> (Vec<R>, (u64, u64))
-    where
-        R: Send,
-        F: Fn(&mut World) -> R + Sync,
-    {
         assert!(nranks > 0, "need at least one rank");
         let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(nranks);
         let mut rxs: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(nranks);
@@ -72,7 +56,6 @@ impl Runtime {
             rxs.push(Some(rx));
         }
         let barrier = Arc::new(Barrier::new(nranks));
-        let stats = Arc::new(CommStats::default());
 
         let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -81,7 +64,6 @@ impl Runtime {
                 let rx = rx.take().expect("receiver taken once");
                 let txs = txs.clone();
                 let barrier = Arc::clone(&barrier);
-                let stats = Arc::clone(&stats);
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut world = World {
@@ -92,7 +74,7 @@ impl Runtime {
                         pending: Vec::new(),
                         barrier,
                         coll_seq: 0,
-                        stats,
+                        metrics: MetricsHandle::new(),
                     };
                     f(&mut world)
                 }));
@@ -104,12 +86,10 @@ impl Runtime {
                 }
             }
         });
-        let msg = stats.messages.load(Ordering::Relaxed);
-        let bytes = stats.bytes.load(Ordering::Relaxed);
-        (
-            results.into_iter().map(|r| r.expect("rank completed")).collect(),
-            (msg, bytes),
-        )
+        results
+            .into_iter()
+            .map(|r| r.expect("rank completed"))
+            .collect()
     }
 }
 
@@ -125,7 +105,8 @@ pub struct World {
     /// Collective sequence number; identical across ranks because all ranks
     /// execute collectives in the same (SPMD) order.
     coll_seq: u64,
-    stats: Arc<CommStats>,
+    /// Per-rank observability (phase spans + transport counters).
+    metrics: MetricsHandle,
 }
 
 /// Tag bit reserved for internal collective traffic.
@@ -140,6 +121,21 @@ impl World {
         self.nranks
     }
 
+    /// This rank's metrics handle. The returned clone shares state with the
+    /// `World`, so a span can stay open across `&mut self` collective calls:
+    ///
+    /// ```
+    /// use diy::comm::Runtime;
+    ///
+    /// Runtime::run(2, |world| {
+    ///     let _span = world.metrics().phase("reduce");
+    ///     world.all_reduce(1u64, |a, b| a + b)
+    /// });
+    /// ```
+    pub fn metrics(&self) -> MetricsHandle {
+        self.metrics.clone()
+    }
+
     /// Send raw bytes to `to` with a user `tag` (must not set the top bit).
     pub fn send_bytes(&self, to: usize, tag: u64, bytes: Vec<u8>) {
         debug_assert!(tag & COLLECTIVE_BIT == 0, "top tag bit is reserved");
@@ -147,26 +143,37 @@ impl World {
     }
 
     fn send_raw(&self, to: usize, tag: u64, bytes: Vec<u8>) {
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.metrics.on_send(tag, bytes.len());
         self.txs[to]
-            .send(Envelope { from: self.rank, tag, bytes })
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                bytes,
+            })
             .expect("receiver alive for the duration of the run");
     }
 
     /// Blocking receive of the next message from `from` with tag `tag`.
-    /// Out-of-order messages are buffered, so interleavings cannot drop data.
+    /// Out-of-order messages are buffered, so interleavings cannot drop
+    /// data. Metrics count the message when it is consumed here, so it is
+    /// charged to the phase that waited for it.
     pub fn recv_bytes(&mut self, from: usize, tag: u64) -> Vec<u8> {
         if let Some(i) = self
             .pending
             .iter()
             .position(|e| e.from == from && e.tag == tag)
         {
-            return self.pending.remove(i).bytes;
+            let bytes = self.pending.remove(i).bytes;
+            self.metrics.on_recv(tag, bytes.len());
+            return bytes;
         }
         loop {
-            let env = self.rx.recv().expect("senders alive for the duration of the run");
+            let env = self
+                .rx
+                .recv()
+                .expect("senders alive for the duration of the run");
             if env.from == from && env.tag == tag {
+                self.metrics.on_recv(tag, env.bytes.len());
                 return env.bytes;
             }
             self.pending.push(env);
@@ -187,10 +194,12 @@ impl World {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        self.metrics.on_collective();
         self.barrier.wait();
     }
 
     fn next_coll_tag(&mut self) -> u64 {
+        self.metrics.on_collective();
         let tag = COLLECTIVE_BIT | self.coll_seq;
         self.coll_seq += 1;
         tag
@@ -203,9 +212,9 @@ impl World {
         if self.rank == root {
             let mut out: Vec<Option<T>> = (0..self.nranks).map(|_| None).collect();
             out[root] = Some(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
-            for from in 0..self.nranks {
+            for (from, slot) in out.iter_mut().enumerate() {
                 if from != root {
-                    out[from] = Some(self.recv(from, tag));
+                    *slot = Some(self.recv(from, tag));
                 }
             }
             Some(out.into_iter().map(|v| v.expect("gathered")).collect())
@@ -269,13 +278,22 @@ impl World {
         let tag = self.next_coll_tag();
         for (to, bytes) in outgoing.into_iter().enumerate() {
             if to == self.rank {
-                // deliver locally below
-                self.pending.push(Envelope { from: self.rank, tag, bytes });
+                // Deliver locally below. Count the send here (the matching
+                // receive is counted when `recv_bytes` consumes it) so the
+                // global sent == received invariant holds.
+                self.metrics.on_send(tag, bytes.len());
+                self.pending.push(Envelope {
+                    from: self.rank,
+                    tag,
+                    bytes,
+                });
             } else {
                 self.send_raw(to, tag, bytes);
             }
         }
-        (0..self.nranks).map(|from| self.recv_bytes(from, tag)).collect()
+        (0..self.nranks)
+            .map(|from| self.recv_bytes(from, tag))
+            .collect()
     }
 }
 
@@ -369,9 +387,8 @@ mod tests {
     #[test]
     fn all_to_all_delivers_per_source() {
         Runtime::run(3, |w| {
-            let outgoing: Vec<Vec<u8>> = (0..3)
-                .map(|to| vec![(w.rank() * 10 + to) as u8])
-                .collect();
+            let outgoing: Vec<Vec<u8>> =
+                (0..3).map(|to| vec![(w.rank() * 10 + to) as u8]).collect();
             let incoming = w.all_to_all(outgoing);
             for (from, buf) in incoming.iter().enumerate() {
                 assert_eq!(buf, &vec![(from * 10 + w.rank()) as u8]);
@@ -390,16 +407,21 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_messages() {
-        let (_, (msgs, bytes)) = Runtime::run_with_stats(2, |w| {
+    fn metrics_count_messages() {
+        let snaps = Runtime::run(2, |w| {
             if w.rank() == 0 {
                 w.send(1, 1, &vec![0u8; 100]);
             } else {
                 let _: Vec<u8> = w.recv(0, 1);
             }
+            w.metrics().snapshot()
         });
-        assert_eq!(msgs, 1);
-        assert_eq!(bytes, 108); // 8-byte length prefix + 100 payload
+        let sent = snaps[0].totals();
+        let recv = snaps[1].totals();
+        assert_eq!(sent.msgs_sent, 1);
+        assert_eq!(sent.bytes_sent, 108); // 8-byte length prefix + 100 payload
+        assert_eq!(recv.msgs_recv, 1);
+        assert_eq!(recv.bytes_recv, 108);
     }
 
     #[test]

@@ -37,13 +37,24 @@ impl Decomposition {
     pub fn regular(domain: Aabb, nblocks: usize, periodic: [bool; 3]) -> Self {
         assert!(nblocks > 0, "need at least one block");
         let dims = factor3(nblocks);
-        Decomposition { domain, dims, periodic }
+        Decomposition {
+            domain,
+            dims,
+            periodic,
+        }
     }
 
     /// Decompose with explicit per-dimension block counts.
     pub fn with_dims(domain: Aabb, dims: [usize; 3], periodic: [bool; 3]) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "block grid dims must be positive");
-        Decomposition { domain, dims, periodic }
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "block grid dims must be positive"
+        );
+        Decomposition {
+            domain,
+            dims,
+            periodic,
+        }
     }
 
     pub fn nblocks(&self) -> usize {
@@ -175,11 +186,11 @@ pub fn factor3(n: usize) -> [usize; 3] {
     // Enumerate all factorizations a*b*c = n with a <= b <= c.
     let mut a = 1;
     while a * a * a <= n {
-        if n % a == 0 {
+        if n.is_multiple_of(a) {
             let m = n / a;
             let mut b = a;
             while b * b <= m {
-                if m % b == 0 {
+                if m.is_multiple_of(b) {
                     let c = m / b;
                     let score = c - a; // minimize spread
                     if score < best_score {

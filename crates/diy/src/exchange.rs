@@ -140,8 +140,7 @@ mod tests {
         let results = Runtime::run(2, |w| {
             let ex = NeighborExchange::new(&dec, &asn);
             // every rank sends its rank number to every block
-            let outgoing: Vec<(u64, u64)> =
-                (0..4u64).map(|gid| (gid, w.rank() as u64)).collect();
+            let outgoing: Vec<(u64, u64)> = (0..4u64).map(|gid| (gid, w.rank() as u64)).collect();
             let got = ex.exchange(w, outgoing);
             // this rank owns 2 blocks; each received one item from each rank
             let mut gids: Vec<u64> = got.keys().copied().collect();

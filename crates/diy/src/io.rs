@@ -57,11 +57,7 @@ impl Decode for BlockRecord {
 ///
 /// Returns the total bytes written (same value on every rank). Must be
 /// called by all ranks of `world`.
-pub fn write_blocks(
-    world: &mut World,
-    path: &Path,
-    blocks: &[(u64, Vec<u8>)],
-) -> io::Result<u64> {
+pub fn write_blocks(world: &mut World, path: &Path, blocks: &[(u64, Vec<u8>)]) -> io::Result<u64> {
     let my_size: u64 = blocks.iter().map(|(_, b)| b.len() as u64).sum();
     let (my_offset, total_payload) = world.exclusive_scan_u64(my_size);
 
@@ -126,12 +122,18 @@ pub fn read_index(path: &Path) -> io::Result<Vec<BlockRecord>> {
     let footer_offset = u64::decode(&mut r).map_err(invalid)?;
     let magic = u64::decode(&mut r).map_err(invalid)?;
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trailer magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trailer magic",
+        ));
     }
     let mut header = [0u8; 8];
     file.read_exact_at(&mut header, 0)?;
     if u64::from_le_bytes(header) != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad header magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad header magic",
+        ));
     }
     let footer_len = flen - TRAILER_LEN - footer_offset;
     let mut footer = vec![0u8; footer_len as usize];
@@ -159,10 +161,7 @@ pub fn read_all_blocks(path: &Path) -> io::Result<Vec<(u64, Vec<u8>)>> {
 
 /// Collective read: each rank reads the blocks a contiguous partition of the
 /// index assigns to it (independent of the writer's rank count).
-pub fn read_blocks_parallel(
-    world: &mut World,
-    path: &Path,
-) -> io::Result<Vec<(u64, Vec<u8>)>> {
+pub fn read_blocks_parallel(world: &mut World, path: &Path) -> io::Result<Vec<(u64, Vec<u8>)>> {
     let index = read_index(path)?;
     let n = index.len();
     let lo = world.rank() * n / world.nranks();

@@ -22,6 +22,7 @@ pub mod comm;
 pub mod decomposition;
 pub mod exchange;
 pub mod io;
+pub mod metrics;
 pub mod reduce;
 pub mod timing;
 
@@ -29,3 +30,4 @@ pub use codec::{Decode, Encode, Reader};
 pub use comm::{Runtime, World};
 pub use decomposition::{Assignment, Decomposition, Neighbor};
 pub use exchange::NeighborExchange;
+pub use metrics::{collect_report, MetricsHandle, RunReport};

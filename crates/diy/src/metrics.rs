@@ -1,0 +1,671 @@
+//! Structured per-rank observability: named phase spans and transport
+//! counters, mergeable into a global [`RunReport`].
+//!
+//! The paper's Table II breaks the in-situ run into phases (simulation,
+//! particle exchange, Voronoi computation, output) and attributes time and
+//! communication volume to each. This module is the machinery behind that
+//! breakdown:
+//!
+//! * **Phase spans** — RAII guards ([`MetricsHandle::phase`]) backed by the
+//!   per-thread CPU clock ([`crate::timing`]). Spans nest; a phase's CPU
+//!   time is *inclusive* of its children, so sibling spans tile their
+//!   parent.
+//! * **Transport counters** — every byte that crosses a rank boundary
+//!   through [`crate::comm::World`] (point-to-point sends and receives,
+//!   plus every collective built on them) is counted against the innermost
+//!   open phase of the rank doing the sending or receiving, and against the
+//!   message tag. The local self-delivery inside `all_to_all` is counted on
+//!   both sides so global send/receive totals stay conserved.
+//! * **Reduction** — [`collect_report`] snapshots each rank and merges the
+//!   snapshots up the existing reduction tree into one [`RunReport`]:
+//!   per-phase CPU max (the critical path) and sum, message/byte totals,
+//!   and per-tag traffic. The report is [`Encode`]/[`Decode`]
+//!   round-trippable and serializes to JSON ([`RunReport::to_json`]).
+//!
+//! ## Invariants the report exposes
+//!
+//! * **Conservation** — for every tag, global messages and bytes sent equal
+//!   messages and bytes received ([`RunReport::is_conserved`]). A violation
+//!   means a message was dropped or double-counted — a transport bug.
+//! * **Determinism** — at a fixed rank count the counter portion of the
+//!   report is identical run to run; [`RunReport::normalized`] zeroes the
+//!   (inherently noisy) CPU fields so two reports can be compared exactly.
+//!
+//! Counters are attributed when a message is *consumed*, not when it is
+//! buffered, so a receive that arrives early is still charged to the phase
+//! that waited for it.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::codec::{CodecError, Decode, Encode, Reader};
+use crate::comm::World;
+use crate::timing::thread_cpu_time;
+
+/// Phase name charged with activity that happens outside any open span.
+pub const UNPHASED: &str = "(unphased)";
+
+/// Counters accumulated by one rank for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counters {
+    /// Inclusive thread-CPU seconds spent inside this span.
+    pub cpu_s: f64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+    /// Collective rounds entered (barriers plus tag-allocating collectives).
+    pub collectives: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Open spans, innermost last: (name, thread-CPU at entry).
+    stack: Vec<(String, f64)>,
+    phases: BTreeMap<String, Counters>,
+    /// tag → (messages, bytes) on the send side.
+    sent_by_tag: BTreeMap<u64, (u64, u64)>,
+    /// tag → (messages, bytes) on the receive side.
+    recv_by_tag: BTreeMap<u64, (u64, u64)>,
+}
+
+impl Inner {
+    fn current(&mut self) -> &mut Counters {
+        let key = self
+            .stack
+            .last()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| UNPHASED.to_string());
+        self.phases.entry(key).or_default()
+    }
+}
+
+/// Cloneable handle to one rank's metrics. Stored inside [`World`];
+/// cloning is cheap (`Rc`), so a [`PhaseGuard`] can outlive any borrow of
+/// the `World` it came from.
+#[derive(Clone, Default)]
+pub struct MetricsHandle(Rc<RefCell<Inner>>);
+
+impl MetricsHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a named span; it closes (and records its inclusive thread-CPU
+    /// time) when the returned guard drops. Guards must drop in LIFO order
+    /// — let scopes do it.
+    pub fn phase(&self, name: impl Into<String>) -> PhaseGuard {
+        self.0
+            .borrow_mut()
+            .stack
+            .push((name.into(), thread_cpu_time()));
+        PhaseGuard {
+            handle: self.clone(),
+        }
+    }
+
+    pub(crate) fn on_send(&self, tag: u64, len: usize) {
+        let mut m = self.0.borrow_mut();
+        let c = m.current();
+        c.msgs_sent += 1;
+        c.bytes_sent += len as u64;
+        let e = m.sent_by_tag.entry(tag).or_default();
+        e.0 += 1;
+        e.1 += len as u64;
+    }
+
+    pub(crate) fn on_recv(&self, tag: u64, len: usize) {
+        let mut m = self.0.borrow_mut();
+        let c = m.current();
+        c.msgs_recv += 1;
+        c.bytes_recv += len as u64;
+        let e = m.recv_by_tag.entry(tag).or_default();
+        e.0 += 1;
+        e.1 += len as u64;
+    }
+
+    pub(crate) fn on_collective(&self) {
+        self.0.borrow_mut().current().collectives += 1;
+    }
+
+    /// Copy of this rank's accumulated metrics. Open spans contribute only
+    /// activity recorded so far (their CPU time lands when they close).
+    pub fn snapshot(&self) -> RankMetrics {
+        let m = self.0.borrow();
+        RankMetrics {
+            phases: m.phases.clone(),
+            sent_by_tag: m.sent_by_tag.clone(),
+            recv_by_tag: m.recv_by_tag.clone(),
+        }
+    }
+}
+
+/// Closes its span on drop; see [`MetricsHandle::phase`].
+pub struct PhaseGuard {
+    handle: MetricsHandle,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let mut m = self.handle.0.borrow_mut();
+        let (name, start) = m.stack.pop().expect("phase guards drop in LIFO order");
+        let dt = thread_cpu_time() - start;
+        m.phases.entry(name).or_default().cpu_s += dt;
+    }
+}
+
+/// One rank's metrics, detached from the live handle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankMetrics {
+    pub phases: BTreeMap<String, Counters>,
+    pub sent_by_tag: BTreeMap<u64, (u64, u64)>,
+    pub recv_by_tag: BTreeMap<u64, (u64, u64)>,
+}
+
+impl RankMetrics {
+    /// Sum of all per-phase counters (CPU sums are over inclusive spans,
+    /// so nested phases double-count CPU; the transport counters each count
+    /// a message exactly once).
+    pub fn totals(&self) -> Counters {
+        let mut t = Counters::default();
+        for c in self.phases.values() {
+            t.cpu_s += c.cpu_s;
+            t.msgs_sent += c.msgs_sent;
+            t.bytes_sent += c.bytes_sent;
+            t.msgs_recv += c.msgs_recv;
+            t.bytes_recv += c.bytes_recv;
+            t.collectives += c.collectives;
+        }
+        t
+    }
+}
+
+/// Per-phase entry of a merged [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseReport {
+    pub name: String,
+    /// Max over ranks of inclusive thread-CPU seconds — the critical path.
+    pub cpu_max_s: f64,
+    /// Sum over ranks (total work).
+    pub cpu_sum_s: f64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+    pub collectives: u64,
+}
+
+impl PhaseReport {
+    /// Load imbalance: critical path over mean rank time (1.0 = perfectly
+    /// balanced, `nranks` = one rank did everything).
+    pub fn imbalance(&self, nranks: u64) -> f64 {
+        if self.cpu_sum_s <= 0.0 || nranks == 0 {
+            1.0
+        } else {
+            self.cpu_max_s / (self.cpu_sum_s / nranks as f64)
+        }
+    }
+}
+
+/// Global traffic for one message tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagTraffic {
+    pub tag: u64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+}
+
+/// The merged, run-level view: what Table II's columns are derived from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Ranks merged into this report.
+    pub nranks: u64,
+    /// Sorted by phase name.
+    pub phases: Vec<PhaseReport>,
+    /// Sorted by tag.
+    pub tags: Vec<TagTraffic>,
+}
+
+impl RunReport {
+    /// A single-rank report (max = sum = that rank's time).
+    pub fn from_rank(m: &RankMetrics) -> RunReport {
+        let phases = m
+            .phases
+            .iter()
+            .map(|(name, c)| PhaseReport {
+                name: name.clone(),
+                cpu_max_s: c.cpu_s,
+                cpu_sum_s: c.cpu_s,
+                msgs_sent: c.msgs_sent,
+                bytes_sent: c.bytes_sent,
+                msgs_recv: c.msgs_recv,
+                bytes_recv: c.bytes_recv,
+                collectives: c.collectives,
+            })
+            .collect();
+        let mut tag_set: std::collections::BTreeSet<u64> = m.sent_by_tag.keys().copied().collect();
+        tag_set.extend(m.recv_by_tag.keys().copied());
+        let tags = tag_set
+            .into_iter()
+            .map(|tag| {
+                let s = m.sent_by_tag.get(&tag).copied().unwrap_or_default();
+                let r = m.recv_by_tag.get(&tag).copied().unwrap_or_default();
+                TagTraffic {
+                    tag,
+                    msgs_sent: s.0,
+                    bytes_sent: s.1,
+                    msgs_recv: r.0,
+                    bytes_recv: r.1,
+                }
+            })
+            .collect();
+        RunReport {
+            nranks: 1,
+            phases,
+            tags,
+        }
+    }
+
+    /// Associative merge (both operands keep their lists sorted).
+    pub fn merge(self, o: RunReport) -> RunReport {
+        let mut phases: BTreeMap<String, PhaseReport> = self
+            .phases
+            .into_iter()
+            .map(|p| (p.name.clone(), p))
+            .collect();
+        for p in o.phases {
+            match phases.get_mut(&p.name) {
+                Some(q) => {
+                    q.cpu_max_s = q.cpu_max_s.max(p.cpu_max_s);
+                    q.cpu_sum_s += p.cpu_sum_s;
+                    q.msgs_sent = q.msgs_sent.saturating_add(p.msgs_sent);
+                    q.bytes_sent = q.bytes_sent.saturating_add(p.bytes_sent);
+                    q.msgs_recv = q.msgs_recv.saturating_add(p.msgs_recv);
+                    q.bytes_recv = q.bytes_recv.saturating_add(p.bytes_recv);
+                    q.collectives = q.collectives.saturating_add(p.collectives);
+                }
+                None => {
+                    phases.insert(p.name.clone(), p);
+                }
+            }
+        }
+        let mut tags: BTreeMap<u64, TagTraffic> =
+            self.tags.into_iter().map(|t| (t.tag, t)).collect();
+        for t in o.tags {
+            let e = tags.entry(t.tag).or_insert(TagTraffic {
+                tag: t.tag,
+                ..Default::default()
+            });
+            e.msgs_sent = e.msgs_sent.saturating_add(t.msgs_sent);
+            e.bytes_sent = e.bytes_sent.saturating_add(t.bytes_sent);
+            e.msgs_recv = e.msgs_recv.saturating_add(t.msgs_recv);
+            e.bytes_recv = e.bytes_recv.saturating_add(t.bytes_recv);
+        }
+        RunReport {
+            nranks: self.nranks + o.nranks,
+            phases: phases.into_values().collect(),
+            tags: tags.into_values().collect(),
+        }
+    }
+
+    pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Critical-path seconds of one phase (0 if the phase never ran).
+    pub fn cpu_max(&self, name: &str) -> f64 {
+        self.phase(name).map_or(0.0, |p| p.cpu_max_s)
+    }
+
+    /// Global (messages sent, bytes sent, messages received, bytes
+    /// received) over all tags. Saturating: a decoded report with
+    /// adversarial counters must not panic the reader.
+    pub fn traffic_totals(&self) -> (u64, u64, u64, u64) {
+        self.tags.iter().fold((0u64, 0u64, 0u64, 0u64), |a, t| {
+            (
+                a.0.saturating_add(t.msgs_sent),
+                a.1.saturating_add(t.bytes_sent),
+                a.2.saturating_add(t.msgs_recv),
+                a.3.saturating_add(t.bytes_recv),
+            )
+        })
+    }
+
+    /// Tags whose global send and receive totals disagree.
+    pub fn conservation_violations(&self) -> Vec<TagTraffic> {
+        self.tags
+            .iter()
+            .filter(|t| t.msgs_sent != t.msgs_recv || t.bytes_sent != t.bytes_recv)
+            .copied()
+            .collect()
+    }
+
+    /// True when every byte sent was received, tag by tag.
+    pub fn is_conserved(&self) -> bool {
+        self.conservation_violations().is_empty()
+    }
+
+    /// Copy with all CPU fields zeroed: the deterministic part of the
+    /// report, equal across identical runs at the same rank count.
+    pub fn normalized(&self) -> RunReport {
+        let mut r = self.clone();
+        for p in &mut r.phases {
+            p.cpu_max_s = 0.0;
+            p.cpu_sum_s = 0.0;
+        }
+        r
+    }
+
+    /// JSON rendering. Tags are emitted as strings because collective tags
+    /// use the top bit and would lose precision as JSON doubles.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"nranks\":{},", self.nranks));
+        out.push_str("\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cpu_max_s\":{},\"cpu_sum_s\":{},\"imbalance\":{},\
+                 \"msgs_sent\":{},\"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},\
+                 \"collectives\":{}}}",
+                json_string(&p.name),
+                json_f64(p.cpu_max_s),
+                json_f64(p.cpu_sum_s),
+                json_f64(p.imbalance(self.nranks)),
+                p.msgs_sent,
+                p.bytes_sent,
+                p.msgs_recv,
+                p.bytes_recv,
+                p.collectives,
+            ));
+        }
+        out.push_str("],\"tags\":[");
+        for (i, t) in self.tags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tag\":\"{}\",\"msgs_sent\":{},\"bytes_sent\":{},\
+                 \"msgs_recv\":{},\"bytes_recv\":{}}}",
+                t.tag, t.msgs_sent, t.bytes_sent, t.msgs_recv, t.bytes_recv,
+            ));
+        }
+        let (ms, bs, mr, br) = self.traffic_totals();
+        out.push_str(&format!(
+            "],\"totals\":{{\"msgs_sent\":{ms},\"bytes_sent\":{bs},\
+             \"msgs_recv\":{mr},\"bytes_recv\":{br}}},"
+        ));
+        out.push_str(&format!("\"conserved\":{}}}", self.is_conserved()));
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` prints the shortest string that round-trips the value and
+        // always includes a decimal point or exponent — valid JSON.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Snapshot every rank's metrics and merge them into one [`RunReport`]
+/// (collective). The merge's own messages are recorded *after* the
+/// snapshot, so the returned report does not observe itself.
+pub fn collect_report(world: &mut World) -> RunReport {
+    let local = RunReport::from_rank(&world.metrics().snapshot());
+    crate::reduce::all_reduce_merge(world, local, RunReport::merge)
+}
+
+impl Encode for PhaseReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.cpu_max_s.encode(buf);
+        self.cpu_sum_s.encode(buf);
+        self.msgs_sent.encode(buf);
+        self.bytes_sent.encode(buf);
+        self.msgs_recv.encode(buf);
+        self.bytes_recv.encode(buf);
+        self.collectives.encode(buf);
+    }
+}
+
+impl Decode for PhaseReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PhaseReport {
+            name: String::decode(r)?,
+            cpu_max_s: f64::decode(r)?,
+            cpu_sum_s: f64::decode(r)?,
+            msgs_sent: u64::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            msgs_recv: u64::decode(r)?,
+            bytes_recv: u64::decode(r)?,
+            collectives: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TagTraffic {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tag.encode(buf);
+        self.msgs_sent.encode(buf);
+        self.bytes_sent.encode(buf);
+        self.msgs_recv.encode(buf);
+        self.bytes_recv.encode(buf);
+    }
+}
+
+impl Decode for TagTraffic {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(TagTraffic {
+            tag: u64::decode(r)?,
+            msgs_sent: u64::decode(r)?,
+            bytes_sent: u64::decode(r)?,
+            msgs_recv: u64::decode(r)?,
+            bytes_recv: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for RunReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nranks.encode(buf);
+        self.phases.encode(buf);
+        self.tags.encode(buf);
+    }
+}
+
+impl Decode for RunReport {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RunReport {
+            nranks: u64::decode(r)?,
+            phases: Vec::<PhaseReport>::decode(r)?,
+            tags: Vec::<TagTraffic>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Runtime;
+
+    #[test]
+    fn spans_nest_and_record_inclusive_time() {
+        let m = MetricsHandle::new();
+        {
+            let _outer = m.phase("outer");
+            let mut x = 1u64;
+            {
+                let _inner = m.phase("inner");
+                for i in 1..200_000u64 {
+                    x = x.wrapping_mul(i) ^ (x >> 3);
+                }
+            }
+            for i in 1..200_000u64 {
+                x = x.wrapping_mul(i) ^ (x >> 5);
+            }
+            std::hint::black_box(x);
+        }
+        let s = m.snapshot();
+        let outer = s.phases["outer"].cpu_s;
+        let inner = s.phases["inner"].cpu_s;
+        assert!(outer > 0.0);
+        assert!(inner > 0.0);
+        assert!(inner <= outer, "inclusive: inner {inner} <= outer {outer}");
+    }
+
+    #[test]
+    fn counters_attribute_to_innermost_phase() {
+        let m = MetricsHandle::new();
+        m.on_send(7, 10);
+        {
+            let _a = m.phase("a");
+            m.on_send(7, 20);
+            {
+                let _b = m.phase("b");
+                m.on_recv(7, 30);
+            }
+        }
+        let s = m.snapshot();
+        assert_eq!(s.phases[UNPHASED].msgs_sent, 1);
+        assert_eq!(s.phases[UNPHASED].bytes_sent, 10);
+        assert_eq!(s.phases["a"].bytes_sent, 20);
+        assert_eq!(s.phases["b"].msgs_recv, 1);
+        assert_eq!(s.phases["b"].bytes_recv, 30);
+        assert_eq!(s.sent_by_tag[&7], (2, 30));
+        assert_eq!(s.recv_by_tag[&7], (1, 30));
+    }
+
+    #[test]
+    fn merge_takes_max_and_sum() {
+        let mut a = RankMetrics::default();
+        a.phases.insert(
+            "p".into(),
+            Counters {
+                cpu_s: 2.0,
+                msgs_sent: 3,
+                bytes_sent: 30,
+                ..Default::default()
+            },
+        );
+        let mut b = RankMetrics::default();
+        b.phases.insert(
+            "p".into(),
+            Counters {
+                cpu_s: 5.0,
+                msgs_recv: 3,
+                bytes_recv: 30,
+                ..Default::default()
+            },
+        );
+        let r = RunReport::from_rank(&a).merge(RunReport::from_rank(&b));
+        assert_eq!(r.nranks, 2);
+        let p = r.phase("p").unwrap();
+        assert_eq!(p.cpu_max_s, 5.0);
+        assert_eq!(p.cpu_sum_s, 7.0);
+        assert_eq!(p.msgs_sent, 3);
+        assert_eq!(p.msgs_recv, 3);
+        assert!((p.imbalance(2) - 5.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_counts_point_to_point_conserved() {
+        let reports = Runtime::run(2, |w| {
+            {
+                let _s = w.metrics().phase("talk");
+                if w.rank() == 0 {
+                    w.send(1, 1, &vec![0u8; 100]);
+                } else {
+                    let _: Vec<u8> = w.recv(0, 1);
+                }
+            }
+            collect_report(w)
+        });
+        let r = &reports[0];
+        assert_eq!(reports[1].normalized(), r.normalized());
+        let talk = r.phase("talk").unwrap();
+        assert_eq!(talk.msgs_sent, 1);
+        assert_eq!(talk.bytes_sent, 108); // 8-byte length prefix + 100 payload
+        assert_eq!(talk.msgs_recv, 1);
+        assert_eq!(talk.bytes_recv, 108);
+        assert!(
+            r.is_conserved(),
+            "violations: {:?}",
+            r.conservation_violations()
+        );
+    }
+
+    #[test]
+    fn collectives_and_all_to_all_are_conserved() {
+        for n in [1usize, 2, 3, 4, 8] {
+            let reports = Runtime::run(n, |w| {
+                let _s = w.metrics().phase("coll");
+                w.barrier();
+                let _ = w.all_gather(&(w.rank() as u64));
+                let _ = w.all_reduce(1u64, |a, b| a + b);
+                let _ = w.exclusive_scan_u64(w.rank() as u64);
+                let out: Vec<Vec<u8>> = (0..w.nranks()).map(|t| vec![t as u8; t + 1]).collect();
+                let _ = w.all_to_all(out);
+                drop(_s);
+                collect_report(w)
+            });
+            let r = &reports[0];
+            assert!(r.is_conserved(), "n={n}: {:?}", r.conservation_violations());
+            assert!(r.phase("coll").unwrap().collectives > 0);
+            for other in &reports[1..] {
+                assert_eq!(other.normalized(), r.normalized(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_codec_roundtrip_and_json() {
+        let reports = Runtime::run(3, |w| {
+            let _s = w.metrics().phase("x");
+            let _ = w.all_gather(&(w.rank() as u32));
+            drop(_s);
+            collect_report(w)
+        });
+        let r = &reports[0];
+        let back = RunReport::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(&back, r);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"nranks\":3"));
+        assert!(json.contains("\"conserved\":true"));
+        // every quote is balanced; crude but catches broken escaping
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_floats_are_valid_tokens() {
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -26,7 +26,7 @@ where
     let mut round = 0u64;
     while dist < n {
         let tag = REDUCE_TAG_BASE + round;
-        if rank % (2 * dist) == 0 {
+        if rank.is_multiple_of(2 * dist) {
             let partner = rank + dist;
             if partner < n {
                 let other: T = world.recv(partner, tag);
@@ -70,9 +70,7 @@ mod tests {
     #[test]
     fn sum_over_various_rank_counts() {
         for n in [1usize, 2, 3, 4, 5, 7, 8, 16] {
-            let results = Runtime::run(n, |w| {
-                reduce_merge(w, w.rank() as u64, |a, b| a + b)
-            });
+            let results = Runtime::run(n, |w| reduce_merge(w, w.rank() as u64, |a, b| a + b));
             let expect: u64 = (0..n as u64).sum();
             assert_eq!(results[0], Some(expect), "n={n}");
             for r in &results[1..] {

@@ -11,7 +11,10 @@
 
 /// CPU time consumed by the calling thread, in seconds.
 pub fn thread_cpu_time() -> f64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: ts is a valid out-pointer; CLOCK_THREAD_CPUTIME_ID is always
     // supported on Linux.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -66,7 +69,7 @@ mod tests {
         let a = thread_cpu_time();
         // burn a little CPU
         let mut x = 0u64;
-        for i in 0..1_000_00 {
+        for i in 0..100_000 {
             x = x.wrapping_mul(31).wrapping_add(i);
         }
         std::hint::black_box(x);

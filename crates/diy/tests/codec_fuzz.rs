@@ -3,8 +3,107 @@
 //! round-trips.
 
 use diy::codec::{Decode, Encode};
+use diy::metrics::{PhaseReport, RunReport, TagTraffic};
 use geometry::{Aabb, Vec3};
 use proptest::prelude::*;
+use tess::stats::TessStats;
+
+/// Strategy for an arbitrary (not necessarily conserved) [`RunReport`].
+fn arb_report() -> impl Strategy<Value = RunReport> {
+    (
+        1u64..64,
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(32u8..127, 0..12),
+                0.0f64..1e6,
+                0.0f64..1e6,
+                any::<u32>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+                any::<u32>(),
+            ),
+            0..6,
+        ),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+            ),
+            0..6,
+        ),
+    )
+        .prop_map(|(nranks, phases, tags)| RunReport {
+            nranks,
+            phases: phases
+                .into_iter()
+                .map(
+                    |(name, cpu_max_s, cpu_sum_s, ms, bs, mr, br, coll)| PhaseReport {
+                        name: String::from_utf8(name).unwrap(),
+                        cpu_max_s,
+                        cpu_sum_s,
+                        msgs_sent: ms as u64,
+                        bytes_sent: bs,
+                        msgs_recv: mr as u64,
+                        bytes_recv: br,
+                        collectives: coll as u64,
+                    },
+                )
+                .collect(),
+            tags: tags
+                .into_iter()
+                .map(|(tag, ms, bs, mr, br)| TagTraffic {
+                    tag,
+                    msgs_sent: ms as u64,
+                    bytes_sent: bs,
+                    msgs_recv: mr as u64,
+                    bytes_recv: br,
+                })
+                .collect(),
+        })
+}
+
+fn arb_stats() -> impl Strategy<Value = TessStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                sites,
+                ghosts_received,
+                cells,
+                incomplete,
+                incomplete_kept,
+                culled_early,
+                culled_late,
+                verts,
+                faces,
+            )| {
+                TessStats {
+                    sites,
+                    ghosts_received,
+                    cells,
+                    incomplete,
+                    incomplete_kept,
+                    culled_early,
+                    culled_late,
+                    verts,
+                    faces,
+                }
+            },
+        )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
@@ -53,6 +152,54 @@ proptest! {
         let bytes = rows.to_bytes();
         let back = Vec::<(u64, Vec<f64>, Option<bool>)>::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back, rows);
+    }
+
+    /// [`RunReport`] round-trips through the codec bit-exactly, and its
+    /// merged-report views survive (conservation verdict, totals).
+    #[test]
+    fn run_report_roundtrip(report in arb_report()) {
+        let bytes = report.to_bytes();
+        let back = RunReport::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &report);
+        prop_assert_eq!(back.is_conserved(), report.is_conserved());
+        prop_assert_eq!(back.traffic_totals(), report.traffic_totals());
+    }
+
+    /// Truncating a [`RunReport`] encoding anywhere yields `CodecError`,
+    /// never a panic or a silently short report.
+    #[test]
+    fn run_report_truncation_is_detected(
+        report in arb_report(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = report.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(RunReport::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Arbitrary byte soup never panics the report/stats decoders.
+    #[test]
+    fn report_decoders_survive_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = RunReport::from_bytes(&bytes);
+        let _ = TessStats::from_bytes(&bytes);
+    }
+
+    /// [`TessStats`] round-trips bit-exactly; truncation is a clean error.
+    #[test]
+    fn tess_stats_roundtrip_and_truncation(
+        stats in arb_stats(),
+        cut in 0usize..72,
+    ) {
+        let bytes = stats.to_bytes();
+        prop_assert_eq!(bytes.len(), 72); // 9 × u64
+        prop_assert_eq!(TessStats::from_bytes(&bytes).unwrap(), stats);
+        if cut < bytes.len() {
+            prop_assert!(TessStats::from_bytes(&bytes[..cut]).is_err());
+        }
     }
 
     /// Vec3/Aabb round-trip bit-exactly for finite values.

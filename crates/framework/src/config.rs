@@ -36,7 +36,7 @@ impl ToolSchedule {
             return true;
         }
         if let Some(n) = self.every {
-            if n > 0 && step > 0 && step % n == 0 {
+            if n > 0 && step > 0 && step.is_multiple_of(n) {
                 return true;
             }
         }
@@ -78,7 +78,10 @@ impl FrameworkConfig {
             if line.is_empty() {
                 continue;
             }
-            let err = |m: String| ConfigError { line: lineno + 1, message: m };
+            let err = |m: String| ConfigError {
+                line: lineno + 1,
+                message: m,
+            };
             let mut parts = line.split_whitespace();
             match parts.next() {
                 Some("tool") => {
@@ -86,28 +89,34 @@ impl FrameworkConfig {
                         .next()
                         .ok_or_else(|| err("tool needs a name".into()))?
                         .to_string();
-                    let mut sched = ToolSchedule { name, ..Default::default() };
+                    let mut sched = ToolSchedule {
+                        name,
+                        ..Default::default()
+                    };
                     for opt in parts {
                         let (key, value) = opt
                             .split_once('=')
                             .ok_or_else(|| err(format!("expected key=value, got '{opt}'")))?;
                         match key {
                             "every" => {
-                                sched.every = Some(value.parse().map_err(|_| {
-                                    err(format!("bad every value '{value}'"))
-                                })?)
+                                sched.every = Some(
+                                    value
+                                        .parse()
+                                        .map_err(|_| err(format!("bad every value '{value}'")))?,
+                                )
                             }
                             "at" => {
                                 for s in value.split(',') {
-                                    sched.at.insert(s.parse().map_err(|_| {
-                                        err(format!("bad at value '{s}'"))
-                                    })?);
+                                    sched.at.insert(
+                                        s.parse()
+                                            .map_err(|_| err(format!("bad at value '{s}'")))?,
+                                    );
                                 }
                             }
                             "last" => {
-                                sched.last = value.parse().map_err(|_| {
-                                    err(format!("bad last value '{value}'"))
-                                })?
+                                sched.last = value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad last value '{value}'")))?
                             }
                             _ => return Err(err(format!("unknown option '{key}'"))),
                         }
@@ -169,7 +178,11 @@ mod tests {
         assert!(!s.fires_at(11, 100));
         assert!(s.fires_at(100, 100));
         // 'last' applies even off-cadence
-        let s2 = ToolSchedule { name: "y".into(), last: true, ..Default::default() };
+        let s2 = ToolSchedule {
+            name: "y".into(),
+            last: true,
+            ..Default::default()
+        };
         assert!(s2.fires_at(33, 33));
         assert!(!s2.fires_at(32, 33));
     }

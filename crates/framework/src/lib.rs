@@ -25,7 +25,7 @@ pub use config::{FrameworkConfig, ToolSchedule};
 pub use runner::InSituRunner;
 pub use tool::{AnalysisTool, ToolContext, ToolReport};
 pub use tools::halo_finder::{FofHalo, FofParams, HaloFinderTool};
+pub use tools::multistream::MultistreamTool;
 pub use tools::stats_tool::StatsTool;
 pub use tools::tess_tool::TessTool;
 pub use tools::voids_tool::VoidsTool;
-pub use tools::multistream::MultistreamTool;

@@ -19,7 +19,10 @@ pub struct InSituRunner {
 
 impl InSituRunner {
     pub fn new(config: FrameworkConfig) -> Self {
-        InSituRunner { config, tools: Vec::new() }
+        InSituRunner {
+            config,
+            tools: Vec::new(),
+        }
     }
 
     /// Register a tool instance. Tools without a schedule entry never fire.
@@ -29,7 +32,10 @@ impl InSituRunner {
 
     /// Borrow a registered tool back (for reading its accumulated results).
     pub fn tool(&self, name: &str) -> Option<&dyn AnalysisTool> {
-        self.tools.iter().find(|t| t.name() == name).map(|b| b.as_ref())
+        self.tools
+            .iter()
+            .find(|t| t.name() == name)
+            .map(|b| b.as_ref())
     }
 
     /// Run `nsteps` simulation steps, invoking scheduled tools after each
@@ -57,6 +63,8 @@ impl InSituRunner {
                     .map(|s| s.fires_at(step, nsteps))
                     .unwrap_or(false);
                 if fires {
+                    // one metrics span per tool firing, e.g. "tool:tess"
+                    let _span = world.metrics().phase(format!("tool:{}", tool.name()));
                     reports.push(tool.run(world, &ctx));
                 }
             }
@@ -114,8 +122,7 @@ mod tests {
             runner.run(w, &mut sim, 10)
         });
         let r = &reports[0];
-        let fired: Vec<(&str, usize)> =
-            r.iter().map(|rep| (rep.tool.as_str(), rep.step)).collect();
+        let fired: Vec<(&str, usize)> = r.iter().map(|rep| (rep.tool.as_str(), rep.step)).collect();
         // stats at 2,4,6,8,10; tess at 5,10; halos at 10
         assert_eq!(
             fired

@@ -36,7 +36,10 @@ pub struct FofParams {
 impl Default for FofParams {
     fn default() -> Self {
         // b = 0.2 at unit mean spacing, the classic choice
-        FofParams { linking_length: 0.2, min_size: 10 }
+        FofParams {
+            linking_length: 0.2,
+            min_size: 10,
+        }
     }
 }
 
@@ -128,7 +131,7 @@ pub fn find_halos(world: &mut World, sim: &Simulation, params: &FofParams) -> Ve
             grid.ring_candidates(p, r, &mut ring);
             for &j in &ring {
                 if (j as usize) > i && pts[j as usize].dist2(p) <= ell2 {
-                    uf.union(i as u32, j as u32);
+                    uf.union(i as u32, j);
                 }
             }
         }
@@ -138,12 +141,11 @@ pub fn find_halos(world: &mut World, sim: &Simulation, params: &FofParams) -> Ve
     // cross-rank propagation through ghost copies.
     #[allow(unused_assignments)]
     let mut group_label: HashMap<u32, u64> = HashMap::new();
-    let compute_labels = |uf: &mut UnionFind,
-                          extra: &HashMap<u64, u64>| -> HashMap<u32, u64> {
+    let compute_labels = |uf: &mut UnionFind, extra: &HashMap<u64, u64>| -> HashMap<u32, u64> {
         let mut m: HashMap<u32, u64> = HashMap::new();
-        for i in 0..ids.len() {
+        for (i, &id) in ids.iter().enumerate() {
             let r = uf.find(i as u32);
-            let candidate = extra.get(&ids[i]).copied().unwrap_or(ids[i]);
+            let candidate = extra.get(&id).copied().unwrap_or(id);
             let e = m.entry(r).or_insert(u64::MAX);
             *e = (*e).min(candidate);
         }
@@ -209,8 +211,8 @@ pub fn find_halos(world: &mut World, sim: &Simulation, params: &FofParams) -> Ve
         for (label, (c, s)) in b {
             let e = m.entry(label).or_insert((0, [0.0; 6]));
             e.0 += c;
-            for k in 0..6 {
-                e.1[k] += s[k];
+            for (acc, v) in e.1.iter_mut().zip(s) {
+                *acc += v;
             }
         }
         m.into_iter().collect()
@@ -226,7 +228,11 @@ pub fn find_halos(world: &mut World, sim: &Simulation, params: &FofParams) -> Ve
                 let frac = theta.rem_euclid(tau) / tau;
                 center[d] = dec.domain.min[d] + frac * box_len[d];
             }
-            FofHalo { label, count, center }
+            FofHalo {
+                label,
+                count,
+                center,
+            }
         })
         .collect();
     halos.sort_by(|a, b| b.count.cmp(&a.count).then(a.label.cmp(&b.label)));
@@ -242,7 +248,10 @@ pub struct HaloFinderTool {
 
 impl HaloFinderTool {
     pub fn new(params: FofParams) -> Self {
-        HaloFinderTool { params, catalogs: Vec::new() }
+        HaloFinderTool {
+            params,
+            catalogs: Vec::new(),
+        }
     }
 }
 
@@ -321,7 +330,11 @@ mod tests {
         let place = |id: u64, p: Vec3, sim: &mut Simulation| {
             let gid = sim.dec.block_of_point(p);
             if let Some(v) = sim.blocks.get_mut(&gid) {
-                v.push(hacc::Particle { id, pos: p, mom: Vec3::ZERO });
+                v.push(hacc::Particle {
+                    id,
+                    pos: p,
+                    mom: Vec3::ZERO,
+                });
             }
         };
         let mut id = 0;
@@ -349,7 +362,10 @@ mod tests {
                 find_halos(
                     w,
                     &sim,
-                    &FofParams { linking_length: 0.12, min_size: 5 },
+                    &FofParams {
+                        linking_length: 0.12,
+                        min_size: 5,
+                    },
                 )
             });
             for h in &halos {
@@ -359,8 +375,16 @@ mod tests {
                 assert_eq!(h[1].label, 0);
                 assert_eq!(h[0].label, 12);
                 // centers near cluster centers
-                assert!((h[1].center - Vec3::new(1.175, 1.0, 1.0)).norm() < 0.01, "{:?}", h[1]);
-                assert!((h[0].center - Vec3::new(4.05, 4.0, 4.0)).norm() < 0.01, "{:?}", h[0]);
+                assert!(
+                    (h[1].center - Vec3::new(1.175, 1.0, 1.0)).norm() < 0.01,
+                    "{:?}",
+                    h[1]
+                );
+                assert!(
+                    (h[0].center - Vec3::new(4.05, 4.0, 4.0)).norm() < 0.01,
+                    "{:?}",
+                    h[0]
+                );
             }
         }
     }
@@ -405,10 +429,21 @@ mod tests {
             for (i, &p) in pts2.iter().enumerate() {
                 let gid = sim.dec.block_of_point(p);
                 if let Some(v) = sim.blocks.get_mut(&gid) {
-                    v.push(hacc::Particle { id: i as u64, pos: p, mom: Vec3::ZERO });
+                    v.push(hacc::Particle {
+                        id: i as u64,
+                        pos: p,
+                        mom: Vec3::ZERO,
+                    });
                 }
             }
-            find_halos(w, &sim, &FofParams { linking_length: 0.6, min_size: 3 })
+            find_halos(
+                w,
+                &sim,
+                &FofParams {
+                    linking_length: 0.6,
+                    min_size: 3,
+                },
+            )
         });
         let got_sizes: Vec<usize> = halos[0].iter().map(|h| h.count as usize).collect();
         assert_eq!(got_sizes, expected_sizes);
@@ -437,18 +472,26 @@ mod tests {
                 let x = (dx + 8.0) % 8.0;
                 let p = Vec3::new(x, 4.0, 4.0);
                 let gid = sim.dec.block_of_point(p);
-                sim.blocks
-                    .get_mut(&gid)
-                    .unwrap()
-                    .push(hacc::Particle { id: i as u64, pos: p, mom: Vec3::ZERO });
+                sim.blocks.get_mut(&gid).unwrap().push(hacc::Particle {
+                    id: i as u64,
+                    pos: p,
+                    mom: Vec3::ZERO,
+                });
             }
-            find_halos(w, &sim, &FofParams { linking_length: 0.2, min_size: 4 })
+            find_halos(
+                w,
+                &sim,
+                &FofParams {
+                    linking_length: 0.2,
+                    min_size: 4,
+                },
+            )
         });
         let h = &halos[0];
         assert_eq!(h.len(), 1, "{h:?}");
         assert_eq!(h[0].count, 6);
         // circular mean lands near x ≈ 0 (mod 8)
         let x = h[0].center.x;
-        assert!(x < 0.1 || x > 7.9, "center.x = {x}");
+        assert!(!(0.1..=7.9).contains(&x), "center.x = {x}");
     }
 }

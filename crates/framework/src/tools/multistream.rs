@@ -33,7 +33,10 @@ pub struct MultistreamTool {
 
 impl MultistreamTool {
     pub fn new(relative_threshold: f64) -> Self {
-        MultistreamTool { relative_threshold, snapshots: Vec::new() }
+        MultistreamTool {
+            relative_threshold,
+            snapshots: Vec::new(),
+        }
     }
 }
 
@@ -53,8 +56,8 @@ impl AnalysisTool for MultistreamTool {
             let i = (p.pos.x as isize, p.pos.y as isize, p.pos.z as isize);
             let idx = count.idx_wrapped(i.0, i.1, i.2);
             count.data_mut()[idx] += 1.0;
-            for d in 0..3 {
-                psum[d].data_mut()[idx] += p.mom[d];
+            for (d, g) in psum.iter_mut().enumerate() {
+                g.data_mut()[idx] += p.mom[d];
             }
             p2sum.data_mut()[idx] += p.mom.norm2();
         }

@@ -18,7 +18,10 @@ pub struct TessTool {
 
 impl TessTool {
     pub fn new(params: TessParams) -> Self {
-        TessTool { params, history: Vec::new() }
+        TessTool {
+            params,
+            history: Vec::new(),
+        }
     }
 }
 
@@ -39,8 +42,8 @@ impl AnalysisTool for TessTool {
 
         std::fs::create_dir_all(&ctx.output_dir).ok();
         let path = ctx.output_dir.join(format!("tess_step{}.bin", ctx.step));
-        let bytes = tess::io::write_tessellation(world, &path, &result.blocks)
-            .expect("tessellation write");
+        let bytes =
+            tess::io::write_tessellation(world, &path, &result.blocks).expect("tessellation write");
 
         self.history.push((ctx.step, stats, result.ghost_used));
         ToolReport {

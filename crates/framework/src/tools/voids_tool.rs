@@ -55,17 +55,11 @@ impl AnalysisTool for VoidsTool {
             .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
             .collect();
         let result = tessellate(world, &sim.dec, &sim.asn, &local, &self.tess_params);
-        let mut comps = label_components_parallel(
-            world,
-            &sim.dec,
-            &sim.asn,
-            &result.blocks,
-            self.min_volume,
-        );
+        let mut comps =
+            label_components_parallel(world, &sim.dec, &sim.asn, &result.blocks, self.min_volume);
         // globalize the site→label map so temporal tracking sees the same
         // picture on every rank regardless of particle migration
-        let local_labels: Vec<(u64, u64)> =
-            comps.labels.iter().map(|(&s, &l)| (s, l)).collect();
+        let local_labels: Vec<(u64, u64)> = comps.labels.iter().map(|(&s, &l)| (s, l)).collect();
         let all_labels = world.all_gather(&local_labels);
         comps.labels = all_labels.into_iter().flatten().collect();
 
@@ -78,10 +72,22 @@ impl AnalysisTool for VoidsTool {
         );
         if let Some((_, prev)) = self.snapshots.last() {
             let ev = classify_events(prev, &comps, self.min_overlap);
-            let births = ev.iter().filter(|e| matches!(e, Event::Birth { .. })).count();
-            let deaths = ev.iter().filter(|e| matches!(e, Event::Death { .. })).count();
-            let merges = ev.iter().filter(|e| matches!(e, Event::Merge { .. })).count();
-            let splits = ev.iter().filter(|e| matches!(e, Event::Split { .. })).count();
+            let births = ev
+                .iter()
+                .filter(|e| matches!(e, Event::Birth { .. }))
+                .count();
+            let deaths = ev
+                .iter()
+                .filter(|e| matches!(e, Event::Death { .. }))
+                .count();
+            let merges = ev
+                .iter()
+                .filter(|e| matches!(e, Event::Merge { .. }))
+                .count();
+            let splits = ev
+                .iter()
+                .filter(|e| matches!(e, Event::Split { .. }))
+                .count();
             summary.push_str(&format!(
                 "; since last: {births} births, {deaths} deaths, {merges} merges, {splits} splits"
             ));
@@ -132,7 +138,11 @@ mod tests {
             let voids: Vec<_> = r.iter().filter(|rep| rep.tool == "voids").collect();
             assert_eq!(voids.len(), 3, "steps 5, 10, 15");
             // second and later invocations report tracking events
-            assert!(voids[1].summary.contains("since last"), "{}", voids[1].summary);
+            assert!(
+                voids[1].summary.contains("since last"),
+                "{}",
+                voids[1].summary
+            );
         }
         // all ranks agree on the summaries (same global component view)
         assert_eq!(

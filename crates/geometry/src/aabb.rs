@@ -234,7 +234,10 @@ mod tests {
         // nearest image of 9.5 seen from 0.5 is -0.5, i.e. displacement -1
         let d = b.min_image(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0));
         assert_eq!(d, Vec3::new(-1.0, 0.0, 0.0));
-        assert_eq!(b.periodic_dist(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0)), 1.0);
+        assert_eq!(
+            b.periodic_dist(Vec3::new(0.5, 0.0, 0.0), Vec3::new(9.5, 0.0, 0.0)),
+            1.0
+        );
     }
 
     #[test]

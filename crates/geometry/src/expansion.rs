@@ -278,7 +278,8 @@ mod tests {
         let e = Expansion::from_f64(1.0).grow(2f64.powi(-53));
         let s = e.scale(3.0);
         // 3 * (1 + 2^-53) = 3 + 3*2^-53; check against two_product pieces
-        let direct = Expansion::from_product(1.0, 3.0).add(&Expansion::from_product(2f64.powi(-53), 3.0));
+        let direct =
+            Expansion::from_product(1.0, 3.0).add(&Expansion::from_product(2f64.powi(-53), 3.0));
         assert_eq!(s.sign(), 1);
         assert_eq!(s.sub(&direct).sign(), 0);
     }

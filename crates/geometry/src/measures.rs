@@ -160,7 +160,10 @@ mod tests {
         let n = Vec3::new(0.0, 0.0, 1.0);
         assert!((dihedral_angle(n, n) - PI).abs() < 1e-12);
         // cube edge: perpendicular outward normals -> interior angle π/2
-        assert!((dihedral_angle(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)) - PI / 2.0).abs() < 1e-12);
+        assert!(
+            (dihedral_angle(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)) - PI / 2.0).abs()
+                < 1e-12
+        );
         // knife edge: opposite normals -> angle 0
         assert!(dihedral_angle(n, -n).abs() < 1e-12);
     }

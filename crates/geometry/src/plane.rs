@@ -44,7 +44,10 @@ impl Plane {
 
     /// Plane with the opposite orientation.
     pub fn flipped(&self) -> Plane {
-        Plane { n: -self.n, d: -self.d }
+        Plane {
+            n: -self.n,
+            d: -self.d,
+        }
     }
 
     /// Intersection parameter `t` such that `a + t (b - a)` lies on the
@@ -70,7 +73,11 @@ impl Plane {
         } else {
             Vec3::new(0.0, 0.0, 1.0)
         };
-        let u = self.n.cross(a).normalized().expect("normal is unit, a not parallel");
+        let u = self
+            .n
+            .cross(a)
+            .normalized()
+            .expect("normal is unit, a not parallel");
         let v = self.n.cross(u);
         (u, v)
     }

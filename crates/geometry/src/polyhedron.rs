@@ -137,19 +137,14 @@ impl ConvexPolyhedron {
                 if ci != Class::Out {
                     loop_out.push(vi);
                 }
-                let crossing = matches!(
-                    (ci, cj),
-                    (Class::In, Class::Out) | (Class::Out, Class::In)
-                );
+                let crossing =
+                    matches!((ci, cj), (Class::In, Class::Out) | (Class::Out, Class::In));
                 if crossing {
                     let key = (vi.min(vj), vi.max(vj));
                     let idx = *cut_cache.entry(key).or_insert_with(|| {
                         let a = verts[vi as usize];
                         let b = verts[vj as usize];
-                        let t = plane
-                            .intersect_segment(a, b)
-                            .unwrap_or(0.5)
-                            .clamp(0.0, 1.0);
+                        let t = plane.intersect_segment(a, b).unwrap_or(0.5).clamp(0.0, 1.0);
                         verts.push(a.lerp(b, t));
                         (verts.len() - 1) as u32
                     });
@@ -171,10 +166,8 @@ impl ConvexPolyhedron {
         for f in &new_faces {
             for &v in &f.verts {
                 let is_new = (v as usize) >= classes.len();
-                if is_new || classes[v as usize] == Class::On {
-                    if !on_plane.contains(&v) {
-                        on_plane.push(v);
-                    }
+                if (is_new || classes[v as usize] == Class::On) && !on_plane.contains(&v) {
+                    on_plane.push(v);
                 }
             }
         }
@@ -298,10 +291,7 @@ impl ConvexPolyhedron {
     /// criterion compares twice the square root of this against the distance
     /// to the nearest unprocessed candidate site.
     pub fn max_vertex_dist2(&self, p: Vec3) -> f64 {
-        self.verts
-            .iter()
-            .map(|&v| v.dist2(p))
-            .fold(0.0, f64::max)
+        self.verts.iter().map(|&v| v.dist2(p)).fold(0.0, f64::max)
     }
 
     /// Maximum pairwise squared distance between vertices (cell "diameter"²).

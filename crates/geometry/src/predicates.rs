@@ -276,7 +276,10 @@ mod tests {
         let b = v(1.0, 0.0, 0.0);
         let c = v(0.0, 1.0, 0.0);
         let eps = 2f64.powi(-52);
-        assert_eq!(orient3d(a, b, c, v(0.25, 0.25, -eps)), Orientation::Positive);
+        assert_eq!(
+            orient3d(a, b, c, v(0.25, 0.25, -eps)),
+            Orientation::Positive
+        );
         assert_eq!(orient3d(a, b, c, v(0.25, 0.25, eps)), Orientation::Negative);
     }
 
@@ -304,7 +307,10 @@ mod tests {
         // (0.5, 0.5, -0.5) with radius sqrt(0.75)
         let center = v(0.5, 0.5, -0.5);
         assert_eq!(insphere(a, b, c, d, center), Orientation::Positive);
-        assert_eq!(insphere(a, b, c, d, v(10.0, 10.0, 10.0)), Orientation::Negative);
+        assert_eq!(
+            insphere(a, b, c, d, v(10.0, 10.0, 10.0)),
+            Orientation::Negative
+        );
         // a point exactly on the sphere
         assert_eq!(insphere(a, b, c, d, v(1.0, 1.0, 0.0)), Orientation::Zero);
     }

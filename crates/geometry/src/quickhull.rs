@@ -88,7 +88,11 @@ pub fn convex_hull(points: &[Vec3], eps: f64) -> Result<Hull, HullError> {
 
     let mut faces: Vec<QhFace> = Vec::new();
     for tri in [[a, b, c], [a, d, b], [b, d, c], [a, c, d]] {
-        faces.push(make_face(points, [tri[0] as u32, tri[1] as u32, tri[2] as u32], interior));
+        faces.push(make_face(
+            points,
+            [tri[0] as u32, tri[1] as u32, tri[2] as u32],
+            interior,
+        ));
     }
 
     // Assign every point to the first face it is outside of.
@@ -114,7 +118,7 @@ pub fn convex_hull(points: &[Vec3], eps: f64) -> Result<Hull, HullError> {
             }
             for &pi in &f.outside {
                 let dd = f.dist(points[pi as usize]);
-                if best.map_or(true, |(_, _, bd)| dd > bd) {
+                if best.is_none_or(|(_, _, bd)| dd > bd) {
                     best = Some((fi, pi, dd));
                 }
             }
@@ -175,11 +179,7 @@ pub fn convex_hull(points: &[Vec3], eps: f64) -> Result<Hull, HullError> {
         }
     }
 
-    let tri: Vec<[u32; 3]> = faces
-        .into_iter()
-        .filter(|f| f.alive)
-        .map(|f| f.v)
-        .collect();
+    let tri: Vec<[u32; 3]> = faces.into_iter().filter(|f| f.alive).map(|f| f.v).collect();
     Ok(Hull {
         points: points.to_vec(),
         faces: tri,
@@ -394,16 +394,14 @@ mod tests {
         for trial in 0..10 {
             let n = 10 + trial * 30;
             let pts: Vec<Vec3> = (0..n)
-                .map(|_| {
-                    loop {
-                        let p = Vec3::new(
-                            rng.gen_range(-1.0..1.0),
-                            rng.gen_range(-1.0..1.0),
-                            rng.gen_range(-1.0..1.0),
-                        );
-                        if p.norm2() <= 1.0 {
-                            return p;
-                        }
+                .map(|_| loop {
+                    let p = Vec3::new(
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    );
+                    if p.norm2() <= 1.0 {
+                        return p;
                     }
                 })
                 .collect();

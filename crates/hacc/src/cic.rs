@@ -54,12 +54,7 @@ pub fn to_density_contrast(rho: &mut Grid3<f64>, nparticles: usize) {
 
 /// Interpolate a vector field (three scalar grids) at `p` with the CIC
 /// kernel.
-pub fn gather(
-    gx: &Grid3<f64>,
-    gy: &Grid3<f64>,
-    gz: &Grid3<f64>,
-    p: Vec3,
-) -> Vec3 {
+pub fn gather(gx: &Grid3<f64>, gy: &Grid3<f64>, gz: &Grid3<f64>, p: Vec3) -> Vec3 {
     let ng = gx.dims()[0];
     let mut out = Vec3::ZERO;
     for (i, j, k, w) in cic_stencil(p, ng) {

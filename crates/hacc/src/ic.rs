@@ -52,7 +52,10 @@ pub struct InitialConditions {
 /// Generate Zel'dovich initial conditions at scale factor `a_init`.
 pub fn zeldovich(p: &IcParams, cosmo: &Cosmology, a_init: f64) -> InitialConditions {
     let ng = p.np;
-    assert!(ng.is_power_of_two(), "np must be a power of two for the FFT");
+    assert!(
+        ng.is_power_of_two(),
+        "np must be a power of two for the FFT"
+    );
     let n3 = ng * ng * ng;
 
     // 1. white noise (Box–Muller; two normals per draw, one kept for
@@ -216,7 +219,7 @@ mod tests {
             }
             mean += d;
         }
-        mean = mean / ic.positions.len() as f64;
+        mean /= ic.positions.len() as f64;
         // zero mode was removed, so net displacement ~ 0
         assert!(mean.norm() < 1e-10, "mean displacement {mean}");
         assert!(ic.rms_displacement > 0.0);

@@ -39,5 +39,5 @@ pub mod spectrum;
 pub mod stepper;
 
 pub use cosmology::Cosmology;
-pub use sim::{Particle, SimParams, Simulation};
+pub use sim::{Particle, SimParams, Simulation, PHASE_SIM};
 pub use stepper::PmSolver;

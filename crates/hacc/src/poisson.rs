@@ -67,9 +67,21 @@ pub fn gradient_force(phi: &Grid3<f64>) -> [Grid3<f64>; 3] {
                 let jj = j as isize;
                 let kk = k as isize;
                 let d = |a: usize, b: usize| phi.data()[a] - phi.data()[b];
-                gx[(i, j, k)] = -0.5 * d(phi.idx_wrapped(ii + 1, jj, kk), phi.idx_wrapped(ii - 1, jj, kk));
-                gy[(i, j, k)] = -0.5 * d(phi.idx_wrapped(ii, jj + 1, kk), phi.idx_wrapped(ii, jj - 1, kk));
-                gz[(i, j, k)] = -0.5 * d(phi.idx_wrapped(ii, jj, kk + 1), phi.idx_wrapped(ii, jj, kk - 1));
+                gx[(i, j, k)] = -0.5
+                    * d(
+                        phi.idx_wrapped(ii + 1, jj, kk),
+                        phi.idx_wrapped(ii - 1, jj, kk),
+                    );
+                gy[(i, j, k)] = -0.5
+                    * d(
+                        phi.idx_wrapped(ii, jj + 1, kk),
+                        phi.idx_wrapped(ii, jj - 1, kk),
+                    );
+                gz[(i, j, k)] = -0.5
+                    * d(
+                        phi.idx_wrapped(ii, jj, kk + 1),
+                        phi.idx_wrapped(ii, jj, kk - 1),
+                    );
             }
         }
     }
@@ -146,8 +158,16 @@ mod tests {
         delta[(8, 8, 8)] = 1.0;
         let phi = solve_potential(&delta, 1.5);
         let [gx, _, _] = gradient_force(&phi);
-        assert!(gx[(10, 8, 8)] < 0.0, "right of mass pulls -x: {}", gx[(10, 8, 8)]);
-        assert!(gx[(6, 8, 8)] > 0.0, "left of mass pulls +x: {}", gx[(6, 8, 8)]);
+        assert!(
+            gx[(10, 8, 8)] < 0.0,
+            "right of mass pulls -x: {}",
+            gx[(10, 8, 8)]
+        );
+        assert!(
+            gx[(6, 8, 8)] > 0.0,
+            "left of mass pulls +x: {}",
+            gx[(6, 8, 8)]
+        );
         // symmetric magnitudes
         assert!((gx[(10, 8, 8)] + gx[(6, 8, 8)]).abs() < 1e-10);
         // force decays with distance

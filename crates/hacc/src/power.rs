@@ -15,11 +15,7 @@ pub fn bbks_transfer(q: f64) -> f64 {
     let x = 2.34 * q;
     // (ln(1+x)/x) * [1 + 3.89q + (16.1q)² + (5.46q)³ + (6.71q)⁴]^{-1/4}
     let ln_term = if x < 1e-8 { 1.0 } else { (1.0 + x).ln() / x };
-    let poly = 1.0
-        + 3.89 * q
-        + (16.1 * q).powi(2)
-        + (5.46 * q).powi(3)
-        + (6.71 * q).powi(4);
+    let poly = 1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4);
     ln_term * poly.powf(-0.25)
 }
 
@@ -79,8 +75,14 @@ mod tests {
 
     #[test]
     fn spectral_index_changes_large_scale_slope() {
-        let p1 = PowerSpectrum { spectral_index: 1.0, gamma: 0.21 };
-        let p2 = PowerSpectrum { spectral_index: 2.0, gamma: 0.21 };
+        let p1 = PowerSpectrum {
+            spectral_index: 1.0,
+            gamma: 0.21,
+        };
+        let p2 = PowerSpectrum {
+            spectral_index: 2.0,
+            gamma: 0.21,
+        };
         let ratio_small_k = p2.eval(1e-4) / p1.eval(1e-4);
         assert!((ratio_small_k - 1e-4).abs() / 1e-4 < 1e-3);
     }

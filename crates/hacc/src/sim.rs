@@ -132,6 +132,10 @@ impl SimParams {
     }
 }
 
+/// Metrics span covering simulation work: initialization and every
+/// kick–drift step, including particle migration (see [`diy::metrics`]).
+pub const PHASE_SIM: &str = "sim";
+
 /// One rank's view of the running simulation.
 pub struct Simulation {
     pub params: SimParams,
@@ -148,6 +152,7 @@ pub struct Simulation {
 impl Simulation {
     /// Initialize on every rank of `world` with `nblocks` total blocks.
     pub fn init(world: &mut World, params: SimParams, nblocks: usize) -> Self {
+        let _span = world.metrics().phase(PHASE_SIM);
         let cosmo = Cosmology::default();
         let domain = Aabb::cube(params.np as f64);
         let dec = Decomposition::regular(domain, nblocks, [true; 3]);
@@ -172,7 +177,11 @@ impl Simulation {
         for (idx, (&pos, &mom)) in ic.positions.iter().zip(&ic.momenta).enumerate() {
             let gid = dec.block_of_point(pos);
             if let Some(list) = blocks.get_mut(&gid) {
-                list.push(Particle { id: idx as u64, pos, mom });
+                list.push(Particle {
+                    id: idx as u64,
+                    pos,
+                    mom,
+                });
             }
         }
 
@@ -198,8 +207,10 @@ impl Simulation {
         self.blocks.values().flatten()
     }
 
-    /// Advance one kick–drift step, including migration.
+    /// Advance one kick–drift step, including migration. Recorded under
+    /// the [`PHASE_SIM`] metrics span.
     pub fn step(&mut self, world: &mut World) {
+        let _span = world.metrics().phase(PHASE_SIM);
         let ng = self.params.np;
 
         // 1. local deposit
@@ -399,7 +410,12 @@ mod tests {
             let serial = pos[p.id as usize];
             // summation order differs; chaos amplifies tiny float diffs
             let d = (p.pos - serial).norm();
-            assert!(d < 1e-6, "particle {} drifted {d} (pos {} vs {serial})", p.id, p.pos);
+            assert!(
+                d < 1e-6,
+                "particle {} drifted {d} (pos {} vs {serial})",
+                p.id,
+                p.pos
+            );
         }
     }
 
@@ -449,7 +465,9 @@ mod tests {
                 assert!(
                     (a.pos - b.pos).norm() < 1e-9,
                     "nranks={nranks} particle {}: {} vs {}",
-                    a.id, a.pos, b.pos
+                    a.id,
+                    a.pos,
+                    b.pos
                 );
             }
         }
@@ -460,18 +478,14 @@ mod tests {
         let params = small_params(16, 10);
         Runtime::run(2, |w| {
             let mut sim = Simulation::init(w, params, 4);
-            let before: Vec3 = sim
-                .local_particles()
-                .fold(Vec3::ZERO, |acc, p| acc + p.mom);
+            let before: Vec3 = sim.local_particles().fold(Vec3::ZERO, |acc, p| acc + p.mom);
             let before_all = Vec3::new(
                 w.all_reduce(before.x, |a, b| a + b),
                 w.all_reduce(before.y, |a, b| a + b),
                 w.all_reduce(before.z, |a, b| a + b),
             );
             sim.run_steps(w, 10);
-            let after: Vec3 = sim
-                .local_particles()
-                .fold(Vec3::ZERO, |acc, p| acc + p.mom);
+            let after: Vec3 = sim.local_particles().fold(Vec3::ZERO, |acc, p| acc + p.mom);
             let after_all = Vec3::new(
                 w.all_reduce(after.x, |a, b| a + b),
                 w.all_reduce(after.y, |a, b| a + b),

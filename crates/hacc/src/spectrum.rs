@@ -232,6 +232,9 @@ mod tests {
         // total power grows
         let total_before: f64 = before.iter().map(|b| b.power * b.modes as f64).sum();
         let total_after: f64 = after.iter().map(|b| b.power * b.modes as f64).sum();
-        assert!(total_after > 3.0 * total_before, "{total_before} -> {total_after}");
+        assert!(
+            total_after > 3.0 * total_before,
+            "{total_before} -> {total_after}"
+        );
     }
 }

@@ -76,7 +76,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -150,19 +152,20 @@ pub fn label_components_serial(blocks: &[MeshBlock], min_volume: f64) -> Compone
     // Roots are indices in insertion order, not site ids; compute each
     // root's minimum site id to get the canonical label.
     let mut root_label: HashMap<usize, u64> = HashMap::new();
-    for i in 0..sites.len() {
+    for (i, &site) in sites.iter().enumerate() {
         let r = uf.find(i);
         let e = root_label.entry(r).or_insert(u64::MAX);
-        *e = (*e).min(sites[i]);
+        *e = (*e).min(site);
     }
     for i in 0..sites.len() {
         let r = uf.find(i);
         let label = root_label[&r];
         out.labels.insert(sites[i], label);
-        let s = out
-            .summaries
-            .entry(label)
-            .or_insert(ComponentSummary { cells: 0, volume: 0.0, area: 0.0 });
+        let s = out.summaries.entry(label).or_insert(ComponentSummary {
+            cells: 0,
+            volume: 0.0,
+            area: 0.0,
+        });
         s.cells += 1;
         s.volume += volumes[i];
         s.area += areas[i];
@@ -210,7 +213,12 @@ pub fn label_components_parallel(
                 .collect();
             cells.insert(
                 id,
-                CellInfo { label: id, volume: c.volume, area: c.area, neighbors },
+                CellInfo {
+                    label: id,
+                    volume: c.volume,
+                    area: c.area,
+                    neighbors,
+                },
             );
         }
     }
@@ -302,9 +310,11 @@ pub fn label_components_parallel(
     let partial: Vec<(u64, ComponentSummary)> = {
         let mut m: BTreeMap<u64, ComponentSummary> = BTreeMap::new();
         for c in cells.values() {
-            let s = m
-                .entry(c.label)
-                .or_insert(ComponentSummary { cells: 0, volume: 0.0, area: 0.0 });
+            let s = m.entry(c.label).or_insert(ComponentSummary {
+                cells: 0,
+                volume: 0.0,
+                area: 0.0,
+            });
             s.cells += 1;
             s.volume += c.volume;
             s.area += c.area;
@@ -314,9 +324,11 @@ pub fn label_components_parallel(
     let merged = diy::reduce::all_reduce_merge(world, partial, |a, b| {
         let mut m: BTreeMap<u64, ComponentSummary> = a.into_iter().collect();
         for (label, s) in b {
-            let e = m
-                .entry(label)
-                .or_insert(ComponentSummary { cells: 0, volume: 0.0, area: 0.0 });
+            let e = m.entry(label).or_insert(ComponentSummary {
+                cells: 0,
+                volume: 0.0,
+                area: 0.0,
+            });
             e.cells += s.cells;
             e.volume += s.volume;
             e.area += s.area;
@@ -345,10 +357,16 @@ mod tests {
             b.site_ids.push(i as u64);
             let mut faces = Vec::new();
             if i > 0 {
-                faces.push(Face { neighbor: (i - 1) as u64, verts: vec![] });
+                faces.push(Face {
+                    neighbor: (i - 1) as u64,
+                    verts: vec![],
+                });
             }
             if i + 1 < vols.len() {
-                faces.push(Face { neighbor: (i + 1) as u64, verts: vec![] });
+                faces.push(Face {
+                    neighbor: (i + 1) as u64,
+                    verts: vec![],
+                });
             }
             b.cells.push(Cell {
                 site_idx: i as u32,

@@ -38,7 +38,10 @@ pub fn density_contrast(blocks: &[MeshBlock], mean_density: f64) -> DensityField
             }
         }
     }
-    DensityField { densities, mean: mean_density }
+    DensityField {
+        densities,
+        mean: mean_density,
+    }
 }
 
 /// Augment particle output with per-site cell density (the paper's §V

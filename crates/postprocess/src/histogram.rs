@@ -31,7 +31,12 @@ pub struct Histogram {
 
 impl Histogram {
     /// Build from samples with `nbins` equal bins over `[lo, hi]`.
-    pub fn from_samples(samples: impl IntoIterator<Item = f64>, lo: f64, hi: f64, nbins: usize) -> Self {
+    pub fn from_samples(
+        samples: impl IntoIterator<Item = f64>,
+        lo: f64,
+        hi: f64,
+        nbins: usize,
+    ) -> Self {
         assert!(nbins > 0 && hi > lo, "invalid histogram spec");
         let mut h = Histogram {
             lo,
@@ -74,8 +79,7 @@ impl Histogram {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -193,7 +197,11 @@ mod tests {
         assert!(h.mean().abs() < 0.01);
         assert!((h.variance() - 1.0 / 3.0).abs() < 0.01);
         assert!(h.skewness().abs() < 0.03);
-        assert!((h.kurtosis() - 1.8).abs() < 0.05, "kurtosis {}", h.kurtosis());
+        assert!(
+            (h.kurtosis() - 1.8).abs() < 0.05,
+            "kurtosis {}",
+            h.kurtosis()
+        );
     }
 
     #[test]
@@ -208,7 +216,11 @@ mod tests {
             .collect();
         let h = Histogram::auto_range(&samples, 100);
         assert!(h.skewness().abs() < 0.05);
-        assert!((h.kurtosis() - 3.0).abs() < 0.1, "kurtosis {}", h.kurtosis());
+        assert!(
+            (h.kurtosis() - 3.0).abs() < 0.1,
+            "kurtosis {}",
+            h.kurtosis()
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ pub fn minkowski_functionals(
                 }
                 v1 += polygon_area(&pts);
                 boundary_faces += 1;
-                let Some(n) = polygon_normal(&pts) else { continue };
+                let Some(n) = polygon_normal(&pts) else {
+                    continue;
+                };
                 for i in 0..pts.len() {
                     let a = pts[i];
                     let bb = pts[(i + 1) % pts.len()];
@@ -116,7 +118,7 @@ pub fn minkowski_functionals(
     let mut v2 = 0.0;
     let mut unmatched = 0u64;
     let mut edge_count = 0i64;
-    for (_, (len2, normals)) in &edges {
+    for (len2, normals) in edges.values() {
         edge_count += 1;
         if normals.len() == 2 {
             // each face contributed the length once → halve
@@ -187,7 +189,11 @@ mod tests {
         assert!((m.v0_volume - 1.0).abs() < 1e-9);
         assert!((m.v1_area - 6.0).abs() < 1e-9);
         // cube: C = π(a+b+c) = 3π
-        assert!((m.v2_curvature - 3.0 * PI).abs() < 1e-6, "V2 {}", m.v2_curvature);
+        assert!(
+            (m.v2_curvature - 3.0 * PI).abs() < 1e-6,
+            "V2 {}",
+            m.v2_curvature
+        );
         assert_eq!(m.v3_euler, 2);
         assert!(m.genus.abs() < 1e-12);
         assert!((m.thickness - 0.5).abs() < 1e-9); // 3V/S = 3/6
@@ -207,7 +213,11 @@ mod tests {
         assert!((m.v0_volume - 2.0).abs() < 1e-9);
         assert!((m.v1_area - 10.0).abs() < 1e-9);
         // box: C = π(a+b+c) = π(2+1+1) = 4π
-        assert!((m.v2_curvature - 4.0 * PI).abs() < 1e-6, "V2 {}", m.v2_curvature);
+        assert!(
+            (m.v2_curvature - 4.0 * PI).abs() < 1e-6,
+            "V2 {}",
+            m.v2_curvature
+        );
         assert_eq!(m.v3_euler, 2);
         assert_eq!(m.unmatched_edges, 0);
     }
@@ -217,7 +227,9 @@ mod tests {
         let blocks = lattice_tessellation(5);
         // L-shape: cells (2,2,2), (3,2,2), (2,3,2)
         let id = |x: usize, y: usize, z: usize| (x + 5 * (y + 5 * z)) as u64;
-        let sites: HashSet<u64> = [id(2, 2, 2), id(3, 2, 2), id(2, 3, 2)].into_iter().collect();
+        let sites: HashSet<u64> = [id(2, 2, 2), id(3, 2, 2), id(2, 3, 2)]
+            .into_iter()
+            .collect();
         let m = minkowski_functionals(&blocks, &sites, &Aabb::cube(5.0));
         assert!((m.v0_volume - 3.0).abs() < 1e-9);
         assert!((m.v1_area - 14.0).abs() < 1e-9);

@@ -106,11 +106,19 @@ pub fn render_svg(blocks: &[MeshBlock], opts: &RenderOptions) -> String {
                     path.push_str(&format!("{x:.2} {y:.2} "));
                 }
                 path.push('Z');
-                faces.push(DrawFace { depth, path, fill: fill.clone() });
+                faces.push(DrawFace {
+                    depth,
+                    path,
+                    fill: fill.clone(),
+                });
             }
         }
     }
-    faces.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap_or(std::cmp::Ordering::Equal));
+    faces.sort_by(|a, b| {
+        a.depth
+            .partial_cmp(&b.depth)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut svg = String::with_capacity(faces.len() * 96 + 512);
     svg.push_str(&format!(
@@ -179,7 +187,11 @@ mod tests {
         let all = render_svg(&blocks, &RenderOptions::default());
         let slab = render_svg(
             &blocks,
-            &RenderOptions { zmin: 0.0, zmax: 1.0, ..RenderOptions::default() },
+            &RenderOptions {
+                zmin: 0.0,
+                zmax: 1.0,
+                ..RenderOptions::default()
+            },
         );
         let n_all = all.matches("<path").count();
         let n_slab = slab.matches("<path").count();
@@ -192,7 +204,10 @@ mod tests {
         let all = render_svg(&blocks, &RenderOptions::default());
         let none = render_svg(
             &blocks,
-            &RenderOptions { vmin: 100.0, ..RenderOptions::default() },
+            &RenderOptions {
+                vmin: 100.0,
+                ..RenderOptions::default()
+            },
         );
         assert!(all.matches("<path").count() > none.matches("<path").count());
         assert_eq!(none.matches("<path").count(), 0);

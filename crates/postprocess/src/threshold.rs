@@ -12,7 +12,10 @@ pub struct VolumeFilter {
 impl VolumeFilter {
     /// Keep cells with volume at least `min` (the void-finding direction).
     pub fn at_least(min: f64) -> Self {
-        VolumeFilter { min, max: f64::INFINITY }
+        VolumeFilter {
+            min,
+            max: f64::INFINITY,
+        }
     }
 
     /// Keep cells within `[min, max]`.
@@ -26,7 +29,7 @@ impl VolumeFilter {
     }
 
     /// Indices of surviving cells in one block.
-    pub fn filter_block<'a>(&self, block: &'a MeshBlock) -> Vec<usize> {
+    pub fn filter_block(&self, block: &MeshBlock) -> Vec<usize> {
         block
             .cells
             .iter()
@@ -112,7 +115,7 @@ mod tests {
     fn fraction_of_range_matches_paper_semantics() {
         // range [0, 2]: a 10% threshold cuts at 0.2
         let b = block_with_volumes(&[0.0, 0.1, 0.2, 1.0, 2.0]);
-        let f = VolumeFilter::fraction_of_range(&[b.clone()], 0.1);
+        let f = VolumeFilter::fraction_of_range(std::slice::from_ref(&b), 0.1);
         assert!((f.min - 0.2).abs() < 1e-12);
         assert_eq!(f.filter_block(&b), vec![2, 3, 4]);
     }
@@ -120,7 +123,7 @@ mod tests {
     #[test]
     fn degenerate_blocks_do_not_panic() {
         let empty = MeshBlock::empty(0, Aabb::cube(1.0));
-        let f = VolumeFilter::fraction_of_range(&[empty.clone()], 0.1);
+        let f = VolumeFilter::fraction_of_range(std::slice::from_ref(&empty), 0.1);
         assert_eq!(f.filter_block(&empty), Vec::<usize>::new());
     }
 }

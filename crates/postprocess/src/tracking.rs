@@ -61,7 +61,11 @@ pub fn overlaps(a: &Components, b: &Components, min_shared: u64) -> Vec<Overlap>
                 label_a: la,
                 label_b: lb,
                 shared,
-                jaccard: if union > 0 { shared as f64 / union as f64 } else { 0.0 },
+                jaccard: if union > 0 {
+                    shared as f64 / union as f64
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -124,7 +128,11 @@ mod tests {
             }
             c.summaries.insert(
                 label,
-                ComponentSummary { cells: sites.len() as u64, volume: sites.len() as f64, area: 0.0 },
+                ComponentSummary {
+                    cells: sites.len() as u64,
+                    volume: sites.len() as f64,
+                    area: 0.0,
+                },
             );
         }
         c
@@ -148,11 +156,17 @@ mod tests {
         let a = comps(&[(0, &[0, 1, 2]), (10, &[10, 11, 12])]);
         let b = comps(&[(0, &[0, 1, 2, 10, 11, 12])]);
         let ev = classify_events(&a, &b, 1);
-        assert!(ev.contains(&Event::Merge { from: vec![0, 10], to: 0 }));
+        assert!(ev.contains(&Event::Merge {
+            from: vec![0, 10],
+            to: 0
+        }));
 
         // and the reverse is a split
         let ev = classify_events(&b, &a, 1);
-        assert!(ev.contains(&Event::Split { from: 0, to: vec![0, 10] }));
+        assert!(ev.contains(&Event::Split {
+            from: 0,
+            to: vec![0, 10]
+        }));
     }
 
     #[test]
@@ -213,9 +227,15 @@ mod tests {
         assert!(a.num_components() >= 1);
         let ev = classify_events(&a, &b, 1);
         assert!(
-            ev.iter().any(|e| matches!(e, Event::Continue { .. } | Event::Merge { .. } | Event::Split { .. })),
+            ev.iter().any(|e| matches!(
+                e,
+                Event::Continue { .. } | Event::Merge { .. } | Event::Split { .. }
+            )),
             "{ev:?}"
         );
-        assert!(!ev.iter().any(|e| matches!(e, Event::Death { .. })), "{ev:?}");
+        assert!(
+            !ev.iter().any(|e| matches!(e, Event::Death { .. })),
+            "{ev:?}"
+        );
     }
 }

@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam-channel`: the `unbounded` MPSC surface
+//! this workspace uses, implemented over `std::sync::mpsc`. The rank
+//! runtime (`diy::comm`) gives each receiver to exactly one thread, so
+//! the std channel's single-consumer restriction is not observable.
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+/// An unbounded channel: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41u32).unwrap());
+        tx.send(1).unwrap();
+        let sum = rx.recv().unwrap() + rx.recv().unwrap();
+        assert_eq!(sum, 42);
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for the `libc` crate: only the symbols this workspace
+//! uses (`clock_gettime` with `CLOCK_THREAD_CPUTIME_ID`, for per-thread CPU
+//! timing in `diy::timing`).
+
+#![allow(non_camel_case_types)]
+
+pub type time_t = i64;
+pub type c_long = i64;
+pub type c_int = i32;
+pub type clockid_t = c_int;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+/// Linux `CLOCK_THREAD_CPUTIME_ID` (see `linux/time.h`).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    pub fn clock_gettime(clockid: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_clock_ticks() {
+        let mut ts = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_sec >= 0 && ts.tv_nsec >= 0);
+    }
+}

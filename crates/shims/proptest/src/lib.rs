@@ -1,0 +1,529 @@
+//! Offline stand-in for `proptest`: a deterministic property-testing
+//! harness covering the surface this workspace uses — the `proptest!`
+//! macro, range/tuple/`vec`/`option`/`any` strategies, `prop_map`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index; the
+//!   whole run is deterministic, so rerunning reproduces it exactly.
+//! * Cases derive from a fixed per-test seed (FNV of the test name) plus
+//!   the case index. `PROPTEST_CASES` overrides the case count.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// The per-case random source handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Deterministic RNG for case `case` of test `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Harness configuration; only `cases` is meaningful in this shim, the
+/// remaining fields exist so struct-update syntax against the real crate's
+/// field names keeps compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` override.
+    pub fn resolved_cases(&self) -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases as u64)
+    }
+}
+
+/// Why a test case did not pass: a hard failure or a filtered input.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<R, F: Fn(Self::Value) -> R>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { base: self, f, whence }
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for Map<S, F> {
+    type Value = R;
+
+    fn sample(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    };
+}
+
+impl_range_strategy!(f64);
+impl_range_strategy!(u8);
+impl_range_strategy!(u16);
+impl_range_strategy!(u32);
+impl_range_strategy!(u64);
+impl_range_strategy!(usize);
+impl_range_strategy!(i8);
+impl_range_strategy!(i16);
+impl_range_strategy!(i32);
+impl_range_strategy!(i64);
+impl_range_strategy!(isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9);
+
+/// Full-domain strategies for primitives (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($t:ty) => {
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    };
+}
+
+impl_arbitrary_int!(u8);
+impl_arbitrary_int!(u16);
+impl_arbitrary_int!(u32);
+impl_arbitrary_int!(u64);
+impl_arbitrary_int!(usize);
+impl_arbitrary_int!(i8);
+impl_arbitrary_int!(i16);
+impl_arbitrary_int!(i32);
+impl_arbitrary_int!(i64);
+impl_arbitrary_int!(isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix of magnitudes plus the occasional special value, always
+        // avoiding NaN (the real crate samples NaN too, but no test here
+        // relies on it and NaN breaks Eq-based assertions).
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => rng.gen_range(-1.0..1.0),
+            2 => rng.gen_range(-1e300..1e300),
+            3 => f64::MAX,
+            4 => f64::MIN,
+            _ => {
+                let exp = rng.gen_range(-300i32..300) as f64;
+                rng.gen_range(-1.0f64..1.0) * 10f64.powf(exp)
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// How many elements a generated collection may hold.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` samples of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} vs {:?} ({}) at {}:{}",
+                a,
+                b,
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The test-defining macro. Each function body runs once per case with its
+/// parameters sampled from the given strategies; `prop_assume!` rejections
+/// skip to the next case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let mut rejected: u64 = 0;
+                let mut case: u64 = 0;
+                let mut executed: u64 = 0;
+                while executed < cases {
+                    let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                    case += 1;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match result {
+                        Ok(()) => executed += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects as u64,
+                                "too many prop_assume! rejections ({rejected})"
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {} of `{}` failed (rerun is deterministic): {}",
+                                case - 1,
+                                stringify!($name),
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy as _;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u8..=255, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn map_and_tuple_compose(p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p), "sum {}", p);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sample = |case| {
+            let mut rng = crate::TestRng::for_case("det", case);
+            crate::collection::vec(0u64..1000, 5).sample(&mut rng)
+        };
+        assert_eq!(sample(3), sample(3));
+        assert_ne!(sample(3), sample(4));
+    }
+}

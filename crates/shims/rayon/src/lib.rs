@@ -1,0 +1,107 @@
+//! Offline stand-in for `rayon`: the `into_par_iter().map().collect()`
+//! surface used by `tess::block`, executed **sequentially on the calling
+//! thread**.
+//!
+//! Sequential execution is a deliberate choice, not just a simplification:
+//! the rank runtime already runs one OS thread per rank (usually
+//! oversubscribed), and `diy::metrics` attributes cost via per-thread CPU
+//! clocks — work stolen onto a pool thread would vanish from the phase
+//! accounting. Keeping intra-block work on the rank thread preserves both
+//! determinism and exact critical-path measurement.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a "parallel" iterator (sequential here).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The adapter surface the workspace consumes: `map` + `collect`.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    fn drive(self, out: &mut Vec<Self::Item>);
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        let mut out = Vec::new();
+        self.drive(&mut out);
+        C::from_vec(out)
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+pub struct IterAdapter<I>(I);
+
+impl<I: Iterator> ParallelIterator for IterAdapter<I> {
+    type Item = I::Item;
+
+    fn drive(self, out: &mut Vec<Self::Item>) {
+        out.extend(self.0);
+    }
+}
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: ParallelIterator, R, F: FnMut(B::Item) -> R> ParallelIterator for Map<B, F> {
+    type Item = R;
+
+    fn drive(self, out: &mut Vec<R>) {
+        let mut base = Vec::new();
+        self.base.drive(&mut base);
+        out.extend(base.into_iter().map(self.f));
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IterAdapter<std::ops::Range<usize>>;
+    fn into_par_iter(self) -> Self::Iter {
+        IterAdapter(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterAdapter<std::vec::IntoIter<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        IterAdapter(self.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let v: Vec<i32> = vec![3, 1, 2].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, vec![4, 2, 3]);
+    }
+}

@@ -61,7 +61,11 @@ fn main() {
             }
         }
     }
-    println!("triangulating {} points ({} images)…", padded.len(), padded.len() - n as usize);
+    println!(
+        "triangulating {} points ({} images)…",
+        padded.len(),
+        padded.len() - n as usize
+    );
     let dt = Delaunay::new(&padded).expect("triangulation");
     println!("{} tetrahedra", dt.tetrahedra().len());
 
@@ -78,7 +82,9 @@ fn main() {
         if !dual.vertices.iter().all(|v| interior.contains_closed(*v)) {
             continue;
         }
-        let Some(dual_vol) = dual.volume() else { continue };
+        let Some(dual_vol) = dual.volume() else {
+            continue;
+        };
         let rel = (dual_vol - cell.volume).abs() / cell.volume;
         max_rel = max_rel.max(rel);
         compared += 1;

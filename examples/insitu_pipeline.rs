@@ -10,8 +10,8 @@
 
 use meshing_universe::diy::comm::Runtime;
 use meshing_universe::framework::{
-    FofParams, FrameworkConfig, HaloFinderTool, InSituRunner, MultistreamTool, StatsTool,
-    TessTool, VoidsTool,
+    FofParams, FrameworkConfig, HaloFinderTool, InSituRunner, MultistreamTool, StatsTool, TessTool,
+    VoidsTool,
 };
 use meshing_universe::hacc::{SimParams, Simulation};
 use meshing_universe::postprocess::{label_components_serial, VolumeFilter};
@@ -71,7 +71,11 @@ fn main() {
     let final_mesh = out_dir.join(format!("tess_step{nsteps}.bin"));
     let blocks = tess::io::read_tessellation(&final_mesh).expect("stored mesh");
     let cells: usize = blocks.iter().map(|b| b.cells.len()).sum();
-    println!("\n== postprocessing {} ({} blocks, {cells} cells) ==", final_mesh.display(), blocks.len());
+    println!(
+        "\n== postprocessing {} ({} blocks, {cells} cells) ==",
+        final_mesh.display(),
+        blocks.len()
+    );
     let filter = VolumeFilter::fraction_of_range(&blocks, 0.1);
     let comps = label_components_serial(&blocks, filter.min);
     println!(

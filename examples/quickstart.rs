@@ -30,12 +30,19 @@ fn main() {
     let domain = Aabb::cube(10.0);
 
     // 2. Standalone (serial) tessellation with an automatic ghost size.
-    let (block, stats) = tess::tessellate_serial(&particles, domain, [true; 3], &TessParams::default());
-    println!("tessellated {} cells ({} could not be certified)", stats.cells, stats.incomplete);
+    let (block, stats) =
+        tess::tessellate_serial(&particles, domain, [true; 3], &TessParams::default());
+    println!(
+        "tessellated {} cells ({} could not be certified)",
+        stats.cells, stats.incomplete
+    );
 
     // 3. Inspect: volumes partition the box; faces know their neighbors.
     let total: f64 = block.cells.iter().map(|c| c.volume).sum();
-    println!("total cell volume {total:.3} (box volume {})", domain.volume());
+    println!(
+        "total cell volume {total:.3} (box volume {})",
+        domain.volume()
+    );
     let c0 = &block.cells[0];
     println!(
         "cell of particle {} has volume {:.3}, area {:.3}, {} faces, neighbors: {:?}",
@@ -56,7 +63,11 @@ fn main() {
         tess::io::write_tessellation(world, &path, &blocks).expect("write");
     });
     let back = tess::io::read_tessellation(&std::env::temp_dir().join("quickstart.tess")).unwrap();
-    println!("read back {} blocks, {} cells", back.len(), back[0].cells.len());
+    println!(
+        "read back {} blocks, {} cells",
+        back.len(),
+        back[0].cells.len()
+    );
     assert_eq!(back[0], block);
     println!("ok");
 }

@@ -33,8 +33,11 @@ fn main() {
     for k in 0..nsteps {
         solver.step(&mut pos, &mut mom, params.a_at(k), params.da_at(k));
     }
-    let particles: Vec<(u64, _)> =
-        pos.into_iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
+    let particles: Vec<(u64, _)> = pos
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
 
     println!("tessellating…");
     let (block, _) = tess::tessellate_serial(
@@ -47,14 +50,21 @@ fn main() {
 
     // A slab view (8 Mpc/h deep), like the paper's figures — full-depth
     // renders of 32³ cells produce very large SVGs.
-    let slab = RenderOptions { zmin: 14.0, zmax: 18.0, ..RenderOptions::default() };
+    let slab = RenderOptions {
+        zmin: 14.0,
+        zmax: 18.0,
+        ..RenderOptions::default()
+    };
     render_to_file(&blocks, &slab, "universe.svg".as_ref()).unwrap();
     println!("wrote universe.svg");
     for threshold in [0.5, 0.75, 1.0] {
         let name = format!("universe_t{threshold:.2}.svg");
         render_to_file(
             &blocks,
-            &RenderOptions { vmin: threshold, ..slab },
+            &RenderOptions {
+                vmin: threshold,
+                ..slab
+            },
             name.as_ref(),
         )
         .unwrap();

@@ -10,9 +10,7 @@ use std::collections::HashSet;
 
 use meshing_universe::geometry::Aabb;
 use meshing_universe::hacc;
-use meshing_universe::postprocess::{
-    label_components_serial, minkowski_functionals, VolumeFilter,
-};
+use meshing_universe::postprocess::{label_components_serial, minkowski_functionals, VolumeFilter};
 use meshing_universe::tess::{self, TessParams};
 
 fn main() {
@@ -37,7 +35,11 @@ fn main() {
     for k in 0..nsteps {
         solver.step(&mut pos, &mut mom, params.a_at(k), params.da_at(k));
     }
-    let particles: Vec<(u64, _)> = pos.into_iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
+    let particles: Vec<(u64, _)> = pos
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
 
     println!("tessellating…");
     let domain = Aabb::cube(np as f64);
@@ -51,7 +53,10 @@ fn main() {
     println!("volume threshold: {:.3} (Mpc/h)^3", filter.min);
 
     let comps = label_components_serial(&blocks, filter.min);
-    println!("{} connected components above the threshold", comps.num_components());
+    println!(
+        "{} connected components above the threshold",
+        comps.num_components()
+    );
 
     println!(
         "{:>8} {:>6} {:>10} {:>10} {:>8} {:>7} {:>9} {:>8} {:>8}",
@@ -67,8 +72,14 @@ fn main() {
         let m = minkowski_functionals(&blocks, &sites, &domain);
         println!(
             "{label:>8} {:>6} {:>10.2} {:>10.2} {:>8.2} {:>7.1} {:>9.3} {:>8.3} {:>8.3}",
-            summary.cells, m.v0_volume, m.v1_area, m.v2_curvature, m.genus,
-            m.thickness, m.breadth, m.length
+            summary.cells,
+            m.v0_volume,
+            m.v1_area,
+            m.v2_curvature,
+            m.genus,
+            m.thickness,
+            m.breadth,
+            m.length
         );
     }
 }

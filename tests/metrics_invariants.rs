@@ -1,0 +1,180 @@
+//! Invariants of the `diy::metrics` observability layer, exercised on the
+//! Figure 5 pipeline (ghost exchange → Voronoi → parallel write) at 1, 2,
+//! 4, and 8 ranks:
+//!
+//! * **Conservation** — per tag, global messages/bytes sent equal
+//!   messages/bytes received; nothing is dropped or double-counted.
+//! * **Tiling** — the `ghost_exchange` + `voronoi` + `output` spans account
+//!   for the enclosing pipeline span's CPU time to within 5%.
+//! * **Determinism** — two identical runs at the same rank count produce
+//!   equal reports (modulo the inherently noisy CPU fields, which
+//!   [`RunReport::normalized`] zeroes), and every rank sees the same
+//!   merged report.
+
+use std::collections::BTreeMap;
+
+use meshing_universe::diy::codec::Encode;
+use meshing_universe::diy::comm::Runtime;
+use meshing_universe::diy::decomposition::{Assignment, Decomposition};
+use meshing_universe::diy::metrics::{collect_report, RunReport};
+use meshing_universe::geometry::{Aabb, Vec3};
+use meshing_universe::hacc;
+use meshing_universe::tess::{self, TessParams, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI};
+
+/// Evolve a small clustered box serially (same recipe as the Fig. 5
+/// pipeline test) so every run starts from identical particles.
+fn evolved(np: usize, nsteps: usize) -> Vec<(u64, Vec3)> {
+    let params = hacc::SimParams::paper_like(np);
+    let cosmo = hacc::Cosmology::default();
+    let ic = hacc::ic::zeldovich(
+        &hacc::ic::IcParams {
+            np,
+            box_size: params.box_size,
+            seed: 7,
+            delta_rms: params.initial_delta_rms,
+            spectrum: params.spectrum,
+        },
+        &cosmo,
+        params.a_init,
+    );
+    let solver = hacc::PmSolver::new(np, cosmo);
+    let (mut pos, mut mom) = (ic.positions, ic.momenta);
+    for k in 0..nsteps {
+        solver.step(&mut pos, &mut mom, params.a_at(k), params.da_at(k));
+    }
+    pos.into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect()
+}
+
+fn partition(
+    particles: &[(u64, Vec3)],
+    dec: &Decomposition,
+    asn: &Assignment,
+    rank: usize,
+) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
+    let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> =
+        asn.blocks_of_rank(rank).map(|g| (g, Vec::new())).collect();
+    for &(id, p) in particles {
+        let gid = dec.block_of_point(p);
+        if let Some(v) = local.get_mut(&gid) {
+            v.push((id, p));
+        }
+    }
+    local
+}
+
+const PHASE_PIPELINE: &str = "pipeline";
+
+/// One full Fig. 5 pipeline run: returns the merged report every rank
+/// agreed on. The tessellation + write are wrapped in an enclosing
+/// `pipeline` span so the tiling invariant can be checked.
+fn run_pipeline(
+    particles: &[(u64, Vec3)],
+    np: usize,
+    nranks: usize,
+    out: &std::path::Path,
+) -> RunReport {
+    let domain = Aabb::cube(np as f64);
+    let nblocks = nranks.max(2); // ≥ 2 blocks so exchange always has work
+    let dec = Decomposition::regular(domain, nblocks, [true; 3]);
+    let params = TessParams::default().with_ghost(3.0);
+    let reports = Runtime::run(nranks, |world| {
+        let asn = Assignment::new(nblocks, world.nranks());
+        let local = partition(particles, &dec, &asn, world.rank());
+        {
+            let _span = world.metrics().phase(PHASE_PIPELINE);
+            let r = tess::tessellate(world, &dec, &asn, &local, &params);
+            tess::io::write_tessellation(world, out, &r.blocks).expect("write");
+        }
+        collect_report(world)
+    });
+    // every rank must hold the identical merged report (CPU fields included:
+    // the merge is a deterministic reduction over the same snapshots)
+    for other in &reports[1..] {
+        assert_eq!(other, &reports[0], "ranks disagree on the merged report");
+    }
+    reports.into_iter().next().unwrap()
+}
+
+#[test]
+fn pipeline_metrics_are_conserved_and_tile_the_run() {
+    let np = 8;
+    let particles = evolved(np, 10);
+    let dir = std::env::temp_dir().join("mu-metrics-invariants");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for nranks in [1usize, 2, 4, 8] {
+        let out = dir.join(format!("conserve_r{nranks}.tess"));
+        let report = run_pipeline(&particles, np, nranks, &out);
+        assert_eq!(report.nranks, nranks as u64);
+
+        // conservation: per tag, sent == received for messages and bytes
+        assert!(
+            report.is_conserved(),
+            "nranks={nranks}: {:?}",
+            report.conservation_violations()
+        );
+        let (ms, bs, mr, br) = report.traffic_totals();
+        assert_eq!(ms, mr, "nranks={nranks}: global message counts");
+        assert_eq!(bs, br, "nranks={nranks}: global byte counts");
+        // the pipeline always communicates (all_to_all self-delivery at 1 rank)
+        assert!(ms > 0, "nranks={nranks}: expected traffic");
+
+        // every pipeline phase ran and was attributed CPU time
+        let parent = report.phase(PHASE_PIPELINE).expect("pipeline span");
+        let children: f64 = [PHASE_GHOST_EXCHANGE, PHASE_VORONOI, PHASE_OUTPUT]
+            .iter()
+            .map(|p| {
+                let ph = report
+                    .phase(p)
+                    .unwrap_or_else(|| panic!("missing phase {p}"));
+                assert!(ph.cpu_sum_s >= 0.0);
+                ph.cpu_sum_s
+            })
+            .sum();
+
+        // tiling: spans are inclusive, so the children can never exceed the
+        // parent, and the glue between them must stay below 5% (plus a small
+        // absolute floor for clock granularity at this problem size)
+        assert!(
+            children <= parent.cpu_sum_s * (1.0 + 1e-6) + 1e-6,
+            "nranks={nranks}: children {children} > parent {}",
+            parent.cpu_sum_s
+        );
+        let gap = parent.cpu_sum_s - children;
+        assert!(
+            gap <= 0.05 * parent.cpu_sum_s + 0.005,
+            "nranks={nranks}: unattributed {gap}s of {}s pipeline time",
+            parent.cpu_sum_s
+        );
+
+        // imbalance is well-defined: critical path ≥ mean
+        assert!(parent.imbalance(report.nranks) >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn pipeline_report_is_deterministic_across_runs() {
+    let np = 8;
+    let particles = evolved(np, 10);
+    let dir = std::env::temp_dir().join("mu-metrics-invariants");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for nranks in [1usize, 2, 4, 8] {
+        let out_a = dir.join(format!("det_a_r{nranks}.tess"));
+        let out_b = dir.join(format!("det_b_r{nranks}.tess"));
+        let a = run_pipeline(&particles, np, nranks, &out_a);
+        let b = run_pipeline(&particles, np, nranks, &out_b);
+        // counter portion (phases, tags, totals) is bit-identical run to run
+        assert_eq!(
+            a.normalized(),
+            b.normalized(),
+            "nranks={nranks}: reports differ between identical runs"
+        );
+        // and the serialized forms agree too
+        assert_eq!(a.normalized().to_bytes(), b.normalized().to_bytes());
+        assert_eq!(a.normalized().to_json(), b.normalized().to_json());
+    }
+}

@@ -29,7 +29,10 @@ fn evolved(np: usize, nsteps: usize) -> Vec<(u64, Vec3)> {
     for k in 0..nsteps {
         solver.step(&mut pos, &mut mom, params.a_at(k), params.da_at(k));
     }
-    pos.into_iter().enumerate().map(|(i, p)| (i as u64, p)).collect()
+    pos.into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect()
 }
 
 fn partition(
@@ -98,11 +101,18 @@ fn evolved_box_parallel_equals_serial_across_rank_counts() {
                     matched += 1;
                 }
             }
-            (world.all_reduce(matched, |a, b| a + b), world.all_reduce(total, |a, b| a + b))
+            (
+                world.all_reduce(matched, |a, b| a + b),
+                world.all_reduce(total, |a, b| a + b),
+            )
         });
         let (matched, total) = counted[0];
         assert_eq!(matched, total);
-        assert_eq!(total, serial.len() as u64, "nblocks={nblocks} nranks={nranks}");
+        assert_eq!(
+            total,
+            serial.len() as u64,
+            "nblocks={nblocks} nranks={nranks}"
+        );
     }
 }
 

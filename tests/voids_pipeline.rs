@@ -8,9 +8,7 @@ use meshing_universe::diy::comm::Runtime;
 use meshing_universe::diy::decomposition::{Assignment, Decomposition};
 use meshing_universe::geometry::{Aabb, Vec3};
 use meshing_universe::postprocess::components::label_components_parallel;
-use meshing_universe::postprocess::{
-    label_components_serial, minkowski_functionals, VolumeFilter,
-};
+use meshing_universe::postprocess::{label_components_serial, minkowski_functionals, VolumeFilter};
 use meshing_universe::tess::{self, TessParams};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -84,7 +82,7 @@ fn thresholding_reveals_voids_with_sane_minkowski_values() {
         let sites: HashSet<u64> = comps
             .labels
             .iter()
-            .filter(|(_, &l)| l == *&label)
+            .filter(|(_, &l)| l == label)
             .map(|(&s, _)| s)
             .collect();
         let m = minkowski_functionals(&blocks, &sites, &domain);
