@@ -14,6 +14,12 @@ cargo build --release --workspace
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> rank-determinism suite at 8 ranks (release)"
+# The cross-rank ghost invariants (bit-identical merged mesh at 1/2/4/8
+# ranks, adaptive certification) are cheap in release mode and guard the
+# exchange protocol; run them explicitly so optimized codegen is covered.
+cargo test --release -q -p meshing-universe --test ghost_adaptive
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -24,10 +24,22 @@ use diy::metrics::collect_report;
 use geometry::Vec3;
 use hacc::SimParams;
 use postprocess::VolumeFilter;
-use tess::{tessellate, TessParams, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI};
+use tess::{tessellate, GhostSpec, TessParams, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI};
+
+/// Ghost mode from `BENCH_GHOST`: `adaptive`, `auto`, or an explicit
+/// radius (default: the fixed radius 4.0 the paper-like setup uses).
+fn ghost_from_env() -> GhostSpec {
+    match std::env::var("BENCH_GHOST").ok().as_deref() {
+        Some("adaptive") => GhostSpec::adaptive(),
+        Some("auto") => GhostSpec::default(),
+        Some(v) => GhostSpec::Explicit(v.parse().expect("BENCH_GHOST: adaptive|auto|<radius>")),
+        None => GhostSpec::Explicit(4.0),
+    }
+}
 
 fn main() {
     let full = std::env::var("BENCH_FULL").is_ok();
+    let ghost = ghost_from_env();
     let mut configs: Vec<(usize, usize, Vec<usize>)> =
         vec![(16, 100, vec![1, 2, 4, 8]), (32, 50, vec![1, 2, 4, 8])];
     if full {
@@ -35,6 +47,7 @@ fn main() {
     }
 
     println!("# Table II: in-situ performance (thread-CPU critical path; see DESIGN.md)");
+    println!("# ghost mode: {ghost:?} (override with BENCH_GHOST=adaptive|auto|<radius>)");
     let mut table = Table::new(&[
         "Particles",
         "Steps",
@@ -64,7 +77,10 @@ fn main() {
                     .iter()
                     .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
                     .collect();
-                let tess_params = TessParams::default().with_ghost(4.0).with_min_volume(0.2);
+                let tess_params = TessParams {
+                    ghost,
+                    ..TessParams::default().with_min_volume(0.2)
+                };
                 let result = tessellate(world, &sim.dec, &sim.asn, &local, &tess_params);
 
                 let bytes =

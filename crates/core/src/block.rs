@@ -12,6 +12,21 @@ use crate::model::{Cell, Face, MeshBlock, NO_NEIGHBOR};
 use crate::params::{HullMode, TessParams};
 use crate::stats::TessStats;
 
+/// Per-block certification summary for the adaptive ghost loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockCertification {
+    /// Ghost radius that would certify every currently-uncertified cell,
+    /// assuming no farther particle cuts them: max over those cells of
+    /// `2 × (site → farthest vertex) − distance(site, block wall)`. A lower
+    /// bound — a grown region can expose new vertices — so the adaptive
+    /// loop iterates on it rather than trusting it once.
+    pub needed_ghost: f64,
+    /// Uncertified cells the bound covers (dropped or kept-incomplete ones;
+    /// culled cells are excluded — culling an underestimate-only volume is
+    /// already final).
+    pub uncertified: u64,
+}
+
 /// Tessellate one block: `own` are the block's original particles, `ghosts`
 /// the received halo particles (already in this block's frame).
 pub fn tessellate_block(
@@ -22,6 +37,22 @@ pub fn tessellate_block(
     ghost_size: f64,
     params: &TessParams,
 ) -> (MeshBlock, TessStats) {
+    let (block, stats, _) =
+        tessellate_block_certified(gid, bounds, own, ghosts, ghost_size, params);
+    (block, stats)
+}
+
+/// [`tessellate_block`] variant that also reports how much more ghost
+/// radius the block's uncertified cells would need (the adaptive ghost
+/// loop's per-block feedback signal).
+pub fn tessellate_block_certified(
+    gid: u64,
+    bounds: Aabb,
+    own: &[(u64, Vec3)],
+    ghosts: &[(u64, Vec3)],
+    ghost_size: f64,
+    params: &TessParams,
+) -> (MeshBlock, TessStats, BlockCertification) {
     let region = bounds.grown(ghost_size);
 
     // Own particles first so candidate index == own index for sites.
@@ -51,18 +82,28 @@ pub fn tessellate_block(
         CulledLate,
     }
 
-    let outcomes: Vec<Outcome> = (0..n_own)
+    let outcomes: Vec<(Outcome, f64)> = (0..n_own)
         .into_par_iter()
         .map(|i| {
             let site = pts[i];
             let cell = compute_cell(site, i as u32, &pts, &grid, &region, params.eps);
+            // Radius bound an uncertified cell needs: the security ball
+            // (2× site→farthest-vertex) must fit inside the grown region,
+            // so the halo must extend that far past the block wall.
+            let needed = if cell.complete {
+                0.0
+            } else {
+                let sec = 2.0 * cell.poly.max_vertex_dist2(site).sqrt();
+                (sec - bounds.interior_distance(site)).max(0.0)
+            };
             if !cell.complete && !params.keep_incomplete {
-                return Outcome::Incomplete;
+                return (Outcome::Incomplete, needed);
             }
-            // Early conservative cull (before any hull work).
+            // Early conservative cull (before any hull work). Valid even
+            // for uncertified cells: unknown particles only shrink them.
             if let Some(d2) = cull_diam2 {
                 if cell.poly.max_pairwise_dist2() < d2 {
-                    return Outcome::CulledEarly;
+                    return (Outcome::CulledEarly, 0.0);
                 }
             }
             // Volume / area: native clip path or the paper's Qhull path.
@@ -76,7 +117,7 @@ pub fn tessellate_block(
             // Exact cull after the volume is known.
             if let Some(minv) = params.min_volume {
                 if volume < minv {
-                    return Outcome::CulledLate;
+                    return (Outcome::CulledLate, 0.0);
                 }
             }
             let faces = cell
@@ -91,13 +132,16 @@ pub fn tessellate_block(
                     (nbr, cell.poly.face_points(f))
                 })
                 .collect();
-            Outcome::Kept(Box::new(Kept {
-                site_idx: i as u32,
-                volume,
-                area,
-                complete: cell.complete,
-                faces,
-            }))
+            (
+                Outcome::Kept(Box::new(Kept {
+                    site_idx: i as u32,
+                    volume,
+                    area,
+                    complete: cell.complete,
+                    faces,
+                })),
+                needed,
+            )
         })
         .collect();
 
@@ -118,9 +162,14 @@ pub fn tessellate_block(
         )
     };
 
-    for outcome in outcomes {
+    let mut cert = BlockCertification::default();
+    for (outcome, needed) in outcomes {
         match outcome {
-            Outcome::Incomplete => stats.incomplete += 1,
+            Outcome::Incomplete => {
+                stats.incomplete += 1;
+                cert.uncertified += 1;
+                cert.needed_ghost = cert.needed_ghost.max(needed);
+            }
             Outcome::CulledEarly => stats.culled_early += 1,
             Outcome::CulledLate => stats.culled_late += 1,
             Outcome::Kept(kept) => {
@@ -129,6 +178,8 @@ pub fn tessellate_block(
                 block.site_ids.push(ids[kept.site_idx as usize]);
                 if !kept.complete {
                     stats.incomplete_kept += 1;
+                    cert.uncertified += 1;
+                    cert.needed_ghost = cert.needed_ghost.max(needed);
                 }
                 let faces = kept
                     .faces
@@ -159,7 +210,7 @@ pub fn tessellate_block(
     }
     stats.verts = block.verts.len() as u64;
     stats.faces = block.num_faces() as u64;
-    (block, stats)
+    (block, stats, cert)
 }
 
 #[cfg(test)]
@@ -204,6 +255,30 @@ mod tests {
                 assert_eq!(f.verts.len(), 4);
             }
         }
+    }
+
+    #[test]
+    fn certification_reports_the_radius_incomplete_cells_need() {
+        let n = 6;
+        let own = lattice_particles(n, 1.0);
+        let bounds = Aabb::cube(n as f64);
+        let params = TessParams::default().with_ghost(0.5);
+        let (_, stats, cert) = tessellate_block_certified(0, bounds, &own, &[], 0.5, &params);
+        assert!(stats.incomplete > 0);
+        assert_eq!(cert.uncertified, stats.incomplete);
+        // a boundary cell's security ball reaches past the current halo, so
+        // the requested radius must strictly exceed it
+        assert!(cert.needed_ghost > 0.5, "needed {}", cert.needed_ghost);
+
+        // kept-incomplete cells count as uncertified too
+        let keep = TessParams {
+            keep_incomplete: true,
+            ..params
+        };
+        let (_, s2, c2) = tessellate_block_certified(0, bounds, &own, &[], 0.5, &keep);
+        assert_eq!(s2.incomplete, 0);
+        assert_eq!(c2.uncertified, s2.incomplete_kept);
+        assert!((c2.needed_ghost - cert.needed_ghost).abs() < 1e-12);
     }
 
     #[test]

@@ -6,10 +6,10 @@ use diy::comm::{Runtime, World};
 use diy::decomposition::{Assignment, Decomposition};
 use geometry::{Aabb, Vec3};
 
-use crate::block::tessellate_block;
-use crate::ghost::exchange_ghosts;
+use crate::block::{tessellate_block, tessellate_block_certified};
+use crate::ghost::{exchange_ghosts, sort_ghosts, AdaptiveGhostExchange, GhostParticle};
 use crate::model::MeshBlock;
-use crate::params::{GhostSpec, TessParams};
+use crate::params::{GhostSpec, TessParams, AUTO_GHOST_FACTOR};
 use crate::stats::TessStats;
 
 /// Phase span covering ghost resolution + particle exchange (see
@@ -33,9 +33,28 @@ pub struct TessResult {
     pub ghost_used: f64,
 }
 
-/// Resolve the ghost size: explicit passthrough, or the auto estimate
-/// `factor × max over blocks of (block volume / own particles)^{1/3}`
-/// (a collective operation).
+/// Estimated particle spacing: `max over blocks of (block volume / own
+/// particles)^{1/3}` (a collective operation — every rank gets the global
+/// maximum).
+pub fn estimated_spacing(
+    world: &mut World,
+    dec: &Decomposition,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+) -> f64 {
+    let local_max = local
+        .iter()
+        .map(|(&gid, particles)| {
+            let vol = dec.block_bounds(gid).volume();
+            let n = particles.len().max(1) as f64;
+            (vol / n).powf(1.0 / 3.0)
+        })
+        .fold(0.0f64, f64::max);
+    world.all_reduce(local_max, f64::max)
+}
+
+/// Resolve the ghost size: explicit passthrough, or a spacing multiple (a
+/// collective operation). For `Adaptive` this is the *initial* radius;
+/// [`tessellate`] then grows it per block as needed.
 pub fn resolve_ghost(
     world: &mut World,
     dec: &Decomposition,
@@ -44,17 +63,9 @@ pub fn resolve_ghost(
 ) -> f64 {
     match spec {
         GhostSpec::Explicit(g) => g,
-        GhostSpec::Auto { factor } => {
-            let local_max = local
-                .iter()
-                .map(|(&gid, particles)| {
-                    let vol = dec.block_bounds(gid).volume();
-                    let n = particles.len().max(1) as f64;
-                    (vol / n).powf(1.0 / 3.0)
-                })
-                .fold(0.0f64, f64::max);
-            let spacing = world.all_reduce(local_max, f64::max);
-            factor * spacing
+        GhostSpec::Auto { factor } => factor * estimated_spacing(world, dec, local),
+        GhostSpec::Adaptive { initial_factor, .. } => {
+            initial_factor * estimated_spacing(world, dec, local)
         }
     }
 }
@@ -69,6 +80,13 @@ pub fn tessellate(
     local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
     params: &TessParams,
 ) -> TessResult {
+    if let GhostSpec::Adaptive {
+        initial_factor,
+        max_rounds,
+    } = params.ghost
+    {
+        return tessellate_adaptive(world, dec, asn, local, params, initial_factor, max_rounds);
+    }
     let metrics = world.metrics();
     let (ghost, ghosts) = {
         let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
@@ -87,11 +105,146 @@ pub fn tessellate(
         stats = stats.merge(s);
         blocks.insert(gid, block);
     }
+    stats.ghost_rounds = 1;
 
     TessResult {
         blocks,
         stats,
         ghost_used: ghost,
+    }
+}
+
+/// Multi-round adaptive tessellation (see [`GhostSpec::Adaptive`]).
+///
+/// Round loop: exchange the delta shell for every block whose requested
+/// radius grew, re-tessellate exactly those blocks, let each uncertified
+/// cell bound the radius it needs, and gather the per-block requests on
+/// every rank. All decisions derive from collective data (the gathered
+/// request map, the spacing estimate), so the per-block radius schedule —
+/// and therefore every block's ghost set and mesh — is identical at any
+/// rank count. Requests are capped at one block extent (the farthest the
+/// 26-neighborhood can see); after `max_rounds` adaptive rounds one
+/// fallback round at the auto-heuristic radius runs, then whatever is
+/// still uncertified is dropped exactly like the fixed modes drop it.
+#[allow(clippy::too_many_arguments)]
+fn tessellate_adaptive(
+    world: &mut World,
+    dec: &Decomposition,
+    asn: &Assignment,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    params: &TessParams,
+    initial_factor: f64,
+    max_rounds: usize,
+) -> TessResult {
+    let metrics = world.metrics();
+    // The neighborhood exchange only reaches adjacent blocks, so a halo
+    // wider than one block extent would silently miss particles.
+    let cap = {
+        let e = dec.block_bounds(0).extent();
+        e.x.min(e.y).min(e.z)
+    };
+    let (r0, auto_r) = {
+        let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+        let spacing = estimated_spacing(world, dec, local);
+        (
+            (initial_factor * spacing).min(cap),
+            (AUTO_GHOST_FACTOR * spacing).min(cap),
+        )
+    };
+
+    let mut exchanger = AdaptiveGhostExchange::new(dec, asn);
+    let mut ghosts: BTreeMap<u64, Vec<GhostParticle>> =
+        local.keys().map(|&g| (g, Vec::new())).collect();
+    let mut results: BTreeMap<u64, (MeshBlock, TessStats)> = BTreeMap::new();
+    // Current halo radius per block — global state, identical on all ranks.
+    let mut radius: BTreeMap<u64, f64> = (0..dec.nblocks() as u64).map(|g| (g, 0.0)).collect();
+    // Round 0: every block wants the initial radius (no communication
+    // needed to agree on that).
+    let mut request: BTreeMap<u64, f64> = (0..dec.nblocks() as u64).map(|g| (g, r0)).collect();
+    let mut rounds = 0u64;
+
+    loop {
+        let round = rounds as usize;
+        {
+            let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+            let _round_span = metrics.phase(format!("ghost_round:{round}"));
+            let fresh = exchanger.round(world, local, &request, round);
+            for (gid, items) in fresh {
+                let v = ghosts.get_mut(&gid).expect("owned block");
+                v.extend(items);
+                sort_ghosts(v);
+            }
+            for (&g, &r) in &request {
+                radius.insert(g, r);
+            }
+        }
+        rounds += 1;
+
+        // Re-tessellate the blocks whose halo changed; collect what the
+        // still-uncertified cells need.
+        let mut needed: BTreeMap<u64, f64> = BTreeMap::new();
+        {
+            let _span = metrics.phase(PHASE_VORONOI);
+            for (&gid, own) in local {
+                if !request.contains_key(&gid) {
+                    continue;
+                }
+                let r = radius[&gid];
+                let (block, s, cert) = tessellate_block_certified(
+                    gid,
+                    dec.block_bounds(gid),
+                    own,
+                    &ghosts[&gid],
+                    r,
+                    params,
+                );
+                results.insert(gid, (block, s));
+                if cert.uncertified > 0 && cert.needed_ghost > 0.0 {
+                    needed.insert(gid, cert.needed_ghost);
+                }
+            }
+        }
+
+        // Build next round's request map from every rank's needs
+        // (collective, so all ranks agree on who grows and by how much).
+        let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+        let my_requests: Vec<(u64, f64)> = needed
+            .iter()
+            .filter_map(|(&gid, &need)| {
+                let cur = radius[&gid];
+                if cur >= cap - 1e-12 {
+                    return None; // saturated: the neighborhood has no more
+                }
+                let next = if round < max_rounds {
+                    // grow to the certification bound, with a geometric
+                    // floor so near-converged cells cannot stall the loop
+                    need.max(cur * 1.25).min(cap)
+                } else if round == max_rounds {
+                    auto_r.max(need).min(cap) // fallback: the auto radius
+                } else {
+                    return None; // fallback spent: leave incomplete
+                };
+                (next > cur + 1e-12).then_some((gid, next))
+            })
+            .collect();
+        let gathered: Vec<Vec<(u64, f64)>> = world.all_gather(&my_requests);
+        request = gathered.into_iter().flatten().collect();
+        if request.is_empty() {
+            break;
+        }
+    }
+
+    let mut blocks = BTreeMap::new();
+    let mut stats = TessStats::default();
+    for (gid, (block, s)) in results {
+        stats = stats.merge(s);
+        blocks.insert(gid, block);
+    }
+    stats.ghost_rounds = rounds;
+    TessResult {
+        blocks,
+        stats,
+        ghost_used: radius.values().fold(0.0f64, |a, &b| a.max(b)),
     }
 }
 
@@ -316,6 +469,101 @@ mod tests {
         // mean spacing is 1.0 → ghost 4.0 on every rank
         for g in ghosts {
             assert!((g - 4.0).abs() < 1e-9, "ghost {g}");
+        }
+    }
+
+    #[test]
+    fn adaptive_certifies_everything_and_matches_fixed_output() {
+        let n = 6;
+        let particles = jittered(n, 9, 0.4);
+        let domain = Aabb::cube(n as f64);
+        let fixed = TessParams::default().with_ghost(2.5);
+        let adaptive = TessParams {
+            ghost: GhostSpec::Adaptive {
+                initial_factor: 0.75,
+                max_rounds: 8,
+            },
+            ..TessParams::default()
+        };
+        let (fixed_block, fixed_stats) = tessellate_serial(&particles, domain, [true; 3], &fixed);
+        let (ad_block, ad_stats) = tessellate_serial(&particles, domain, [true; 3], &adaptive);
+        assert_eq!(ad_stats.incomplete, 0);
+        assert_eq!(ad_stats.cells, fixed_stats.cells);
+        assert!(
+            ad_stats.ghost_rounds >= 1,
+            "rounds {}",
+            ad_stats.ghost_rounds
+        );
+        let vols = |b: &MeshBlock| -> BTreeMap<u64, f64> {
+            b.cells
+                .iter()
+                .map(|c| (b.site_id_of(c), c.volume))
+                .collect()
+        };
+        let (fv, av) = (vols(&fixed_block), vols(&ad_block));
+        for (id, v) in &av {
+            assert!((v - fv[id]).abs() < 1e-9, "cell {id}: {v} vs {}", fv[id]);
+        }
+    }
+
+    #[test]
+    fn adaptive_fallback_rescues_a_tiny_initial_radius() {
+        // max_rounds 0: the first adaptive request already falls back to
+        // the auto radius, which certifies the whole evolved-like box.
+        let n = 6;
+        let particles = jittered(n, 21, 0.49);
+        let params = TessParams {
+            ghost: GhostSpec::Adaptive {
+                initial_factor: 0.2,
+                max_rounds: 0,
+            },
+            ..TessParams::default()
+        };
+        let (_, stats) = tessellate_serial(&particles, Aabb::cube(n as f64), [true; 3], &params);
+        assert_eq!(stats.incomplete, 0);
+        assert_eq!(stats.cells, (n * n * n) as u64);
+        assert!(stats.ghost_rounds <= 2, "rounds {}", stats.ghost_rounds);
+    }
+
+    #[test]
+    fn adaptive_requests_are_capped_at_the_block_extent() {
+        // 2 particles in a 4³ box split into 8 blocks of extent 2: the
+        // spacing estimate far exceeds a block, so every radius must clamp
+        // to the cap and the loop must still terminate.
+        let domain = Aabb::cube(4.0);
+        let dec = Decomposition::regular(domain, 8, [true; 3]);
+        let particles = vec![
+            (0u64, Vec3::new(0.7, 0.7, 0.7)),
+            (1u64, Vec3::new(3.1, 3.1, 3.1)),
+        ];
+        let params = TessParams {
+            ghost: GhostSpec::Adaptive {
+                initial_factor: 2.5,
+                max_rounds: 4,
+            },
+            keep_incomplete: true,
+            ..TessParams::default()
+        };
+        let out = Runtime::run(2, move |world| {
+            let asn = Assignment::new(8, world.nranks());
+            let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .map(|g| (g, Vec::new()))
+                .collect();
+            for &(id, p) in &particles {
+                let gid = dec.block_of_point(p);
+                if let Some(v) = local.get_mut(&gid) {
+                    v.push((id, p));
+                }
+            }
+            let r = tessellate(world, &dec, &asn, &local, &params);
+            (r.ghost_used, global_stats(world, r.stats))
+        });
+        for (ghost_used, stats) in out {
+            assert!(ghost_used <= 2.0 + 1e-12, "ghost {ghost_used}");
+            // keep_incomplete retains both cells even though a 2-particle
+            // Voronoi diagram cannot certify inside one block
+            assert_eq!(stats.cells, 2);
         }
     }
 

@@ -6,21 +6,79 @@
 //! far side of the domain (Figure 6's particles A and B). The exchange is
 //! bidirectional by construction: each block both sends and receives.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use diy::comm::World;
 use diy::decomposition::{Assignment, Decomposition};
-use diy::exchange::NeighborExchange;
+use diy::exchange::{DeltaExchange, NeighborExchange};
 use geometry::Vec3;
 
 /// A particle headed to (or received by) a block: global id + position in
 /// the receiving block's frame.
 pub type GhostParticle = (u64, Vec3);
 
+/// Base of the message-tag namespace for ghost exchange rounds: round `r`
+/// sends under `GHOST_TAG_BASE + r`, so the per-tag counters in
+/// [`diy::metrics`] break ghost traffic down by round. The fixed-radius
+/// modes use round 0's tag.
+pub const GHOST_TAG_BASE: u64 = 0x4753_0000; // "GS"
+
+/// Rounds the tag namespace reserves (far above any real round count).
+pub const GHOST_TAG_ROUNDS: u64 = 4096;
+
+/// Message tag of ghost exchange round `round`.
+pub fn ghost_round_tag(round: usize) -> u64 {
+    debug_assert!((round as u64) < GHOST_TAG_ROUNDS);
+    GHOST_TAG_BASE + round as u64
+}
+
+/// `true` when `tag` belongs to the ghost exchange namespace (for summing
+/// ghost traffic out of a [`diy::metrics::RunReport`]).
+pub fn is_ghost_tag(tag: u64) -> bool {
+    (GHOST_TAG_BASE..GHOST_TAG_BASE + GHOST_TAG_ROUNDS).contains(&tag)
+}
+
+/// Canonical ghost ordering: by particle id, then by position. The raw
+/// exchange delivers in (source rank, send order), which changes with the
+/// rank count; after this sort a block's ghost list — and therefore its
+/// tessellation — is bitwise identical however the senders were laid out.
+pub fn sort_ghosts(v: &mut [GhostParticle]) {
+    v.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| a.1.x.total_cmp(&b.1.x))
+            .then_with(|| a.1.y.total_cmp(&b.1.y))
+            .then_with(|| a.1.z.total_cmp(&b.1.z))
+    });
+}
+
+/// Fold raw exchange output into a per-owned-block map, dropping (and
+/// debug-asserting on) entries for blocks this rank does not own — a
+/// misrouted message must not silently materialize a foreign block.
+fn received_per_owned_block(
+    world: &World,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    received: HashMap<u64, Vec<GhostParticle>>,
+) -> BTreeMap<u64, Vec<GhostParticle>> {
+    let mut out: BTreeMap<u64, Vec<GhostParticle>> =
+        local.keys().map(|&gid| (gid, Vec::new())).collect();
+    for (gid, items) in received {
+        match out.get_mut(&gid) {
+            Some(slot) => *slot = items,
+            None => debug_assert!(
+                false,
+                "received ghosts for block {gid} not owned by rank {}",
+                world.rank()
+            ),
+        }
+    }
+    out
+}
+
 /// Exchange ghost particles for all blocks owned by this rank.
 ///
 /// `local` maps owned block gid → original particles `(id, position)`.
-/// Returns received ghosts per owned block, in deterministic order.
+/// Returns received ghosts per owned block, in canonical order
+/// ([`sort_ghosts`]).
 pub fn exchange_ghosts(
     world: &mut World,
     dec: &Decomposition,
@@ -37,14 +95,57 @@ pub fn exchange_ghosts(
             }
         }
     }
-    let received = ex.exchange(world, outgoing);
-    // Ensure every owned block has an entry, even with no ghosts.
-    let mut out: BTreeMap<u64, Vec<GhostParticle>> =
-        local.keys().map(|&gid| (gid, Vec::new())).collect();
-    for (gid, items) in received {
-        out.insert(gid, items);
+    let received = ex.exchange_tagged(world, outgoing, ghost_round_tag(0));
+    let mut out = received_per_owned_block(world, local, received);
+    for v in out.values_mut() {
+        sort_ghosts(v);
     }
     out
+}
+
+/// The transport side of adaptive ghost sizing: repeated collective rounds,
+/// each shipping only the delta shell no destination has seen before
+/// (see [`DeltaExchange`]).
+pub struct AdaptiveGhostExchange<'a> {
+    delta: DeltaExchange<'a>,
+}
+
+impl<'a> AdaptiveGhostExchange<'a> {
+    pub fn new(dec: &'a Decomposition, asn: &'a Assignment) -> Self {
+        AdaptiveGhostExchange {
+            delta: DeltaExchange::new(dec, asn),
+        }
+    }
+
+    /// One collective exchange round. `request` maps block gid → ghost
+    /// radius that block now wants; every rank must pass the same map
+    /// (it is built from collective data). Returns the *new* ghosts per
+    /// owned block — particles already delivered in earlier rounds are
+    /// not resent.
+    pub fn round(
+        &mut self,
+        world: &mut World,
+        local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+        request: &BTreeMap<u64, f64>,
+        round: usize,
+    ) -> BTreeMap<u64, Vec<GhostParticle>> {
+        let mut outgoing: Vec<(u64, u64, [i8; 3], GhostParticle)> = Vec::new();
+        for (&gid, particles) in local {
+            for &(pid, pos) in particles {
+                for n in self
+                    .delta
+                    .ex
+                    .destinations_near_by(gid, pos, |g| request.get(&g).copied())
+                {
+                    outgoing.push((n.gid, pid, n.image(), (pid, pos + n.xform)));
+                }
+            }
+        }
+        let received = self
+            .delta
+            .exchange_new(world, outgoing, ghost_round_tag(round));
+        received_per_owned_block(world, local, received)
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +241,61 @@ mod tests {
                 assert!(dec.domain.grown(1.0).contains_closed(p));
             }
         });
+    }
+
+    #[test]
+    fn adaptive_rounds_ship_only_the_delta_shell() {
+        let dec = Decomposition::with_dims(Aabb::cube(8.0), [2, 1, 1], [false; 3]);
+        let asn = Assignment::new(2, 1);
+        // two particles in block 0 at different distances from the seam x=4
+        let all = vec![
+            (1u64, Vec3::new(3.5, 4.0, 4.0)), // 0.5 from the seam
+            (2u64, Vec3::new(2.5, 4.0, 4.0)), // 1.5 from the seam
+        ];
+        Runtime::run(1, |w| {
+            let local = block_particles(&dec, &asn, w.rank(), &all);
+            let mut ex = AdaptiveGhostExchange::new(&dec, &asn);
+            // round 0: only block 1 wants a 1.0 halo → particle 1 crosses
+            let req0: BTreeMap<u64, f64> = [(1u64, 1.0)].into_iter().collect();
+            let got0 = ex.round(w, &local, &req0, 0);
+            assert_eq!(got0[&1], vec![(1, Vec3::new(3.5, 4.0, 4.0))]);
+            assert!(got0[&0].is_empty());
+            // round 1: block 1 grows to 2.0 → only particle 2 is new
+            let req1: BTreeMap<u64, f64> = [(1u64, 2.0)].into_iter().collect();
+            let got1 = ex.round(w, &local, &req1, 1);
+            assert_eq!(got1[&1], vec![(2, Vec3::new(2.5, 4.0, 4.0))]);
+            // round 2: nothing grew → nothing moves
+            let got2 = ex.round(w, &local, &req1, 2);
+            assert!(got2[&1].is_empty());
+        });
+    }
+
+    #[test]
+    fn ghost_tags_form_a_user_namespace() {
+        assert!(is_ghost_tag(ghost_round_tag(0)));
+        assert!(is_ghost_tag(ghost_round_tag(17)));
+        assert!(!is_ghost_tag(0));
+        assert!(!is_ghost_tag(GHOST_TAG_BASE + GHOST_TAG_ROUNDS));
+        // top bit clear: these are user tags, not collective tags
+        assert_eq!(ghost_round_tag(5) >> 63, 0);
+    }
+
+    #[test]
+    fn ghosts_arrive_in_canonical_order() {
+        let mut v = vec![
+            (7u64, Vec3::new(1.0, 0.0, 0.0)),
+            (3, Vec3::new(2.0, 0.0, 0.0)),
+            (7, Vec3::new(0.5, 0.0, 0.0)),
+        ];
+        sort_ghosts(&mut v);
+        assert_eq!(
+            v,
+            vec![
+                (3, Vec3::new(2.0, 0.0, 0.0)),
+                (7, Vec3::new(0.5, 0.0, 0.0)),
+                (7, Vec3::new(1.0, 0.0, 0.0)),
+            ]
+        );
     }
 
     #[test]

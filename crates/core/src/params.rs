@@ -1,5 +1,9 @@
 //! Tessellation parameters.
 
+/// Spacing multiple the auto heuristic (and the adaptive fallback round)
+/// uses: 4–5 mean spacings certifies virtually every cell in evolved boxes.
+pub const AUTO_GHOST_FACTOR: f64 = 5.0;
+
 /// How the ghost-zone size is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GhostSpec {
@@ -11,12 +15,36 @@ pub enum GhostSpec {
     /// This implements the paper's future-work item "determining the ghost
     /// size automatically".
     Auto { factor: f64 },
+    /// Multi-round adaptive sizing: tessellate with `initial_factor ×` the
+    /// estimated spacing, then let every uncertified cell bound the radius
+    /// it needs (2× its site-to-farthest-vertex distance) and run delta
+    /// exchange rounds shipping only the newly covered shell, until a
+    /// collective round reports every cell certified. After `max_rounds`
+    /// adaptive rounds a final round at the [`AUTO_GHOST_FACTOR`] radius
+    /// runs; cells still uncertified then are dropped exactly like the
+    /// fixed modes drop them.
+    Adaptive {
+        initial_factor: f64,
+        max_rounds: usize,
+    },
 }
 
 impl Default for GhostSpec {
     fn default() -> Self {
-        // 4–5 mean spacings certifies virtually every cell in evolved boxes.
-        GhostSpec::Auto { factor: 5.0 }
+        GhostSpec::Auto {
+            factor: AUTO_GHOST_FACTOR,
+        }
+    }
+}
+
+impl GhostSpec {
+    /// Adaptive sizing with the default schedule: start at half the auto
+    /// heuristic radius, allow 8 adaptive rounds before the fallback.
+    pub fn adaptive() -> Self {
+        GhostSpec::Adaptive {
+            initial_factor: AUTO_GHOST_FACTOR / 2.0,
+            max_rounds: 8,
+        }
     }
 }
 
@@ -75,6 +103,12 @@ impl TessParams {
         self
     }
 
+    /// Switch to the default adaptive ghost schedule ([`GhostSpec::adaptive`]).
+    pub fn with_adaptive_ghost(mut self) -> Self {
+        self.ghost = GhostSpec::adaptive();
+        self
+    }
+
     /// Diameter of the sphere whose volume equals `min_volume`; any cell
     /// with a smaller vertex-pair diameter provably has a smaller volume
     /// (isodiametric inequality), which is the paper's early cull.
@@ -102,5 +136,13 @@ mod tests {
         assert_eq!(p.ghost, GhostSpec::Explicit(3.0));
         assert_eq!(p.min_volume, Some(0.5));
         assert!(!p.keep_incomplete);
+        let a = TessParams::default().with_adaptive_ghost();
+        assert_eq!(
+            a.ghost,
+            GhostSpec::Adaptive {
+                initial_factor: AUTO_GHOST_FACTOR / 2.0,
+                max_rounds: 8
+            }
+        );
     }
 }

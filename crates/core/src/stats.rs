@@ -23,6 +23,10 @@ pub struct TessStats {
     pub verts: u64,
     /// Face records stored.
     pub faces: u64,
+    /// Ghost exchange rounds executed (1 for the fixed-radius modes; the
+    /// adaptive mode counts its delta rounds). Merged with `max`, not a
+    /// sum: every rank participates in the same collective rounds.
+    pub ghost_rounds: u64,
 }
 
 impl TessStats {
@@ -37,6 +41,7 @@ impl TessStats {
         self.culled_late += o.culled_late;
         self.verts += o.verts;
         self.faces += o.faces;
+        self.ghost_rounds = self.ghost_rounds.max(o.ghost_rounds);
         self
     }
 }
@@ -53,6 +58,7 @@ impl Encode for TessStats {
             self.culled_late,
             self.verts,
             self.faces,
+            self.ghost_rounds,
         ] {
             v.encode(buf);
         }
@@ -71,6 +77,7 @@ impl Decode for TessStats {
             culled_late: u64::decode(r)?,
             verts: u64::decode(r)?,
             faces: u64::decode(r)?,
+            ghost_rounds: u64::decode(r)?,
         })
     }
 }
@@ -101,6 +108,21 @@ mod tests {
     }
 
     #[test]
+    fn merge_takes_max_of_ghost_rounds() {
+        let a = TessStats {
+            ghost_rounds: 3,
+            ..Default::default()
+        };
+        let b = TessStats {
+            ghost_rounds: 2,
+            ..Default::default()
+        };
+        // collective rounds are shared, not additive
+        assert_eq!(a.merge(b).ghost_rounds, 3);
+        assert_eq!(b.merge(a).ghost_rounds, 3);
+    }
+
+    #[test]
     fn codec_roundtrip() {
         let s = TessStats {
             sites: 7,
@@ -112,6 +134,7 @@ mod tests {
             culled_late: 2,
             verts: 9,
             faces: 8,
+            ghost_rounds: 2,
         };
         assert_eq!(TessStats::from_bytes(&s.to_bytes()).unwrap(), s);
     }

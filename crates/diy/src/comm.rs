@@ -274,8 +274,24 @@ impl World {
     /// buffer from every rank (indexed by source). Empty buffers are
     /// exchanged too, which doubles as a synchronization point.
     pub fn all_to_all(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        assert_eq!(outgoing.len(), self.nranks);
         let tag = self.next_coll_tag();
+        self.all_to_all_with(outgoing, tag)
+    }
+
+    /// Personalized all-to-all under a caller-chosen user tag (top bit must
+    /// be clear), so the traffic is attributed to a stable, rank-count-
+    /// independent tag in the per-tag counters (e.g. one tag per ghost
+    /// exchange round). Collective: every rank must call it in the same
+    /// order with the same tag. Reusing a tag across calls is safe because
+    /// delivery is FIFO per sender.
+    pub fn all_to_all_tagged(&mut self, outgoing: Vec<Vec<u8>>, tag: u64) -> Vec<Vec<u8>> {
+        debug_assert!(tag & COLLECTIVE_BIT == 0, "top tag bit is reserved");
+        self.metrics.on_collective();
+        self.all_to_all_with(outgoing, tag)
+    }
+
+    fn all_to_all_with(&mut self, outgoing: Vec<Vec<u8>>, tag: u64) -> Vec<Vec<u8>> {
+        assert_eq!(outgoing.len(), self.nranks);
         for (to, bytes) in outgoing.into_iter().enumerate() {
             if to == self.rank {
                 // Deliver locally below. Count the send here (the matching
@@ -394,6 +410,28 @@ mod tests {
                 assert_eq!(buf, &vec![(from * 10 + w.rank()) as u8]);
             }
         });
+    }
+
+    #[test]
+    fn tagged_all_to_all_uses_the_user_tag() {
+        let snaps = Runtime::run(3, |w| {
+            // two rounds under the same tag: FIFO per sender keeps them apart
+            for round in 0..2u8 {
+                let outgoing: Vec<Vec<u8>> = (0..3)
+                    .map(|to| vec![w.rank() as u8, to as u8, round])
+                    .collect();
+                let incoming = w.all_to_all_tagged(outgoing, 42);
+                for (from, buf) in incoming.iter().enumerate() {
+                    assert_eq!(buf, &vec![from as u8, w.rank() as u8, round]);
+                }
+            }
+            w.metrics().snapshot()
+        });
+        for s in &snaps {
+            // all traffic charged to tag 42, none to a collective tag
+            assert_eq!(s.sent_by_tag.keys().copied().collect::<Vec<_>>(), vec![42]);
+            assert_eq!(s.sent_by_tag[&42].0, 6, "3 dests × 2 rounds");
+        }
     }
 
     #[test]

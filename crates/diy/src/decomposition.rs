@@ -23,6 +23,25 @@ pub struct Neighbor {
     pub periodic: bool,
 }
 
+impl Neighbor {
+    /// Compact key for the periodic image this link applies: the sign of
+    /// the translation per dimension (all zero for non-wrapping links).
+    /// Two links to the same block with the same image deliver data at the
+    /// same coordinates, so (gid, image, item id) identifies a shipment.
+    pub fn image(&self) -> [i8; 3] {
+        let sign = |v: f64| {
+            if v > 0.0 {
+                1i8
+            } else if v < 0.0 {
+                -1
+            } else {
+                0
+            }
+        };
+        [sign(self.xform.x), sign(self.xform.y), sign(self.xform.z)]
+    }
+}
+
 /// A regular decomposition of `domain` into a grid of blocks.
 #[derive(Debug, Clone)]
 pub struct Decomposition {

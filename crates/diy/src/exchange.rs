@@ -10,7 +10,7 @@
 //!   block is within the ghost distance of the item's location ("destination
 //!   neighbor identification based on proximity to a target point").
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use geometry::Vec3;
 
@@ -34,12 +34,28 @@ impl<'a> NeighborExchange<'a> {
     /// `p` (targeted destinations). For a periodic link the proximity test is
     /// performed in the neighbor's frame (`p + xform`).
     pub fn destinations_near(&self, gid: u64, p: Vec3, ghost: f64) -> Vec<Neighbor> {
+        self.destinations_near_by(gid, p, |_| Some(ghost))
+    }
+
+    /// Like [`destinations_near`](Self::destinations_near), but with a
+    /// per-destination ghost distance: `ghost_of(dest gid)` returns the
+    /// distance that destination currently wants, or `None` to skip it
+    /// entirely. This is how adaptive exchange rounds target only the
+    /// blocks that requested a larger halo.
+    pub fn destinations_near_by(
+        &self,
+        gid: u64,
+        p: Vec3,
+        ghost_of: impl Fn(u64) -> Option<f64>,
+    ) -> Vec<Neighbor> {
         self.dec
             .neighbors(gid)
             .into_iter()
             .filter(|n| {
-                let q = p + n.xform;
-                self.dec.block_bounds(n.gid).distance(q) <= ghost
+                ghost_of(n.gid).is_some_and(|ghost| {
+                    let q = p + n.xform;
+                    self.dec.block_bounds(n.gid).distance(q) <= ghost
+                })
             })
             .collect()
     }
@@ -54,6 +70,27 @@ impl<'a> NeighborExchange<'a> {
         &self,
         world: &mut World,
         outgoing: Vec<(u64, T)>,
+    ) -> HashMap<u64, Vec<T>> {
+        self.exchange_inner(world, outgoing, None)
+    }
+
+    /// Like [`exchange`](Self::exchange), but the transport runs under the
+    /// caller's message tag instead of an anonymous collective tag, so the
+    /// per-tag counters in [`crate::metrics`] attribute the traffic to it.
+    pub fn exchange_tagged<T: Encode + Decode>(
+        &self,
+        world: &mut World,
+        outgoing: Vec<(u64, T)>,
+        tag: u64,
+    ) -> HashMap<u64, Vec<T>> {
+        self.exchange_inner(world, outgoing, Some(tag))
+    }
+
+    fn exchange_inner<T: Encode + Decode>(
+        &self,
+        world: &mut World,
+        outgoing: Vec<(u64, T)>,
+        tag: Option<u64>,
     ) -> HashMap<u64, Vec<T>> {
         // Group by destination rank, preserving per-destination order.
         let mut per_rank: Vec<Vec<(u64, T)>> = (0..world.nranks()).map(|_| Vec::new()).collect();
@@ -74,7 +111,10 @@ impl<'a> NeighborExchange<'a> {
             })
             .collect();
 
-        let incoming = world.all_to_all(buffers);
+        let incoming = match tag {
+            Some(t) => world.all_to_all_tagged(buffers, t),
+            None => world.all_to_all(buffers),
+        };
         let mut result: HashMap<u64, Vec<T>> = HashMap::new();
         for buf in incoming {
             // incoming is indexed by source rank: iteration order is
@@ -89,6 +129,48 @@ impl<'a> NeighborExchange<'a> {
             }
         }
         result
+    }
+}
+
+/// Multi-round incremental exchange: remembers every (destination block,
+/// item id, periodic image) shipped so far, so follow-up rounds send only
+/// the *delta shell* — items a destination has not already received. This
+/// is the transport half of adaptive ghost sizing: each round grows some
+/// blocks' halo radius and ships just the newly covered particles.
+pub struct DeltaExchange<'a> {
+    pub ex: NeighborExchange<'a>,
+    sent: HashSet<(u64, u64, [i8; 3])>,
+}
+
+impl<'a> DeltaExchange<'a> {
+    pub fn new(dec: &'a Decomposition, asn: &'a Assignment) -> Self {
+        DeltaExchange {
+            ex: NeighborExchange::new(dec, asn),
+            sent: HashSet::new(),
+        }
+    }
+
+    /// Queue `(dest gid, item id, periodic image, item)` entries, drop the
+    /// ones already shipped in earlier rounds, and exchange the rest under
+    /// `tag`. Collective: every rank must call it once per round.
+    pub fn exchange_new<T: Encode + Decode>(
+        &mut self,
+        world: &mut World,
+        outgoing: Vec<(u64, u64, [i8; 3], T)>,
+        tag: u64,
+    ) -> HashMap<u64, Vec<T>> {
+        let fresh: Vec<(u64, T)> = outgoing
+            .into_iter()
+            .filter_map(|(gid, id, image, item)| {
+                self.sent.insert((gid, id, image)).then_some((gid, item))
+            })
+            .collect();
+        self.ex.exchange_tagged(world, fresh, tag)
+    }
+
+    /// Total distinct shipments recorded so far on this rank.
+    pub fn sent_count(&self) -> usize {
+        self.sent.len()
     }
 }
 
@@ -153,6 +235,73 @@ mod tests {
             got.len()
         });
         assert_eq!(results, vec![2, 2]);
+    }
+
+    #[test]
+    fn delta_exchange_ships_each_item_once_per_destination() {
+        let dec = Decomposition::with_dims(Aabb::cube(2.0), [2, 1, 1], [false; 3]);
+        let asn = Assignment::new(2, 2);
+        Runtime::run(2, |w| {
+            let mut dx = DeltaExchange::new(&dec, &asn);
+            let dest = 1 - w.rank() as u64;
+            let none = [0i8; 3];
+            // round 0: rank 0 ships items 1 and 2 to block `dest`
+            let out0: Vec<(u64, u64, [i8; 3], u32)> = if w.rank() == 0 {
+                vec![(dest, 1, none, 100), (dest, 2, none, 200)]
+            } else {
+                vec![]
+            };
+            let got0 = dx.exchange_new(w, out0, 7);
+            if w.rank() == 1 {
+                assert_eq!(got0[&1], vec![100, 200]);
+            }
+            // round 1: item 2 re-queued (dedup drops it), item 3 is new
+            let out1: Vec<(u64, u64, [i8; 3], u32)> = if w.rank() == 0 {
+                vec![(dest, 2, none, 200), (dest, 3, none, 300)]
+            } else {
+                vec![]
+            };
+            let got1 = dx.exchange_new(w, out1, 7);
+            if w.rank() == 1 {
+                assert_eq!(got1[&1], vec![300], "only the delta arrives");
+            }
+            if w.rank() == 0 {
+                assert_eq!(dx.sent_count(), 3);
+            }
+        });
+    }
+
+    #[test]
+    fn delta_exchange_distinguishes_periodic_images() {
+        // the same particle crossing two different periodic seams is two
+        // distinct shipments; a repeat of either is deduplicated
+        let dec = Decomposition::with_dims(Aabb::cube(2.0), [1, 1, 1], [true; 3]);
+        let asn = Assignment::new(1, 1);
+        Runtime::run(1, |w| {
+            let mut dx = DeltaExchange::new(&dec, &asn);
+            let out: Vec<(u64, u64, [i8; 3], u32)> = vec![
+                (0, 9, [1, 0, 0], 1),
+                (0, 9, [0, 1, 0], 2),
+                (0, 9, [1, 0, 0], 3), // duplicate image of the first
+            ];
+            let got = dx.exchange_new(w, out, 8);
+            assert_eq!(got[&0], vec![1, 2]);
+        });
+    }
+
+    #[test]
+    fn destinations_near_by_skips_blocks_without_a_radius() {
+        let dec = Decomposition::with_dims(Aabb::cube(4.0), [4, 1, 1], [false; 3]);
+        let asn = Assignment::new(4, 1);
+        let ex = NeighborExchange::new(&dec, &asn);
+        let p = Vec3::new(1.9, 0.5, 0.5); // 0.1 from block 2, 0.9 from block 0
+        let only2 = ex.destinations_near_by(1, p, |g| (g == 2).then_some(1.0));
+        assert_eq!(only2.iter().map(|n| n.gid).collect::<Vec<_>>(), vec![2]);
+        let none = ex.destinations_near_by(1, p, |_| None);
+        assert!(none.is_empty());
+        // per-destination radii: block 0 asks for a big halo, block 2 tiny
+        let asym = ex.destinations_near_by(1, p, |g| Some(if g == 0 { 1.0 } else { 0.01 }));
+        assert_eq!(asym.iter().map(|n| n.gid).collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

@@ -320,6 +320,32 @@ impl RunReport {
         self.phase(name).map_or(0.0, |p| p.cpu_max_s)
     }
 
+    /// Phases whose name starts with `prefix`, in name order — e.g. the
+    /// per-round `ghost_round:<n>` spans of the adaptive ghost exchange.
+    pub fn phases_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a PhaseReport> + 'a {
+        self.phases
+            .iter()
+            .filter(move |p| p.name.starts_with(prefix))
+    }
+
+    /// Global (messages sent, bytes sent) summed over the tags selected by
+    /// `pred` — e.g. a protocol's whole tag namespace. Saturating, like
+    /// [`traffic_totals`](Self::traffic_totals).
+    pub fn tag_traffic_where(&self, pred: impl Fn(u64) -> bool) -> (u64, u64) {
+        self.tags
+            .iter()
+            .filter(|t| pred(t.tag))
+            .fold((0u64, 0u64), |a, t| {
+                (
+                    a.0.saturating_add(t.msgs_sent),
+                    a.1.saturating_add(t.bytes_sent),
+                )
+            })
+    }
+
     /// Global (messages sent, bytes sent, messages received, bytes
     /// received) over all tags. Saturating: a decoded report with
     /// adversarial counters must not panic the reader.
@@ -640,6 +666,25 @@ mod tests {
                 assert_eq!(other.normalized(), r.normalized(), "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn prefix_and_tag_queries_select_subsets() {
+        let mut m = RankMetrics::default();
+        for name in ["ghost_round:0", "ghost_round:1", "voronoi"] {
+            m.phases.insert(name.into(), Counters::default());
+        }
+        m.sent_by_tag.insert(10, (2, 100));
+        m.sent_by_tag.insert(11, (1, 50));
+        m.sent_by_tag.insert(99, (5, 999));
+        let r = RunReport::from_rank(&m);
+        let rounds: Vec<&str> = r
+            .phases_with_prefix("ghost_round:")
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(rounds, vec!["ghost_round:0", "ghost_round:1"]);
+        assert_eq!(r.tag_traffic_where(|t| (10..12).contains(&t)), (3, 150));
+        assert_eq!(r.tag_traffic_where(|_| false), (0, 0));
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
+        any::<u64>(),
     )
         .prop_map(
             |(
@@ -89,6 +90,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
                 culled_late,
                 verts,
                 faces,
+                ghost_rounds,
             )| {
                 TessStats {
                     sites,
@@ -100,6 +102,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
                     culled_late,
                     verts,
                     faces,
+                    ghost_rounds,
                 }
             },
         )
@@ -192,10 +195,10 @@ proptest! {
     #[test]
     fn tess_stats_roundtrip_and_truncation(
         stats in arb_stats(),
-        cut in 0usize..72,
+        cut in 0usize..80,
     ) {
         let bytes = stats.to_bytes();
-        prop_assert_eq!(bytes.len(), 72); // 9 × u64
+        prop_assert_eq!(bytes.len(), 80); // 10 × u64
         prop_assert_eq!(TessStats::from_bytes(&bytes).unwrap(), stats);
         if cut < bytes.len() {
             prop_assert!(TessStats::from_bytes(&bytes[..cut]).is_err());

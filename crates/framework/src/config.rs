@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 /// When a tool runs.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ToolSchedule {
     pub name: String,
     /// Run every `n` steps (step % n == 0, step > 0).
@@ -24,6 +24,62 @@ pub struct ToolSchedule {
     pub at: BTreeSet<usize>,
     /// Always run at the final step.
     pub last: bool,
+    /// Ghost-zone directive for tessellating tools: `auto`,
+    /// `auto:<factor>`, `adaptive`, `adaptive:<factor>[:<rounds>]`, or an
+    /// explicit radius in domain units. `None` keeps the tool's default.
+    pub ghost: Option<GhostDirective>,
+}
+
+/// Parsed `ghost=` option of a `tool` line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GhostDirective {
+    Explicit(f64),
+    Auto {
+        factor: Option<f64>,
+    },
+    Adaptive {
+        initial_factor: Option<f64>,
+        max_rounds: Option<usize>,
+    },
+}
+
+impl GhostDirective {
+    fn parse(value: &str) -> Result<Self, String> {
+        let mut parts = value.split(':');
+        let head = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        let float = |s: &str| -> Result<f64, String> {
+            s.parse().map_err(|_| format!("bad ghost number '{s}'"))
+        };
+        match head {
+            "auto" => match args.as_slice() {
+                [] => Ok(GhostDirective::Auto { factor: None }),
+                [f] => Ok(GhostDirective::Auto {
+                    factor: Some(float(f)?),
+                }),
+                _ => Err(format!("ghost auto takes one factor, got '{value}'")),
+            },
+            "adaptive" => match args.as_slice() {
+                [] => Ok(GhostDirective::Adaptive {
+                    initial_factor: None,
+                    max_rounds: None,
+                }),
+                [f] => Ok(GhostDirective::Adaptive {
+                    initial_factor: Some(float(f)?),
+                    max_rounds: None,
+                }),
+                [f, r] => Ok(GhostDirective::Adaptive {
+                    initial_factor: Some(float(f)?),
+                    max_rounds: Some(r.parse().map_err(|_| format!("bad ghost rounds '{r}'"))?),
+                }),
+                _ => Err(format!(
+                    "ghost adaptive takes factor[:rounds], got '{value}'"
+                )),
+            },
+            _ if args.is_empty() => Ok(GhostDirective::Explicit(float(head)?)),
+            _ => Err(format!("bad ghost value '{value}'")),
+        }
+    }
 }
 
 impl ToolSchedule {
@@ -118,6 +174,9 @@ impl FrameworkConfig {
                                     .parse()
                                     .map_err(|_| err(format!("bad last value '{value}'")))?
                             }
+                            "ghost" => {
+                                sched.ghost = Some(GhostDirective::parse(value).map_err(err)?)
+                            }
                             _ => return Err(err(format!("unknown option '{key}'"))),
                         }
                     }
@@ -171,6 +230,7 @@ mod tests {
             every: Some(10),
             at: [7].into_iter().collect(),
             last: true,
+            ghost: None,
         };
         assert!(!s.fires_at(0, 100), "step 0 never fires via every");
         assert!(s.fires_at(10, 100));
@@ -196,10 +256,55 @@ mod tests {
             "tool x strange=1",
             "frobnicate 3",
             "tool x every",
+            "tool x ghost=bogus",
+            "tool x ghost=auto:zz",
+            "tool x ghost=adaptive:2.5:x",
+            "tool x ghost=adaptive:1:2:3",
+            "tool x ghost=3.0:7",
         ] {
             let e = FrameworkConfig::parse(bad).unwrap_err();
             assert_eq!(e.line, 1, "{bad}");
         }
+    }
+
+    #[test]
+    fn parses_ghost_directives() {
+        let cfg = FrameworkConfig::parse(
+            "tool a every=1 ghost=2.5\n\
+             tool b every=1 ghost=auto\n\
+             tool c every=1 ghost=auto:4\n\
+             tool d every=1 ghost=adaptive\n\
+             tool e every=1 ghost=adaptive:1.5\n\
+             tool f every=1 ghost=adaptive:1.5:6\n\
+             tool g every=1\n",
+        )
+        .unwrap();
+        let g = |n: &str| cfg.schedule_for(n).unwrap().ghost;
+        assert_eq!(g("a"), Some(GhostDirective::Explicit(2.5)));
+        assert_eq!(g("b"), Some(GhostDirective::Auto { factor: None }));
+        assert_eq!(g("c"), Some(GhostDirective::Auto { factor: Some(4.0) }));
+        assert_eq!(
+            g("d"),
+            Some(GhostDirective::Adaptive {
+                initial_factor: None,
+                max_rounds: None
+            })
+        );
+        assert_eq!(
+            g("e"),
+            Some(GhostDirective::Adaptive {
+                initial_factor: Some(1.5),
+                max_rounds: None
+            })
+        );
+        assert_eq!(
+            g("f"),
+            Some(GhostDirective::Adaptive {
+                initial_factor: Some(1.5),
+                max_rounds: Some(6)
+            })
+        );
+        assert_eq!(g("g"), None);
     }
 
     #[test]

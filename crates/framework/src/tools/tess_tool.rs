@@ -5,8 +5,9 @@ use std::collections::BTreeMap;
 
 use diy::comm::World;
 use geometry::Vec3;
-use tess::{tessellate, TessParams};
+use tess::{tessellate, GhostSpec, TessParams, AUTO_GHOST_FACTOR};
 
+use crate::config::{GhostDirective, ToolSchedule};
 use crate::tool::{AnalysisTool, ToolContext, ToolReport};
 
 /// Runs `tess` at scheduled steps and writes `tess_step{N}.bin`.
@@ -21,6 +22,43 @@ impl TessTool {
         TessTool {
             params,
             history: Vec::new(),
+        }
+    }
+
+    /// `new`, with the schedule's `ghost=` directive (if any) overriding
+    /// `params.ghost`.
+    pub fn from_schedule(params: TessParams, sched: &ToolSchedule) -> Self {
+        let mut params = params;
+        if let Some(d) = sched.ghost {
+            params.ghost = ghost_spec_from_directive(d);
+        }
+        TessTool::new(params)
+    }
+}
+
+/// Map a config-file ghost directive to a [`GhostSpec`], filling omitted
+/// fields with the library defaults.
+pub fn ghost_spec_from_directive(d: GhostDirective) -> GhostSpec {
+    match d {
+        GhostDirective::Explicit(g) => GhostSpec::Explicit(g),
+        GhostDirective::Auto { factor } => GhostSpec::Auto {
+            factor: factor.unwrap_or(AUTO_GHOST_FACTOR),
+        },
+        GhostDirective::Adaptive {
+            initial_factor,
+            max_rounds,
+        } => {
+            let GhostSpec::Adaptive {
+                initial_factor: def_f,
+                max_rounds: def_r,
+            } = GhostSpec::adaptive()
+            else {
+                unreachable!("adaptive() returns Adaptive")
+            };
+            GhostSpec::Adaptive {
+                initial_factor: initial_factor.unwrap_or(def_f),
+                max_rounds: max_rounds.unwrap_or(def_r),
+            }
         }
     }
 }
@@ -50,10 +88,63 @@ impl AnalysisTool for TessTool {
             tool: self.name().to_string(),
             step: ctx.step,
             summary: format!(
-                "step {}: {} cells ({} incomplete dropped, ghost {:.2}), {} bytes",
-                ctx.step, stats.cells, stats.incomplete, result.ghost_used, bytes
+                "step {}: {} cells ({} incomplete dropped, ghost {:.2} in {} round{}), {} bytes",
+                ctx.step,
+                stats.cells,
+                stats.incomplete,
+                result.ghost_used,
+                stats.ghost_rounds,
+                if stats.ghost_rounds == 1 { "" } else { "s" },
+                bytes
             ),
             artifacts: vec![path],
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameworkConfig;
+
+    #[test]
+    fn schedule_ghost_overrides_params() {
+        let cfg = FrameworkConfig::parse(
+            "tool tess every=1 ghost=adaptive:1.25:3\n\
+             tool other every=1 ghost=7.5\n\
+             tool plain every=1\n",
+        )
+        .unwrap();
+        let base = TessParams::default().with_ghost(2.0);
+        let t = TessTool::from_schedule(base, cfg.schedule_for("tess").unwrap());
+        assert_eq!(
+            t.params.ghost,
+            GhostSpec::Adaptive {
+                initial_factor: 1.25,
+                max_rounds: 3
+            }
+        );
+        let o = TessTool::from_schedule(base, cfg.schedule_for("other").unwrap());
+        assert_eq!(o.params.ghost, GhostSpec::Explicit(7.5));
+        // no directive → the tool's own params win
+        let p = TessTool::from_schedule(base, cfg.schedule_for("plain").unwrap());
+        assert_eq!(p.params.ghost, GhostSpec::Explicit(2.0));
+    }
+
+    #[test]
+    fn directive_defaults_fill_in_library_values() {
+        assert_eq!(
+            ghost_spec_from_directive(GhostDirective::Auto { factor: None }),
+            GhostSpec::Auto {
+                factor: AUTO_GHOST_FACTOR
+            }
+        );
+        assert_eq!(
+            ghost_spec_from_directive(GhostDirective::Adaptive {
+                initial_factor: None,
+                max_rounds: None
+            }),
+            GhostSpec::adaptive()
+        );
     }
 }

@@ -2,8 +2,71 @@
 //! configurations (proptest).
 
 use meshing_universe::geometry::{Aabb, Vec3};
-use meshing_universe::tess::{self, TessParams};
+use meshing_universe::tess::{self, GhostSpec, TessParams};
 use proptest::prelude::*;
+
+/// Jittered periodic lattice: `n³` particles, never collinear or wrapped,
+/// so every cell is certifiable with a modest ghost.
+fn jittered_lattice(n: usize, seed: u64, amp: f64) -> Vec<(u64, Vec3)> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n * n * n)
+        .map(|idx| {
+            let (i, j, k) = (idx % n, (idx / n) % n, idx / (n * n));
+            let p = Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5)
+                + Vec3::new(
+                    rng.gen_range(-amp..amp),
+                    rng.gen_range(-amp..amp),
+                    rng.gen_range(-amp..amp),
+                );
+            let ng = n as f64;
+            (
+                idx as u64,
+                Vec3::new(p.x.rem_euclid(ng), p.y.rem_euclid(ng), p.z.rem_euclid(ng)),
+            )
+        })
+        .collect()
+}
+
+/// Degenerate point families the geometry kernels must survive.
+fn degenerate_points(family: u8, n: usize, seed: u64) -> Vec<Vec3> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    match family % 3 {
+        // duplicates: half the points repeated exactly
+        0 => {
+            let base: Vec<Vec3> = (0..n.div_ceil(2))
+                .map(|_| {
+                    Vec3::new(
+                        rng.gen_range(0.5..3.5),
+                        rng.gen_range(0.5..3.5),
+                        rng.gen_range(0.5..3.5),
+                    )
+                })
+                .collect();
+            base.iter().chain(base.iter()).copied().take(n).collect()
+        }
+        // collinear: evenly spread along one diagonal
+        1 => (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / n as f64;
+                Vec3::new(0.5, 0.5, 0.5) + Vec3::new(3.0, 3.0, 3.0) * t
+            })
+            .collect(),
+        // cospherical: random directions on a sphere around the center
+        _ => (0..n)
+            .map(|_| {
+                let d = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
+                let d = d.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+                Vec3::new(2.0, 2.0, 2.0) + d * 1.5
+            })
+            .collect(),
+    }
+}
 
 /// Random particle sets that satisfy the tessellation's standing
 /// assumption (shared with the paper): cells are small compared to the
@@ -124,5 +187,64 @@ proptest! {
         let got: std::collections::BTreeSet<u64> = culled.cells.iter()
             .map(|c| culled.site_id_of(c)).collect();
         prop_assert_eq!(expected, got);
+    }
+
+    /// Adaptive ghost exchange conserves volume: on a periodic box every
+    /// cell ends up certified and the cell volumes sum to the box volume
+    /// to 1e-9 relative tolerance, across particle counts and seeds.
+    #[test]
+    fn adaptive_ghost_conserves_periodic_volume(
+        n in 3usize..=5,
+        seed in any::<u64>(),
+        amp in 0.05f64..0.45,
+    ) {
+        let particles = jittered_lattice(n, seed, amp);
+        let domain = Aabb::cube(n as f64);
+        let (block, stats) = tess::tessellate_serial(
+            &particles,
+            domain,
+            [true; 3],
+            &TessParams { ghost: GhostSpec::adaptive(), ..TessParams::default() },
+        );
+        prop_assert_eq!(stats.incomplete, 0, "adaptive left cells uncertified");
+        prop_assert_eq!(stats.cells as usize, particles.len());
+        let total: f64 = block.cells.iter().map(|c| c.volume).sum();
+        prop_assert!(
+            (total - domain.volume()).abs() < 1e-9 * domain.volume(),
+            "total {} vs box {} ({} rounds)", total, domain.volume(), stats.ghost_rounds
+        );
+    }
+
+    /// The geometry kernels survive degenerate inputs — duplicate,
+    /// collinear, and cospherical sites — without panicking and without
+    /// producing negative volumes or areas.
+    #[test]
+    fn degenerate_inputs_never_panic_or_go_negative(
+        family in 0u8..3,
+        n in 4usize..=16,
+        seed in any::<u64>(),
+    ) {
+        use meshing_universe::geometry::convex_hull;
+        use meshing_universe::tess::{cell::compute_cell, grid::CandidateGrid};
+
+        let points = degenerate_points(family, n, seed);
+        let region = Aabb::cube(4.0);
+        let grid = CandidateGrid::build(region, &points, 2.0);
+        for (i, &site) in points.iter().enumerate() {
+            let cell = compute_cell(site, i as u32, &points, &grid, &region, 1e-9);
+            let vol = cell.poly.volume();
+            let area = cell.poly.surface_area();
+            prop_assert!(vol.is_finite() && vol >= -1e-9,
+                "family {} site {}: negative volume {}", family, i, vol);
+            prop_assert!(area.is_finite() && area >= -1e-9,
+                "family {} site {}: negative area {}", family, i, area);
+        }
+        // quickhull must reject degeneracy gracefully, never panic; when a
+        // hull does come out (duplicates of a full-dimensional set), its
+        // measures are non-negative.
+        if let Ok(hull) = convex_hull(&points, 1e-9) {
+            prop_assert!(hull.volume() >= -1e-9);
+            prop_assert!(hull.surface_area() >= -1e-9);
+        }
     }
 }
