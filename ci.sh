@@ -20,6 +20,12 @@ echo "==> rank-determinism suite at 8 ranks (release)"
 # exchange protocol; run them explicitly so optimized codegen is covered.
 cargo test --release -q -p meshing-universe --test ghost_adaptive
 
+echo "==> perf smoke: threaded+incremental vs sequential baseline"
+# Bit-identical meshes, conservation, >=2x cells/sec over the sequential
+# full-recompute baseline, and <30% regression against the committed
+# crates/bench/perf_baseline.json (PERF_BASELINE_WRITE=1 regenerates it).
+TESS_THREADS=4 cargo run --release -q -p bench-harness --bin perf_smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -89,6 +89,8 @@ fn main() {
         "Voronoi(s)",
         "Complete%",
         "GhostsPerOwn%",
+        "CandPerCell",
+        "CellsReused",
     ]);
     let mut push_row = |label: String, r: &ModeResult| {
         let total = r.stats.cells + r.stats.incomplete;
@@ -104,6 +106,11 @@ fn main() {
                 "{:.0}",
                 100.0 * r.stats.ghosts_received as f64 / r.stats.sites as f64
             ),
+            format!(
+                "{:.1}",
+                r.stats.candidates_tested as f64 / r.stats.cells_computed.max(1) as f64
+            ),
+            r.stats.cells_reused.to_string(),
         ]);
     };
 
@@ -136,6 +143,22 @@ fn main() {
         adaptive.ghost_bytes,
         auto.ghost_bytes
     );
+    // Incremental re-tessellation: rounds after the first only recompute
+    // the cells the previous round could not certify, so total kernel
+    // invocations stay strictly below a full recompute per round.
+    if adaptive.stats.ghost_rounds >= 2 {
+        assert!(
+            adaptive.stats.cells_reused > 0,
+            "multi-round adaptive run reused no certified cells"
+        );
+        assert!(
+            adaptive.stats.cells_computed < adaptive.stats.sites * adaptive.stats.ghost_rounds,
+            "adaptive computed {} cells over {} rounds of {} sites — not incremental",
+            adaptive.stats.cells_computed,
+            adaptive.stats.ghost_rounds,
+            adaptive.stats.sites
+        );
+    }
     println!(
         "# adaptive vs auto: identical mesh ({} cells, rel vol err {:.1e}), ghost bytes {} vs {} ({:.0}% saved) in {} rounds",
         adaptive.stats.cells,

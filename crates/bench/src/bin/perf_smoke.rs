@@ -1,0 +1,214 @@
+//! CI perf smoke: the small Table II workload, threaded + incremental vs
+//! the seed-equivalent baseline (1-wide pool, full per-round recompute).
+//!
+//! Three gates, any failure exits non-zero:
+//!
+//! 1. **Correctness** — both modes produce a bit-identical merged mesh and
+//!    the transport conservation invariant holds.
+//! 2. **Relative throughput** — the optimized mode must clear 2× the
+//!    baseline's cells/sec on the multi-round adaptive config (the
+//!    incremental re-tessellation gain; on multi-core hardware the pool
+//!    adds on top of it).
+//! 3. **Absolute regression** — cells/sec must stay within 30% of the
+//!    committed `crates/bench/perf_baseline.json`. Regenerate that file
+//!    with `PERF_BASELINE_WRITE=1` after an intentional perf change.
+//!
+//! Both measurements land in `BENCH_TESS.json` under the bench output dir.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bench_harness::{
+    evolved_particles_cached, output_dir, partition_particles, tess_bench_json, TessBenchEntry,
+};
+use diy::comm::Runtime;
+use diy::metrics::collect_report;
+use geometry::Aabb;
+use rayon::set_max_parallelism;
+use tess::ghost::is_ghost_tag;
+use tess::{tessellate, GhostSpec, TessParams};
+
+const NP: usize = 16;
+const NSTEPS: usize = 100;
+const NBLOCKS: usize = 8;
+const NRANKS: usize = 4;
+/// Small initial radius so the adaptive loop needs several growth rounds —
+/// the regime the incremental path optimizes.
+const GHOST: GhostSpec = GhostSpec::Adaptive {
+    initial_factor: 0.5,
+    max_rounds: 8,
+};
+/// Best-of-N wall-clock to damp scheduler noise on a busy CI box.
+const REPS: usize = 3;
+
+/// Cell fingerprint: (volume bits, area bits, face neighbors).
+type CellBits = (u64, u64, Vec<u64>);
+
+struct ModeRun {
+    mesh: BTreeMap<u64, CellBits>,
+    stats: tess::TessStats,
+    ghost_bytes: u64,
+    wall_s: f64,
+}
+
+fn run_mode(particles: &[(u64, geometry::Vec3)], dec: &Decomp, incremental: bool) -> ModeRun {
+    let mut best: Option<ModeRun> = None;
+    for _ in 0..REPS {
+        let rows = Runtime::run(NRANKS, move |world| {
+            let asn = diy::decomposition::Assignment::new(NBLOCKS, world.nranks());
+            let local = partition_particles(particles, dec, &asn, world.rank());
+            let params = TessParams {
+                ghost: GHOST,
+                incremental_retess: incremental,
+                ..TessParams::default()
+            };
+            let t0 = Instant::now();
+            let r = tessellate(world, dec, &asn, &local, &params);
+            let wall = world.all_reduce(t0.elapsed().as_secs_f64(), f64::max);
+            let stats = tess::driver::global_stats(world, r.stats);
+            let report = collect_report(world);
+            assert!(report.is_conserved(), "transport conservation violated");
+            let (_, ghost_bytes) = report.tag_traffic_where(is_ghost_tag);
+            let mesh: Vec<(u64, CellBits)> = r
+                .blocks
+                .values()
+                .flat_map(|b| {
+                    b.cells
+                        .iter()
+                        .map(|c| {
+                            (
+                                b.site_id_of(c),
+                                (
+                                    c.volume.to_bits(),
+                                    c.area.to_bits(),
+                                    c.faces.iter().map(|f| f.neighbor).collect(),
+                                ),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            (mesh, stats, ghost_bytes, wall)
+        });
+        let mut mesh = BTreeMap::new();
+        for (id, bits) in rows.iter().flat_map(|(m, ..)| m.iter().cloned()) {
+            assert!(mesh.insert(id, bits).is_none(), "cell {id} duplicated");
+        }
+        let (_, stats, ghost_bytes, wall) = rows.into_iter().next().unwrap();
+        if best.as_ref().is_none_or(|b| wall < b.wall_s) {
+            best = Some(ModeRun {
+                mesh,
+                stats,
+                ghost_bytes,
+                wall_s: wall,
+            });
+        }
+    }
+    best.unwrap()
+}
+
+type Decomp = diy::decomposition::Decomposition;
+
+/// Extract `"key": <number>` from a flat JSON document (the baseline file
+/// is written by this binary, so the shape is known).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let particles = evolved_particles_cached(NP, NSTEPS);
+    let dec = Decomp::regular(Aabb::cube(NP as f64), NBLOCKS, [true; 3]);
+
+    // Seed-equivalent baseline: sequential kernel, full per-round recompute.
+    let prev = set_max_parallelism(1);
+    let baseline = run_mode(&particles, &dec, false);
+    // Optimized path at the CI thread count (TESS_THREADS, default 4).
+    let threads = std::env::var("TESS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    set_max_parallelism(threads.max(2));
+    let optimized = run_mode(&particles, &dec, true);
+    set_max_parallelism(prev);
+
+    // Gate 1: bit-identical meshes.
+    assert_eq!(
+        optimized.mesh, baseline.mesh,
+        "optimized mesh differs from the sequential full-recompute baseline"
+    );
+    assert_eq!(optimized.stats.cells, baseline.stats.cells);
+    assert!(
+        optimized.stats.cells_reused > 0,
+        "incremental mode reused nothing — not exercising the resume path"
+    );
+
+    let cps = |r: &ModeRun| r.stats.cells as f64 / r.wall_s;
+    let (base_cps, opt_cps) = (cps(&baseline), cps(&optimized));
+    let speedup = opt_cps / base_cps;
+    println!(
+        "perf_smoke: baseline {base_cps:.0} cells/s ({} computed), optimized {opt_cps:.0} cells/s ({} computed, {} reused), speedup {speedup:.2}x over {} rounds",
+        baseline.stats.cells_computed,
+        optimized.stats.cells_computed,
+        optimized.stats.cells_reused,
+        optimized.stats.ghost_rounds,
+    );
+
+    let entries = [
+        TessBenchEntry {
+            label: "perf_smoke_baseline_seq_full".into(),
+            stats: baseline.stats,
+            wall_s: baseline.wall_s,
+            ghost_bytes: baseline.ghost_bytes,
+            exchange_s: 0.0,
+            voronoi_s: 0.0,
+            output_s: 0.0,
+        },
+        TessBenchEntry {
+            label: format!("perf_smoke_threads{threads}_incremental"),
+            stats: optimized.stats,
+            wall_s: optimized.wall_s,
+            ghost_bytes: optimized.ghost_bytes,
+            exchange_s: 0.0,
+            voronoi_s: 0.0,
+            output_s: 0.0,
+        },
+    ];
+    let bench_path = output_dir().join("BENCH_TESS.json");
+    std::fs::write(&bench_path, tess_bench_json(&entries)).expect("write BENCH_TESS.json");
+    println!("perf_smoke: wrote {}", bench_path.display());
+
+    // Gate 2: the optimized path must clear 2x the in-run baseline.
+    assert!(
+        speedup >= 2.0,
+        "optimized path is only {speedup:.2}x the sequential full-recompute baseline (need 2x)"
+    );
+
+    // Gate 3: absolute regression against the committed baseline.
+    let baseline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("perf_baseline.json");
+    if std::env::var("PERF_BASELINE_WRITE").is_ok() {
+        let doc = format!(
+            "{{\n  \"config\": \"np{NP} steps{NSTEPS} blocks{NBLOCKS} ranks{NRANKS} adaptive0.5\",\n  \"cells_per_sec\": {opt_cps:.1},\n  \"speedup_vs_seq_full\": {speedup:.2}\n}}\n"
+        );
+        std::fs::write(&baseline_path, doc).expect("write perf_baseline.json");
+        println!(
+            "perf_smoke: baseline rewritten at {}",
+            baseline_path.display()
+        );
+        return;
+    }
+    let doc = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    let committed = json_number(&doc, "cells_per_sec").expect("cells_per_sec in baseline");
+    assert!(
+        opt_cps >= 0.7 * committed,
+        "cells/sec regressed >30%: {opt_cps:.0} now vs {committed:.0} committed \
+         (rerun with PERF_BASELINE_WRITE=1 if intentional)"
+    );
+    println!("perf_smoke: {opt_cps:.0} cells/s vs committed {committed:.0} — OK");
+}

@@ -17,13 +17,15 @@
 //! and scales well with rank count; output time grows with problem size.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-use bench_harness::{bytes_h, output_dir, secs, Table};
+use bench_harness::{bytes_h, output_dir, secs, tess_bench_json, Table, TessBenchEntry};
 use diy::comm::Runtime;
 use diy::metrics::collect_report;
 use geometry::Vec3;
 use hacc::SimParams;
 use postprocess::VolumeFilter;
+use tess::ghost::is_ghost_tag;
 use tess::{tessellate, GhostSpec, TessParams, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI};
 
 /// Ghost mode from `BENCH_GHOST`: `adaptive`, `auto`, or an explicit
@@ -48,6 +50,7 @@ fn main() {
 
     println!("# Table II: in-situ performance (thread-CPU critical path; see DESIGN.md)");
     println!("# ghost mode: {ghost:?} (override with BENCH_GHOST=adaptive|auto|<radius>)");
+    let mut bench_entries: Vec<TessBenchEntry> = Vec::new();
     let mut table = Table::new(&[
         "Particles",
         "Steps",
@@ -81,13 +84,16 @@ fn main() {
                     ghost,
                     ..TessParams::default().with_min_volume(0.2)
                 };
+                let t0 = Instant::now();
                 let result = tessellate(world, &sim.dec, &sim.asn, &local, &tess_params);
+                let wall = world.all_reduce(t0.elapsed().as_secs_f64(), f64::max);
+                let stats = tess::driver::global_stats(world, result.stats);
 
                 let bytes =
                     tess::io::write_tessellation(world, &out_path, &result.blocks).expect("write");
-                (collect_report(world), bytes)
+                (collect_report(world), bytes, stats, wall)
             });
-            let (report, bytes) = &rows[0];
+            let (report, bytes, stats, tess_wall) = &rows[0];
             let sim_s = report.cpu_max(hacc::PHASE_SIM);
             let exch = report.cpu_max(PHASE_GHOST_EXCHANGE);
             let comp = report.cpu_max(PHASE_VORONOI);
@@ -108,6 +114,16 @@ fn main() {
             ]);
             let json_path = output_dir().join(format!("table2_np{np}_r{nranks}.report.json"));
             std::fs::write(&json_path, report.to_json()).expect("write report json");
+            let (_, ghost_bytes) = report.tag_traffic_where(is_ghost_tag);
+            bench_entries.push(TessBenchEntry {
+                label: format!("table2_np{np}_r{nranks}"),
+                stats: *stats,
+                wall_s: *tess_wall,
+                ghost_bytes,
+                exchange_s: exch,
+                voronoi_s: comp,
+                output_s: outp,
+            });
             // sanity echo of what survived the cull
             let blocks = tess::io::read_tessellation(&out_path).expect("read back");
             let kept: usize = blocks.iter().map(|b| b.cells.len()).sum();
@@ -123,4 +139,7 @@ fn main() {
         }
     }
     table.print();
+    let bench_path = output_dir().join("BENCH_TESS.json");
+    std::fs::write(&bench_path, tess_bench_json(&bench_entries)).expect("write BENCH_TESS.json");
+    eprintln!("# machine-readable results: {}", bench_path.display());
 }

@@ -181,6 +181,68 @@ pub fn evolved_particles_cached(np: usize, nsteps: usize) -> Vec<(u64, Vec3)> {
     v
 }
 
+/// One tessellation measurement destined for `BENCH_TESS.json`.
+pub struct TessBenchEntry {
+    /// Configuration label, e.g. `table2_np16_r4`.
+    pub label: String,
+    /// Globally merged tessellation counters.
+    pub stats: tess::TessStats,
+    /// Wall-clock seconds of the `tessellate` call (max across ranks).
+    pub wall_s: f64,
+    /// Ghost-exchange traffic in bytes (from the per-tag transport counters).
+    pub ghost_bytes: u64,
+    /// Per-phase thread-CPU seconds, max across ranks (critical path).
+    pub exchange_s: f64,
+    pub voronoi_s: f64,
+    pub output_s: f64,
+}
+
+/// Render benchmark entries as the machine-readable `BENCH_TESS.json`
+/// document: throughput (cells/sec), kernel work (candidates tested per
+/// computed cell, cells recomputed vs reused), ghost traffic, and the
+/// per-phase breakdown.
+pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
+    let mut out = String::from("{\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let s = &e.stats;
+        let cells_per_sec = if e.wall_s > 0.0 {
+            s.cells as f64 / e.wall_s
+        } else {
+            0.0
+        };
+        let cand_per_cell = if s.cells_computed > 0 {
+            s.candidates_tested as f64 / s.cells_computed as f64
+        } else {
+            0.0
+        };
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"cells\": {}, \"wall_s\": {:.6}, ",
+                "\"cells_per_sec\": {:.3}, \"candidates_per_cell\": {:.3}, ",
+                "\"cells_computed\": {}, \"cells_reused\": {}, ",
+                "\"ghost_rounds\": {}, \"ghost_bytes\": {}, ",
+                "\"exchange_s\": {:.6}, \"voronoi_s\": {:.6}, \"output_s\": {:.6}}}{}\n"
+            ),
+            e.label,
+            s.cells,
+            e.wall_s,
+            cells_per_sec,
+            cand_per_cell,
+            s.cells_computed,
+            s.cells_reused,
+            s.ghost_rounds,
+            e.ghost_bytes,
+            e.exchange_s,
+            e.voronoi_s,
+            e.output_s,
+            sep,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Where harness binaries drop artifacts (SVGs, data files).
 pub fn output_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from(

@@ -1,12 +1,22 @@
-//! Per-block tessellation: serial local computation (parallel over sites
-//! with rayon — the paper's intra-node OpenMP analogue in Figure 3).
+//! Per-block tessellation: the per-cell kernel runs in parallel over sites
+//! through the work-stealing chunk pool (the paper's intra-node OpenMP
+//! analogue in Figure 3), with index-ordered collection so the assembled
+//! block is bit-identical to a sequential run.
+//!
+//! Blocks participating in the adaptive ghost loop keep a [`BlockSession`]:
+//! per-cell outcomes survive across rounds, and a resume pass recomputes
+//! only the cells that are not *certified-final* — a certified cell's
+//! security ball fits inside the previous ghost region, so particles
+//! arriving from outside it provably cannot cut the cell (asserted in debug
+//! builds).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use geometry::{Aabb, Vec3};
 use rayon::prelude::*;
 
-use crate::cell::compute_cell;
+use crate::cell::{compute_cell, CellContext, CellScratch};
 use crate::grid::CandidateGrid;
 use crate::model::{Cell, Face, MeshBlock, NO_NEIGHBOR};
 use crate::params::{HullMode, TessParams};
@@ -25,6 +35,64 @@ pub struct BlockCertification {
     /// culled cells are excluded — culling an underestimate-only volume is
     /// already final).
     pub uncertified: u64,
+}
+
+struct Kept {
+    site_idx: u32,
+    volume: f64,
+    area: f64,
+    complete: bool,
+    /// Security-ball diameter squared at compute time; debug builds check
+    /// later ghost rounds against it.
+    sec2: f64,
+    faces: Vec<(u64, Vec<Vec3>)>, // neighbor global id + face points
+}
+
+enum Outcome {
+    Kept(Box<Kept>),
+    Incomplete,
+    CulledEarly { certified: bool },
+    CulledLate { certified: bool },
+}
+
+impl Outcome {
+    /// Certified-final: recomputing against a larger ghost set provably
+    /// cannot change this outcome. True exactly when the cell was complete
+    /// when it was computed — complete cells are the global Voronoi cell,
+    /// so both the kept geometry and any cull verdict are final. Incomplete
+    /// cells (dropped, kept, or culled while incomplete) must be recomputed
+    /// whenever the block sees more ghosts.
+    fn certified(&self) -> bool {
+        match self {
+            Outcome::Kept(k) => k.complete,
+            Outcome::Incomplete => false,
+            Outcome::CulledEarly { certified } | Outcome::CulledLate { certified } => *certified,
+        }
+    }
+}
+
+struct CellRecord {
+    outcome: Outcome,
+    /// Ghost radius this cell would need to certify (0 when certified).
+    needed: f64,
+}
+
+/// Resumable per-block tessellation state for the adaptive ghost loop.
+pub struct BlockSession {
+    gid: u64,
+    bounds: Aabb,
+    /// Ghosted region of the most recent pass.
+    region: Aabb,
+    records: Vec<CellRecord>,
+    cells_computed: u64,
+    cells_reused: u64,
+    candidates_tested: u64,
+}
+
+thread_local! {
+    /// Per-thread kernel scratch: pool workers and rank threads each reuse
+    /// one across every cell they compute.
+    static SCRATCH: RefCell<CellScratch> = RefCell::new(CellScratch::default());
 }
 
 /// Tessellate one block: `own` are the block's original particles, `ghosts`
@@ -53,105 +121,259 @@ pub fn tessellate_block_certified(
     ghost_size: f64,
     params: &TessParams,
 ) -> (MeshBlock, TessStats, BlockCertification) {
-    let region = bounds.grown(ghost_size);
+    let (block, stats, cert, _) =
+        tessellate_block_session(gid, bounds, own, ghosts, ghost_size, params);
+    (block, stats, cert)
+}
 
+/// Full tessellation pass that also returns the [`BlockSession`] later
+/// rounds can resume from.
+pub fn tessellate_block_session(
+    gid: u64,
+    bounds: Aabb,
+    own: &[(u64, Vec3)],
+    ghosts: &[(u64, Vec3)],
+    ghost_size: f64,
+    params: &TessParams,
+) -> (MeshBlock, TessStats, BlockCertification, BlockSession) {
+    let region = bounds.grown(ghost_size);
+    let mut session = BlockSession {
+        gid,
+        bounds,
+        region,
+        records: Vec::new(),
+        cells_computed: 0,
+        cells_reused: 0,
+        candidates_tested: 0,
+    };
+    let (pts, ids) = flatten(own, ghosts);
+    let indices: Vec<usize> = (0..own.len()).collect();
+    let records = compute_records(&session, &pts, &ids, &indices, &region, params);
+    session.cells_computed = indices.len() as u64;
+    session.records = records
+        .into_iter()
+        .map(|(record, tested)| {
+            session.candidates_tested = session.candidates_tested.saturating_add(tested);
+            record
+        })
+        .collect();
+    let (block, stats, cert) = assemble(&session, &pts, &ids, ghosts.len());
+    (block, stats, cert, session)
+}
+
+impl BlockSession {
+    /// Incremental re-tessellation against a grown ghost set: recompute
+    /// only the cells whose previous outcome was not certified-final.
+    /// `ghosts` is the full cumulative ghost set, `new_ghosts` just the
+    /// particles that arrived since the previous pass (used by the debug
+    /// certification check). Output is bit-identical to a full recompute:
+    /// complete cells are canonicalised by the kernel, so the round that
+    /// computed them cannot show in their bits.
+    pub fn retessellate(
+        &mut self,
+        own: &[(u64, Vec3)],
+        ghosts: &[(u64, Vec3)],
+        new_ghosts: &[(u64, Vec3)],
+        ghost_size: f64,
+        params: &TessParams,
+    ) -> (MeshBlock, TessStats, BlockCertification) {
+        assert_eq!(
+            self.records.len(),
+            own.len(),
+            "session resumed with a different particle set"
+        );
+        self.debug_check_new_ghosts(own, new_ghosts);
+        let region = self.bounds.grown(ghost_size);
+        self.region = region;
+        let (pts, ids) = flatten(own, ghosts);
+        let indices: Vec<usize> = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.outcome.certified())
+            .map(|(i, _)| i)
+            .collect();
+        self.cells_reused += (self.records.len() - indices.len()) as u64;
+        self.cells_computed += indices.len() as u64;
+        let recomputed = compute_records(self, &pts, &ids, &indices, &region, params);
+        for (i, (record, tested)) in indices.into_iter().zip(recomputed) {
+            self.candidates_tested = self.candidates_tested.saturating_add(tested);
+            self.records[i] = record;
+        }
+        assemble(self, &pts, &ids, ghosts.len())
+    }
+
+    /// Debug-build proof of the incremental invariant: every particle that
+    /// arrived after a cell certified must lie outside the cell's security
+    /// ball (it came from outside the previous region, which contains the
+    /// ball), so it cannot cut the cell.
+    fn debug_check_new_ghosts(&self, own: &[(u64, Vec3)], new_ghosts: &[(u64, Vec3)]) {
+        if cfg!(debug_assertions) {
+            for (i, record) in self.records.iter().enumerate() {
+                let Outcome::Kept(kept) = &record.outcome else {
+                    continue;
+                };
+                if !kept.complete {
+                    continue;
+                }
+                let site = own[i].1;
+                for &(gidg, g) in new_ghosts {
+                    debug_assert!(
+                        g.dist2(site) >= kept.sec2 * (1.0 - 1e-9) - 1e-12,
+                        "block {}: new ghost {gidg} at {g} inside the security \
+                         ball of certified cell {} (site {site})",
+                        self.gid,
+                        own[i].0,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn flatten(own: &[(u64, Vec3)], ghosts: &[(u64, Vec3)]) -> (Vec<Vec3>, Vec<u64>) {
     // Own particles first so candidate index == own index for sites.
-    let n_own = own.len();
-    let mut ids: Vec<u64> = Vec::with_capacity(n_own + ghosts.len());
-    let mut pts: Vec<Vec3> = Vec::with_capacity(n_own + ghosts.len());
+    let n = own.len() + ghosts.len();
+    let mut pts: Vec<Vec3> = Vec::with_capacity(n);
+    let mut ids: Vec<u64> = Vec::with_capacity(n);
     for &(id, p) in own.iter().chain(ghosts) {
         ids.push(id);
         pts.push(p);
     }
+    (pts, ids)
+}
 
-    let grid = CandidateGrid::build(region, &pts, 2.0);
+/// Compute the cells at `indices` in parallel; the result vector is in
+/// `indices` order (the pool collects chunk results by position). Each
+/// element carries the candidate-test count alongside the record.
+fn compute_records(
+    session: &BlockSession,
+    pts: &[Vec3],
+    ids: &[u64],
+    indices: &[usize],
+    region: &Aabb,
+    params: &TessParams,
+) -> Vec<(CellRecord, u64)> {
+    let bounds = session.bounds;
+    let grid = CandidateGrid::build(*region, pts, 2.0);
+    // Canonicalisation box for the kernel: a function of the block alone
+    // (largest ghost radius the adaptive schedule can reach), never of the
+    // current round's radius — see `cell::CellContext::clip_box`.
+    let e = bounds.extent();
+    let clip_box = bounds.grown(e.x.min(e.y).min(e.z));
+    let ctx = CellContext {
+        points: pts,
+        ids,
+        grid: &grid,
+        region,
+        clip_box: &clip_box,
+        eps: params.eps,
+    };
     let cull_diam2 = params.cull_diameter().map(|d| d * d);
-
-    struct Kept {
-        site_idx: u32,
-        volume: f64,
-        area: f64,
-        complete: bool,
-        faces: Vec<(u64, Vec<Vec3>)>, // neighbor id + face points
-    }
-
-    enum Outcome {
-        Kept(Box<Kept>),
-        Incomplete,
-        CulledEarly,
-        CulledLate,
-    }
-
-    let outcomes: Vec<(Outcome, f64)> = (0..n_own)
+    indices
+        .to_vec()
         .into_par_iter()
-        .map(|i| {
-            let site = pts[i];
-            let cell = compute_cell(site, i as u32, &pts, &grid, &region, params.eps);
-            // Radius bound an uncertified cell needs: the security ball
-            // (2× site→farthest-vertex) must fit inside the grown region,
-            // so the halo must extend that far past the block wall.
-            let needed = if cell.complete {
-                0.0
-            } else {
-                let sec = 2.0 * cell.poly.max_vertex_dist2(site).sqrt();
-                (sec - bounds.interior_distance(site)).max(0.0)
-            };
-            if !cell.complete && !params.keep_incomplete {
-                return (Outcome::Incomplete, needed);
-            }
-            // Early conservative cull (before any hull work). Valid even
-            // for uncertified cells: unknown particles only shrink them.
-            if let Some(d2) = cull_diam2 {
-                if cell.poly.max_pairwise_dist2() < d2 {
-                    return (Outcome::CulledEarly, 0.0);
-                }
-            }
-            // Volume / area: native clip path or the paper's Qhull path.
-            let (volume, area) = match params.hull_mode {
-                HullMode::Clip => (cell.poly.volume(), cell.poly.surface_area()),
-                HullMode::Quickhull => match geometry::convex_hull(&cell.poly.verts, params.eps) {
-                    Ok(h) => (h.volume(), h.surface_area()),
-                    Err(_) => (cell.poly.volume(), cell.poly.surface_area()),
+        .map(|i| compute_one(&ctx, &bounds, params, cull_diam2, i))
+        .collect()
+}
+
+fn compute_one(
+    ctx: &CellContext,
+    bounds: &Aabb,
+    params: &TessParams,
+    cull_diam2: Option<f64>,
+    i: usize,
+) -> (CellRecord, u64) {
+    let site = ctx.points[i];
+    let cell = SCRATCH.with(|s| compute_cell(ctx, site, i as u32, &mut s.borrow_mut()));
+    let tested = cell.candidates_tested as u64;
+    let record = |outcome, needed| (CellRecord { outcome, needed }, tested);
+    let sec2 = 4.0 * cell.poly.max_vertex_dist2(site);
+    // Radius bound an uncertified cell needs: the security ball
+    // (2× site→farthest-vertex) must fit inside the grown region,
+    // so the halo must extend that far past the block wall.
+    let needed = if cell.complete {
+        0.0
+    } else {
+        (sec2.sqrt() - bounds.interior_distance(site)).max(0.0)
+    };
+    if !cell.complete && !params.keep_incomplete {
+        return record(Outcome::Incomplete, needed);
+    }
+    // Early conservative cull (before any hull work). Valid even
+    // for uncertified cells: unknown particles only shrink them.
+    if let Some(d2) = cull_diam2 {
+        if cell.poly.max_pairwise_dist2() < d2 {
+            return record(
+                Outcome::CulledEarly {
+                    certified: cell.complete,
                 },
-            };
-            // Exact cull after the volume is known.
-            if let Some(minv) = params.min_volume {
-                if volume < minv {
-                    return (Outcome::CulledLate, 0.0);
-                }
-            }
-            let faces = cell
-                .poly
-                .faces
-                .iter()
-                .map(|f| {
-                    let nbr = f
-                        .neighbor
-                        .map(|cand| ids[cand as usize])
-                        .unwrap_or(NO_NEIGHBOR);
-                    (nbr, cell.poly.face_points(f))
-                })
-                .collect();
-            (
-                Outcome::Kept(Box::new(Kept {
-                    site_idx: i as u32,
-                    volume,
-                    area,
-                    complete: cell.complete,
-                    faces,
-                })),
-                needed,
-            )
+                0.0,
+            );
+        }
+    }
+    // Volume / area: native clip path or the paper's Qhull path.
+    let (volume, area) = match params.hull_mode {
+        HullMode::Clip => (cell.poly.volume(), cell.poly.surface_area()),
+        HullMode::Quickhull => match geometry::convex_hull(&cell.poly.verts, params.eps) {
+            Ok(h) => (h.volume(), h.surface_area()),
+            Err(_) => (cell.poly.volume(), cell.poly.surface_area()),
+        },
+    };
+    // Exact cull after the volume is known.
+    if let Some(minv) = params.min_volume {
+        if volume < minv {
+            return record(
+                Outcome::CulledLate {
+                    certified: cell.complete,
+                },
+                0.0,
+            );
+        }
+    }
+    let faces = cell
+        .poly
+        .faces
+        .iter()
+        .map(|f| {
+            let nbr = f
+                .neighbor
+                .map(|cand| ctx.ids[cand as usize])
+                .unwrap_or(NO_NEIGHBOR);
+            (nbr, cell.poly.face_points(f))
         })
         .collect();
+    record(
+        Outcome::Kept(Box::new(Kept {
+            site_idx: i as u32,
+            volume,
+            area,
+            complete: cell.complete,
+            sec2,
+            faces,
+        })),
+        needed,
+    )
+}
 
-    // Assemble the block (serial: vertex dedup is a shared hash map).
+/// Assemble the mesh block from the session's records (serial: vertex
+/// dedup is a shared hash map). Runs over *all* records each pass, so a
+/// resumed round rebuilds stats without double counting.
+fn assemble(
+    session: &BlockSession,
+    pts: &[Vec3],
+    ids: &[u64],
+    n_ghosts: usize,
+) -> (MeshBlock, TessStats, BlockCertification) {
     let mut stats = TessStats {
-        sites: n_own as u64,
-        ghosts_received: ghosts.len() as u64,
+        sites: session.records.len() as u64,
+        ghosts_received: n_ghosts as u64,
+        candidates_tested: session.candidates_tested,
+        cells_computed: session.cells_computed,
+        cells_reused: session.cells_reused,
         ..Default::default()
     };
-    let mut block = MeshBlock::empty(gid, bounds);
+    let mut block = MeshBlock::empty(session.gid, session.bounds);
     let mut vert_index: HashMap<(i64, i64, i64), u32> = HashMap::new();
     // Quantization for vertex dedup within a block: 1e-6 domain units.
     let quant = |p: Vec3| {
@@ -163,15 +385,15 @@ pub fn tessellate_block_certified(
     };
 
     let mut cert = BlockCertification::default();
-    for (outcome, needed) in outcomes {
-        match outcome {
+    for record in &session.records {
+        match &record.outcome {
             Outcome::Incomplete => {
                 stats.incomplete += 1;
                 cert.uncertified += 1;
-                cert.needed_ghost = cert.needed_ghost.max(needed);
+                cert.needed_ghost = cert.needed_ghost.max(record.needed);
             }
-            Outcome::CulledEarly => stats.culled_early += 1,
-            Outcome::CulledLate => stats.culled_late += 1,
+            Outcome::CulledEarly { .. } => stats.culled_early += 1,
+            Outcome::CulledLate { .. } => stats.culled_late += 1,
             Outcome::Kept(kept) => {
                 let site_idx = block.particles.len() as u32;
                 block.particles.push(pts[kept.site_idx as usize]);
@@ -179,16 +401,16 @@ pub fn tessellate_block_certified(
                 if !kept.complete {
                     stats.incomplete_kept += 1;
                     cert.uncertified += 1;
-                    cert.needed_ghost = cert.needed_ghost.max(needed);
+                    cert.needed_ghost = cert.needed_ghost.max(record.needed);
                 }
                 let faces = kept
                     .faces
-                    .into_iter()
+                    .iter()
                     .map(|(nbr, points)| Face {
-                        neighbor: nbr,
+                        neighbor: *nbr,
                         verts: points
-                            .into_iter()
-                            .map(|p| {
+                            .iter()
+                            .map(|&p| {
                                 *vert_index.entry(quant(p)).or_insert_with(|| {
                                     block.verts.push(p);
                                     (block.verts.len() - 1) as u32
@@ -245,6 +467,9 @@ mod tests {
         // no ghosts: only cells ≥ 2 cells from the wall can certify
         assert!(stats.cells > 0);
         assert_eq!(stats.cells + stats.incomplete, (n * n * n) as u64);
+        assert_eq!(stats.cells_computed, (n * n * n) as u64);
+        assert_eq!(stats.cells_reused, 0);
+        assert!(stats.candidates_tested > 0);
         for c in &block.cells {
             assert!((c.volume - 1.0).abs() < 1e-9);
             assert!((c.area - 6.0).abs() < 1e-9);
@@ -421,5 +646,93 @@ mod tests {
             let p = block.particles[i];
             assert!(bounds.contains(p), "site {id} at {p} not original");
         }
+    }
+
+    /// Per-cell fingerprint: (site id, volume bits, area bits, neighbors, face vertex bits).
+    type CellBits = (u64, u64, u64, Vec<u64>, Vec<Vec<(u64, u64, u64)>>);
+
+    /// Bit-fingerprint of a mesh block for exact comparisons.
+    fn block_bits(b: &MeshBlock) -> Vec<CellBits> {
+        b.cells
+            .iter()
+            .map(|c| {
+                (
+                    b.site_ids[c.site_idx as usize],
+                    c.volume.to_bits(),
+                    c.area.to_bits(),
+                    c.faces.iter().map(|f| f.neighbor).collect(),
+                    c.faces
+                        .iter()
+                        .map(|f| {
+                            f.verts
+                                .iter()
+                                .map(|&v| {
+                                    let p = b.verts[v as usize];
+                                    (p.x.to_bits(), p.y.to_bits(), p.z.to_bits())
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_resume_matches_full_recompute_bit_for_bit() {
+        let n = 6;
+        let all = lattice_particles(2 * n, 1.0); // cube(12)
+        let bounds = Aabb::cube(n as f64); // corner block of the lattice
+        let own: Vec<(u64, Vec3)> = all
+            .iter()
+            .copied()
+            .filter(|(_, p)| bounds.contains(*p))
+            .collect();
+        let ghosts_within = |r: f64| -> Vec<(u64, Vec3)> {
+            let region = bounds.grown(r);
+            all.iter()
+                .copied()
+                .filter(|(_, p)| !bounds.contains(*p) && region.contains_closed(*p))
+                .collect()
+        };
+
+        let (r0, r1) = (1.2, 2.6);
+        let g0 = ghosts_within(r0);
+        let g1 = ghosts_within(r1);
+        let new_ghosts: Vec<(u64, Vec3)> = g1
+            .iter()
+            .copied()
+            .filter(|(id, _)| !g0.iter().any(|(id0, _)| id0 == id))
+            .collect();
+        let params = TessParams::default().with_ghost(r1);
+
+        // Round 0 at the small radius, then resume at the large one.
+        let (_, s0, cert0, mut session) =
+            tessellate_block_session(7, bounds, &own, &g0, r0, &params);
+        assert!(cert0.uncertified > 0, "first round must leave work");
+        let (inc_block, inc_stats, inc_cert) =
+            session.retessellate(&own, &g1, &new_ghosts, r1, &params);
+
+        // One-shot full pass at the large radius.
+        let (full_block, full_stats, full_cert) =
+            tessellate_block_certified(7, bounds, &own, &g1, r1, &params);
+
+        assert_eq!(block_bits(&inc_block), block_bits(&full_block));
+        assert_eq!(inc_cert.uncertified, full_cert.uncertified);
+        assert_eq!(inc_stats.cells, full_stats.cells);
+        assert_eq!(inc_stats.incomplete, full_stats.incomplete);
+
+        // The resume only recomputed the uncertified cells.
+        let n_own = own.len() as u64;
+        assert_eq!(s0.cells_computed, n_own);
+        assert_eq!(
+            inc_stats.cells_computed,
+            n_own + cert0.uncertified,
+            "resume must recompute exactly the uncertified cells"
+        );
+        assert_eq!(inc_stats.cells_reused, n_own - cert0.uncertified);
+        assert!(inc_stats.cells_reused > 0);
+        // ... and therefore tested fewer candidates than two full passes.
+        assert!(inc_stats.candidates_tested < 2 * full_stats.candidates_tested);
     }
 }

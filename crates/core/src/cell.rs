@@ -1,6 +1,23 @@
 //! Local Voronoi cell computation with the security-radius criterion.
+//!
+//! Two-phase kernel:
+//!
+//! 1. **Discovery** — grow the cell by clipping the ghosted region box with
+//!    bisectors of grid candidates in (approximate) distance order until the
+//!    security radius certifies no remaining particle can cut it.
+//! 2. **Canonicalisation** — for *complete* cells, re-clip a round- and
+//!    mode-independent box (`clip_box`) by every particle inside the
+//!    security ball in a canonical order (distance, then global id, then
+//!    position). Discovery order depends on the grid geometry, which changes
+//!    as the adaptive ghost region grows; canonicalisation makes the cell's
+//!    floating-point bits a function of the particle set alone, so a cell
+//!    certified in round `k` is bit-identical to the same cell recomputed in
+//!    any later round — the invariant incremental re-tessellation rests on.
+//!
+//! All buffers live in a caller-owned [`CellScratch`] so computing millions
+//! of cells allocates nothing in steady state.
 
-use geometry::polyhedron::ClipResult;
+use geometry::polyhedron::{ClipResult, ClipScratch};
 use geometry::{Aabb, ConvexPolyhedron, Plane, Vec3};
 
 use crate::grid::CandidateGrid;
@@ -15,61 +32,85 @@ pub struct ComputedCell {
     pub candidates_tested: usize,
 }
 
-/// Compute the Voronoi cell of `site` against the `points` indexed by
-/// `grid`. `region` is the ghosted block box the points cover; `self_idx`
-/// is the site's index in `points` (skipped). `eps` is the clipping
-/// tolerance.
+/// Shared, immutable inputs for every cell of one block pass.
+pub struct CellContext<'a> {
+    /// Own + ghost particle positions (ghosts may be periodic images).
+    pub points: &'a [Vec3],
+    /// Global particle id per entry of `points`.
+    pub ids: &'a [u64],
+    pub grid: &'a CandidateGrid,
+    /// The ghosted block box the points cover; bounds the discovery clip
+    /// and decides completeness.
+    pub region: &'a Aabb,
+    /// Canonicalisation box: must depend only on the block, never on the
+    /// ghost radius, so re-clipping is reproducible across ghost rounds.
+    pub clip_box: &'a Aabb,
+    /// Clipping tolerance.
+    pub eps: f64,
+}
+
+/// Reusable per-thread buffers for [`compute_cell`].
+#[derive(Default)]
+pub struct CellScratch {
+    ring_buf: Vec<u32>,
+    ordered: Vec<(f64, u32)>,
+    ball: Vec<(f64, u32)>,
+    clip: ClipScratch,
+}
+
+/// Compute the Voronoi cell of `site` (`self_idx` in `ctx.points`, skipped).
 pub fn compute_cell(
+    ctx: &CellContext,
     site: Vec3,
     self_idx: u32,
-    points: &[Vec3],
-    grid: &CandidateGrid,
-    region: &Aabb,
-    eps: f64,
+    scratch: &mut CellScratch,
 ) -> ComputedCell {
-    let mut poly = ConvexPolyhedron::from_aabb(region);
+    let grid = ctx.grid;
+    let mut poly = ConvexPolyhedron::from_aabb(ctx.region);
     let mut tested = 0usize;
 
     // 2 × max site-to-vertex distance, squared — any particle farther than
     // this cannot clip the cell. Updated as the cell shrinks.
     let mut sec2 = 4.0 * poly.max_vertex_dist2(site);
 
-    let mut ring_buf: Vec<u32> = Vec::new();
-    let mut ordered: Vec<(f64, u32)> = Vec::new();
     'rings: for r in 0..=grid.max_ring() {
         // No remaining candidate can be closer than this.
         let lb = grid.ring_min_distance(r);
         if lb * lb > sec2 {
             break 'rings;
         }
-        grid.ring_candidates(site, r, &mut ring_buf);
-        if ring_buf.is_empty() {
+        grid.ring_candidates(site, r, &mut scratch.ring_buf);
+        if scratch.ring_buf.is_empty() {
             continue;
         }
-        ordered.clear();
-        ordered.extend(ring_buf.iter().filter_map(|&i| {
-            if i == self_idx {
-                return None;
-            }
-            let d2 = points[i as usize].dist2(site);
-            if d2 < 1e-24 {
-                // coincident particle: no bisector exists; skip (both sites
-                // share the cell)
-                return None;
-            }
-            Some((d2, i))
-        }));
-        ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scratch.ordered.clear();
+        scratch
+            .ordered
+            .extend(scratch.ring_buf.iter().filter_map(|&i| {
+                if i == self_idx {
+                    return None;
+                }
+                let d2 = ctx.points[i as usize].dist2(site);
+                if d2 < 1e-24 {
+                    // coincident particle: no bisector exists; skip (both sites
+                    // share the cell)
+                    return None;
+                }
+                Some((d2, i))
+            }));
+        scratch
+            .ordered
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
-        for &(d2, i) in ordered.iter() {
+        for &(d2, i) in scratch.ordered.iter() {
             if d2 > sec2 {
                 // sorted ascending: the rest of this ring is irrelevant
                 break;
             }
-            let q = points[i as usize];
+            let q = ctx.points[i as usize];
             let plane = Plane::bisector(site, q).expect("distinct points");
             tested += 1;
-            match poly.clip(&plane, Some(i as u64), eps) {
+            match poly.clip_with(&plane, Some(i as u64), ctx.eps, &mut scratch.clip) {
                 ClipResult::Clipped => {
                     sec2 = 4.0 * poly.max_vertex_dist2(site);
                 }
@@ -91,12 +132,93 @@ pub fn compute_cell(
     // Complete iff the security ball is inside the region all particles are
     // known for.
     let sec = sec2.sqrt() * 0.5; // = max vertex distance
-    let complete = 2.0 * sec <= region.interior_distance(site) + eps;
+    let complete = 2.0 * sec <= ctx.region.interior_distance(site) + ctx.eps;
+
+    if complete {
+        if let Some((canon, extra)) = canonical_reclip(ctx, site, self_idx, sec2, scratch) {
+            poly = canon;
+            tested += extra;
+        }
+    }
+
     ComputedCell {
         poly,
         complete,
         candidates_tested: tested,
     }
+}
+
+/// Re-clip a complete cell from the canonical box using every particle in
+/// the (slightly inflated) security ball, in canonical order. Returns `None`
+/// when the cell might not fit in `clip_box` (huge explicit ghost radii) —
+/// the discovery-phase polyhedron is already exact there, it just keeps its
+/// discovery-order bits.
+fn canonical_reclip(
+    ctx: &CellContext,
+    site: Vec3,
+    self_idx: u32,
+    sec2: f64,
+    scratch: &mut CellScratch,
+) -> Option<(ConvexPolyhedron, usize)> {
+    // The cell lies inside ball(site, maxvert); it must also lie strictly
+    // inside the canonical box or the box walls would clip it. In adaptive
+    // mode `clip_box ⊇ region`, so completeness already guarantees this and
+    // the branch is round-stable.
+    let maxvert = 0.5 * sec2.sqrt();
+    if maxvert > ctx.clip_box.interior_distance(site) {
+        return None;
+    }
+
+    // Inflate the ball so a particle at exactly the security distance (a
+    // common exact tie on lattices) never flips in/out on the ulp-level
+    // differences `sec2` carries between rounds. Extra particles only add
+    // tangent planes, which cannot cut.
+    let bound2 = sec2 * (1.0 + 1e-9);
+    let grid = ctx.grid;
+    scratch.ball.clear();
+    for r in 0..=grid.max_ring() {
+        let lb = grid.ring_min_distance(r);
+        if lb * lb > bound2 {
+            break;
+        }
+        grid.ring_candidates(site, r, &mut scratch.ring_buf);
+        for &i in scratch.ring_buf.iter() {
+            if i == self_idx {
+                continue;
+            }
+            let d2 = ctx.points[i as usize].dist2(site);
+            if (1e-24..=bound2).contains(&d2) {
+                scratch.ball.push((d2, i));
+            }
+        }
+    }
+
+    // Canonical order: distance, then global id, then position — the last
+    // because distinct periodic images of one particle can tie exactly in
+    // both distance and id.
+    let (points, ids) = (ctx.points, ctx.ids);
+    scratch.ball.sort_by(|&(d2a, ia), &(d2b, ib)| {
+        d2a.total_cmp(&d2b)
+            .then_with(|| ids[ia as usize].cmp(&ids[ib as usize]))
+            .then_with(|| {
+                let pa = points[ia as usize];
+                let pb = points[ib as usize];
+                pa.x.total_cmp(&pb.x)
+                    .then_with(|| pa.y.total_cmp(&pb.y))
+                    .then_with(|| pa.z.total_cmp(&pb.z))
+            })
+    });
+
+    let mut poly = ConvexPolyhedron::from_aabb(ctx.clip_box);
+    let mut tested = 0usize;
+    for &(_, i) in scratch.ball.iter() {
+        let plane = Plane::bisector(site, points[i as usize]).expect("distinct points");
+        tested += 1;
+        if poly.clip_with(&plane, Some(i as u64), ctx.eps, &mut scratch.clip) == ClipResult::Empty {
+            return None; // degenerate input; keep the discovery polyhedron
+        }
+    }
+    Some((poly, tested))
 }
 
 #[cfg(test)]
@@ -125,15 +247,27 @@ mod tests {
             .collect()
     }
 
+    fn cell_of(pts: &[Vec3], region: &Aabb, idx: usize) -> ComputedCell {
+        let grid = CandidateGrid::build(*region, pts, 2.0);
+        let ids: Vec<u64> = (0..pts.len() as u64).collect();
+        let ctx = CellContext {
+            points: pts,
+            ids: &ids,
+            grid: &grid,
+            region,
+            clip_box: region,
+            eps: 1e-9,
+        };
+        compute_cell(&ctx, pts[idx], idx as u32, &mut CellScratch::default())
+    }
+
     #[test]
     fn lattice_center_cell_is_unit_cube() {
         let n = 7;
         let pts = lattice(n, 0.0);
         let region = Aabb::cube(n as f64);
-        let grid = CandidateGrid::build(region, &pts, 2.0);
         let center_idx = (n / 2) + n * ((n / 2) + n * (n / 2));
-        let site = pts[center_idx];
-        let cell = compute_cell(site, center_idx as u32, &pts, &grid, &region, 1e-9);
+        let cell = cell_of(&pts, &region, center_idx);
         assert!(cell.complete);
         assert!(
             (cell.poly.volume() - 1.0).abs() < 1e-9,
@@ -157,19 +291,10 @@ mod tests {
         let n = 9;
         let pts = lattice(n, 0.2);
         let region = Aabb::cube(n as f64);
-        let grid = CandidateGrid::build(region, &pts, 2.0);
-        let center_idx = (n / 2) + n * ((n / 2) + n * (n / 2));
-        let cell = compute_cell(
-            pts[center_idx],
-            center_idx as u32,
-            &pts,
-            &grid,
-            &region,
-            1e-9,
-        );
+        let cell = cell_of(&pts, &region, (n / 2) + n * ((n / 2) + n * (n / 2)));
         assert!(cell.complete);
         assert!(cell.poly.check_closed());
-        assert!(cell.candidates_tested < 150, "{}", cell.candidates_tested);
+        assert!(cell.candidates_tested < 250, "{}", cell.candidates_tested);
     }
 
     #[test]
@@ -177,9 +302,8 @@ mod tests {
         let n = 5;
         let pts = lattice(n, 0.0);
         let region = Aabb::cube(n as f64);
-        let grid = CandidateGrid::build(region, &pts, 2.0);
         // corner particle: its cell is clipped by the region walls
-        let cell = compute_cell(pts[0], 0, &pts, &grid, &region, 1e-9);
+        let cell = cell_of(&pts, &region, 0);
         assert!(!cell.complete);
     }
 
@@ -190,10 +314,9 @@ mod tests {
         let n = 5;
         let pts = lattice(n, 0.3);
         let region = Aabb::cube(n as f64);
-        let grid = CandidateGrid::build(region, &pts, 2.0);
         let idx = 2 + n * (2 + n * 2);
         let site = pts[idx];
-        let cell = compute_cell(site, idx as u32, &pts, &grid, &region, 1e-9);
+        let cell = cell_of(&pts, &region, idx);
         assert!(cell.poly.contains(site, 1e-9));
         // sample points inside the cell: centroid and face centroids
         let mut samples = vec![cell.poly.centroid()];
@@ -217,8 +340,7 @@ mod tests {
     fn two_points_split_the_region() {
         let pts = vec![Vec3::new(1.0, 2.0, 2.0), Vec3::new(3.0, 2.0, 2.0)];
         let region = Aabb::cube(4.0);
-        let grid = CandidateGrid::build(region, &pts, 2.0);
-        let cell = compute_cell(pts[0], 0, &pts, &grid, &region, 1e-9);
+        let cell = cell_of(&pts, &region, 0);
         // half the box
         assert!((cell.poly.volume() - 32.0).abs() < 1e-9);
         // bounded by walls → incomplete
@@ -234,9 +356,49 @@ mod tests {
             Vec3::new(1.0, 2.0, 2.0),
         ];
         let region = Aabb::cube(4.0);
-        let grid = CandidateGrid::build(region, &pts, 2.0);
-        let cell = compute_cell(pts[0], 0, &pts, &grid, &region, 1e-9);
+        let cell = cell_of(&pts, &region, 0);
         assert!(!cell.poly.is_empty());
         assert!(cell.poly.volume() > 0.0);
+    }
+
+    #[test]
+    fn complete_cell_bits_do_not_depend_on_the_region() {
+        // The canonicalisation contract: compute an interior cell once with
+        // a tight region and once with a grown region (more known space,
+        // different grid geometry, different discovery order) while keeping
+        // the same clip_box. Complete cells must agree bit for bit.
+        let n = 7;
+        let pts = lattice(n, 0.25);
+        let tight = Aabb::cube(n as f64);
+        let grown = tight.grown(1.5);
+        let idx = (n / 2) + n * ((n / 2) + n * (n / 2));
+        let ids: Vec<u64> = (0..pts.len() as u64).collect();
+
+        let run = |region: &Aabb| {
+            let grid = CandidateGrid::build(*region, &pts, 2.0);
+            let ctx = CellContext {
+                points: &pts,
+                ids: &ids,
+                grid: &grid,
+                region,
+                clip_box: &grown, // same canonical box for both runs
+                eps: 1e-9,
+            };
+            compute_cell(&ctx, pts[idx], idx as u32, &mut CellScratch::default())
+        };
+
+        let a = run(&tight);
+        let b = run(&grown);
+        assert!(a.complete && b.complete);
+        assert_eq!(a.poly.verts.len(), b.poly.verts.len());
+        for (va, vb) in a.poly.verts.iter().zip(&b.poly.verts) {
+            assert_eq!(va.x.to_bits(), vb.x.to_bits());
+            assert_eq!(va.y.to_bits(), vb.y.to_bits());
+            assert_eq!(va.z.to_bits(), vb.z.to_bits());
+        }
+        assert_eq!(a.poly.volume().to_bits(), b.poly.volume().to_bits());
+        let na: Vec<u64> = a.poly.neighbor_ids().collect();
+        let nb: Vec<u64> = b.poly.neighbor_ids().collect();
+        assert_eq!(na, nb);
     }
 }

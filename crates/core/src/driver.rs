@@ -6,7 +6,7 @@ use diy::comm::{Runtime, World};
 use diy::decomposition::{Assignment, Decomposition};
 use geometry::{Aabb, Vec3};
 
-use crate::block::{tessellate_block, tessellate_block_certified};
+use crate::block::{tessellate_block, tessellate_block_session, BlockSession};
 use crate::ghost::{exchange_ghosts, sort_ghosts, AdaptiveGhostExchange, GhostParticle};
 use crate::model::MeshBlock;
 use crate::params::{GhostSpec, TessParams, AUTO_GHOST_FACTOR};
@@ -106,6 +106,9 @@ pub fn tessellate(
         blocks.insert(gid, block);
     }
     stats.ghost_rounds = 1;
+    // Credit CPU burned by pool workers on our behalf to this rank's
+    // voronoi span (the span only sees the submitting thread's clock).
+    metrics.add_external_cpu(rayon::take_pool_cpu_seconds());
 
     TessResult {
         blocks,
@@ -156,6 +159,9 @@ fn tessellate_adaptive(
     let mut ghosts: BTreeMap<u64, Vec<GhostParticle>> =
         local.keys().map(|&g| (g, Vec::new())).collect();
     let mut results: BTreeMap<u64, (MeshBlock, TessStats)> = BTreeMap::new();
+    // Per-block resumable tessellations (incremental mode): round `k+1`
+    // recomputes only the cells round `k` could not certify.
+    let mut sessions: BTreeMap<u64, BlockSession> = BTreeMap::new();
     // Current halo radius per block — global state, identical on all ranks.
     let mut radius: BTreeMap<u64, f64> = (0..dec.nblocks() as u64).map(|g| (g, 0.0)).collect();
     // Round 0: every block wants the initial radius (no communication
@@ -165,14 +171,18 @@ fn tessellate_adaptive(
 
     loop {
         let round = rounds as usize;
+        // Ghosts that arrived this round, kept aside so incremental
+        // resumes can verify/recompute against exactly the delta shell.
+        let mut fresh_ghosts: BTreeMap<u64, Vec<GhostParticle>> = BTreeMap::new();
         {
             let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
             let _round_span = metrics.phase(format!("ghost_round:{round}"));
             let fresh = exchanger.round(world, local, &request, round);
             for (gid, items) in fresh {
                 let v = ghosts.get_mut(&gid).expect("owned block");
-                v.extend(items);
+                v.extend(items.iter().copied());
                 sort_ghosts(v);
+                fresh_ghosts.insert(gid, items);
             }
             for (&g, &r) in &request {
                 radius.insert(g, r);
@@ -190,19 +200,34 @@ fn tessellate_adaptive(
                     continue;
                 }
                 let r = radius[&gid];
-                let (block, s, cert) = tessellate_block_certified(
-                    gid,
-                    dec.block_bounds(gid),
-                    own,
-                    &ghosts[&gid],
-                    r,
-                    params,
-                );
+                let g = &ghosts[&gid];
+                let (block, s, cert) = match sessions.get_mut(&gid) {
+                    Some(session) if params.incremental_retess => {
+                        let fresh = fresh_ghosts.get(&gid).map_or(&[][..], Vec::as_slice);
+                        session.retessellate(own, g, fresh, r, params)
+                    }
+                    _ => {
+                        let (block, mut s, cert, session) =
+                            tessellate_block_session(gid, dec.block_bounds(gid), own, g, r, params);
+                        // keep the work counters cumulative across rounds in
+                        // full (non-incremental) mode too, so the two modes'
+                        // counters measure the same thing
+                        if let Some((_, prev)) = results.get(&gid) {
+                            s.candidates_tested =
+                                s.candidates_tested.saturating_add(prev.candidates_tested);
+                            s.cells_computed = s.cells_computed.saturating_add(prev.cells_computed);
+                            s.cells_reused = s.cells_reused.saturating_add(prev.cells_reused);
+                        }
+                        sessions.insert(gid, session);
+                        (block, s, cert)
+                    }
+                };
                 results.insert(gid, (block, s));
                 if cert.uncertified > 0 && cert.needed_ghost > 0.0 {
                     needed.insert(gid, cert.needed_ghost);
                 }
             }
+            metrics.add_external_cpu(rayon::take_pool_cpu_seconds());
         }
 
         // Build next round's request map from every rank's needs
@@ -216,9 +241,16 @@ fn tessellate_adaptive(
                     return None; // saturated: the neighborhood has no more
                 }
                 let next = if round < max_rounds {
-                    // grow to the certification bound, with a geometric
+                    // Grow toward the certification bound, with a geometric
                     // floor so near-converged cells cannot stall the loop
-                    need.max(cur * 1.25).min(cap)
+                    // and a 2x ceiling because `need` is an overestimate:
+                    // an uncertified cell is still under-clipped, so its
+                    // security radius shrinks as candidates arrive. Jumping
+                    // straight to the early bound over-fetches ghosts for
+                    // the whole block; doubling converges in O(log) rounds
+                    // while the incremental re-tessellation keeps the extra
+                    // rounds cheap (only uncertified cells recompute).
+                    need.max(cur * 1.25).min(cur * 2.0).min(cap)
                 } else if round == max_rounds {
                     auto_r.max(need).min(cap) // fallback: the auto radius
                 } else {

@@ -13,8 +13,8 @@ pub struct CandidateGrid {
     bounds: Aabb,
     dims: [usize; 3],
     inv_h: Vec3,
-    /// Smallest bin edge — used for ring distance lower bounds.
-    min_h: f64,
+    /// Per-axis bin edges — used for ring distance lower bounds.
+    h: [f64; 3],
     bins: Vec<Vec<u32>>,
 }
 
@@ -39,7 +39,7 @@ impl CandidateGrid {
             bounds,
             dims,
             inv_h: Vec3::new(1.0 / hx, 1.0 / hy, 1.0 / hz),
-            min_h: hx.min(hy).min(hz),
+            h: [hx, hy, hz],
             bins: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
         };
         for (i, &p) in points.iter().enumerate() {
@@ -55,8 +55,26 @@ impl CandidateGrid {
 
     /// Lower bound on the distance from any point in the center bin to any
     /// point in a bin at Chebyshev ring `r` (`r >= 1`).
+    ///
+    /// A ring-`r` bin is `r` bin steps away along at least one axis, which
+    /// along axis `a` forces a gap of `(r-1)·h[a]` in space — but only an
+    /// axis with at least `r+1` bins can be the one attaining the Chebyshev
+    /// maximum. Taking the minimum over *feasible* axes instead of the
+    /// global smallest edge keeps anisotropic grids from scanning rings
+    /// that provably cannot hold a closer candidate; when no axis is
+    /// feasible the ring is empty and the bound is `+∞`.
     pub fn ring_min_distance(&self, r: usize) -> f64 {
-        (r.saturating_sub(1)) as f64 * self.min_h
+        if r == 0 {
+            return 0.0;
+        }
+        let steps = (r - 1) as f64;
+        let mut bound = f64::INFINITY;
+        for a in 0..3 {
+            if r < self.dims[a] {
+                bound = bound.min(steps * self.h[a]);
+            }
+        }
+        bound
     }
 
     /// Largest ring index that can contain any bin, from any center.
@@ -186,6 +204,58 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ring_min_distance_lower_bound_holds_on_anisotropic_grids() {
+        // Flat slab: bins are much shorter in z than in x/y, so the old
+        // single-min-edge bound was far too pessimistic along x/y.
+        let mut pts = Vec::new();
+        for k in 0..4 {
+            for j in 0..16 {
+                for i in 0..16 {
+                    pts.push(Vec3::new(
+                        i as f64 + 0.5,
+                        j as f64 + 0.5,
+                        (k as f64 + 0.5) * 0.25,
+                    ));
+                }
+            }
+        }
+        let bounds = Aabb::new(Vec3::ZERO, Vec3::new(16.0, 16.0, 1.0));
+        let grid = CandidateGrid::build(bounds, &pts, 2.0);
+        let [dx, dy, dz] = grid.dims();
+        assert!(
+            dz < dx && dz < dy,
+            "slab should bin anisotropically: {:?}",
+            grid.dims()
+        );
+        let center = Vec3::new(8.2, 7.8, 0.5);
+        let mut buf = Vec::new();
+        let mut some_ring_infeasible_in_z = false;
+        for r in 1..=grid.max_ring() {
+            let lb = grid.ring_min_distance(r);
+            if r >= dz {
+                some_ring_infeasible_in_z = true;
+                // z can no longer attain the Chebyshev max, so the bound
+                // must come from the (larger) x/y edges.
+                assert!(
+                    lb >= (r - 1) as f64 * (16.0 / dx.max(dy) as f64) - 1e-12,
+                    "ring {r}: bound {lb} not tightened past the z edge"
+                );
+            }
+            grid.ring_candidates(center, r, &mut buf);
+            for &i in &buf {
+                let d = pts[i as usize].dist(center);
+                assert!(
+                    d >= lb - 1e-12,
+                    "ring {r}: point at distance {d} < bound {lb}"
+                );
+            }
+        }
+        assert!(some_ring_infeasible_in_z);
+        // Past every axis, rings are provably empty.
+        assert!(grid.ring_min_distance(dx.max(dy).max(dz)).is_infinite());
     }
 
     #[test]

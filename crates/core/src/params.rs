@@ -78,6 +78,12 @@ pub struct TessParams {
     /// in domain units.
     pub eps: f64,
     pub hull_mode: HullMode,
+    /// Re-tessellate only uncertified cells in adaptive ghost rounds after
+    /// the first, reusing certified cells verbatim. Off, every round
+    /// recomputes every cell of a requesting block (the pre-incremental
+    /// behaviour, kept for A/B determinism tests and the perf baseline);
+    /// the output is bit-identical either way.
+    pub incremental_retess: bool,
 }
 
 impl Default for TessParams {
@@ -88,6 +94,7 @@ impl Default for TessParams {
             keep_incomplete: false,
             eps: 1e-9,
             hull_mode: HullMode::Clip,
+            incremental_retess: true,
         }
     }
 }

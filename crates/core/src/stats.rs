@@ -27,6 +27,15 @@ pub struct TessStats {
     /// adaptive mode counts its delta rounds). Merged with `max`, not a
     /// sum: every rank participates in the same collective rounds.
     pub ghost_rounds: u64,
+    /// Candidate neighbors tested across all cell computations (the
+    /// kernel's dominant cost driver).
+    pub candidates_tested: u64,
+    /// Cell computations actually executed, counting re-runs across
+    /// adaptive rounds.
+    pub cells_computed: u64,
+    /// Certified cells carried over unchanged by incremental
+    /// re-tessellation instead of being recomputed.
+    pub cells_reused: u64,
 }
 
 impl TessStats {
@@ -42,6 +51,9 @@ impl TessStats {
         self.verts += o.verts;
         self.faces += o.faces;
         self.ghost_rounds = self.ghost_rounds.max(o.ghost_rounds);
+        self.candidates_tested = self.candidates_tested.saturating_add(o.candidates_tested);
+        self.cells_computed = self.cells_computed.saturating_add(o.cells_computed);
+        self.cells_reused = self.cells_reused.saturating_add(o.cells_reused);
         self
     }
 }
@@ -59,6 +71,9 @@ impl Encode for TessStats {
             self.verts,
             self.faces,
             self.ghost_rounds,
+            self.candidates_tested,
+            self.cells_computed,
+            self.cells_reused,
         ] {
             v.encode(buf);
         }
@@ -78,6 +93,9 @@ impl Decode for TessStats {
             verts: u64::decode(r)?,
             faces: u64::decode(r)?,
             ghost_rounds: u64::decode(r)?,
+            candidates_tested: u64::decode(r)?,
+            cells_computed: u64::decode(r)?,
+            cells_reused: u64::decode(r)?,
         })
     }
 }
@@ -135,7 +153,30 @@ mod tests {
             verts: 9,
             faces: 8,
             ghost_rounds: 2,
+            candidates_tested: 1234,
+            cells_computed: 11,
+            cells_reused: 6,
         };
         assert_eq!(TessStats::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn work_counters_saturate_on_merge() {
+        let a = TessStats {
+            candidates_tested: u64::MAX - 1,
+            cells_computed: 5,
+            cells_reused: 2,
+            ..Default::default()
+        };
+        let b = TessStats {
+            candidates_tested: 10,
+            cells_computed: 7,
+            cells_reused: 1,
+            ..Default::default()
+        };
+        let m = a.merge(b);
+        assert_eq!(m.candidates_tested, u64::MAX);
+        assert_eq!(m.cells_computed, 12);
+        assert_eq!(m.cells_reused, 3);
     }
 }

@@ -61,8 +61,9 @@ pub struct Counters {
 
 #[derive(Default)]
 struct Inner {
-    /// Open spans, innermost last: (name, thread-CPU at entry).
-    stack: Vec<(String, f64)>,
+    /// Open spans, innermost last: (name, thread-CPU at entry, external
+    /// CPU seconds credited to the span while it was open).
+    stack: Vec<(String, f64, f64)>,
     phases: BTreeMap<String, Counters>,
     /// tag → (messages, bytes) on the send side.
     sent_by_tag: BTreeMap<u64, (u64, u64)>,
@@ -75,7 +76,7 @@ impl Inner {
         let key = self
             .stack
             .last()
-            .map(|(n, _)| n.clone())
+            .map(|(n, _, _)| n.clone())
             .unwrap_or_else(|| UNPHASED.to_string());
         self.phases.entry(key).or_default()
     }
@@ -99,9 +100,27 @@ impl MetricsHandle {
         self.0
             .borrow_mut()
             .stack
-            .push((name.into(), thread_cpu_time()));
+            .push((name.into(), thread_cpu_time(), 0.0));
         PhaseGuard {
             handle: self.clone(),
+        }
+    }
+
+    /// Credit CPU seconds spent *outside this thread* (worker-pool threads
+    /// computing on the rank's behalf) to the innermost open span. Spans
+    /// time themselves with the per-thread CPU clock, so pool work would
+    /// otherwise vanish from the phase accounting. The credit propagates to
+    /// every enclosing span as the stack unwinds, preserving the inclusive
+    /// span semantics the tiling invariant relies on. With no span open,
+    /// the time lands on [`UNPHASED`].
+    pub fn add_external_cpu(&self, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let mut m = self.0.borrow_mut();
+        match m.stack.last_mut() {
+            Some((_, _, external)) => *external += seconds,
+            None => m.phases.entry(UNPHASED.to_string()).or_default().cpu_s += seconds,
         }
     }
 
@@ -149,8 +168,13 @@ pub struct PhaseGuard {
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
         let mut m = self.handle.0.borrow_mut();
-        let (name, start) = m.stack.pop().expect("phase guards drop in LIFO order");
-        let dt = thread_cpu_time() - start;
+        let (name, start, external) = m.stack.pop().expect("phase guards drop in LIFO order");
+        let dt = thread_cpu_time() - start + external;
+        // Spans are inclusive: a parent's time covers its children, so the
+        // external credit must bubble up through every enclosing span.
+        if let Some((_, _, parent_external)) = m.stack.last_mut() {
+            *parent_external += external;
+        }
         m.phases.entry(name).or_default().cpu_s += dt;
     }
 }
@@ -562,6 +586,32 @@ mod tests {
         assert!(outer > 0.0);
         assert!(inner > 0.0);
         assert!(inner <= outer, "inclusive: inner {inner} <= outer {outer}");
+    }
+
+    #[test]
+    fn external_cpu_credits_every_enclosing_span() {
+        let m = MetricsHandle::new();
+        {
+            let _outer = m.phase("outer");
+            {
+                let _inner = m.phase("inner");
+                m.add_external_cpu(2.0);
+            }
+        }
+        let s = m.snapshot();
+        // Inclusive semantics: the credit shows up in the inner span AND
+        // bubbles into the outer one, so tiling (children <= parent) holds.
+        assert!(s.phases["inner"].cpu_s >= 2.0);
+        assert!(s.phases["outer"].cpu_s >= s.phases["inner"].cpu_s);
+    }
+
+    #[test]
+    fn external_cpu_without_open_span_lands_unphased() {
+        let m = MetricsHandle::new();
+        m.add_external_cpu(1.5);
+        m.add_external_cpu(-3.0); // ignored: defensive against clock skew
+        let s = m.snapshot();
+        assert!((s.phases[UNPHASED].cpu_s - 1.5).abs() < 1e-12);
     }
 
     #[test]

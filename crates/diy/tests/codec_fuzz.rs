@@ -67,6 +67,8 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
 }
 
 fn arb_stats() -> impl Strategy<Value = TessStats> {
+    // 13 fields exceed the shim's widest tuple impl, so nest the work
+    // counters in a sub-tuple.
     (
         any::<u64>(),
         any::<u64>(),
@@ -77,7 +79,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
-        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
@@ -90,7 +92,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
                 culled_late,
                 verts,
                 faces,
-                ghost_rounds,
+                (ghost_rounds, candidates_tested, cells_computed, cells_reused),
             )| {
                 TessStats {
                     sites,
@@ -103,6 +105,9 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
                     verts,
                     faces,
                     ghost_rounds,
+                    candidates_tested,
+                    cells_computed,
+                    cells_reused,
                 }
             },
         )
@@ -195,10 +200,10 @@ proptest! {
     #[test]
     fn tess_stats_roundtrip_and_truncation(
         stats in arb_stats(),
-        cut in 0usize..80,
+        cut in 0usize..104,
     ) {
         let bytes = stats.to_bytes();
-        prop_assert_eq!(bytes.len(), 80); // 10 × u64
+        prop_assert_eq!(bytes.len(), 104); // 13 × u64
         prop_assert_eq!(TessStats::from_bytes(&bytes).unwrap(), stats);
         if cut < bytes.len() {
             prop_assert!(TessStats::from_bytes(&bytes[..cut]).is_err());

@@ -88,13 +88,16 @@ impl AnalysisTool for TessTool {
             tool: self.name().to_string(),
             step: ctx.step,
             summary: format!(
-                "step {}: {} cells ({} incomplete dropped, ghost {:.2} in {} round{}), {} bytes",
+                "step {}: {} cells ({} incomplete dropped, ghost {:.2} in {} round{}, \
+                 {:.1} candidates/cell, {} reused), {} bytes",
                 ctx.step,
                 stats.cells,
                 stats.incomplete,
                 result.ghost_used,
                 stats.ghost_rounds,
                 if stats.ghost_rounds == 1 { "" } else { "s" },
+                stats.candidates_tested as f64 / stats.cells_computed.max(1) as f64,
+                stats.cells_reused,
                 bytes
             ),
             artifacts: vec![path],

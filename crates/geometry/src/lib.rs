@@ -29,7 +29,7 @@ pub mod vec3;
 
 pub use aabb::Aabb;
 pub use plane::Plane;
-pub use polyhedron::ConvexPolyhedron;
+pub use polyhedron::{ClipScratch, ConvexPolyhedron};
 pub use quickhull::{convex_hull, Hull};
 pub use vec3::Vec3;
 

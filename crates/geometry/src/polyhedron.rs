@@ -51,6 +51,29 @@ enum Class {
     Out,
 }
 
+/// Reusable buffers for [`ConvexPolyhedron::clip_with`]: a hot caller
+/// (the per-cell Voronoi kernel clips tens of planes per cell, millions of
+/// cells per run) keeps one of these per thread and clips allocation-free
+/// after warm-up. Consumed face loops are recycled through `spare_loops`,
+/// so steady state needs no heap traffic at all. Results are bit-identical
+/// to a fresh-buffer clip.
+#[derive(Default)]
+pub struct ClipScratch {
+    classes: Vec<Class>,
+    cut_cache: HashMap<(u32, u32), u32>,
+    on_plane: Vec<u32>,
+    spare_loops: Vec<Vec<u32>>,
+    faces_buf: Vec<Face>,
+    map: Vec<u32>,
+    kept: Vec<Vec3>,
+}
+
+impl ClipScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ConvexPolyhedron {
     /// Axis-aligned box as a polyhedron; all faces carry `neighbor: None`.
     pub fn from_aabb(b: &Aabb) -> Self {
@@ -93,20 +116,30 @@ impl ConvexPolyhedron {
     /// the plane; pass a value small relative to the cell size (e.g.
     /// [`crate::EPS`] times the domain scale).
     pub fn clip(&mut self, plane: &Plane, neighbor: Option<u64>, eps: f64) -> ClipResult {
-        let classes: Vec<Class> = self
-            .verts
-            .iter()
-            .map(|&v| {
-                let d = plane.signed_distance(v);
-                if d < -eps {
-                    Class::In
-                } else if d > eps {
-                    Class::Out
-                } else {
-                    Class::On
-                }
-            })
-            .collect();
+        self.clip_with(plane, neighbor, eps, &mut ClipScratch::default())
+    }
+
+    /// [`clip`](Self::clip) with caller-provided scratch buffers; see
+    /// [`ClipScratch`]. Bit-identical results, no steady-state allocation.
+    pub fn clip_with(
+        &mut self,
+        plane: &Plane,
+        neighbor: Option<u64>,
+        eps: f64,
+        scratch: &mut ClipScratch,
+    ) -> ClipResult {
+        scratch.classes.clear();
+        scratch.classes.extend(self.verts.iter().map(|&v| {
+            let d = plane.signed_distance(v);
+            if d < -eps {
+                Class::In
+            } else if d > eps {
+                Class::Out
+            } else {
+                Class::On
+            }
+        }));
+        let classes = &scratch.classes;
 
         let n_out = classes.iter().filter(|&&c| c == Class::Out).count();
         if n_out == 0 {
@@ -121,14 +154,17 @@ impl ConvexPolyhedron {
 
         // Cache one intersection vertex per cut undirected edge so adjacent
         // faces share it and the result stays watertight.
-        let mut cut_cache: HashMap<(u32, u32), u32> = HashMap::new();
+        let cut_cache = &mut scratch.cut_cache;
+        cut_cache.clear();
         let mut verts = std::mem::take(&mut self.verts);
-        let old_faces = std::mem::take(&mut self.faces);
-        let mut new_faces: Vec<Face> = Vec::with_capacity(old_faces.len() + 1);
+        let mut old_faces = std::mem::take(&mut self.faces);
+        let mut new_faces = std::mem::take(&mut scratch.faces_buf);
+        new_faces.clear();
 
-        for face in old_faces {
+        for face in old_faces.drain(..) {
             let n = face.verts.len();
-            let mut loop_out: Vec<u32> = Vec::with_capacity(n + 2);
+            let mut loop_out = scratch.spare_loops.pop().unwrap_or_default();
+            loop_out.clear();
             for i in 0..n {
                 let vi = face.verts[i];
                 let vj = face.verts[(i + 1) % n];
@@ -158,11 +194,17 @@ impl ConvexPolyhedron {
                     verts: loop_out,
                     neighbor: face.neighbor,
                 });
+            } else {
+                scratch.spare_loops.push(loop_out);
             }
+            // Recycle the consumed loop's storage for later faces/clips.
+            scratch.spare_loops.push(face.verts);
         }
+        scratch.faces_buf = old_faces; // empty; keeps its capacity for next clip
 
         // Build the closing face from every vertex now lying on the plane.
-        let mut on_plane: Vec<u32> = Vec::new();
+        let on_plane = &mut scratch.on_plane;
+        on_plane.clear();
         for f in &new_faces {
             for &v in &f.verts {
                 let is_new = (v as usize) >= classes.len();
@@ -174,7 +216,7 @@ impl ConvexPolyhedron {
         if on_plane.len() >= 3 {
             let centroid = {
                 let mut c = Vec3::ZERO;
-                for &v in &on_plane {
+                for &v in on_plane.iter() {
                     c += verts[v as usize];
                 }
                 c / on_plane.len() as f64
@@ -188,16 +230,19 @@ impl ConvexPolyhedron {
                 let ab = pb.dot(w).atan2(pb.dot(u));
                 aa.partial_cmp(&ab).unwrap_or(std::cmp::Ordering::Equal)
             });
+            let mut closing = scratch.spare_loops.pop().unwrap_or_default();
+            closing.clear();
+            closing.extend_from_slice(on_plane);
             new_faces.push(Face {
                 plane: *plane,
-                verts: on_plane,
+                verts: closing,
                 neighbor,
             });
         }
 
         self.verts = verts;
         self.faces = new_faces;
-        self.compact();
+        self.compact_with(&mut scratch.map, &mut scratch.kept);
         if self.is_empty() {
             self.verts.clear();
             self.faces.clear();
@@ -208,9 +253,10 @@ impl ConvexPolyhedron {
     }
 
     /// Drop unreferenced vertices and remap face indices.
-    fn compact(&mut self) {
-        let mut map: Vec<u32> = vec![u32::MAX; self.verts.len()];
-        let mut kept: Vec<Vec3> = Vec::with_capacity(self.verts.len());
+    fn compact_with(&mut self, map: &mut Vec<u32>, kept: &mut Vec<Vec3>) {
+        map.clear();
+        map.resize(self.verts.len(), u32::MAX);
+        kept.clear();
         for face in &mut self.faces {
             for v in &mut face.verts {
                 let old = *v as usize;
@@ -221,7 +267,8 @@ impl ConvexPolyhedron {
                 *v = map[old];
             }
         }
-        self.verts = kept;
+        // Swap rather than assign so the old vertex storage is recycled.
+        std::mem::swap(&mut self.verts, kept);
     }
 
     /// Volume via the divergence theorem (exact for the stored polygonal
@@ -476,6 +523,52 @@ mod tests {
         // 6 face-adjacent neighbors survive; corner/edge bisectors are cut away.
         assert_eq!(cell.neighbor_ids().count(), 6);
         assert!(cell.contains(site, EPS));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_clips() {
+        // Same Voronoi construction as below, once with fresh buffers per
+        // clip and once through a single reused scratch.
+        let build = |scratch: Option<&mut ClipScratch>| {
+            let site = Vec3::new(1.4, 1.6, 1.5);
+            let mut cell = ConvexPolyhedron::from_aabb(&Aabb::cube(3.0));
+            let mut fresh = ClipScratch::new();
+            let scratch = match scratch {
+                Some(s) => s,
+                None => &mut fresh,
+            };
+            let mut id = 0u64;
+            for i in 0..3 {
+                for j in 0..3 {
+                    for k in 0..3 {
+                        let q = Vec3::new(i as f64 + 0.47, j as f64 + 0.53, k as f64 + 0.5);
+                        if q.dist2(site) > 1e-12 {
+                            let b = Plane::bisector(site, q).unwrap();
+                            cell.clip_with(&b, Some(id), EPS, scratch);
+                        }
+                        id += 1;
+                    }
+                }
+            }
+            cell
+        };
+        let mut scratch = ClipScratch::new();
+        // Warm the scratch on one throwaway cell first so reuse is exercised.
+        let _ = build(Some(&mut scratch));
+        let reused = build(Some(&mut scratch));
+        let fresh = build(None);
+        assert_eq!(fresh.verts.len(), reused.verts.len());
+        for (a, b) in fresh.verts.iter().zip(&reused.verts) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        assert_eq!(fresh.faces.len(), reused.faces.len());
+        for (a, b) in fresh.faces.iter().zip(&reused.faces) {
+            assert_eq!(a.verts, b.verts);
+            assert_eq!(a.neighbor, b.neighbor);
+        }
+        assert_eq!(fresh.volume().to_bits(), reused.volume().to_bits());
     }
 
     #[test]

@@ -3,10 +3,41 @@
 //! wall-clock loop. No statistics beyond median and spread; good enough to
 //! compare kernels on one machine, not across machines.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Environment variable naming a file to receive every benchmark result as
+/// JSON when the harness exits (see [`flush_json`]).
+pub const JSON_ENV: &str = "CRITERION_JSON";
+
+/// `(name, lo, median, hi)` seconds-per-iteration of every finished
+/// benchmark in this process.
+static RESULTS: Mutex<Vec<(String, f64, f64, f64)>> = Mutex::new(Vec::new());
+
+/// Write all results recorded so far to the path in `$CRITERION_JSON` (a
+/// no-op when unset). Called by [`criterion_main!`] after the groups run,
+/// so `CRITERION_JSON=bench.json cargo bench` yields machine-readable
+/// output without touching the benchmark sources.
+pub fn flush_json() {
+    let Ok(path) = std::env::var(JSON_ENV) else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, lo, median, hi)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"lo_s\": {lo:e}, \"median_s\": {median:e}, \"hi_s\": {hi:e}}}{sep}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
 }
 
 pub struct Criterion {
@@ -73,6 +104,10 @@ impl Criterion {
             fmt_time(median),
             fmt_time(hi)
         );
+        RESULTS
+            .lock()
+            .unwrap()
+            .push((name.to_string(), lo, median, hi));
         self
     }
 }
@@ -129,6 +164,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
@@ -149,5 +185,11 @@ mod tests {
             b.iter(|| 1 + 1)
         });
         assert!(calls >= 3);
+        let results = RESULTS.lock().unwrap();
+        let (_, lo, median, hi) = results
+            .iter()
+            .find(|(n, ..)| n == "noop")
+            .expect("result recorded");
+        assert!(*lo <= *median && *median <= *hi);
     }
 }

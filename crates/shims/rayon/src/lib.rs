@@ -1,39 +1,52 @@
 //! Offline stand-in for `rayon`: the `into_par_iter().map().collect()`
-//! surface used by `tess::block`, executed **sequentially on the calling
-//! thread**.
+//! surface used by `tess::block`, executed on a real work-stealing chunk
+//! pool (see [`pool`]).
 //!
-//! Sequential execution is a deliberate choice, not just a simplification:
-//! the rank runtime already runs one OS thread per rank (usually
-//! oversubscribed), and `diy::metrics` attributes cost via per-thread CPU
-//! clocks — work stolen onto a pool thread would vanish from the phase
-//! accounting. Keeping intra-block work on the rank thread preserves both
-//! determinism and exact critical-path measurement.
+//! Determinism contract: chunks are claimed dynamically, but every result is
+//! slotted by item index and concatenated in index order, so `collect()`
+//! is **bit-identical to the sequential run** for any thread count. CPU
+//! spent on pool threads is accumulated per job and handed back to the
+//! submitting thread ([`pool::take_pool_cpu_seconds`]) so `diy::metrics`
+//! phase spans — which run on per-thread CPU clocks — can attribute it to
+//! the enclosing rank span instead of losing it.
+//!
+//! Thread count: `TESS_THREADS` if set, else the host's available
+//! parallelism; tests sweep it at runtime via [`pool::set_max_parallelism`].
+
+pub mod pool;
+
+pub use pool::{max_parallelism, set_max_parallelism, take_pool_cpu_seconds, THREADS_ENV};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-/// Conversion into a "parallel" iterator (sequential here).
+/// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
-    type Item;
+    type Item: Send;
     type Iter: ParallelIterator<Item = Self::Item>;
     fn into_par_iter(self) -> Self::Iter;
 }
 
 /// The adapter surface the workspace consumes: `map` + `collect`.
+///
+/// `map`'s closure must be `Fn + Sync` (not `FnMut`): it is shared by every
+/// pool thread cooperating on the job.
 pub trait ParallelIterator: Sized {
-    type Item;
+    type Item: Send;
 
-    fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> Map<Self, F> {
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
         Map { base: self, f }
     }
 
-    fn drive(self, out: &mut Vec<Self::Item>);
+    fn drive(self) -> Vec<Self::Item>;
 
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
-        let mut out = Vec::new();
-        self.drive(&mut out);
-        C::from_vec(out)
+        C::from_vec(self.drive())
     }
 }
 
@@ -48,44 +61,99 @@ impl<T> FromParallelIterator<T> for Vec<T> {
     }
 }
 
-pub struct IterAdapter<I>(I);
-
-impl<I: Iterator> ParallelIterator for IterAdapter<I> {
-    type Item = I::Item;
-
-    fn drive(self, out: &mut Vec<Self::Item>) {
-        out.extend(self.0);
-    }
-}
-
 pub struct Map<B, F> {
     base: B,
     f: F,
 }
 
-impl<B: ParallelIterator, R, F: FnMut(B::Item) -> R> ParallelIterator for Map<B, F> {
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter(std::ops::Range<usize>);
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn drive(self) -> Vec<usize> {
+        self.0.collect()
+    }
+}
+
+impl<R, F> ParallelIterator for Map<RangeIter, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync + Send,
+{
     type Item = R;
 
-    fn drive(self, out: &mut Vec<R>) {
-        let mut base = Vec::new();
-        self.base.drive(&mut base);
-        out.extend(base.into_iter().map(self.f));
+    fn drive(self) -> Vec<R> {
+        let range = self.base.0;
+        let n = range.len();
+        let chunk = pool::chunk_size(n);
+        let chunks = n.div_ceil(chunk);
+        let f = &self.f;
+        let start = range.start;
+        let end = range.end;
+        let per_chunk = pool::run_ordered(chunks, |k| {
+            let lo = start + k * chunk;
+            let hi = (lo + chunk).min(end);
+            (lo..hi).map(f).collect::<Vec<R>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over `Vec<T>`.
+pub struct VecIter<T>(Vec<T>);
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.0
+    }
+}
+
+impl<T, R, F> ParallelIterator for Map<VecIter<T>, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let mut items = self.base.0;
+        let n = items.len();
+        let chunk = pool::chunk_size(n);
+        let chunks = n.div_ceil(chunk);
+        // Pre-split into owned per-chunk vectors so pool threads can take
+        // their chunk's items by value without aliasing.
+        let mut slots: Vec<std::sync::Mutex<Vec<T>>> = Vec::with_capacity(chunks);
+        for _ in 0..chunks {
+            let tail = items.split_off(chunk.min(items.len()));
+            slots.push(std::sync::Mutex::new(std::mem::replace(&mut items, tail)));
+        }
+        let f = &self.f;
+        let per_chunk = pool::run_ordered(chunks, |k| {
+            let taken = std::mem::take(&mut *slots[k].lock().unwrap());
+            taken.into_iter().map(f).collect::<Vec<R>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
-    type Iter = IterAdapter<std::ops::Range<usize>>;
+    type Iter = RangeIter;
     fn into_par_iter(self) -> Self::Iter {
-        IterAdapter(self)
+        RangeIter(self)
     }
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = IterAdapter<std::vec::IntoIter<T>>;
+    type Iter = VecIter<T>;
     fn into_par_iter(self) -> Self::Iter {
-        IterAdapter(self.into_iter())
+        VecIter(self)
     }
 }
 
@@ -103,5 +171,22 @@ mod tests {
     fn vec_into_par_iter() {
         let v: Vec<i32> = vec![3, 1, 2].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(v, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn large_range_is_position_stable() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 3 + 1).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn large_vec_is_position_stable() {
+        let input: Vec<u64> = (0..5_000).map(|i| i * 7).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x + 1).collect();
+        let v: Vec<u64> = input.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, expect);
     }
 }

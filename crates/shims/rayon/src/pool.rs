@@ -1,0 +1,355 @@
+//! The work-stealing chunk pool behind the `par_iter` surface.
+//!
+//! A fixed set of worker threads is spawned on first use. Callers submit a
+//! *job* — a closure over chunk indices `0..total` — into a shared injector
+//! queue; idle workers steal chunks from any queued job by bumping an atomic
+//! cursor, and the submitting thread claims chunks alongside them so a job
+//! always makes progress even when every worker is busy. Results are slotted
+//! by chunk index, so the concatenation order is independent of which thread
+//! ran which chunk and of the thread count.
+//!
+//! CPU accounting: `diy::metrics` attributes cost via per-thread CPU clocks,
+//! so work stolen onto a pool thread would vanish from the rank's phase
+//! spans. Each worker therefore measures its thread-CPU delta per chunk and
+//! accumulates it on the job; when the submitting thread finishes waiting it
+//! drains that total into a thread-local, which the driver forwards to the
+//! enclosing metrics span via [`take_pool_cpu_seconds`].
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Environment variable fixing the worker-pool parallelism (threads
+/// cooperating on one job, submitter included). Unset: available
+/// parallelism.
+pub const THREADS_ENV: &str = "TESS_THREADS";
+
+/// Parallelism cap used when a job is submitted; 0 means "not yet
+/// initialised" (resolved from the environment on first read).
+static MAX_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+fn default_parallelism() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Threads (submitter included) allowed to cooperate on one job.
+pub fn max_parallelism() -> usize {
+    match MAX_PARALLELISM.load(Ordering::Relaxed) {
+        0 => {
+            let n = default_parallelism();
+            // Keep a concurrent `set_max_parallelism` win: only replace 0.
+            let _ = MAX_PARALLELISM.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+            MAX_PARALLELISM.load(Ordering::Relaxed)
+        }
+        n => n,
+    }
+}
+
+/// Override the parallelism cap at runtime (tests sweep 1/2/8 in one
+/// process; the environment variable is only read once). Returns the
+/// previous value.
+pub fn set_max_parallelism(n: usize) -> usize {
+    let prev = max_parallelism();
+    MAX_PARALLELISM.store(n.max(1), Ordering::Relaxed);
+    prev
+}
+
+fn thread_cpu_ns() -> u64 {
+    let mut ts = libc::timespec::default();
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+thread_local! {
+    /// Pool CPU seconds charged to jobs this thread submitted, not yet
+    /// drained by [`take_pool_cpu_seconds`].
+    static PENDING_POOL_CPU: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Drain the pool-thread CPU seconds accumulated by jobs this thread has
+/// submitted since the last drain. The caller is expected to feed this into
+/// the metrics span that enclosed the parallel work.
+pub fn take_pool_cpu_seconds() -> f64 {
+    PENDING_POOL_CPU.with(|c| c.replace(0.0))
+}
+
+type RunFn = dyn Fn(usize) + Sync;
+
+/// One submitted job: `total` chunks claimed via `next`, run through the
+/// erased closure. The closure pointer is only dereferenced between a
+/// successful claim (`next.fetch_add < total`) and the matching `done`
+/// increment; the submitter blocks until `done == total`, so the borrow it
+/// erases outlives every dereference.
+struct Job {
+    run: *const RunFn,
+    total: usize,
+    next: AtomicUsize,
+    /// Workers currently cooperating (submitter excluded).
+    helpers: AtomicUsize,
+    max_helpers: usize,
+    /// Pool-thread CPU nanoseconds spent on this job's chunks. Updated
+    /// before the corresponding `done` increment, so it is complete once
+    /// `done == total`.
+    cpu_ns: AtomicU64,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
+
+// SAFETY: the raw closure pointer is the only non-Send/Sync field; see the
+// struct docs for the lifetime discipline that makes sharing it sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and run chunks until none remain. Worker threads pass
+    /// `record_cpu = true` so their thread-CPU lands on the job; the
+    /// submitter's own CPU is already on its thread clock.
+    fn work(&self, record_cpu: bool) {
+        loop {
+            let k = self.next.fetch_add(1, Ordering::AcqRel);
+            if k >= self.total {
+                return;
+            }
+            let t0 = if record_cpu { thread_cpu_ns() } else { 0 };
+            // AssertUnwindSafe: on panic the job is poisoned via the panic
+            // slot and the submitter rethrows; partial results are dropped.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.run)(k) }));
+            if record_cpu {
+                self.cpu_ns
+                    .fetch_add(thread_cpu_ns().saturating_sub(t0), Ordering::AcqRel);
+            }
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut done = self.done.lock().unwrap();
+            *done += 1;
+            if *done == self.total {
+                self.all_done.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Acquire) >= self.total
+    }
+}
+
+struct PoolState {
+    queue: Mutex<Vec<Arc<Job>>>,
+    work_available: Condvar,
+}
+
+struct Pool {
+    state: Arc<PoolState>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Upper bound on spawned workers; jobs are further capped by the
+/// parallelism setting at submit time.
+const MAX_WORKERS: usize = 15;
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(Vec::new()),
+            work_available: Condvar::new(),
+        });
+        // Spawn enough workers for tests that raise the cap above the host
+        // parallelism (determinism sweeps use up to 8 threads on any host);
+        // excess workers idle on the condvar.
+        let workers = default_parallelism().max(8).min(MAX_WORKERS + 1) - 1;
+        for i in 0..workers {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("tess-pool-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawn pool worker");
+        }
+        Pool { state }
+    })
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                queue.retain(|j| !j.exhausted());
+                let claimed = queue.iter().find_map(|j| {
+                    if j.helpers.fetch_add(1, Ordering::AcqRel) < j.max_helpers {
+                        Some(Arc::clone(j))
+                    } else {
+                        j.helpers.fetch_sub(1, Ordering::AcqRel);
+                        None
+                    }
+                });
+                match claimed {
+                    Some(j) => break j,
+                    None => queue = state.work_available.wait(queue).unwrap(),
+                }
+            }
+        };
+        job.work(true);
+        job.helpers.fetch_sub(1, Ordering::AcqRel);
+        // A helper slot freed up; another worker may now join this job.
+        state.work_available.notify_all();
+    }
+}
+
+/// Run `run(0..chunks)` across the pool and return the results in chunk
+/// order. Falls back to a plain sequential loop when the parallelism cap is
+/// 1 or there is at most one chunk, keeping single-thread runs free of any
+/// pool machinery.
+pub fn run_ordered<R, F>(chunks: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let parallelism = max_parallelism();
+    if parallelism <= 1 || chunks <= 1 {
+        return (0..chunks).map(run).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    let store = |k: usize| {
+        let r = run(k);
+        *slots[k].lock().unwrap() = Some(r);
+    };
+    let run_ref: &(dyn Fn(usize) + Sync) = &store;
+    // SAFETY: erase the borrow's lifetime; `Job`'s claim/done protocol and
+    // the completion wait below keep every dereference inside it.
+    let run_ptr: *const RunFn = unsafe { std::mem::transmute(run_ref) };
+    let job = Arc::new(Job {
+        run: run_ptr,
+        total: chunks,
+        next: AtomicUsize::new(0),
+        helpers: AtomicUsize::new(0),
+        max_helpers: parallelism - 1,
+        cpu_ns: AtomicU64::new(0),
+        panic: Mutex::new(None),
+        done: Mutex::new(0),
+        all_done: Condvar::new(),
+    });
+
+    let state = &pool().state;
+    state.queue.lock().unwrap().push(Arc::clone(&job));
+    state.work_available.notify_all();
+
+    // The submitter helps: claim chunks like any worker (without charging
+    // CPU to the job — it is already on this thread's clock).
+    job.work(false);
+
+    let mut done = job.done.lock().unwrap();
+    while *done < job.total {
+        done = job.all_done.wait(done).unwrap();
+    }
+    drop(done);
+    state.queue.lock().unwrap().retain(|j| !Arc::ptr_eq(j, &job));
+
+    let cpu = job.cpu_ns.load(Ordering::Acquire);
+    if cpu > 0 {
+        PENDING_POOL_CPU.with(|c| c.set(c.get() + cpu as f64 * 1e-9));
+    }
+    if let Some(payload) = job.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("every chunk ran exactly once")
+        })
+        .collect()
+}
+
+/// Chunk size for `n` items: coarse enough to amortise claim overhead,
+/// fine enough that stealing balances uneven cells. Deliberately independent
+/// of the thread count (chunking never affects output order anyway, but a
+/// stable shape keeps timings comparable across sweeps).
+pub fn chunk_size(n: usize) -> usize {
+    (n / 64).max(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this binary share the global parallelism cap; serialise the
+    /// ones that change it.
+    static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn ordered_results_across_thread_counts() {
+        let _g = CAP_LOCK.lock().unwrap();
+        let expect: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        for threads in [1, 2, 8] {
+            let prev = set_max_parallelism(threads);
+            let got = run_ordered(100, |k| (k * 10..k * 10 + 10).map(|i| i * i).collect::<Vec<_>>());
+            set_max_parallelism(prev);
+            let flat: Vec<usize> = got.into_iter().flatten().collect();
+            assert_eq!(flat, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_cpu_is_charged_to_the_submitter() {
+        let _g = CAP_LOCK.lock().unwrap();
+        let prev = set_max_parallelism(4);
+        take_pool_cpu_seconds(); // reset
+        let v = run_ordered(64, |k| {
+            // Busy work so worker CPU deltas are measurable.
+            let mut acc = k as u64;
+            for i in 0..200_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        set_max_parallelism(prev);
+        assert_eq!(v.len(), 64);
+        let cpu = take_pool_cpu_seconds();
+        assert!(cpu >= 0.0);
+        assert_eq!(take_pool_cpu_seconds(), 0.0);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let _g = CAP_LOCK.lock().unwrap();
+        let prev = set_max_parallelism(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(32, |k| {
+                if k == 17 {
+                    panic!("chunk 17 exploded");
+                }
+                k
+            })
+        }));
+        set_max_parallelism(prev);
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "chunk 17 exploded");
+    }
+
+    #[test]
+    fn sequential_fallback_handles_zero_chunks() {
+        let v: Vec<usize> = run_ordered(0, |k| k);
+        assert!(v.is_empty());
+    }
+}

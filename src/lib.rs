@@ -11,4 +11,5 @@ pub use framework;
 pub use geometry;
 pub use hacc;
 pub use postprocess;
+pub use rayon;
 pub use tess;

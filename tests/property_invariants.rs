@@ -225,13 +225,26 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use meshing_universe::geometry::convex_hull;
-        use meshing_universe::tess::{cell::compute_cell, grid::CandidateGrid};
+        use meshing_universe::tess::{
+            cell::{compute_cell, CellContext, CellScratch},
+            grid::CandidateGrid,
+        };
 
         let points = degenerate_points(family, n, seed);
+        let ids: Vec<u64> = (0..points.len() as u64).collect();
         let region = Aabb::cube(4.0);
         let grid = CandidateGrid::build(region, &points, 2.0);
+        let ctx = CellContext {
+            points: &points,
+            ids: &ids,
+            grid: &grid,
+            region: &region,
+            clip_box: &region,
+            eps: 1e-9,
+        };
+        let mut scratch = CellScratch::default();
         for (i, &site) in points.iter().enumerate() {
-            let cell = compute_cell(site, i as u32, &points, &grid, &region, 1e-9);
+            let cell = compute_cell(&ctx, site, i as u32, &mut scratch);
             let vol = cell.poly.volume();
             let area = cell.poly.surface_area();
             prop_assert!(vol.is_finite() && vol >= -1e-9,
