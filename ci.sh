@@ -26,6 +26,14 @@ echo "==> perf smoke: threaded+incremental vs sequential baseline"
 # crates/bench/perf_baseline.json (PERF_BASELINE_WRITE=1 regenerates it).
 TESS_THREADS=4 cargo run --release -q -p bench-harness --bin perf_smoke
 
+echo "==> trace smoke: 4-rank traced run, Chrome-trace validation, <10% overhead"
+# Runs the perf_smoke workload untraced and under TESS_TRACE=full, asserts
+# the traced mesh is bit-identical and the wall-clock overhead stays under
+# 10%, and validates the exported Chrome-trace JSON (parses, balanced B/E
+# pairs per track, monotonic timestamps). Artifact:
+# bench-out/trace_np16_r4.trace.json (openable at ui.perfetto.dev).
+TESS_THREADS=4 cargo run --release -q -p bench-harness --bin trace_export
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -19,7 +19,8 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use bench_harness::{
-    evolved_particles_cached, output_dir, partition_particles, tess_bench_json, TessBenchEntry,
+    evolved_particles_cached, partition_particles, print_report_hists, write_bench_tess_json,
+    TessBenchEntry,
 };
 use diy::comm::Runtime;
 use diy::metrics::collect_report;
@@ -49,6 +50,7 @@ struct ModeRun {
     stats: tess::TessStats,
     ghost_bytes: u64,
     wall_s: f64,
+    report: diy::metrics::RunReport,
 }
 
 fn run_mode(particles: &[(u64, geometry::Vec3)], dec: &Decomp, incremental: bool) -> ModeRun {
@@ -88,19 +90,20 @@ fn run_mode(particles: &[(u64, geometry::Vec3)], dec: &Decomp, incremental: bool
                         .collect::<Vec<_>>()
                 })
                 .collect();
-            (mesh, stats, ghost_bytes, wall)
+            (mesh, stats, ghost_bytes, wall, report)
         });
         let mut mesh = BTreeMap::new();
         for (id, bits) in rows.iter().flat_map(|(m, ..)| m.iter().cloned()) {
             assert!(mesh.insert(id, bits).is_none(), "cell {id} duplicated");
         }
-        let (_, stats, ghost_bytes, wall) = rows.into_iter().next().unwrap();
+        let (_, stats, ghost_bytes, wall, report) = rows.into_iter().next().unwrap();
         if best.as_ref().is_none_or(|b| wall < b.wall_s) {
             best = Some(ModeRun {
                 mesh,
                 stats,
                 ghost_bytes,
                 wall_s: wall,
+                report,
             });
         }
     }
@@ -179,9 +182,13 @@ fn main() {
             output_s: 0.0,
         },
     ];
-    let bench_path = output_dir().join("BENCH_TESS.json");
-    std::fs::write(&bench_path, tess_bench_json(&entries)).expect("write BENCH_TESS.json");
-    println!("perf_smoke: wrote {}", bench_path.display());
+    for path in write_bench_tess_json(&entries) {
+        println!("perf_smoke: wrote {}", path.display());
+    }
+
+    // Distribution sparklines from the optimized run's merged report.
+    println!("perf_smoke: distributions (optimized run):");
+    print_report_hists(&optimized.report);
 
     // Gate 2: the optimized path must clear 2x the in-run baseline.
     assert!(

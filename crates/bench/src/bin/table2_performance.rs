@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use bench_harness::{bytes_h, output_dir, secs, tess_bench_json, Table, TessBenchEntry};
+use bench_harness::{bytes_h, output_dir, secs, write_bench_tess_json, Table, TessBenchEntry};
 use diy::comm::Runtime;
 use diy::metrics::collect_report;
 use geometry::Vec3;
@@ -139,7 +139,7 @@ fn main() {
         }
     }
     table.print();
-    let bench_path = output_dir().join("BENCH_TESS.json");
-    std::fs::write(&bench_path, tess_bench_json(&bench_entries)).expect("write BENCH_TESS.json");
-    eprintln!("# machine-readable results: {}", bench_path.display());
+    for path in write_bench_tess_json(&bench_entries) {
+        eprintln!("# machine-readable results: {}", path.display());
+    }
 }

@@ -199,8 +199,8 @@ pub struct TessBenchEntry {
 
 /// Render benchmark entries as the machine-readable `BENCH_TESS.json`
 /// document: throughput (cells/sec), kernel work (candidates tested per
-/// computed cell, cells recomputed vs reused), ghost traffic, and the
-/// per-phase breakdown.
+/// computed cell, cells recomputed vs reused, reuse fraction), ghost
+/// traffic, and the per-phase breakdown. Schema documented in DESIGN.md.
 pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
     let mut out = String::from("{\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -215,12 +215,19 @@ pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
         } else {
             0.0
         };
+        let touched = s.cells_computed + s.cells_reused;
+        let reuse_fraction = if touched > 0 {
+            s.cells_reused as f64 / touched as f64
+        } else {
+            0.0
+        };
         let sep = if i + 1 == entries.len() { "" } else { "," };
         out.push_str(&format!(
             concat!(
                 "    {{\"label\": \"{}\", \"cells\": {}, \"wall_s\": {:.6}, ",
                 "\"cells_per_sec\": {:.3}, \"candidates_per_cell\": {:.3}, ",
                 "\"cells_computed\": {}, \"cells_reused\": {}, ",
+                "\"reuse_fraction\": {:.6}, ",
                 "\"ghost_rounds\": {}, \"ghost_bytes\": {}, ",
                 "\"exchange_s\": {:.6}, \"voronoi_s\": {:.6}, \"output_s\": {:.6}}}{}\n"
             ),
@@ -231,6 +238,7 @@ pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
             cand_per_cell,
             s.cells_computed,
             s.cells_reused,
+            reuse_fraction,
             s.ghost_rounds,
             e.ghost_bytes,
             e.exchange_s,
@@ -241,6 +249,48 @@ pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// The workspace root (two levels above this crate's manifest).
+pub fn repo_root() -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Write `BENCH_TESS.json` to the bench output dir **and** the repo root,
+/// so CI and dashboards find the latest numbers at a fixed path without
+/// knowing `BENCH_OUT`. Returns the paths written.
+pub fn write_bench_tess_json(entries: &[TessBenchEntry]) -> Vec<std::path::PathBuf> {
+    let doc = tess_bench_json(entries);
+    let mut written = Vec::new();
+    for path in [
+        output_dir().join("BENCH_TESS.json"),
+        repo_root().join("BENCH_TESS.json"),
+    ] {
+        if std::fs::write(&path, &doc).is_ok() {
+            written.push(path);
+        }
+    }
+    written
+}
+
+/// Print each non-empty distribution in `report` as a one-line sparkline
+/// with count / median / max annotations.
+pub fn print_report_hists(report: &diy::metrics::RunReport) {
+    for nh in &report.hists {
+        let h = &nh.hist;
+        if h.n() == 0 {
+            continue;
+        }
+        println!(
+            "  {:<28} {}  n={} p50={:.3e} max={:.3e}",
+            nh.name,
+            h.sparkline(),
+            h.n(),
+            h.quantile(0.5),
+            h.max()
+        );
+    }
 }
 
 /// Where harness binaries drop artifacts (SVGs, data files).

@@ -12,6 +12,9 @@
 //! ```
 //!
 //! Points files are the workspace codec encoding of `Vec<(u64, Vec3)>`.
+//!
+//! Output goes through the shared leveled logger (`TESS_LOG=error|info|
+//! debug`, stderr, rank-prefixed inside the runtime).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -19,6 +22,7 @@ use std::process::ExitCode;
 use diy::codec::{Decode, Encode};
 use diy::comm::Runtime;
 use diy::decomposition::{Assignment, Decomposition};
+use diy::{log_debug, log_error, log_info};
 use geometry::{Aabb, Vec3};
 use tess::{tessellate, TessParams};
 
@@ -83,7 +87,7 @@ fn generate(args: &Args) -> Result<(), String> {
         })
         .collect();
     std::fs::write(&out, points.to_bytes()).map_err(|e| e.to_string())?;
-    println!("wrote {n} points to {out}");
+    log_info!("wrote {n} points to {out}");
     Ok(())
 }
 
@@ -97,7 +101,7 @@ fn run_tessellate(args: &Args) -> Result<(), String> {
 
     let bytes = std::fs::read(&points_path).map_err(|e| e.to_string())?;
     let points = Vec::<(u64, Vec3)>::from_bytes(&bytes).map_err(|e| e.to_string())?;
-    println!(
+    log_info!(
         "{} points, box {box_len}, {blocks} blocks on {ranks} ranks",
         points.len()
     );
@@ -134,7 +138,7 @@ fn run_tessellate(args: &Args) -> Result<(), String> {
         (tess::driver::global_stats(world, r.stats), r.ghost_used)
     });
     let (s, ghost) = stats[0];
-    println!(
+    log_info!(
         "tessellated: {} cells kept, {} incomplete, {} culled (ghost {ghost:.3}); wrote {out}",
         s.cells,
         s.incomplete,
@@ -154,14 +158,14 @@ fn info(args: &Args) -> Result<(), String> {
         .flat_map(|b| b.cells.iter())
         .map(|c| c.volume)
         .sum();
-    println!(
+    log_info!(
         "{mesh}: {} blocks, {cells} cells, {faces} faces, {verts} vertices",
         blocks.len()
     );
-    println!("total cell volume {vol:.4}");
+    log_info!("total cell volume {vol:.4}");
     for b in &blocks {
-        println!(
-            "  block {}: bounds [{} .. {}], {} cells",
+        log_debug!(
+            "block {}: bounds [{} .. {}], {} cells",
             b.gid,
             b.bounds.min,
             b.bounds.max,
@@ -175,7 +179,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: tess-cli <generate|tessellate|info> --flag value …  (see module docs)";
     let Some((cmd, rest)) = argv.split_first() else {
-        eprintln!("{usage}");
+        log_error!("{usage}");
         return ExitCode::FAILURE;
     };
     let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
@@ -187,7 +191,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            log_error!("{e}");
             ExitCode::FAILURE
         }
     }

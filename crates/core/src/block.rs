@@ -13,6 +13,8 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use diy::hist::LogHistogram;
+use diy::trace::{monotonic_ns, trace_mode, TraceMode};
 use geometry::{Aabb, Vec3};
 use rayon::prelude::*;
 
@@ -77,6 +79,42 @@ struct CellRecord {
     needed: f64,
 }
 
+/// Per-cell observability accumulated alongside a block's records:
+/// distribution of candidate-test counts (always on — counting is free),
+/// per-cell compute wall time and the block's slowest cells (only when
+/// tracing is enabled, so the timing reads cannot perturb untraced runs).
+#[derive(Debug, Default, Clone)]
+pub struct CellObs {
+    /// Candidates tested per computed cell.
+    pub candidates: LogHistogram,
+    /// Wall nanoseconds per computed cell (empty when tracing is off).
+    pub compute_ns: LogHistogram,
+    /// Top slow cells of this block: `(wall_ns, particle id)`, slowest
+    /// first (empty when tracing is off).
+    pub slow: Vec<(u64, u64)>,
+}
+
+/// Slow cells retained per block before the rank-level top-k merge.
+const BLOCK_SLOW_CELLS: usize = 8;
+
+impl CellObs {
+    fn note(&mut self, tested: u64, ns: u64) {
+        self.candidates.observe_u64(tested);
+        if ns > 0 {
+            self.compute_ns.observe_u64(ns);
+        }
+    }
+
+    fn note_slow(&mut self, ns: u64, particle: u64) {
+        if ns == 0 {
+            return;
+        }
+        self.slow.push((ns, particle));
+        self.slow.sort_by(|a, b| b.cmp(a));
+        self.slow.truncate(BLOCK_SLOW_CELLS);
+    }
+}
+
 /// Resumable per-block tessellation state for the adaptive ghost loop.
 pub struct BlockSession {
     gid: u64,
@@ -87,6 +125,7 @@ pub struct BlockSession {
     cells_computed: u64,
     cells_reused: u64,
     candidates_tested: u64,
+    obs: CellObs,
 }
 
 thread_local! {
@@ -145,18 +184,24 @@ pub fn tessellate_block_session(
         cells_computed: 0,
         cells_reused: 0,
         candidates_tested: 0,
+        obs: CellObs::default(),
     };
     let (pts, ids) = flatten(own, ghosts);
     let indices: Vec<usize> = (0..own.len()).collect();
     let records = compute_records(&session, &pts, &ids, &indices, &region, params);
     session.cells_computed = indices.len() as u64;
+    let mut obs = std::mem::take(&mut session.obs);
     session.records = records
         .into_iter()
-        .map(|(record, tested)| {
+        .enumerate()
+        .map(|(i, (record, tested, ns))| {
             session.candidates_tested = session.candidates_tested.saturating_add(tested);
+            obs.note(tested, ns);
+            obs.note_slow(ns, own[i].0);
             record
         })
         .collect();
+    session.obs = obs;
     let (block, stats, cert) = assemble(&session, &pts, &ids, ghosts.len());
     (block, stats, cert, session)
 }
@@ -196,11 +241,26 @@ impl BlockSession {
         self.cells_reused += (self.records.len() - indices.len()) as u64;
         self.cells_computed += indices.len() as u64;
         let recomputed = compute_records(self, &pts, &ids, &indices, &region, params);
-        for (i, (record, tested)) in indices.into_iter().zip(recomputed) {
+        let mut obs = std::mem::take(&mut self.obs);
+        for (i, (record, tested, ns)) in indices.into_iter().zip(recomputed) {
             self.candidates_tested = self.candidates_tested.saturating_add(tested);
+            obs.note(tested, ns);
+            obs.note_slow(ns, own[i].0);
             self.records[i] = record;
         }
+        self.obs = obs;
         assemble(self, &pts, &ids, ghosts.len())
+    }
+
+    /// Drain the per-cell observability accumulated since the last call
+    /// (or session start). The driver merges it into rank metrics.
+    pub fn take_obs(&mut self) -> CellObs {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Block global id (for attributing slow cells at the rank level).
+    pub fn gid(&self) -> u64 {
+        self.gid
     }
 
     /// Debug-build proof of the incremental invariant: every particle that
@@ -245,7 +305,9 @@ fn flatten(own: &[(u64, Vec3)], ghosts: &[(u64, Vec3)]) -> (Vec<Vec3>, Vec<u64>)
 
 /// Compute the cells at `indices` in parallel; the result vector is in
 /// `indices` order (the pool collects chunk results by position). Each
-/// element carries the candidate-test count alongside the record.
+/// element carries the candidate-test count and wall nanoseconds (0 when
+/// tracing is off — the clock is only read under a trace mode) alongside
+/// the record.
 fn compute_records(
     session: &BlockSession,
     pts: &[Vec3],
@@ -253,7 +315,7 @@ fn compute_records(
     indices: &[usize],
     region: &Aabb,
     params: &TessParams,
-) -> Vec<(CellRecord, u64)> {
+) -> Vec<(CellRecord, u64, u64)> {
     let bounds = session.bounds;
     let grid = CandidateGrid::build(*region, pts, 2.0);
     // Canonicalisation box for the kernel: a function of the block alone
@@ -270,10 +332,22 @@ fn compute_records(
         eps: params.eps,
     };
     let cull_diam2 = params.cull_diameter().map(|d| d * d);
+    // Resolve once per pass: per-cell clock reads only happen under a
+    // trace mode, keeping the untraced hot path free of syscalls.
+    let timed = trace_mode() != TraceMode::Off;
     indices
         .to_vec()
         .into_par_iter()
-        .map(|i| compute_one(&ctx, &bounds, params, cull_diam2, i))
+        .map(|i| {
+            let t0 = if timed { monotonic_ns() } else { 0 };
+            let (record, tested) = compute_one(&ctx, &bounds, params, cull_diam2, i);
+            let ns = if timed {
+                monotonic_ns().saturating_sub(t0).max(1)
+            } else {
+                0
+            };
+            (record, tested, ns)
+        })
         .collect()
 }
 

@@ -4,9 +4,11 @@ use std::collections::BTreeMap;
 
 use diy::comm::{Runtime, World};
 use diy::decomposition::{Assignment, Decomposition};
+use diy::metrics::MetricsHandle;
+use diy::trace::{trace_mode, TraceMode};
 use geometry::{Aabb, Vec3};
 
-use crate::block::{tessellate_block, tessellate_block_session, BlockSession};
+use crate::block::{tessellate_block_session, BlockSession, CellObs};
 use crate::ghost::{exchange_ghosts, sort_ghosts, AdaptiveGhostExchange, GhostParticle};
 use crate::model::MeshBlock;
 use crate::params::{GhostSpec, TessParams, AUTO_GHOST_FACTOR};
@@ -20,6 +22,35 @@ pub const PHASE_VORONOI: &str = "voronoi";
 /// Phase span covering the collective tessellation write
 /// ([`crate::io::write_tessellation`]).
 pub const PHASE_OUTPUT: &str = "output";
+
+/// Histogram: candidate tests per computed cell (always recorded).
+pub const HIST_CANDIDATES: &str = "tess.candidates_per_cell";
+/// Histogram: wall nanoseconds per computed cell (tracing only).
+pub const HIST_CELL_COMPUTE_NS: &str = "tess.cell_compute_ns";
+/// Histogram: ghost radius requested per owned block per adaptive round.
+pub const HIST_GHOST_REQUEST_RADIUS: &str = "tess.ghost_request_radius";
+
+/// Fold one block's per-cell observability into the rank metrics.
+fn record_block_obs(metrics: &MetricsHandle, gid: u64, obs: CellObs) {
+    metrics.merge_hist(HIST_CANDIDATES, &obs.candidates);
+    if obs.compute_ns.n() > 0 {
+        metrics.merge_hist(HIST_CELL_COMPUTE_NS, &obs.compute_ns);
+    }
+    metrics.note_slow_cells(gid, &obs.slow);
+}
+
+/// Hand pool CPU and (when tracing) pool task events back to the rank
+/// span that submitted the work.
+fn drain_pool(metrics: &MetricsHandle) {
+    metrics.add_external_cpu(rayon::take_pool_cpu_seconds());
+    if trace_mode() == TraceMode::Full {
+        metrics.add_pool_tasks(
+            rayon::take_pool_tasks()
+                .into_iter()
+                .map(|t| (t.worker, t.start_ns, t.end_ns, t.chunk)),
+        );
+    }
+}
 
 /// Result of one tessellation pass on one rank. Timing lives in the
 /// world's metrics under the [`PHASE_GHOST_EXCHANGE`] / [`PHASE_VORONOI`]
@@ -80,6 +111,9 @@ pub fn tessellate(
     local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
     params: &TessParams,
 ) -> TessResult {
+    // Pool task events are only worth their mutex traffic under full
+    // tracing; flip the pool's recording flag to match before any work.
+    rayon::set_task_trace(trace_mode() == TraceMode::Full);
     if let GhostSpec::Adaptive {
         initial_factor,
         max_rounds,
@@ -101,14 +135,16 @@ pub fn tessellate(
     for (&gid, own) in local {
         let empty = Vec::new();
         let g = ghosts.get(&gid).unwrap_or(&empty);
-        let (block, s) = tessellate_block(gid, dec.block_bounds(gid), own, g, ghost, params);
+        let (block, s, _cert, mut session) =
+            tessellate_block_session(gid, dec.block_bounds(gid), own, g, ghost, params);
+        record_block_obs(&metrics, gid, session.take_obs());
         stats = stats.merge(s);
         blocks.insert(gid, block);
     }
     stats.ghost_rounds = 1;
     // Credit CPU burned by pool workers on our behalf to this rank's
     // voronoi span (the span only sees the submitting thread's clock).
-    metrics.add_external_cpu(rayon::take_pool_cpu_seconds());
+    drain_pool(&metrics);
 
     TessResult {
         blocks,
@@ -177,6 +213,7 @@ fn tessellate_adaptive(
         {
             let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
             let _round_span = metrics.phase(format!("ghost_round:{round}"));
+            metrics.mark("ghost_round", rounds);
             let fresh = exchanger.round(world, local, &request, round);
             for (gid, items) in fresh {
                 let v = ghosts.get_mut(&gid).expect("owned block");
@@ -185,6 +222,12 @@ fn tessellate_adaptive(
                 fresh_ghosts.insert(gid, items);
             }
             for (&g, &r) in &request {
+                // Radius distribution over *owned* blocks only: each block
+                // is then counted exactly once globally, so the merged
+                // histogram is identical at any rank count.
+                if local.contains_key(&g) {
+                    metrics.observe(HIST_GHOST_REQUEST_RADIUS, r);
+                }
                 radius.insert(g, r);
             }
         }
@@ -222,12 +265,15 @@ fn tessellate_adaptive(
                         (block, s, cert)
                     }
                 };
+                if let Some(session) = sessions.get_mut(&gid) {
+                    record_block_obs(&metrics, gid, session.take_obs());
+                }
                 results.insert(gid, (block, s));
                 if cert.uncertified > 0 && cert.needed_ghost > 0.0 {
                     needed.insert(gid, cert.needed_ghost);
                 }
             }
-            metrics.add_external_cpu(rayon::take_pool_cpu_seconds());
+            drain_pool(&metrics);
         }
 
         // Build next round's request map from every rank's needs

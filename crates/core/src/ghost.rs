@@ -51,9 +51,9 @@ pub fn sort_ghosts(v: &mut [GhostParticle]) {
     });
 }
 
-/// Fold raw exchange output into a per-owned-block map, dropping (and
-/// debug-asserting on) entries for blocks this rank does not own — a
-/// misrouted message must not silently materialize a foreign block.
+/// Fold raw exchange output into a per-owned-block map, dropping (with a
+/// logged error) entries for blocks this rank does not own — a misrouted
+/// message must not silently materialize a foreign block.
 fn received_per_owned_block(
     world: &World,
     local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
@@ -64,9 +64,9 @@ fn received_per_owned_block(
     for (gid, items) in received {
         match out.get_mut(&gid) {
             Some(slot) => *slot = items,
-            None => debug_assert!(
-                false,
-                "received ghosts for block {gid} not owned by rank {}",
+            None => diy::log_error!(
+                "dropping {} ghosts for block {gid} not owned by rank {}",
+                items.len(),
                 world.rank()
             ),
         }

@@ -66,6 +66,9 @@ impl Runtime {
                 let barrier = Arc::clone(&barrier);
                 let f = &f;
                 handles.push(scope.spawn(move || {
+                    crate::log::set_thread_rank(Some(rank));
+                    let metrics = MetricsHandle::new();
+                    metrics.set_rank(rank as u64);
                     let mut world = World {
                         rank,
                         nranks,
@@ -74,7 +77,7 @@ impl Runtime {
                         pending: Vec::new(),
                         barrier,
                         coll_seq: 0,
-                        metrics: MetricsHandle::new(),
+                        metrics,
                     };
                     f(&mut world)
                 }));

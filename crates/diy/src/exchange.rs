@@ -110,6 +110,12 @@ impl<'a> NeighborExchange<'a> {
                 buf
             })
             .collect();
+        {
+            let metrics = world.metrics();
+            for buf in &buffers {
+                metrics.observe("exchange.payload_bytes", buf.len() as f64);
+            }
+        }
 
         let incoming = match tag {
             Some(t) => world.all_to_all_tagged(buffers, t),

@@ -1,0 +1,397 @@
+//! Streaming log-bucketed histograms: mergeable, codec-serializable, and
+//! cheap enough to update on hot paths.
+//!
+//! A [`LogHistogram`] buckets positive samples by `floor(log2(x))`, so the
+//! whole dynamic range of cell compute times (ns) or message sizes (bytes)
+//! fits in a few dozen sparse buckets. Counts merge exactly — merging is
+//! associative and commutative — which lets per-rank histograms flow up the
+//! same reduction tree as [`crate::metrics::RunReport`].
+
+use std::collections::BTreeMap;
+
+use crate::codec::{CodecError, Decode, Encode, Reader};
+
+/// Exponent range kept by the sparse bucket map. `f64` exponents far outside
+/// this range are clamped so the map stays small and merges stay exact.
+const EXP_MIN: i16 = -64;
+const EXP_MAX: i16 = 127;
+
+/// A mergeable histogram over `f64` samples with power-of-two buckets.
+///
+/// Positive finite samples land in bucket `floor(log2(x))` (clamped to
+/// `[-64, 127]`); zeros, negatives, and non-finite samples are tallied
+/// separately so they can never poison the moments or the bucket counts.
+///
+/// ```
+/// use diy::hist::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for x in [1.5, 3.0, 3.5, 1024.0] {
+///     h.observe(x);
+/// }
+/// assert_eq!(h.n(), 4);
+/// assert_eq!(h.bucket_count(0), 1); // 1.5 in [1, 2)
+/// assert_eq!(h.bucket_count(1), 2); // 3.0, 3.5 in [2, 4)
+/// assert_eq!(h.bucket_count(10), 1); // 1024 in [1024, 2048)
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    /// Sparse `floor(log2(x))` → count.
+    buckets: BTreeMap<i16, u64>,
+    /// Samples equal to zero.
+    zeros: u64,
+    /// Negative samples (bucketed nowhere; magnitude is not meaningful for
+    /// the quantities we track).
+    negatives: u64,
+    /// NaN or ±∞ samples.
+    invalid: u64,
+    /// Total finite, non-negative samples (zeros + bucketed).
+    n: u64,
+    /// Sum over finite, non-negative samples.
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.invalid += 1;
+            return;
+        }
+        if x < 0.0 {
+            self.negatives += 1;
+            return;
+        }
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        self.sum += x;
+        if x == 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        let e = (x.log2().floor() as i32).clamp(EXP_MIN as i32, EXP_MAX as i32) as i16;
+        *self.buckets.entry(e).or_insert(0) += 1;
+    }
+
+    /// Record an integer sample (candidate counts, byte sizes).
+    pub fn observe_u64(&mut self, x: u64) {
+        self.observe(x as f64);
+    }
+
+    /// Merge another histogram into this one. Exact on all counts, so the
+    /// operation is associative and commutative; `sum` is a float add and
+    /// associative only up to rounding.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&e, &c) in &other.buckets {
+            *self.buckets.entry(e).or_insert(0) += c;
+        }
+        self.zeros += other.zeros;
+        self.negatives += other.negatives;
+        self.invalid += other.invalid;
+        if other.n > 0 {
+            if self.n == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+    }
+
+    /// Number of finite, non-negative samples recorded.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    pub fn negatives(&self) -> u64 {
+        self.negatives
+    }
+
+    /// NaN / ±∞ samples seen (excluded from everything else).
+    pub fn invalid(&self) -> u64 {
+        self.invalid
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Count in the `floor(log2(x)) == e` bucket.
+    pub fn bucket_count(&self, e: i16) -> u64 {
+        self.buckets.get(&e).copied().unwrap_or(0)
+    }
+
+    /// The sparse `(exponent, count)` rows, ascending by exponent.
+    pub fn buckets(&self) -> impl Iterator<Item = (i16, u64)> + '_ {
+        self.buckets.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): walks the cumulative bucket
+    /// counts and returns the representative value `2^(e + 0.5)` of the
+    /// bucket containing the target rank (zeros count as `0.0`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.n == 0 {
+            return f64::NAN;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).max(1);
+        if target <= self.zeros {
+            return 0.0;
+        }
+        let mut seen = self.zeros;
+        for (&e, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return 2f64.powf(e as f64 + 0.5);
+            }
+        }
+        self.max
+    }
+
+    /// A unicode sparkline over the occupied bucket range (zeros bucket
+    /// included on the left when present). Empty string when no samples.
+    pub fn sparkline(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.n == 0 {
+            return String::new();
+        }
+        let lo = self.buckets.keys().next().copied();
+        let hi = self.buckets.keys().next_back().copied();
+        let mut cells: Vec<u64> = Vec::new();
+        if self.zeros > 0 {
+            cells.push(self.zeros);
+        }
+        if let (Some(lo), Some(hi)) = (lo, hi) {
+            for e in lo..=hi {
+                cells.push(self.bucket_count(e));
+            }
+        }
+        let peak = cells.iter().copied().max().unwrap_or(0).max(1);
+        cells
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    BARS[0]
+                } else {
+                    // scale 1..=peak onto the 8 glyphs, never rendering a
+                    // non-empty cell as the empty glyph height
+                    let idx = ((c as f64 / peak as f64) * 7.0).round() as usize;
+                    BARS[idx.clamp(1, 7)]
+                }
+            })
+            .collect()
+    }
+
+    /// JSON object body (no surrounding braces' key): used by
+    /// [`crate::metrics::RunReport::to_json`].
+    pub fn json_body(&self) -> String {
+        use crate::metrics::json_f64;
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|(&e, &c)| format!("[{e},{c}]"))
+            .collect();
+        format!(
+            "{{\"n\":{},\"zeros\":{},\"negatives\":{},\"invalid\":{},\
+             \"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.n,
+            self.zeros,
+            self.negatives,
+            self.invalid,
+            json_f64(self.sum),
+            json_f64(if self.n == 0 { 0.0 } else { self.min }),
+            json_f64(if self.n == 0 { 0.0 } else { self.max }),
+            buckets.join(",")
+        )
+    }
+}
+
+impl Encode for LogHistogram {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let rows: Vec<(i16, u64)> = self.buckets().collect();
+        rows.encode(buf);
+        self.zeros.encode(buf);
+        self.negatives.encode(buf);
+        self.invalid.encode(buf);
+        self.n.encode(buf);
+        self.sum.encode(buf);
+        self.min.encode(buf);
+        self.max.encode(buf);
+    }
+}
+
+impl Decode for LogHistogram {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let rows = Vec::<(i16, u64)>::decode(r)?;
+        let mut buckets = BTreeMap::new();
+        for (e, c) in rows {
+            *buckets.entry(e).or_insert(0) += c;
+        }
+        Ok(LogHistogram {
+            buckets,
+            zeros: u64::decode(r)?,
+            negatives: u64::decode(r)?,
+            invalid: u64::decode(r)?,
+            n: u64::decode(r)?,
+            sum: f64::decode(r)?,
+            min: f64::decode(r)?,
+            max: f64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_log2() {
+        let mut h = LogHistogram::new();
+        for x in [0.75, 1.0, 1.99, 2.0, 4.0, 1000.0] {
+            h.observe(x);
+        }
+        assert_eq!(h.bucket_count(-1), 1); // 0.75
+        assert_eq!(h.bucket_count(0), 2); // 1.0, 1.99
+        assert_eq!(h.bucket_count(1), 1); // 2.0
+        assert_eq!(h.bucket_count(2), 1); // 4.0
+        assert_eq!(h.bucket_count(9), 1); // 1000
+        assert_eq!(h.n(), 6);
+        assert_eq!(h.max(), 1000.0);
+    }
+
+    #[test]
+    fn special_values_are_segregated() {
+        let mut h = LogHistogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(-3.0);
+        h.observe(0.0);
+        h.observe(8.0);
+        assert_eq!(h.invalid(), 3);
+        assert_eq!(h.negatives(), 1);
+        assert_eq!(h.zeros(), 1);
+        assert_eq!(h.n(), 2); // 0.0 and 8.0
+        assert_eq!(h.sum(), 8.0);
+        assert_eq!(h.min(), 0.0);
+        assert!(h.mean().is_finite());
+    }
+
+    #[test]
+    fn merge_adds_counts_exactly() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for x in [1.0, 2.0, 0.0] {
+            a.observe(x);
+        }
+        for x in [2.5, 4.0, f64::NAN] {
+            b.observe(x);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut both = LogHistogram::new();
+        for x in [1.0, 2.0, 0.0, 2.5, 4.0, f64::NAN] {
+            both.observe(x);
+        }
+        assert_eq!(ab, both);
+    }
+
+    #[test]
+    fn merge_into_empty_takes_min_max() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        b.observe(3.0);
+        b.observe(12.0);
+        a.merge(&b);
+        assert_eq!(a.min(), 3.0);
+        assert_eq!(a.max(), 12.0);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.observe(1.5); // bucket 0
+        }
+        for _ in 0..10 {
+            h.observe(1000.0); // bucket 9
+        }
+        assert!(h.quantile(0.5) < 4.0);
+        assert!(h.quantile(0.99) > 256.0);
+        assert!(LogHistogram::new().quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn sparkline_is_nonempty_and_bounded() {
+        let mut h = LogHistogram::new();
+        for x in [0.0, 1.0, 2.0, 2.0, 4.0, 4.0, 4.0, 4.0] {
+            h.observe(x);
+        }
+        let s = h.sparkline();
+        assert!(!s.is_empty());
+        assert!(s.chars().count() <= 4); // zeros cell + buckets 0..=2
+        assert_eq!(LogHistogram::new().sparkline(), "");
+    }
+
+    #[test]
+    fn codec_roundtrip_bit_exact() {
+        let mut h = LogHistogram::new();
+        for x in [0.0, 0.5, 3.0, 3.0, 1e9, -1.0, f64::NAN] {
+            h.observe(x);
+        }
+        let back = LogHistogram::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_bytes(), h.to_bytes());
+    }
+
+    #[test]
+    fn extreme_exponents_clamp() {
+        let mut h = LogHistogram::new();
+        h.observe(f64::MIN_POSITIVE); // exponent far below -64 → clamps
+        h.observe(1e300); // exponent ~996 → clamps to 127
+        assert_eq!(h.bucket_count(EXP_MIN), 1);
+        assert_eq!(h.bucket_count(EXP_MAX), 1);
+    }
+}

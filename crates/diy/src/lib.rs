@@ -21,13 +21,21 @@ pub mod codec;
 pub mod comm;
 pub mod decomposition;
 pub mod exchange;
+pub mod hist;
 pub mod io;
+pub mod log;
 pub mod metrics;
 pub mod reduce;
 pub mod timing;
+pub mod trace;
 
 pub use codec::{Decode, Encode, Reader};
 pub use comm::{Runtime, World};
 pub use decomposition::{Assignment, Decomposition, Neighbor};
 pub use exchange::NeighborExchange;
+pub use hist::LogHistogram;
 pub use metrics::{collect_report, MetricsHandle, RunReport};
+pub use trace::{
+    chrome_trace_json, collect_traces, set_trace_mode, trace_mode, validate_chrome_trace,
+    RankTrace, TraceMode,
+};

@@ -1,0 +1,167 @@
+//! A tiny leveled logger: rank-prefixed lines on stderr.
+//!
+//! The level is process-wide, read once from `TESS_LOG`
+//! (`error` | `info` | `debug`, default `info`) and overridable at runtime
+//! with [`set_level`]. Rank threads register themselves via
+//! [`set_thread_rank`] (done by `Runtime::run`), so messages printed from
+//! inside a simulated rank carry a `r<N>` prefix.
+//!
+//! Use the [`log_error!`](crate::log_error), [`log_info!`](crate::log_info)
+//! and [`log_debug!`](crate::log_debug) macros; they skip formatting
+//! entirely when the level is disabled.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the log level (`error|info|debug`).
+pub const LOG_ENV: &str = "TESS_LOG";
+
+/// Severity, ordered: `Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Info = 1,
+    Debug = 2,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("bad log level {other:?} (error|info|debug)")),
+        }
+    }
+}
+
+const UNRESOLVED: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+fn decode(v: u8) -> Level {
+    match v {
+        0 => Level::Error,
+        2 => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// The active log level (resolving `TESS_LOG` lazily on first call).
+pub fn level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNRESOLVED {
+        return decode(v);
+    }
+    let l = std::env::var(LOG_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(Level::Info);
+    let _ = LEVEL.compare_exchange(UNRESOLVED, l as u8, Ordering::Relaxed, Ordering::Relaxed);
+    decode(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Override the level for the whole process; returns the previous level.
+pub fn set_level(l: Level) -> Level {
+    let prev = LEVEL.swap(l as u8, Ordering::Relaxed);
+    if prev == UNRESOLVED {
+        Level::Info
+    } else {
+        decode(prev)
+    }
+}
+
+/// Would a message at `l` be printed?
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+thread_local! {
+    static THREAD_RANK: Cell<i64> = const { Cell::new(-1) };
+}
+
+/// Tag this thread's log lines with a rank prefix (`None` clears it).
+pub fn set_thread_rank(rank: Option<usize>) {
+    THREAD_RANK.with(|r| r.set(rank.map(|v| v as i64).unwrap_or(-1)));
+}
+
+/// Print one formatted line to stderr (used by the macros; call those).
+pub fn write(l: Level, args: std::fmt::Arguments<'_>) {
+    let rank = THREAD_RANK.with(Cell::get);
+    if rank >= 0 {
+        eprintln!("[{} r{rank}] {args}", l.tag());
+    } else {
+        eprintln!("[{}] {args}", l.tag());
+    }
+}
+
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert!("verbose".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        let prev = set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(prev);
+    }
+
+    #[test]
+    fn rank_prefix_round_trips() {
+        set_thread_rank(Some(3));
+        THREAD_RANK.with(|r| assert_eq!(r.get(), 3));
+        set_thread_rank(None);
+        THREAD_RANK.with(|r| assert_eq!(r.get(), -1));
+    }
+}

@@ -41,10 +41,20 @@ use std::rc::Rc;
 
 use crate::codec::{CodecError, Decode, Encode, Reader};
 use crate::comm::World;
+use crate::hist::LogHistogram;
 use crate::timing::thread_cpu_time;
+use crate::trace::{
+    monotonic_ns, trace_mode, Event, EventKind, RankTrace, TraceMode, TraceState, NO_NAME, TID_MAIN,
+};
 
 /// Phase name charged with activity that happens outside any open span.
 pub const UNPHASED: &str = "(unphased)";
+
+/// Histogram name under which every rank's message sizes are recorded.
+pub const HIST_MSG_BYTES: &str = "comm.msg_bytes";
+
+/// How many slowest cells a rank (and the merged report) retains.
+pub const TOP_SLOW_CELLS: usize = 8;
 
 /// Counters accumulated by one rank for one phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -61,6 +71,8 @@ pub struct Counters {
 
 #[derive(Default)]
 struct Inner {
+    /// Rank this handle belongs to (0 until `Runtime::run` wires it).
+    rank: u64,
     /// Open spans, innermost last: (name, thread-CPU at entry, external
     /// CPU seconds credited to the span while it was open).
     stack: Vec<(String, f64, f64)>,
@@ -69,6 +81,14 @@ struct Inner {
     sent_by_tag: BTreeMap<u64, (u64, u64)>,
     /// tag → (messages, bytes) on the receive side.
     recv_by_tag: BTreeMap<u64, (u64, u64)>,
+    /// The flight recorder (active only when [`trace_mode`] says so).
+    trace: TraceState,
+    /// Named distribution histograms ([`MetricsHandle::observe`]).
+    hists: BTreeMap<String, LogHistogram>,
+    /// Sizes of every message sent by this rank ([`HIST_MSG_BYTES`]).
+    msg_bytes: LogHistogram,
+    /// Slowest cells seen by this rank, descending, ≤ [`TOP_SLOW_CELLS`].
+    slow: Vec<SlowCell>,
 }
 
 impl Inner {
@@ -97,10 +117,21 @@ impl MetricsHandle {
     /// time) when the returned guard drops. Guards must drop in LIFO order
     /// — let scopes do it.
     pub fn phase(&self, name: impl Into<String>) -> PhaseGuard {
-        self.0
-            .borrow_mut()
-            .stack
-            .push((name.into(), thread_cpu_time(), 0.0));
+        let name = name.into();
+        let mut m = self.0.borrow_mut();
+        if trace_mode() >= TraceMode::Spans {
+            let idx = m.trace.intern(&name);
+            m.trace.push(Event {
+                t_ns: monotonic_ns(),
+                kind: EventKind::SpanBegin,
+                tid: TID_MAIN,
+                name: idx,
+                a: 0,
+                b: 0,
+            });
+        }
+        m.stack.push((name, thread_cpu_time(), 0.0));
+        drop(m);
         PhaseGuard {
             handle: self.clone(),
         }
@@ -132,6 +163,17 @@ impl MetricsHandle {
         let e = m.sent_by_tag.entry(tag).or_default();
         e.0 += 1;
         e.1 += len as u64;
+        m.msg_bytes.observe_u64(len as u64);
+        if trace_mode() == TraceMode::Full {
+            m.trace.push(Event {
+                t_ns: monotonic_ns(),
+                kind: EventKind::MsgSend,
+                tid: TID_MAIN,
+                name: NO_NAME,
+                a: tag,
+                b: len as u64,
+            });
+        }
     }
 
     pub(crate) fn on_recv(&self, tag: u64, len: usize) {
@@ -142,22 +184,141 @@ impl MetricsHandle {
         let e = m.recv_by_tag.entry(tag).or_default();
         e.0 += 1;
         e.1 += len as u64;
+        if trace_mode() == TraceMode::Full {
+            m.trace.push(Event {
+                t_ns: monotonic_ns(),
+                kind: EventKind::MsgRecv,
+                tid: TID_MAIN,
+                name: NO_NAME,
+                a: tag,
+                b: len as u64,
+            });
+        }
     }
 
     pub(crate) fn on_collective(&self) {
         self.0.borrow_mut().current().collectives += 1;
     }
 
+    pub(crate) fn set_rank(&self, rank: u64) {
+        self.0.borrow_mut().rank = rank;
+    }
+
+    /// Record one sample into the named distribution histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut m = self.0.borrow_mut();
+        m.hists.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Merge a whole pre-accumulated histogram into the named one (how the
+    /// tessellation driver hands over per-block cell distributions).
+    pub fn merge_hist(&self, name: &str, h: &LogHistogram) {
+        let mut m = self.0.borrow_mut();
+        m.hists.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Drop an instant marker (e.g. a ghost-round boundary) into the trace.
+    /// No-op below `spans` mode.
+    pub fn mark(&self, name: &str, value: u64) {
+        if trace_mode() < TraceMode::Spans {
+            return;
+        }
+        let mut m = self.0.borrow_mut();
+        let idx = m.trace.intern(name);
+        m.trace.push(Event {
+            t_ns: monotonic_ns(),
+            kind: EventKind::Mark,
+            tid: TID_MAIN,
+            name: idx,
+            a: value,
+            b: 0,
+        });
+    }
+
+    /// Record a counter sample into the trace. No-op below `full` mode.
+    pub fn counter(&self, name: &str, value: u64) {
+        if trace_mode() != TraceMode::Full {
+            return;
+        }
+        let mut m = self.0.borrow_mut();
+        let idx = m.trace.intern(name);
+        m.trace.push(Event {
+            t_ns: monotonic_ns(),
+            kind: EventKind::Counter,
+            tid: TID_MAIN,
+            name: idx,
+            a: value,
+            b: 0,
+        });
+    }
+
+    /// Offer `(compute_ns, particle_id)` pairs from block `gid` to the
+    /// rank's slowest-cell leaderboard (keeps the top
+    /// [`TOP_SLOW_CELLS`]).
+    pub fn note_slow_cells(&self, gid: u64, cells: &[(u64, u64)]) {
+        if cells.is_empty() {
+            return;
+        }
+        let mut m = self.0.borrow_mut();
+        let rank = m.rank;
+        m.slow.extend(cells.iter().map(|&(ns, particle)| SlowCell {
+            ns,
+            gid,
+            particle,
+            rank,
+        }));
+        m.slow.sort_by_key(slow_cell_key);
+        m.slow.truncate(TOP_SLOW_CELLS);
+    }
+
+    /// Record pool chunk tasks `(worker, start_ns, end_ns, chunk)` as trace
+    /// events on per-worker tracks (tid `1 + worker`; worker 0 is the
+    /// submitting thread).
+    pub fn add_pool_tasks(&self, tasks: impl IntoIterator<Item = (u32, u64, u64, u64)>) {
+        let mut m = self.0.borrow_mut();
+        for (worker, start_ns, end_ns, chunk) in tasks {
+            m.trace.push(Event {
+                t_ns: start_ns,
+                kind: EventKind::PoolTask,
+                tid: 1 + worker,
+                name: NO_NAME,
+                a: end_ns.saturating_sub(start_ns),
+                b: chunk,
+            });
+        }
+    }
+
+    /// Detach a copy of the flight-recorder buffer for this rank.
+    pub fn trace_snapshot(&self, rank: u64) -> RankTrace {
+        self.0.borrow().trace.snapshot(rank)
+    }
+
     /// Copy of this rank's accumulated metrics. Open spans contribute only
     /// activity recorded so far (their CPU time lands when they close).
     pub fn snapshot(&self) -> RankMetrics {
         let m = self.0.borrow();
+        let mut hists = m.hists.clone();
+        if m.msg_bytes != LogHistogram::default() {
+            hists
+                .entry(HIST_MSG_BYTES.to_string())
+                .or_default()
+                .merge(&m.msg_bytes);
+        }
         RankMetrics {
+            rank: m.rank,
             phases: m.phases.clone(),
             sent_by_tag: m.sent_by_tag.clone(),
             recv_by_tag: m.recv_by_tag.clone(),
+            hists,
+            slow: m.slow.clone(),
         }
     }
+}
+
+/// Total order for slowest-cell rankings: larger `ns` first, ties broken by
+/// ids so top-k truncation stays associative under merge.
+fn slow_cell_key(c: &SlowCell) -> (std::cmp::Reverse<u64>, u64, u64, u64) {
+    (std::cmp::Reverse(c.ns), c.gid, c.particle, c.rank)
 }
 
 /// Closes its span on drop; see [`MetricsHandle::phase`].
@@ -175,16 +336,90 @@ impl Drop for PhaseGuard {
         if let Some((_, _, parent_external)) = m.stack.last_mut() {
             *parent_external += external;
         }
+        if trace_mode() >= TraceMode::Spans {
+            let idx = m.trace.intern(&name);
+            m.trace.push(Event {
+                t_ns: monotonic_ns(),
+                kind: EventKind::SpanEnd,
+                tid: TID_MAIN,
+                name: idx,
+                a: 0,
+                b: 0,
+            });
+        }
         m.phases.entry(name).or_default().cpu_s += dt;
+    }
+}
+
+/// One anomalously slow Voronoi cell: where it lives and how long its
+/// candidate search took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowCell {
+    /// Wall-clock nanoseconds spent computing the cell.
+    pub ns: u64,
+    /// Block gid owning the cell.
+    pub gid: u64,
+    /// Particle (site) id of the cell.
+    pub particle: u64,
+    /// Rank that computed it.
+    pub rank: u64,
+}
+
+impl Encode for SlowCell {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.ns.encode(buf);
+        self.gid.encode(buf);
+        self.particle.encode(buf);
+        self.rank.encode(buf);
+    }
+}
+
+impl Decode for SlowCell {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SlowCell {
+            ns: u64::decode(r)?,
+            gid: u64::decode(r)?,
+            particle: u64::decode(r)?,
+            rank: u64::decode(r)?,
+        })
+    }
+}
+
+/// A named distribution in a merged [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NamedHist {
+    pub name: String,
+    pub hist: LogHistogram,
+}
+
+impl Encode for NamedHist {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.hist.encode(buf);
+    }
+}
+
+impl Decode for NamedHist {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(NamedHist {
+            name: String::decode(r)?,
+            hist: LogHistogram::decode(r)?,
+        })
     }
 }
 
 /// One rank's metrics, detached from the live handle.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankMetrics {
+    pub rank: u64,
     pub phases: BTreeMap<String, Counters>,
     pub sent_by_tag: BTreeMap<u64, (u64, u64)>,
     pub recv_by_tag: BTreeMap<u64, (u64, u64)>,
+    /// Named distributions (includes [`HIST_MSG_BYTES`] when any message
+    /// was sent).
+    pub hists: BTreeMap<String, LogHistogram>,
+    /// Slowest cells, descending, ≤ [`TOP_SLOW_CELLS`].
+    pub slow: Vec<SlowCell>,
 }
 
 impl RankMetrics {
@@ -213,6 +448,8 @@ pub struct PhaseReport {
     pub cpu_max_s: f64,
     /// Sum over ranks (total work).
     pub cpu_sum_s: f64,
+    /// The rank that contributed `cpu_max_s` — where the imbalance lives.
+    pub slowest_rank: u64,
     pub msgs_sent: u64,
     pub bytes_sent: u64,
     pub msgs_recv: u64,
@@ -251,6 +488,11 @@ pub struct RunReport {
     pub phases: Vec<PhaseReport>,
     /// Sorted by tag.
     pub tags: Vec<TagTraffic>,
+    /// Named distributions (candidates/cell, message sizes, …), sorted by
+    /// name; merged exactly across ranks.
+    pub hists: Vec<NamedHist>,
+    /// Global top-[`TOP_SLOW_CELLS`] slowest cells, descending.
+    pub slow_cells: Vec<SlowCell>,
 }
 
 impl RunReport {
@@ -263,6 +505,7 @@ impl RunReport {
                 name: name.clone(),
                 cpu_max_s: c.cpu_s,
                 cpu_sum_s: c.cpu_s,
+                slowest_rank: m.rank,
                 msgs_sent: c.msgs_sent,
                 bytes_sent: c.bytes_sent,
                 msgs_recv: c.msgs_recv,
@@ -290,6 +533,15 @@ impl RunReport {
             nranks: 1,
             phases,
             tags,
+            hists: m
+                .hists
+                .iter()
+                .map(|(name, hist)| NamedHist {
+                    name: name.clone(),
+                    hist: hist.clone(),
+                })
+                .collect(),
+            slow_cells: m.slow.clone(),
         }
     }
 
@@ -303,6 +555,11 @@ impl RunReport {
         for p in o.phases {
             match phases.get_mut(&p.name) {
                 Some(q) => {
+                    // ties keep the left operand's rank, which keeps the
+                    // merge associative
+                    if p.cpu_max_s > q.cpu_max_s {
+                        q.slowest_rank = p.slowest_rank;
+                    }
                     q.cpu_max_s = q.cpu_max_s.max(p.cpu_max_s);
                     q.cpu_sum_s += p.cpu_sum_s;
                     q.msgs_sent = q.msgs_sent.saturating_add(p.msgs_sent);
@@ -328,11 +585,31 @@ impl RunReport {
             e.msgs_recv = e.msgs_recv.saturating_add(t.msgs_recv);
             e.bytes_recv = e.bytes_recv.saturating_add(t.bytes_recv);
         }
+        let mut hists: BTreeMap<String, LogHistogram> =
+            self.hists.into_iter().map(|h| (h.name, h.hist)).collect();
+        for h in o.hists {
+            hists.entry(h.name).or_default().merge(&h.hist);
+        }
+        let mut slow_cells = self.slow_cells;
+        slow_cells.extend(o.slow_cells);
+        slow_cells.sort_by_key(slow_cell_key);
+        slow_cells.dedup();
+        slow_cells.truncate(TOP_SLOW_CELLS);
         RunReport {
             nranks: self.nranks + o.nranks,
             phases: phases.into_values().collect(),
             tags: tags.into_values().collect(),
+            hists: hists
+                .into_iter()
+                .map(|(name, hist)| NamedHist { name, hist })
+                .collect(),
+            slow_cells,
         }
+    }
+
+    /// Look up a named distribution histogram.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.iter().find(|h| h.name == name).map(|h| &h.hist)
     }
 
     pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
@@ -399,13 +676,20 @@ impl RunReport {
     }
 
     /// Copy with all CPU fields zeroed: the deterministic part of the
-    /// report, equal across identical runs at the same rank count.
+    /// report, equal across identical runs at the same rank count. Timing
+    /// distributions (histogram names ending in `_ns`), slowest-rank
+    /// attribution, and the slow-cell leaderboard are timing-derived, so
+    /// they are stripped too; count-based histograms (message sizes,
+    /// candidates per cell) stay.
     pub fn normalized(&self) -> RunReport {
         let mut r = self.clone();
         for p in &mut r.phases {
             p.cpu_max_s = 0.0;
             p.cpu_sum_s = 0.0;
+            p.slowest_rank = 0;
         }
+        r.hists.retain(|h| !h.name.ends_with("_ns"));
+        r.slow_cells.clear();
         r
     }
 
@@ -421,17 +705,40 @@ impl RunReport {
             }
             out.push_str(&format!(
                 "{{\"name\":{},\"cpu_max_s\":{},\"cpu_sum_s\":{},\"imbalance\":{},\
+                 \"slowest_rank\":{},\
                  \"msgs_sent\":{},\"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},\
                  \"collectives\":{}}}",
                 json_string(&p.name),
                 json_f64(p.cpu_max_s),
                 json_f64(p.cpu_sum_s),
                 json_f64(p.imbalance(self.nranks)),
+                p.slowest_rank,
                 p.msgs_sent,
                 p.bytes_sent,
                 p.msgs_recv,
                 p.bytes_recv,
                 p.collectives,
+            ));
+        }
+        out.push_str("],\"hists\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"hist\":{}}}",
+                json_string(&h.name),
+                h.hist.json_body()
+            ));
+        }
+        out.push_str("],\"slow_cells\":[");
+        for (i, c) in self.slow_cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"ns\":{},\"gid\":{},\"particle\":{},\"rank\":{}}}",
+                c.ns, c.gid, c.particle, c.rank
             ));
         }
         out.push_str("],\"tags\":[");
@@ -455,7 +762,9 @@ impl RunReport {
     }
 }
 
-fn json_string(s: &str) -> String {
+/// Escape a string as a JSON token (shared by the report and histogram
+/// renderers).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -472,7 +781,8 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+/// Render an `f64` as a valid JSON token (`null` for non-finite values).
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // `{:?}` prints the shortest string that round-trips the value and
         // always includes a decimal point or exponent — valid JSON.
@@ -495,6 +805,7 @@ impl Encode for PhaseReport {
         self.name.encode(buf);
         self.cpu_max_s.encode(buf);
         self.cpu_sum_s.encode(buf);
+        self.slowest_rank.encode(buf);
         self.msgs_sent.encode(buf);
         self.bytes_sent.encode(buf);
         self.msgs_recv.encode(buf);
@@ -509,6 +820,7 @@ impl Decode for PhaseReport {
             name: String::decode(r)?,
             cpu_max_s: f64::decode(r)?,
             cpu_sum_s: f64::decode(r)?,
+            slowest_rank: u64::decode(r)?,
             msgs_sent: u64::decode(r)?,
             bytes_sent: u64::decode(r)?,
             msgs_recv: u64::decode(r)?,
@@ -545,6 +857,8 @@ impl Encode for RunReport {
         self.nranks.encode(buf);
         self.phases.encode(buf);
         self.tags.encode(buf);
+        self.hists.encode(buf);
+        self.slow_cells.encode(buf);
     }
 }
 
@@ -554,6 +868,8 @@ impl Decode for RunReport {
             nranks: u64::decode(r)?,
             phases: Vec::<PhaseReport>::decode(r)?,
             tags: Vec::<TagTraffic>::decode(r)?,
+            hists: Vec::<NamedHist>::decode(r)?,
+            slow_cells: Vec::<SlowCell>::decode(r)?,
         })
     }
 }
@@ -754,6 +1070,101 @@ mod tests {
         assert!(json.contains("\"conserved\":true"));
         // every quote is balanced; crude but catches broken escaping
         assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn hists_and_slow_cells_merge_into_reports() {
+        let m = MetricsHandle::new();
+        m.set_rank(2);
+        m.observe("tess.candidates_per_cell", 40.0);
+        m.observe("tess.candidates_per_cell", 75.0);
+        m.note_slow_cells(9, &[(500, 1), (9000, 2), (100, 3)]);
+        m.on_send(1, 64);
+        let s = m.snapshot();
+        assert_eq!(s.rank, 2);
+        assert_eq!(s.hists["tess.candidates_per_cell"].n(), 2);
+        assert_eq!(s.hists[HIST_MSG_BYTES].n(), 1);
+        assert_eq!(
+            s.slow[0],
+            SlowCell {
+                ns: 9000,
+                gid: 9,
+                particle: 2,
+                rank: 2
+            }
+        );
+
+        let other = MetricsHandle::new();
+        other.set_rank(5);
+        other.observe("tess.candidates_per_cell", 33.0);
+        other.note_slow_cells(4, &[(70_000, 8)]);
+        let r = RunReport::from_rank(&s).merge(RunReport::from_rank(&other.snapshot()));
+        assert_eq!(r.hist("tess.candidates_per_cell").unwrap().n(), 3);
+        assert_eq!(r.slow_cells[0].ns, 70_000);
+        assert_eq!(r.slow_cells[0].rank, 5);
+        assert_eq!(r.slow_cells.len(), 4);
+        let json = r.to_json();
+        assert!(json.contains("\"hists\""));
+        assert!(json.contains("\"slow_cells\""));
+        assert_eq!(json.matches('"').count() % 2, 0);
+        // codec roundtrip with the new fields populated
+        let back = RunReport::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+        // normalized strips timing-derived parts but keeps count hists
+        let n = r.normalized();
+        assert!(n.slow_cells.is_empty());
+        assert!(n.hist("tess.candidates_per_cell").is_some());
+        assert!(n.phases.iter().all(|p| p.slowest_rank == 0));
+    }
+
+    #[test]
+    fn slow_cell_topk_merge_is_associative() {
+        let mk = |rank: u64, base: u64| {
+            let m = MetricsHandle::new();
+            m.set_rank(rank);
+            let cells: Vec<(u64, u64)> = (0..12).map(|i| (base + 17 * i, 100 * rank + i)).collect();
+            m.note_slow_cells(rank, &cells);
+            RunReport::from_rank(&m.snapshot())
+        };
+        let (a, b, c) = (mk(0, 50), mk(1, 55), mk(2, 60));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        assert_eq!(left.slow_cells, right.slow_cells);
+        assert_eq!(left.slow_cells.len(), TOP_SLOW_CELLS);
+        // descending by ns
+        for w in left.slow_cells.windows(2) {
+            assert!(w[0].ns >= w[1].ns);
+        }
+    }
+
+    #[test]
+    fn slowest_rank_attributes_the_max() {
+        let mut a = RankMetrics {
+            rank: 3,
+            ..Default::default()
+        };
+        a.phases.insert(
+            "p".into(),
+            Counters {
+                cpu_s: 9.0,
+                ..Default::default()
+            },
+        );
+        let mut b = RankMetrics {
+            rank: 7,
+            ..Default::default()
+        };
+        b.phases.insert(
+            "p".into(),
+            Counters {
+                cpu_s: 2.0,
+                ..Default::default()
+            },
+        );
+        let r = RunReport::from_rank(&a).merge(RunReport::from_rank(&b));
+        assert_eq!(r.phase("p").unwrap().slowest_rank, 3);
+        let r = RunReport::from_rank(&b).merge(RunReport::from_rank(&a));
+        assert_eq!(r.phase("p").unwrap().slowest_rank, 3);
     }
 
     #[test]

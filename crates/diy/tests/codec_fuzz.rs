@@ -3,10 +3,28 @@
 //! round-trips.
 
 use diy::codec::{Decode, Encode};
-use diy::metrics::{PhaseReport, RunReport, TagTraffic};
+use diy::hist::LogHistogram;
+use diy::metrics::{NamedHist, PhaseReport, RunReport, SlowCell, TagTraffic};
 use geometry::{Aabb, Vec3};
 use proptest::prelude::*;
 use tess::stats::TessStats;
+
+/// Strategy for an arbitrary [`LogHistogram`] (built by observation so the
+/// internal invariants hold, NaN and negatives included).
+fn arb_hist() -> impl Strategy<Value = LogHistogram> {
+    proptest::collection::vec((0u8..4, -1e12f64..1e12), 0..24).prop_map(|xs| {
+        let mut h = LogHistogram::new();
+        for (kind, x) in xs {
+            h.observe(match kind {
+                0 => x,
+                1 => 0.0,
+                2 => f64::NAN,
+                _ => f64::INFINITY,
+            });
+        }
+        h
+    })
+}
 
 /// Strategy for an arbitrary (not necessarily conserved) [`RunReport`].
 fn arb_report() -> impl Strategy<Value = RunReport> {
@@ -22,6 +40,7 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
                 any::<u32>(),
                 any::<u64>(),
                 any::<u32>(),
+                any::<u32>(),
             ),
             0..6,
         ),
@@ -35,16 +54,25 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
             ),
             0..6,
         ),
+        proptest::collection::vec(
+            (proptest::collection::vec(32u8..127, 0..10), arb_hist()),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..8,
+        ),
     )
-        .prop_map(|(nranks, phases, tags)| RunReport {
+        .prop_map(|(nranks, phases, tags, hists, slow)| RunReport {
             nranks,
             phases: phases
                 .into_iter()
                 .map(
-                    |(name, cpu_max_s, cpu_sum_s, ms, bs, mr, br, coll)| PhaseReport {
+                    |(name, cpu_max_s, cpu_sum_s, ms, bs, mr, br, coll, slowest)| PhaseReport {
                         name: String::from_utf8(name).unwrap(),
                         cpu_max_s,
                         cpu_sum_s,
+                        slowest_rank: slowest as u64,
                         msgs_sent: ms as u64,
                         bytes_sent: bs,
                         msgs_recv: mr as u64,
@@ -61,6 +89,22 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
                     bytes_sent: bs,
                     msgs_recv: mr as u64,
                     bytes_recv: br,
+                })
+                .collect(),
+            hists: hists
+                .into_iter()
+                .map(|(name, hist)| NamedHist {
+                    name: String::from_utf8(name).unwrap(),
+                    hist,
+                })
+                .collect(),
+            slow_cells: slow
+                .into_iter()
+                .map(|(ns, gid, particle, rank)| SlowCell {
+                    ns,
+                    gid,
+                    particle,
+                    rank,
                 })
                 .collect(),
         })

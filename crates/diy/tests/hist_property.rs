@@ -1,0 +1,101 @@
+//! Property tests for the mergeable log-bucket histogram: merging must be
+//! commutative and associative (the reduction tree combines rank
+//! histograms in an order that depends on the rank count, and the merged
+//! report must not), with exact counts and only float-rounding slack on
+//! the running sum.
+
+use diy::hist::LogHistogram;
+use proptest::prelude::*;
+
+/// Samples covering every observation class: positives across many
+/// magnitudes, zeros, negatives, NaN, and infinities.
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u8..6, 1e-12f64..1e12), 0..32).prop_map(|xs| {
+        xs.into_iter()
+            .map(|(kind, x)| match kind {
+                0 | 1 => x,
+                2 => -x,
+                3 => 0.0,
+                4 => f64::NAN,
+                _ => f64::INFINITY,
+            })
+            .collect()
+    })
+}
+
+fn hist_of(samples: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.observe(s);
+    }
+    h
+}
+
+fn merged(a: &LogHistogram, b: &LogHistogram) -> LogHistogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// Equality up to float rounding on `sum` (counts, buckets, and min/max
+/// must be exact — they merge with integer adds and f64::min/max).
+fn assert_equivalent(x: &LogHistogram, y: &LogHistogram) -> Result<(), TestCaseError> {
+    prop_assert_eq!(x.n(), y.n());
+    prop_assert_eq!(x.zeros(), y.zeros());
+    prop_assert_eq!(x.negatives(), y.negatives());
+    prop_assert_eq!(x.invalid(), y.invalid());
+    prop_assert_eq!(
+        x.buckets().collect::<Vec<_>>(),
+        y.buckets().collect::<Vec<_>>()
+    );
+    prop_assert_eq!(x.min().to_bits(), y.min().to_bits());
+    prop_assert_eq!(x.max().to_bits(), y.max().to_bits());
+    let tol = 1e-9 * x.sum().abs().max(y.sum().abs()).max(1.0);
+    prop_assert!((x.sum() - y.sum()).abs() <= tol);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative(a in arb_samples(), b in arb_samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        assert_equivalent(&merged(&ha, &hb), &merged(&hb, &ha))?;
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let left = merged(&merged(&ha, &hb), &hc);
+        let right = merged(&ha, &merged(&hb, &hc));
+        assert_equivalent(&left, &right)?;
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in arb_samples()) {
+        let ha = hist_of(&a);
+        let empty = LogHistogram::new();
+        // empty on either side: bit-exact (no float adds can reorder)
+        prop_assert_eq!(&merged(&ha, &empty), &ha);
+        prop_assert_eq!(&merged(&empty, &ha), &ha);
+    }
+
+    #[test]
+    fn merge_equals_observing_the_concatenation(a in arb_samples(), b in arb_samples()) {
+        // counts must match a single-pass histogram over a ++ b exactly
+        let m = merged(&hist_of(&a), &hist_of(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let whole = hist_of(&all);
+        prop_assert_eq!(m.n(), whole.n());
+        prop_assert_eq!(m.zeros(), whole.zeros());
+        prop_assert_eq!(m.negatives(), whole.negatives());
+        prop_assert_eq!(m.invalid(), whole.invalid());
+        prop_assert_eq!(
+            m.buckets().collect::<Vec<_>>(),
+            whole.buckets().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(m.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(m.max().to_bits(), whole.max().to_bits());
+    }
+}

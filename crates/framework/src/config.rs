@@ -14,6 +14,8 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
+use diy::trace::TraceMode;
+
 /// When a tool runs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ToolSchedule {
@@ -105,6 +107,9 @@ impl ToolSchedule {
 pub struct FrameworkConfig {
     pub tools: Vec<ToolSchedule>,
     pub output_dir: PathBuf,
+    /// Flight-recorder mode from a `trace off|spans|full` directive;
+    /// `None` leaves the `TESS_TRACE` environment resolution in charge.
+    pub trace: Option<TraceMode>,
 }
 
 /// Configuration parse errors (line number + message).
@@ -128,6 +133,7 @@ impl FrameworkConfig {
         let mut cfg = FrameworkConfig {
             tools: Vec::new(),
             output_dir: PathBuf::from("."),
+            trace: None,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -187,6 +193,20 @@ impl FrameworkConfig {
                         .next()
                         .ok_or_else(|| err("output_dir needs a path".into()))?;
                     cfg.output_dir = PathBuf::from(dir);
+                }
+                // accept both `trace full` and the single-token `trace=full`
+                Some(tok) if tok == "trace" || tok.starts_with("trace=") => {
+                    let value = match tok.split_once('=') {
+                        Some((_, v)) => v,
+                        None => parts
+                            .next()
+                            .ok_or_else(|| err("trace needs off|spans|full".into()))?,
+                    };
+                    cfg.trace = Some(
+                        value
+                            .parse()
+                            .map_err(|_| err(format!("bad trace mode '{value}'")))?,
+                    );
                 }
                 Some(other) => return Err(err(format!("unknown directive '{other}'"))),
                 None => unreachable!("empty lines skipped"),
@@ -261,6 +281,9 @@ mod tests {
             "tool x ghost=adaptive:2.5:x",
             "tool x ghost=adaptive:1:2:3",
             "tool x ghost=3.0:7",
+            "trace",
+            "trace verbose",
+            "trace=bogus",
         ] {
             let e = FrameworkConfig::parse(bad).unwrap_err();
             assert_eq!(e.line, 1, "{bad}");
@@ -305,6 +328,21 @@ mod tests {
             })
         );
         assert_eq!(g("g"), None);
+    }
+
+    #[test]
+    fn parses_trace_directive() {
+        for (text, want) in [
+            ("trace off", TraceMode::Off),
+            ("trace spans", TraceMode::Spans),
+            ("trace full", TraceMode::Full),
+            ("trace=full", TraceMode::Full),
+            ("trace full   # comment", TraceMode::Full),
+        ] {
+            let cfg = FrameworkConfig::parse(text).unwrap();
+            assert_eq!(cfg.trace, Some(want), "{text}");
+        }
+        assert_eq!(FrameworkConfig::parse("").unwrap().trace, None);
     }
 
     #[test]

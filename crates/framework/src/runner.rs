@@ -46,6 +46,11 @@ impl InSituRunner {
         sim: &mut Simulation,
         nsteps: usize,
     ) -> Vec<ToolReport> {
+        // A `trace` directive in the deck overrides whatever TESS_TRACE
+        // resolved to (the config file is the run's source of truth).
+        if let Some(mode) = self.config.trace {
+            diy::trace::set_trace_mode(mode);
+        }
         let mut reports = Vec::new();
         for _ in 0..nsteps {
             sim.step(world);

@@ -78,28 +78,51 @@ impl AnalysisTool for TessTool {
         let result = tessellate(world, &sim.dec, &sim.asn, &local, &self.params);
         let stats = tess::driver::global_stats(world, result.stats);
 
+        // Global candidates-per-cell distribution: merge every rank's
+        // log-bucket histogram (collective — each rank gets the sum).
+        let cand = world
+            .metrics()
+            .snapshot()
+            .hists
+            .get(tess::driver::HIST_CANDIDATES)
+            .cloned()
+            .unwrap_or_default();
+        let cand = diy::reduce::all_reduce_merge(world, cand, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+
         std::fs::create_dir_all(&ctx.output_dir).ok();
         let path = ctx.output_dir.join(format!("tess_step{}.bin", ctx.step));
         let bytes =
             tess::io::write_tessellation(world, &path, &result.blocks).expect("tessellation write");
 
         self.history.push((ctx.step, stats, result.ghost_used));
+        let mut summary = format!(
+            "step {}: {} cells ({} incomplete dropped, ghost {:.2} in {} round{}, \
+             {:.1} candidates/cell, {} reused), {} bytes",
+            ctx.step,
+            stats.cells,
+            stats.incomplete,
+            result.ghost_used,
+            stats.ghost_rounds,
+            if stats.ghost_rounds == 1 { "" } else { "s" },
+            stats.candidates_tested as f64 / stats.cells_computed.max(1) as f64,
+            stats.cells_reused,
+            bytes
+        );
+        if cand.n() > 0 {
+            summary.push_str(&format!(
+                ", candidates/cell dist {} (p50 {:.0}, max {:.0})",
+                cand.sparkline(),
+                cand.quantile(0.5),
+                cand.max()
+            ));
+        }
         ToolReport {
             tool: self.name().to_string(),
             step: ctx.step,
-            summary: format!(
-                "step {}: {} cells ({} incomplete dropped, ghost {:.2} in {} round{}, \
-                 {:.1} candidates/cell, {} reused), {} bytes",
-                ctx.step,
-                stats.cells,
-                stats.incomplete,
-                result.ghost_used,
-                stats.ghost_rounds,
-                if stats.ghost_rounds == 1 { "" } else { "s" },
-                stats.candidates_tested as f64 / stats.cells_computed.max(1) as f64,
-                stats.cells_reused,
-                bytes
-            ),
+            summary,
             artifacts: vec![path],
         }
     }

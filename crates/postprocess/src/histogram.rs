@@ -31,13 +31,25 @@ pub struct Histogram {
 
 impl Histogram {
     /// Build from samples with `nbins` equal bins over `[lo, hi]`.
+    ///
+    /// Degenerate specs are repaired instead of panicking: `nbins == 0`
+    /// becomes one bin, and a zero-width or inverted or non-finite range
+    /// falls back to a half-unit band around `lo` (or `[0, 1]` when even
+    /// `lo` is unusable).
     pub fn from_samples(
         samples: impl IntoIterator<Item = f64>,
         lo: f64,
         hi: f64,
         nbins: usize,
     ) -> Self {
-        assert!(nbins > 0 && hi > lo, "invalid histogram spec");
+        let nbins = nbins.max(1);
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() && hi > lo {
+            (lo, hi)
+        } else if lo.is_finite() {
+            (lo - 0.5, lo + 0.5)
+        } else {
+            (0.0, 1.0)
+        };
         let mut h = Histogram {
             lo,
             hi,
@@ -56,20 +68,31 @@ impl Histogram {
     }
 
     /// Build with the range taken from the samples themselves (the paper's
-    /// figures annotate the observed range).
+    /// figures annotate the observed range). Non-finite samples do not
+    /// influence the range; a single distinct value gets a unit-wide band
+    /// centered on it so the sample still bins.
     pub fn auto_range(samples: &[f64], nbins: usize) -> Self {
         let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let (lo, hi) = if lo.is_finite() && hi > lo {
             (lo, hi)
+        } else if lo.is_finite() {
+            // all samples equal: center the band on the one value
+            (lo - 0.5, lo + 0.5)
         } else {
             (0.0, 1.0)
         };
         Self::from_samples(samples.iter().copied(), lo, hi, nbins)
     }
 
-    /// Add one sample (updates moments streaming-style).
+    /// Add one sample (updates moments streaming-style). Non-finite
+    /// samples count as outliers and are excluded from the moments —
+    /// one NaN must not poison every summary statistic.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.outliers += 1;
+            return;
+        }
         // Welford-style update of central moments (Pébay's formulas).
         let n1 = self.n as f64;
         self.n += 1;
@@ -257,10 +280,53 @@ mod tests {
     #[test]
     fn auto_range_handles_degenerate_input() {
         let h = Histogram::auto_range(&[5.0, 5.0, 5.0], 10);
-        // degenerate range falls back without panicking
+        // degenerate range falls back without panicking, and the repaired
+        // band actually bins the repeated value
         assert_eq!(h.n(), 3);
+        assert_eq!(h.counts.iter().sum::<u64>(), 3);
+        assert_eq!(h.outliers, 0);
         let h = Histogram::auto_range(&[], 10);
         assert_eq!(h.n(), 0);
         assert_eq!(h.skewness(), 0.0);
+    }
+
+    #[test]
+    fn zero_width_and_zero_bin_specs_are_repaired() {
+        // hi == lo, inverted range, zero bins: no panics, samples land
+        let h = Histogram::from_samples([2.0, 2.0], 2.0, 2.0, 0);
+        assert_eq!(h.n(), 2);
+        assert_eq!(h.counts.len(), 1);
+        assert_eq!(h.counts[0], 2);
+        let h = Histogram::from_samples([0.5], 1.0, 0.0, 4);
+        assert_eq!(h.n(), 1);
+        let h = Histogram::from_samples([0.5], f64::NAN, f64::NAN, 4);
+        assert_eq!((h.lo, h.hi), (0.0, 1.0));
+        assert_eq!(h.counts[2], 1);
+    }
+
+    #[test]
+    fn non_finite_samples_become_outliers_without_poisoning_moments() {
+        let h = Histogram::from_samples(
+            [0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5],
+            0.0,
+            1.0,
+            4,
+        );
+        assert_eq!(h.n(), 2, "only finite samples enter the moments");
+        assert_eq!(h.outliers, 3);
+        assert!((h.mean() - 0.5).abs() < 1e-15);
+        assert!(h.skewness().is_finite());
+        assert!(h.kurtosis().is_finite());
+        assert_eq!(h.counts[2], 2);
+    }
+
+    #[test]
+    fn single_sample_input_is_well_defined() {
+        let h = Histogram::auto_range(&[7.25], 8);
+        assert_eq!(h.n(), 1);
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
+        assert_eq!(h.variance(), 0.0);
+        assert_eq!(h.skewness(), 0.0);
+        assert_eq!(h.kurtosis(), 0.0);
     }
 }

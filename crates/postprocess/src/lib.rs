@@ -25,6 +25,10 @@ pub mod tracking;
 
 pub use components::{label_components_serial, ComponentSummary, Components};
 pub use density::{density_contrast, DensityField};
+/// Streaming mergeable log-bucket histogram (no fixed range needed up
+/// front) — re-exported from `diy` for postprocessing pipelines whose
+/// sample range is unknown, alongside the fixed-range [`Histogram`].
+pub use diy::hist::LogHistogram;
 pub use histogram::Histogram;
 pub use minkowski::{minkowski_functionals, Minkowski};
 pub use threshold::VolumeFilter;

@@ -16,6 +16,9 @@ pub struct timespec {
     pub tv_nsec: c_long,
 }
 
+/// Linux `CLOCK_MONOTONIC` (see `linux/time.h`).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
 /// Linux `CLOCK_THREAD_CPUTIME_ID` (see `linux/time.h`).
 pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
 

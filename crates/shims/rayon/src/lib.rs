@@ -15,7 +15,10 @@
 
 pub mod pool;
 
-pub use pool::{max_parallelism, set_max_parallelism, take_pool_cpu_seconds, THREADS_ENV};
+pub use pool::{
+    max_parallelism, set_max_parallelism, set_task_trace, take_pool_cpu_seconds, take_pool_tasks,
+    PoolTask, THREADS_ENV,
+};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};

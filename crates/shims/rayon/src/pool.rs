@@ -16,9 +16,9 @@
 //! enclosing metrics span via [`take_pool_cpu_seconds`].
 
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Environment variable fixing the worker-pool parallelism (threads
@@ -71,10 +71,42 @@ fn thread_cpu_ns() -> u64 {
     ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
 }
 
+fn monotonic_ns() -> u64 {
+    let mut ts = libc::timespec::default();
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_MONOTONIC, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_MONOTONIC) failed");
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// One chunk execution, recorded when task tracing is on: which worker ran
+/// which chunk, and when (wall-clock `CLOCK_MONOTONIC` nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolTask {
+    /// 0 = the submitting thread; `1 + i` = pool worker `i`.
+    pub worker: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub chunk: u64,
+}
+
+/// Per-chunk task recording (off by default: one relaxed load per chunk).
+static TASK_TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable per-chunk task recording; returns the previous setting.
+/// The driver flips this on when the flight recorder runs in full mode.
+pub fn set_task_trace(on: bool) -> bool {
+    TASK_TRACE.swap(on, Ordering::Relaxed)
+}
+
 thread_local! {
     /// Pool CPU seconds charged to jobs this thread submitted, not yet
     /// drained by [`take_pool_cpu_seconds`].
     static PENDING_POOL_CPU: Cell<f64> = const { Cell::new(0.0) };
+    /// This thread's stable worker id (0 for non-pool threads).
+    static WORKER_ID: Cell<u32> = const { Cell::new(0) };
+    /// Tasks recorded by jobs this thread submitted, not yet drained by
+    /// [`take_pool_tasks`].
+    static PENDING_POOL_TASKS: RefCell<Vec<PoolTask>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Drain the pool-thread CPU seconds accumulated by jobs this thread has
@@ -82,6 +114,12 @@ thread_local! {
 /// the metrics span that enclosed the parallel work.
 pub fn take_pool_cpu_seconds() -> f64 {
     PENDING_POOL_CPU.with(|c| c.replace(0.0))
+}
+
+/// Drain the per-chunk tasks recorded (under [`set_task_trace`]) by jobs
+/// this thread has submitted since the last drain.
+pub fn take_pool_tasks() -> Vec<PoolTask> {
+    PENDING_POOL_TASKS.with(|t| std::mem::take(&mut *t.borrow_mut()))
 }
 
 type RunFn = dyn Fn(usize) + Sync;
@@ -102,6 +140,8 @@ struct Job {
     /// before the corresponding `done` increment, so it is complete once
     /// `done == total`.
     cpu_ns: AtomicU64,
+    /// Per-chunk task records (only filled under [`set_task_trace`]).
+    tasks: Mutex<Vec<PoolTask>>,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<usize>,
     all_done: Condvar,
@@ -123,9 +163,20 @@ impl Job {
                 return;
             }
             let t0 = if record_cpu { thread_cpu_ns() } else { 0 };
+            let tracing = TASK_TRACE.load(Ordering::Relaxed);
+            let w0 = if tracing { monotonic_ns() } else { 0 };
             // AssertUnwindSafe: on panic the job is poisoned via the panic
             // slot and the submitter rethrows; partial results are dropped.
             let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.run)(k) }));
+            if tracing {
+                let task = PoolTask {
+                    worker: WORKER_ID.with(Cell::get),
+                    start_ns: w0,
+                    end_ns: monotonic_ns(),
+                    chunk: k as u64,
+                };
+                self.tasks.lock().unwrap().push(task);
+            }
             if record_cpu {
                 self.cpu_ns
                     .fetch_add(thread_cpu_ns().saturating_sub(t0), Ordering::AcqRel);
@@ -178,7 +229,10 @@ fn pool() -> &'static Pool {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name(format!("tess-pool-{i}"))
-                .spawn(move || worker_loop(&state))
+                .spawn(move || {
+                    WORKER_ID.with(|w| w.set(1 + i as u32));
+                    worker_loop(&state)
+                })
                 .expect("spawn pool worker");
         }
         Pool { state }
@@ -223,7 +277,25 @@ where
 {
     let parallelism = max_parallelism();
     if parallelism <= 1 || chunks <= 1 {
-        return (0..chunks).map(run).collect();
+        if !TASK_TRACE.load(Ordering::Relaxed) {
+            return (0..chunks).map(run).collect();
+        }
+        // Sequential fallback still records tasks so traced single-thread
+        // runs show the same per-chunk timeline shape.
+        return (0..chunks)
+            .map(|k| {
+                let start_ns = monotonic_ns();
+                let r = run(k);
+                let task = PoolTask {
+                    worker: 0,
+                    start_ns,
+                    end_ns: monotonic_ns(),
+                    chunk: k as u64,
+                };
+                PENDING_POOL_TASKS.with(|t| t.borrow_mut().push(task));
+                r
+            })
+            .collect();
     }
 
     let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
@@ -242,6 +314,7 @@ where
         helpers: AtomicUsize::new(0),
         max_helpers: parallelism - 1,
         cpu_ns: AtomicU64::new(0),
+        tasks: Mutex::new(Vec::new()),
         panic: Mutex::new(None),
         done: Mutex::new(0),
         all_done: Condvar::new(),
@@ -265,6 +338,12 @@ where
     let cpu = job.cpu_ns.load(Ordering::Acquire);
     if cpu > 0 {
         PENDING_POOL_CPU.with(|c| c.set(c.get() + cpu as f64 * 1e-9));
+    }
+    {
+        let mut tasks = job.tasks.lock().unwrap();
+        if !tasks.is_empty() {
+            PENDING_POOL_TASKS.with(|t| t.borrow_mut().append(&mut tasks));
+        }
     }
     if let Some(payload) = job.panic.lock().unwrap().take() {
         resume_unwind(payload);
@@ -351,5 +430,37 @@ mod tests {
     fn sequential_fallback_handles_zero_chunks() {
         let v: Vec<usize> = run_ordered(0, |k| k);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn task_trace_records_every_chunk_once() {
+        let _g = CAP_LOCK.lock().unwrap();
+        for threads in [1usize, 4] {
+            let prev = set_max_parallelism(threads);
+            let prev_trace = set_task_trace(true);
+            take_pool_tasks(); // reset
+            let v = run_ordered(10, |k| k * 2);
+            set_task_trace(prev_trace);
+            set_max_parallelism(prev);
+            assert_eq!(v.len(), 10);
+            let mut tasks = take_pool_tasks();
+            assert_eq!(tasks.len(), 10, "threads={threads}");
+            tasks.sort_by_key(|t| t.chunk);
+            for (i, t) in tasks.iter().enumerate() {
+                assert_eq!(t.chunk, i as u64);
+                assert!(t.end_ns >= t.start_ns);
+            }
+            assert!(take_pool_tasks().is_empty());
+        }
+    }
+
+    #[test]
+    fn task_trace_off_records_nothing() {
+        let _g = CAP_LOCK.lock().unwrap();
+        let prev = set_max_parallelism(4);
+        take_pool_tasks();
+        let _ = run_ordered(8, |k| k);
+        set_max_parallelism(prev);
+        assert!(take_pool_tasks().is_empty());
     }
 }

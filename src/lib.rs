@@ -11,5 +11,7 @@ pub use framework;
 pub use geometry;
 pub use hacc;
 pub use postprocess;
+pub use rand;
+pub use rand_chacha;
 pub use rayon;
 pub use tess;
