@@ -20,10 +20,21 @@ echo "==> rank-determinism suite at 8 ranks (release)"
 # exchange protocol; run them explicitly so optimized codegen is covered.
 cargo test --release -q -p meshing-universe --test ghost_adaptive
 
-echo "==> perf smoke: threaded+incremental vs sequential baseline"
-# Bit-identical meshes, conservation, >=2x cells/sec over the sequential
-# full-recompute baseline, and <30% regression against the committed
-# crates/bench/perf_baseline.json (PERF_BASELINE_WRITE=1 regenerates it).
+echo "==> kernel equivalence: ring vs stream differential oracle (release)"
+# The two cell kernels (TESS_KERNEL=ring|stream) must produce bit-identical
+# merged meshes across 1/2/4/8 ranks, pool widths, incremental-vs-full
+# re-tessellation, explicit+adaptive ghost modes, and kept-incomplete
+# configurations — and the streamed kernel must clip measurably fewer
+# candidates for the identical mesh.
+cargo test --release -q -p meshing-universe --test kernel_equivalence
+cargo test --release -q -p meshing-universe --test adversarial_corpus
+
+echo "==> perf smoke: ring/stream kernels, threaded+incremental vs sequential baseline"
+# Bit-identical meshes across all three configs, conservation, >=2x fewer
+# candidates/cell for the streamed kernel (deterministic), >=2x cells/sec
+# over the sequential full-recompute baseline, and <30% regression against
+# the committed crates/bench/perf_baseline.json (PERF_BASELINE_WRITE=1
+# regenerates it after an intentional perf change).
 TESS_THREADS=4 cargo run --release -q -p bench-harness --bin perf_smoke
 
 echo "==> trace smoke: 4-rank traced run, Chrome-trace validation, <10% overhead"

@@ -1,19 +1,26 @@
-//! CI perf smoke: the small Table II workload, threaded + incremental vs
-//! the seed-equivalent baseline (1-wide pool, full per-round recompute).
+//! CI perf smoke: the small Table II workload in three configurations —
 //!
-//! Three gates, any failure exits non-zero:
+//!   A. `ring` kernel, sequential, full per-round recompute (seed-equivalent)
+//!   B. `ring` kernel, threaded + incremental
+//!   C. `stream` kernel, threaded + incremental (the default production path)
 //!
-//! 1. **Correctness** — both modes produce a bit-identical merged mesh and
-//!    the transport conservation invariant holds.
-//! 2. **Relative throughput** — the optimized mode must clear 2× the
-//!    baseline's cells/sec on the multi-round adaptive config (the
-//!    incremental re-tessellation gain; on multi-core hardware the pool
-//!    adds on top of it).
-//! 3. **Absolute regression** — cells/sec must stay within 30% of the
+//! Gates, any failure exits non-zero:
+//!
+//! 1. **Correctness** — all three configurations produce a bit-identical
+//!    merged mesh and the transport conservation invariant holds.
+//! 2. **Kernel work** — the streamed kernel (C) must clip at most half the
+//!    candidates per computed cell of the ring scan (B) on the identical
+//!    workload, and its support-function prefilter must actually fire.
+//!    Candidate counts are deterministic, so this gate is noise-free.
+//! 3. **Relative throughput** — C must clear 2× the sequential baseline's
+//!    cells/sec and must not fall behind the ring scan (>10% tolerance for
+//!    scheduler noise; the candidate gate is the load-bearing one).
+//! 4. **Absolute regression** — C's cells/sec must stay within 30% of the
 //!    committed `crates/bench/perf_baseline.json`. Regenerate that file
 //!    with `PERF_BASELINE_WRITE=1` after an intentional perf change.
 //!
-//! Both measurements land in `BENCH_TESS.json` under the bench output dir.
+//! All three measurements land in `BENCH_TESS.json` under the bench output
+//! dir and the repo root.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -27,7 +34,7 @@ use diy::metrics::collect_report;
 use geometry::Aabb;
 use rayon::set_max_parallelism;
 use tess::ghost::is_ghost_tag;
-use tess::{tessellate, GhostSpec, TessParams};
+use tess::{tessellate, GhostSpec, KernelMode, TessParams};
 
 const NP: usize = 16;
 const NSTEPS: usize = 100;
@@ -53,7 +60,12 @@ struct ModeRun {
     report: diy::metrics::RunReport,
 }
 
-fn run_mode(particles: &[(u64, geometry::Vec3)], dec: &Decomp, incremental: bool) -> ModeRun {
+fn run_mode(
+    particles: &[(u64, geometry::Vec3)],
+    dec: &Decomp,
+    kernel: KernelMode,
+    incremental: bool,
+) -> ModeRun {
     let mut best: Option<ModeRun> = None;
     for _ in 0..REPS {
         let rows = Runtime::run(NRANKS, move |world| {
@@ -62,6 +74,7 @@ fn run_mode(particles: &[(u64, geometry::Vec3)], dec: &Decomp, incremental: bool
             let params = TessParams {
                 ghost: GHOST,
                 incremental_retess: incremental,
+                kernel,
                 ..TessParams::default()
             };
             let t0 = Instant::now();
@@ -124,83 +137,118 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+fn cand_per_cell(r: &ModeRun) -> f64 {
+    r.stats.candidates_tested as f64 / r.stats.cells_computed.max(1) as f64
+}
+
 fn main() {
     let particles = evolved_particles_cached(NP, NSTEPS);
     let dec = Decomp::regular(Aabb::cube(NP as f64), NBLOCKS, [true; 3]);
 
-    // Seed-equivalent baseline: sequential kernel, full per-round recompute.
+    // A: seed-equivalent baseline — ring scan, 1-wide pool, full recompute.
     let prev = set_max_parallelism(1);
-    let baseline = run_mode(&particles, &dec, false);
-    // Optimized path at the CI thread count (TESS_THREADS, default 4).
+    let baseline = run_mode(&particles, &dec, KernelMode::Ring, false);
+    // B and C: the optimized path at the CI thread count (TESS_THREADS,
+    // default 4), ring scan vs streamed kernel on the identical workload.
     let threads = std::env::var("TESS_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4usize);
     set_max_parallelism(threads.max(2));
-    let optimized = run_mode(&particles, &dec, true);
+    let ring = run_mode(&particles, &dec, KernelMode::Ring, true);
+    let stream = run_mode(&particles, &dec, KernelMode::Stream, true);
     set_max_parallelism(prev);
 
-    // Gate 1: bit-identical meshes.
+    // Gate 1: bit-identical meshes across pool width, incremental reuse,
+    // and — the kernel-equivalence invariant — the candidate kernel itself.
     assert_eq!(
-        optimized.mesh, baseline.mesh,
-        "optimized mesh differs from the sequential full-recompute baseline"
+        ring.mesh, baseline.mesh,
+        "ring incremental mesh differs from the sequential full-recompute baseline"
     );
-    assert_eq!(optimized.stats.cells, baseline.stats.cells);
+    assert_eq!(
+        stream.mesh, baseline.mesh,
+        "streamed-kernel mesh differs from the ring-scan baseline"
+    );
+    assert_eq!(stream.stats.cells, baseline.stats.cells);
     assert!(
-        optimized.stats.cells_reused > 0,
+        stream.stats.cells_reused > 0,
         "incremental mode reused nothing — not exercising the resume path"
     );
 
-    let cps = |r: &ModeRun| r.stats.cells as f64 / r.wall_s;
-    let (base_cps, opt_cps) = (cps(&baseline), cps(&optimized));
-    let speedup = opt_cps / base_cps;
-    println!(
-        "perf_smoke: baseline {base_cps:.0} cells/s ({} computed), optimized {opt_cps:.0} cells/s ({} computed, {} reused), speedup {speedup:.2}x over {} rounds",
-        baseline.stats.cells_computed,
-        optimized.stats.cells_computed,
-        optimized.stats.cells_reused,
-        optimized.stats.ghost_rounds,
+    // Gate 2: kernel work. Deterministic counters, no timing noise.
+    let (ring_cand, stream_cand) = (cand_per_cell(&ring), cand_per_cell(&stream));
+    assert_eq!(ring.stats.cells_computed, stream.stats.cells_computed);
+    assert!(
+        stream_cand * 2.0 <= ring_cand,
+        "stream kernel clipped {stream_cand:.1} candidates/cell vs ring {ring_cand:.1} — need at least 2x fewer"
+    );
+    assert!(
+        stream.stats.prefilter_skipped > 0,
+        "stream prefilter never fired"
     );
 
+    let cps = |r: &ModeRun| r.stats.cells as f64 / r.wall_s;
+    let (base_cps, ring_cps, stream_cps) = (cps(&baseline), cps(&ring), cps(&stream));
+    let speedup = stream_cps / base_cps;
+    println!(
+        "perf_smoke: baseline {base_cps:.0} cells/s ({} computed), ring {ring_cps:.0} cells/s, stream {stream_cps:.0} cells/s ({} computed, {} reused), speedup {speedup:.2}x over {} rounds",
+        baseline.stats.cells_computed,
+        stream.stats.cells_computed,
+        stream.stats.cells_reused,
+        stream.stats.ghost_rounds,
+    );
+    println!(
+        "perf_smoke: candidates/cell ring {ring_cand:.1} vs stream {stream_cand:.1} ({:.2}x fewer), {} prefilter-skipped",
+        ring_cand / stream_cand,
+        stream.stats.prefilter_skipped,
+    );
+
+    let entry = |label: &str, kernel: &str, r: &ModeRun| TessBenchEntry {
+        label: label.into(),
+        kernel: kernel.into(),
+        stats: r.stats,
+        wall_s: r.wall_s,
+        ghost_bytes: r.ghost_bytes,
+        exchange_s: 0.0,
+        voronoi_s: 0.0,
+        output_s: 0.0,
+    };
     let entries = [
-        TessBenchEntry {
-            label: "perf_smoke_baseline_seq_full".into(),
-            stats: baseline.stats,
-            wall_s: baseline.wall_s,
-            ghost_bytes: baseline.ghost_bytes,
-            exchange_s: 0.0,
-            voronoi_s: 0.0,
-            output_s: 0.0,
-        },
-        TessBenchEntry {
-            label: format!("perf_smoke_threads{threads}_incremental"),
-            stats: optimized.stats,
-            wall_s: optimized.wall_s,
-            ghost_bytes: optimized.ghost_bytes,
-            exchange_s: 0.0,
-            voronoi_s: 0.0,
-            output_s: 0.0,
-        },
+        entry("perf_smoke_baseline_seq_full", "ring", &baseline),
+        entry(
+            &format!("perf_smoke_ring_threads{threads}_incremental"),
+            "ring",
+            &ring,
+        ),
+        entry(
+            &format!("perf_smoke_stream_threads{threads}_incremental"),
+            "stream",
+            &stream,
+        ),
     ];
     for path in write_bench_tess_json(&entries) {
         println!("perf_smoke: wrote {}", path.display());
     }
 
-    // Distribution sparklines from the optimized run's merged report.
-    println!("perf_smoke: distributions (optimized run):");
-    print_report_hists(&optimized.report);
+    // Distribution sparklines from the streamed run's merged report.
+    println!("perf_smoke: distributions (stream run):");
+    print_report_hists(&stream.report);
 
-    // Gate 2: the optimized path must clear 2x the in-run baseline.
+    // Gate 3: relative throughput.
     assert!(
         speedup >= 2.0,
-        "optimized path is only {speedup:.2}x the sequential full-recompute baseline (need 2x)"
+        "stream path is only {speedup:.2}x the sequential full-recompute baseline (need 2x)"
+    );
+    assert!(
+        stream_cps >= 0.9 * ring_cps,
+        "stream kernel fell behind the ring scan: {stream_cps:.0} vs {ring_cps:.0} cells/s"
     );
 
-    // Gate 3: absolute regression against the committed baseline.
+    // Gate 4: absolute regression against the committed baseline.
     let baseline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("perf_baseline.json");
     if std::env::var("PERF_BASELINE_WRITE").is_ok() {
         let doc = format!(
-            "{{\n  \"config\": \"np{NP} steps{NSTEPS} blocks{NBLOCKS} ranks{NRANKS} adaptive0.5\",\n  \"cells_per_sec\": {opt_cps:.1},\n  \"speedup_vs_seq_full\": {speedup:.2}\n}}\n"
+            "{{\n  \"config\": \"np{NP} steps{NSTEPS} blocks{NBLOCKS} ranks{NRANKS} adaptive0.5 stream\",\n  \"cells_per_sec\": {stream_cps:.1},\n  \"candidates_per_cell\": {stream_cand:.1},\n  \"speedup_vs_seq_full\": {speedup:.2}\n}}\n"
         );
         std::fs::write(&baseline_path, doc).expect("write perf_baseline.json");
         println!(
@@ -213,9 +261,9 @@ fn main() {
         .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
     let committed = json_number(&doc, "cells_per_sec").expect("cells_per_sec in baseline");
     assert!(
-        opt_cps >= 0.7 * committed,
-        "cells/sec regressed >30%: {opt_cps:.0} now vs {committed:.0} committed \
+        stream_cps >= 0.7 * committed,
+        "cells/sec regressed >30%: {stream_cps:.0} now vs {committed:.0} committed \
          (rerun with PERF_BASELINE_WRITE=1 if intentional)"
     );
-    println!("perf_smoke: {opt_cps:.0} cells/s vs committed {committed:.0} — OK");
+    println!("perf_smoke: {stream_cps:.0} cells/s vs committed {committed:.0} — OK");
 }

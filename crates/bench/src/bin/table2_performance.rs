@@ -117,6 +117,7 @@ fn main() {
             let (_, ghost_bytes) = report.tag_traffic_where(is_ghost_tag);
             bench_entries.push(TessBenchEntry {
                 label: format!("table2_np{np}_r{nranks}"),
+                kernel: tess::KernelMode::from_env().as_str().into(),
                 stats: *stats,
                 wall_s: *tess_wall,
                 ghost_bytes,

@@ -185,6 +185,8 @@ pub fn evolved_particles_cached(np: usize, nsteps: usize) -> Vec<(u64, Vec3)> {
 pub struct TessBenchEntry {
     /// Configuration label, e.g. `table2_np16_r4`.
     pub label: String,
+    /// Cell kernel the run used (`"ring"` or `"stream"`).
+    pub kernel: String,
     /// Globally merged tessellation counters.
     pub stats: tess::TessStats,
     /// Wall-clock seconds of the `tessellate` call (max across ranks).
@@ -224,18 +226,21 @@ pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         out.push_str(&format!(
             concat!(
-                "    {{\"label\": \"{}\", \"cells\": {}, \"wall_s\": {:.6}, ",
+                "    {{\"label\": \"{}\", \"kernel\": \"{}\", \"cells\": {}, \"wall_s\": {:.6}, ",
                 "\"cells_per_sec\": {:.3}, \"candidates_per_cell\": {:.3}, ",
+                "\"prefilter_skipped\": {}, ",
                 "\"cells_computed\": {}, \"cells_reused\": {}, ",
                 "\"reuse_fraction\": {:.6}, ",
                 "\"ghost_rounds\": {}, \"ghost_bytes\": {}, ",
                 "\"exchange_s\": {:.6}, \"voronoi_s\": {:.6}, \"output_s\": {:.6}}}{}\n"
             ),
             e.label,
+            e.kernel,
             s.cells,
             e.wall_s,
             cells_per_sec,
             cand_per_cell,
+            s.prefilter_skipped,
             s.cells_computed,
             s.cells_reused,
             reuse_fraction,

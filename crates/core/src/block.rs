@@ -125,6 +125,7 @@ pub struct BlockSession {
     cells_computed: u64,
     cells_reused: u64,
     candidates_tested: u64,
+    prefilter_skipped: u64,
     obs: CellObs,
 }
 
@@ -184,6 +185,7 @@ pub fn tessellate_block_session(
         cells_computed: 0,
         cells_reused: 0,
         candidates_tested: 0,
+        prefilter_skipped: 0,
         obs: CellObs::default(),
     };
     let (pts, ids) = flatten(own, ghosts);
@@ -194,8 +196,9 @@ pub fn tessellate_block_session(
     session.records = records
         .into_iter()
         .enumerate()
-        .map(|(i, (record, tested, ns))| {
+        .map(|(i, (record, tested, skipped, ns))| {
             session.candidates_tested = session.candidates_tested.saturating_add(tested);
+            session.prefilter_skipped = session.prefilter_skipped.saturating_add(skipped);
             obs.note(tested, ns);
             obs.note_slow(ns, own[i].0);
             record
@@ -242,8 +245,9 @@ impl BlockSession {
         self.cells_computed += indices.len() as u64;
         let recomputed = compute_records(self, &pts, &ids, &indices, &region, params);
         let mut obs = std::mem::take(&mut self.obs);
-        for (i, (record, tested, ns)) in indices.into_iter().zip(recomputed) {
+        for (i, (record, tested, skipped, ns)) in indices.into_iter().zip(recomputed) {
             self.candidates_tested = self.candidates_tested.saturating_add(tested);
+            self.prefilter_skipped = self.prefilter_skipped.saturating_add(skipped);
             obs.note(tested, ns);
             obs.note_slow(ns, own[i].0);
             self.records[i] = record;
@@ -305,9 +309,9 @@ fn flatten(own: &[(u64, Vec3)], ghosts: &[(u64, Vec3)]) -> (Vec<Vec3>, Vec<u64>)
 
 /// Compute the cells at `indices` in parallel; the result vector is in
 /// `indices` order (the pool collects chunk results by position). Each
-/// element carries the candidate-test count and wall nanoseconds (0 when
-/// tracing is off — the clock is only read under a trace mode) alongside
-/// the record.
+/// element carries the candidate-test count, prefilter-skip count, and
+/// wall nanoseconds (0 when tracing is off — the clock is only read under
+/// a trace mode) alongside the record.
 fn compute_records(
     session: &BlockSession,
     pts: &[Vec3],
@@ -315,7 +319,7 @@ fn compute_records(
     indices: &[usize],
     region: &Aabb,
     params: &TessParams,
-) -> Vec<(CellRecord, u64, u64)> {
+) -> Vec<(CellRecord, u64, u64, u64)> {
     let bounds = session.bounds;
     let grid = CandidateGrid::build(*region, pts, 2.0);
     // Canonicalisation box for the kernel: a function of the block alone
@@ -330,6 +334,10 @@ fn compute_records(
         region,
         clip_box: &clip_box,
         eps: params.eps,
+        kernel: params.kernel,
+        // Kept-incomplete cells reach the output, so their bits must be
+        // canonical (kernel- and round-independent) too.
+        canon_incomplete: params.keep_incomplete,
     };
     let cull_diam2 = params.cull_diameter().map(|d| d * d);
     // Resolve once per pass: per-cell clock reads only happen under a
@@ -340,13 +348,13 @@ fn compute_records(
         .into_par_iter()
         .map(|i| {
             let t0 = if timed { monotonic_ns() } else { 0 };
-            let (record, tested) = compute_one(&ctx, &bounds, params, cull_diam2, i);
+            let (record, tested, skipped) = compute_one(&ctx, &bounds, params, cull_diam2, i);
             let ns = if timed {
                 monotonic_ns().saturating_sub(t0).max(1)
             } else {
                 0
             };
-            (record, tested, ns)
+            (record, tested, skipped, ns)
         })
         .collect()
 }
@@ -357,11 +365,12 @@ fn compute_one(
     params: &TessParams,
     cull_diam2: Option<f64>,
     i: usize,
-) -> (CellRecord, u64) {
+) -> (CellRecord, u64, u64) {
     let site = ctx.points[i];
     let cell = SCRATCH.with(|s| compute_cell(ctx, site, i as u32, &mut s.borrow_mut()));
     let tested = cell.candidates_tested as u64;
-    let record = |outcome, needed| (CellRecord { outcome, needed }, tested);
+    let skipped = cell.prefilter_skipped;
+    let record = |outcome, needed| (CellRecord { outcome, needed }, tested, skipped);
     let sec2 = 4.0 * cell.poly.max_vertex_dist2(site);
     // Radius bound an uncertified cell needs: the security ball
     // (2× site→farthest-vertex) must fit inside the grown region,
@@ -443,6 +452,7 @@ fn assemble(
         sites: session.records.len() as u64,
         ghosts_received: n_ghosts as u64,
         candidates_tested: session.candidates_tested,
+        prefilter_skipped: session.prefilter_skipped,
         cells_computed: session.cells_computed,
         cells_reused: session.cells_reused,
         ..Default::default()

@@ -3,16 +3,31 @@
 //! Two-phase kernel:
 //!
 //! 1. **Discovery** — grow the cell by clipping the ghosted region box with
-//!    bisectors of grid candidates in (approximate) distance order until the
-//!    security radius certifies no remaining particle can cut it.
-//! 2. **Canonicalisation** — for *complete* cells, re-clip a round- and
-//!    mode-independent box (`clip_box`) by every particle inside the
-//!    security ball in a canonical order (distance, then global id, then
-//!    position). Discovery order depends on the grid geometry, which changes
-//!    as the adaptive ghost region grows; canonicalisation makes the cell's
-//!    floating-point bits a function of the particle set alone, so a cell
-//!    certified in round `k` is bit-identical to the same cell recomputed in
-//!    any later round — the invariant incremental re-tessellation rests on.
+//!    bisectors of grid candidates until the security radius certifies no
+//!    remaining particle can cut it. Two interchangeable strategies exist
+//!    ([`crate::params::KernelMode`]): the legacy *ring scan* (whole
+//!    Chebyshev rings, sorted per ring) and the *candidate stream* (a lazy
+//!    min-heap merge emitting candidates in globally non-decreasing
+//!    distance with an `f32` SoA prefilter), which terminates the moment
+//!    the next candidate lies beyond the security radius.
+//! 2. **Canonicalisation** — re-clip every cell that can land in the
+//!    output from a discovery-independent starting box by every particle
+//!    inside the (slightly inflated) security ball, in a canonical order
+//!    (distance, then global id, then position). Discovery order depends
+//!    on the kernel and on the grid geometry, which changes as the
+//!    adaptive ghost region grows; canonicalisation makes the cell's
+//!    floating-point bits a function of the particle set alone, so both
+//!    kernels produce bit-identical meshes and a cell certified in round
+//!    `k` is bit-identical to the same cell recomputed in any later round
+//!    — the invariants the kernel A/B switch and incremental
+//!    re-tessellation rest on.
+//!
+//!    Complete cells re-clip from the round-independent `clip_box`
+//!    (falling back to the current region only in single-round fixed-ghost
+//!    configurations whose radius exceeds the canonical box); incomplete
+//!    cells re-clip from the region when they are kept in the output
+//!    (`canon_incomplete`), and otherwise keep their discovery bits — the
+//!    geometry of a dropped cell is discarded anyway.
 //!
 //! All buffers live in a caller-owned [`CellScratch`] so computing millions
 //! of cells allocates nothing in steady state.
@@ -20,7 +35,8 @@
 use geometry::polyhedron::{ClipResult, ClipScratch};
 use geometry::{Aabb, ConvexPolyhedron, Plane, Vec3};
 
-use crate::grid::CandidateGrid;
+use crate::grid::{CandidateGrid, StreamScratch};
+use crate::params::KernelMode;
 
 /// Outcome of computing one cell.
 pub struct ComputedCell {
@@ -30,6 +46,9 @@ pub struct ComputedCell {
     pub complete: bool,
     /// Number of bisector planes tested (performance diagnostic).
     pub candidates_tested: usize,
+    /// Candidates the `f32` distance prefilter rejected before the exact
+    /// `f64` distance was ever computed (stream kernel + canonicalisation).
+    pub prefilter_skipped: u64,
 }
 
 /// Shared, immutable inputs for every cell of one block pass.
@@ -47,6 +66,12 @@ pub struct CellContext<'a> {
     pub clip_box: &'a Aabb,
     /// Clipping tolerance.
     pub eps: f64,
+    /// Discovery strategy; the output bits are kernel-independent.
+    pub kernel: KernelMode,
+    /// Canonically re-clip incomplete cells too. Required whenever they
+    /// can land in the output (`keep_incomplete`), so their bits cannot
+    /// depend on the discovery kernel either.
+    pub canon_incomplete: bool,
 }
 
 /// Reusable per-thread buffers for [`compute_cell`].
@@ -56,6 +81,17 @@ pub struct CellScratch {
     ordered: Vec<(f64, u32)>,
     ball: Vec<(f64, u32)>,
     clip: ClipScratch,
+    stream: StreamScratch,
+}
+
+/// Discovery-phase result shared by both kernels.
+struct Discovery {
+    poly: ConvexPolyhedron,
+    tested: usize,
+    prefilter_skipped: u64,
+    /// The clip emptied the polyhedron — numerically impossible for a true
+    /// Voronoi cell, guarded for degenerate input.
+    degenerate: bool,
 }
 
 /// Compute the Voronoi cell of `site` (`self_idx` in `ctx.points`, skipped).
@@ -65,16 +101,78 @@ pub fn compute_cell(
     self_idx: u32,
     scratch: &mut CellScratch,
 ) -> ComputedCell {
+    let disc = match ctx.kernel {
+        KernelMode::Ring => discover_ring(ctx, site, self_idx, scratch),
+        KernelMode::Stream => discover_stream(ctx, site, self_idx, scratch),
+    };
+    let mut poly = disc.poly;
+    let mut tested = disc.tested;
+    let mut prefilter_skipped = disc.prefilter_skipped;
+    if disc.degenerate {
+        return ComputedCell {
+            poly,
+            complete: false,
+            candidates_tested: tested,
+            prefilter_skipped,
+        };
+    }
+
+    // 2 × max site-to-vertex distance, squared — any particle farther than
+    // this cannot clip the cell.
+    let sec2 = 4.0 * poly.max_vertex_dist2(site);
+    let maxvert = sec2.sqrt() * 0.5;
+    // Complete iff the security ball is inside the region all particles
+    // are known for.
+    let complete = 2.0 * maxvert <= ctx.region.interior_distance(site) + ctx.eps;
+
+    if complete || ctx.canon_incomplete {
+        // The re-clip start box must contain the cell strictly in its
+        // interior for complete cells (so the box walls cannot cut them):
+        // `clip_box` when the cell fits — the round-stable canonical
+        // choice; in adaptive mode `clip_box ⊇ region`, so completeness
+        // already guarantees the fit. Otherwise fall back to the current
+        // region, which always contains the discovery cell (single-round
+        // fixed-ghost configurations, and incomplete cells, whose region
+        // walls are legitimately part of the cell).
+        let start_box = if complete && maxvert <= ctx.clip_box.interior_distance(site) {
+            ctx.clip_box
+        } else {
+            ctx.region
+        };
+        if let Some((canon, extra, skipped)) =
+            canonical_reclip(ctx, site, self_idx, sec2, start_box, scratch)
+        {
+            poly = canon;
+            tested += extra;
+            prefilter_skipped += skipped;
+        }
+    }
+
+    ComputedCell {
+        poly,
+        complete,
+        candidates_tested: tested,
+        prefilter_skipped,
+    }
+}
+
+/// Legacy discovery: visit whole Chebyshev rings, sort each ring by
+/// distance, clip everything inside the current security radius. Kept
+/// behind [`KernelMode::Ring`] (`TESS_KERNEL=ring`) as the A/B baseline.
+fn discover_ring(
+    ctx: &CellContext,
+    site: Vec3,
+    self_idx: u32,
+    scratch: &mut CellScratch,
+) -> Discovery {
     let grid = ctx.grid;
     let mut poly = ConvexPolyhedron::from_aabb(ctx.region);
     let mut tested = 0usize;
-
-    // 2 × max site-to-vertex distance, squared — any particle farther than
-    // this cannot clip the cell. Updated as the cell shrinks.
     let mut sec2 = 4.0 * poly.max_vertex_dist2(site);
 
     'rings: for r in 0..=grid.max_ring() {
-        // No remaining candidate can be closer than this.
+        // No remaining candidate can be closer than this (the legacy
+        // center-independent bound, preserved for faithful A/B runs).
         let lb = grid.ring_min_distance(r);
         if lb * lb > sec2 {
             break 'rings;
@@ -116,82 +214,108 @@ pub fn compute_cell(
                 }
                 ClipResult::Unchanged => {}
                 ClipResult::Empty => {
-                    // numerically impossible for a true Voronoi cell (the
-                    // site always belongs to its own cell), but guard
-                    // against degenerate input
-                    return ComputedCell {
+                    return Discovery {
                         poly,
-                        complete: false,
-                        candidates_tested: tested,
-                    };
+                        tested,
+                        prefilter_skipped: 0,
+                        degenerate: true,
+                    }
                 }
             }
         }
     }
-
-    // Complete iff the security ball is inside the region all particles are
-    // known for.
-    let sec = sec2.sqrt() * 0.5; // = max vertex distance
-    let complete = 2.0 * sec <= ctx.region.interior_distance(site) + ctx.eps;
-
-    if complete {
-        if let Some((canon, extra)) = canonical_reclip(ctx, site, self_idx, sec2, scratch) {
-            poly = canon;
-            tested += extra;
-        }
-    }
-
-    ComputedCell {
+    Discovery {
         poly,
-        complete,
-        candidates_tested: tested,
+        tested,
+        prefilter_skipped: 0,
+        degenerate: false,
     }
 }
 
-/// Re-clip a complete cell from the canonical box using every particle in
-/// the (slightly inflated) security ball, in canonical order. Returns `None`
-/// when the cell might not fit in `clip_box` (huge explicit ghost radii) —
-/// the discovery-phase polyhedron is already exact there, it just keeps its
-/// discovery-order bits.
+/// Streamed discovery: clip candidates in globally non-decreasing distance
+/// and stop the moment the next one lies beyond the security radius. The
+/// default kernel ([`KernelMode::Stream`]).
+fn discover_stream(
+    ctx: &CellContext,
+    site: Vec3,
+    self_idx: u32,
+    scratch: &mut CellScratch,
+) -> Discovery {
+    let CellScratch { stream, clip, .. } = scratch;
+    let mut poly = ConvexPolyhedron::from_aabb(ctx.region);
+    let (mut bb, maxd2) = poly.vertex_aabb_and_max_dist2(site);
+    let mut sec2 = 4.0 * maxd2;
+    let mut tested = 0usize;
+    let mut cheap_rejects = 0u64;
+    let mut candidates = ctx.grid.stream(ctx.points, site, self_idx, stream);
+    while let Some((d2, i)) = candidates.next(sec2) {
+        if d2 < 1e-24 {
+            continue; // coincident particle: no bisector exists
+        }
+        let q = ctx.points[i as usize];
+        let plane = Plane::bisector(site, q).expect("distinct points");
+        // Support-function reject: if the bisector cannot reach the cell's
+        // vertex bounding box, the clip is a provable no-op — skip the
+        // O(verts) classification entirely. Elongated boundary cells have
+        // security balls far larger than their box, so most ball
+        // candidates die here.
+        if bb.support(plane.n) - plane.d <= ctx.eps {
+            cheap_rejects += 1;
+            continue;
+        }
+        tested += 1;
+        match poly.clip_with(&plane, Some(i as u64), ctx.eps, clip) {
+            ClipResult::Clipped => {
+                let (nbb, maxd2) = poly.vertex_aabb_and_max_dist2(site);
+                bb = nbb;
+                sec2 = 4.0 * maxd2;
+            }
+            ClipResult::Unchanged => {}
+            ClipResult::Empty => {
+                let prefilter_skipped = candidates.prefilter_skipped() + cheap_rejects;
+                return Discovery {
+                    poly,
+                    tested,
+                    prefilter_skipped,
+                    degenerate: true,
+                };
+            }
+        }
+    }
+    let prefilter_skipped = candidates.prefilter_skipped() + cheap_rejects;
+    Discovery {
+        poly,
+        tested,
+        prefilter_skipped,
+        degenerate: false,
+    }
+}
+
+/// Re-clip a cell from `start_box` using every particle in the (slightly
+/// inflated) security ball, in canonical order. Returns `None` only when
+/// the re-clip empties the polyhedron (degenerate input) — the caller then
+/// keeps the discovery-phase polyhedron.
 fn canonical_reclip(
     ctx: &CellContext,
     site: Vec3,
     self_idx: u32,
     sec2: f64,
+    start_box: &Aabb,
     scratch: &mut CellScratch,
-) -> Option<(ConvexPolyhedron, usize)> {
-    // The cell lies inside ball(site, maxvert); it must also lie strictly
-    // inside the canonical box or the box walls would clip it. In adaptive
-    // mode `clip_box ⊇ region`, so completeness already guarantees this and
-    // the branch is round-stable.
-    let maxvert = 0.5 * sec2.sqrt();
-    if maxvert > ctx.clip_box.interior_distance(site) {
-        return None;
-    }
-
+) -> Option<(ConvexPolyhedron, usize, u64)> {
     // Inflate the ball so a particle at exactly the security distance (a
     // common exact tie on lattices) never flips in/out on the ulp-level
-    // differences `sec2` carries between rounds. Extra particles only add
-    // tangent planes, which cannot cut.
+    // differences `sec2` carries between rounds or kernels. Extra
+    // particles only add tangent planes, which cannot cut.
     let bound2 = sec2 * (1.0 + 1e-9);
-    let grid = ctx.grid;
-    scratch.ball.clear();
-    for r in 0..=grid.max_ring() {
-        let lb = grid.ring_min_distance(r);
-        if lb * lb > bound2 {
-            break;
-        }
-        grid.ring_candidates(site, r, &mut scratch.ring_buf);
-        for &i in scratch.ring_buf.iter() {
-            if i == self_idx {
-                continue;
-            }
-            let d2 = ctx.points[i as usize].dist2(site);
-            if (1e-24..=bound2).contains(&d2) {
-                scratch.ball.push((d2, i));
-            }
-        }
-    }
+    let mut skipped = ctx.grid.ball_candidates(
+        ctx.points,
+        site,
+        self_idx,
+        bound2,
+        &mut scratch.ring_buf,
+        &mut scratch.ball,
+    );
 
     // Canonical order: distance, then global id, then position — the last
     // because distinct periodic images of one particle can tie exactly in
@@ -209,16 +333,25 @@ fn canonical_reclip(
             })
     });
 
-    let mut poly = ConvexPolyhedron::from_aabb(ctx.clip_box);
+    let mut poly = ConvexPolyhedron::from_aabb(start_box);
+    let mut bb = *start_box;
     let mut tested = 0usize;
     for &(_, i) in scratch.ball.iter() {
         let plane = Plane::bisector(site, points[i as usize]).expect("distinct points");
+        // Same support-function reject as streamed discovery: skipping a
+        // provable no-op clip cannot change the canonical bits.
+        if bb.support(plane.n) - plane.d <= ctx.eps {
+            skipped += 1;
+            continue;
+        }
         tested += 1;
-        if poly.clip_with(&plane, Some(i as u64), ctx.eps, &mut scratch.clip) == ClipResult::Empty {
-            return None; // degenerate input; keep the discovery polyhedron
+        match poly.clip_with(&plane, Some(i as u64), ctx.eps, &mut scratch.clip) {
+            ClipResult::Clipped => (bb, _) = poly.vertex_aabb_and_max_dist2(site),
+            ClipResult::Unchanged => {}
+            ClipResult::Empty => return None, // degenerate; keep discovery poly
         }
     }
-    Some((poly, tested))
+    Some((poly, tested, skipped))
 }
 
 #[cfg(test)]
@@ -247,7 +380,7 @@ mod tests {
             .collect()
     }
 
-    fn cell_of(pts: &[Vec3], region: &Aabb, idx: usize) -> ComputedCell {
+    fn cell_with(pts: &[Vec3], region: &Aabb, idx: usize, kernel: KernelMode) -> ComputedCell {
         let grid = CandidateGrid::build(*region, pts, 2.0);
         let ids: Vec<u64> = (0..pts.len() as u64).collect();
         let ctx = CellContext {
@@ -257,8 +390,14 @@ mod tests {
             region,
             clip_box: region,
             eps: 1e-9,
+            kernel,
+            canon_incomplete: false,
         };
         compute_cell(&ctx, pts[idx], idx as u32, &mut CellScratch::default())
+    }
+
+    fn cell_of(pts: &[Vec3], region: &Aabb, idx: usize) -> ComputedCell {
+        cell_with(pts, region, idx, KernelMode::Stream)
     }
 
     #[test]
@@ -267,34 +406,123 @@ mod tests {
         let pts = lattice(n, 0.0);
         let region = Aabb::cube(n as f64);
         let center_idx = (n / 2) + n * ((n / 2) + n * (n / 2));
-        let cell = cell_of(&pts, &region, center_idx);
-        assert!(cell.complete);
-        assert!(
-            (cell.poly.volume() - 1.0).abs() < 1e-9,
-            "vol {}",
-            cell.poly.volume()
-        );
-        assert!((cell.poly.surface_area() - 6.0).abs() < 1e-9);
-        assert!(cell.poly.check_closed());
-        // only the 6 face neighbors touch the cell
-        assert_eq!(cell.poly.neighbor_ids().count(), 6);
-        // far fewer candidates than the full point set were tested
-        assert!(
-            cell.candidates_tested < pts.len() / 2,
-            "{}",
-            cell.candidates_tested
-        );
+        for kernel in [KernelMode::Ring, KernelMode::Stream] {
+            let cell = cell_with(&pts, &region, center_idx, kernel);
+            assert!(cell.complete);
+            assert!(
+                (cell.poly.volume() - 1.0).abs() < 1e-9,
+                "vol {}",
+                cell.poly.volume()
+            );
+            assert!((cell.poly.surface_area() - 6.0).abs() < 1e-9);
+            assert!(cell.poly.check_closed());
+            // only the 6 face neighbors touch the cell
+            assert_eq!(cell.poly.neighbor_ids().count(), 6);
+            // far fewer candidates than the full point set were tested
+            assert!(
+                cell.candidates_tested < pts.len() / 2,
+                "{}",
+                cell.candidates_tested
+            );
+        }
     }
 
     #[test]
     fn security_radius_terminates_early_on_jittered_lattice() {
+        // Interior cells: both kernels stop at the security radius and test
+        // only a small neighborhood of the full point set.
         let n = 9;
         let pts = lattice(n, 0.2);
         let region = Aabb::cube(n as f64);
-        let cell = cell_of(&pts, &region, (n / 2) + n * ((n / 2) + n * (n / 2)));
-        assert!(cell.complete);
-        assert!(cell.poly.check_closed());
-        assert!(cell.candidates_tested < 250, "{}", cell.candidates_tested);
+        let idx = (n / 2) + n * ((n / 2) + n * (n / 2));
+        for kernel in [KernelMode::Ring, KernelMode::Stream] {
+            let cell = cell_with(&pts, &region, idx, kernel);
+            assert!(cell.complete);
+            assert!(cell.poly.check_closed());
+            assert!(cell.candidates_tested < 250, "{}", cell.candidates_tested);
+        }
+    }
+
+    #[test]
+    fn stream_kernel_clips_far_fewer_candidates_on_elongated_boundary_cells() {
+        // A region that extends past the particle slab: cells of face sites
+        // stretch into the empty margin, their security balls blow up, and
+        // the ring scan dutifully clips every candidate in the ball. The
+        // streamed kernel's support-function reject proves most of those
+        // lateral clips are no-ops and skips them without touching the poly.
+        let n = 9;
+        let pts = lattice(n, 0.2);
+        let region = Aabb::cube(n as f64).grown(2.0);
+        let idx = (n / 2) + n * (n / 2); // z-face site at (4.5, 4.5, ~0.5)
+        let ring = cell_with(&pts, &region, idx, KernelMode::Ring);
+        let stream = cell_with(&pts, &region, idx, KernelMode::Stream);
+        assert_eq!(ring.complete, stream.complete);
+        assert!(ring.candidates_tested > 60, "{}", ring.candidates_tested);
+        assert!(
+            stream.candidates_tested * 3 < ring.candidates_tested,
+            "stream {} vs ring {}",
+            stream.candidates_tested,
+            ring.candidates_tested
+        );
+        assert!(stream.prefilter_skipped > 0, "reject never fired");
+    }
+
+    #[test]
+    fn stream_and_ring_kernels_agree_bit_for_bit() {
+        let n = 7;
+        let pts = lattice(n, 0.3);
+        let region = Aabb::cube(n as f64);
+        for idx in [0, 1, n * n, (n / 2) + n * ((n / 2) + n * (n / 2))] {
+            let a = cell_with(&pts, &region, idx, KernelMode::Ring);
+            let b = cell_with(&pts, &region, idx, KernelMode::Stream);
+            assert_eq!(a.complete, b.complete, "site {idx}");
+            if !a.complete {
+                // dropped-incomplete cells keep discovery bits; only their
+                // completeness verdict must agree (canon_incomplete covers
+                // the kept case — see kernel_equivalence integration tests)
+                continue;
+            }
+            assert_eq!(a.poly.verts.len(), b.poly.verts.len(), "site {idx}");
+            for (va, vb) in a.poly.verts.iter().zip(&b.poly.verts) {
+                assert_eq!(va.x.to_bits(), vb.x.to_bits());
+                assert_eq!(va.y.to_bits(), vb.y.to_bits());
+                assert_eq!(va.z.to_bits(), vb.z.to_bits());
+            }
+            assert_eq!(a.poly.volume().to_bits(), b.poly.volume().to_bits());
+        }
+    }
+
+    #[test]
+    fn canon_incomplete_makes_kept_incomplete_cells_kernel_independent() {
+        let n = 6;
+        let pts = lattice(n, 0.25);
+        let region = Aabb::cube(n as f64);
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let ids: Vec<u64> = (0..pts.len() as u64).collect();
+        let run = |kernel| {
+            let ctx = CellContext {
+                points: &pts,
+                ids: &ids,
+                grid: &grid,
+                region: &region,
+                clip_box: &region,
+                eps: 1e-9,
+                kernel,
+                canon_incomplete: true,
+            };
+            // corner site: clipped by the region walls, never complete
+            compute_cell(&ctx, pts[0], 0, &mut CellScratch::default())
+        };
+        let a = run(KernelMode::Ring);
+        let b = run(KernelMode::Stream);
+        assert!(!a.complete && !b.complete);
+        assert_eq!(a.poly.verts.len(), b.poly.verts.len());
+        for (va, vb) in a.poly.verts.iter().zip(&b.poly.verts) {
+            assert_eq!(va.x.to_bits(), vb.x.to_bits());
+            assert_eq!(va.y.to_bits(), vb.y.to_bits());
+            assert_eq!(va.z.to_bits(), vb.z.to_bits());
+        }
+        assert_eq!(a.poly.volume().to_bits(), b.poly.volume().to_bits());
     }
 
     #[test]
@@ -340,12 +568,14 @@ mod tests {
     fn two_points_split_the_region() {
         let pts = vec![Vec3::new(1.0, 2.0, 2.0), Vec3::new(3.0, 2.0, 2.0)];
         let region = Aabb::cube(4.0);
-        let cell = cell_of(&pts, &region, 0);
-        // half the box
-        assert!((cell.poly.volume() - 32.0).abs() < 1e-9);
-        // bounded by walls → incomplete
-        assert!(!cell.complete);
-        assert_eq!(cell.poly.neighbor_ids().collect::<Vec<_>>(), vec![1]);
+        for kernel in [KernelMode::Ring, KernelMode::Stream] {
+            let cell = cell_with(&pts, &region, 0, kernel);
+            // half the box
+            assert!((cell.poly.volume() - 32.0).abs() < 1e-9);
+            // bounded by walls → incomplete
+            assert!(!cell.complete);
+            assert_eq!(cell.poly.neighbor_ids().collect::<Vec<_>>(), vec![1]);
+        }
     }
 
     #[test]
@@ -356,9 +586,11 @@ mod tests {
             Vec3::new(1.0, 2.0, 2.0),
         ];
         let region = Aabb::cube(4.0);
-        let cell = cell_of(&pts, &region, 0);
-        assert!(!cell.poly.is_empty());
-        assert!(cell.poly.volume() > 0.0);
+        for kernel in [KernelMode::Ring, KernelMode::Stream] {
+            let cell = cell_with(&pts, &region, 0, kernel);
+            assert!(!cell.poly.is_empty());
+            assert!(cell.poly.volume() > 0.0);
+        }
     }
 
     #[test]
@@ -366,7 +598,8 @@ mod tests {
         // The canonicalisation contract: compute an interior cell once with
         // a tight region and once with a grown region (more known space,
         // different grid geometry, different discovery order) while keeping
-        // the same clip_box. Complete cells must agree bit for bit.
+        // the same clip_box. Complete cells must agree bit for bit — for
+        // both kernels, and across them.
         let n = 7;
         let pts = lattice(n, 0.25);
         let tight = Aabb::cube(n as f64);
@@ -374,31 +607,40 @@ mod tests {
         let idx = (n / 2) + n * ((n / 2) + n * (n / 2));
         let ids: Vec<u64> = (0..pts.len() as u64).collect();
 
-        let run = |region: &Aabb| {
+        let run = |region: &Aabb, kernel: KernelMode| {
             let grid = CandidateGrid::build(*region, &pts, 2.0);
             let ctx = CellContext {
                 points: &pts,
                 ids: &ids,
                 grid: &grid,
                 region,
-                clip_box: &grown, // same canonical box for both runs
+                clip_box: &grown, // same canonical box for all runs
                 eps: 1e-9,
+                kernel,
+                canon_incomplete: false,
             };
             compute_cell(&ctx, pts[idx], idx as u32, &mut CellScratch::default())
         };
 
-        let a = run(&tight);
-        let b = run(&grown);
-        assert!(a.complete && b.complete);
-        assert_eq!(a.poly.verts.len(), b.poly.verts.len());
-        for (va, vb) in a.poly.verts.iter().zip(&b.poly.verts) {
-            assert_eq!(va.x.to_bits(), vb.x.to_bits());
-            assert_eq!(va.y.to_bits(), vb.y.to_bits());
-            assert_eq!(va.z.to_bits(), vb.z.to_bits());
+        let reference = run(&tight, KernelMode::Ring);
+        assert!(reference.complete);
+        for (region, kernel) in [
+            (&grown, KernelMode::Ring),
+            (&tight, KernelMode::Stream),
+            (&grown, KernelMode::Stream),
+        ] {
+            let b = run(region, kernel);
+            assert!(b.complete);
+            assert_eq!(reference.poly.verts.len(), b.poly.verts.len());
+            for (va, vb) in reference.poly.verts.iter().zip(&b.poly.verts) {
+                assert_eq!(va.x.to_bits(), vb.x.to_bits());
+                assert_eq!(va.y.to_bits(), vb.y.to_bits());
+                assert_eq!(va.z.to_bits(), vb.z.to_bits());
+            }
+            assert_eq!(reference.poly.volume().to_bits(), b.poly.volume().to_bits());
+            let na: Vec<u64> = reference.poly.neighbor_ids().collect();
+            let nb: Vec<u64> = b.poly.neighbor_ids().collect();
+            assert_eq!(na, nb);
         }
-        assert_eq!(a.poly.volume().to_bits(), b.poly.volume().to_bits());
-        let na: Vec<u64> = a.poly.neighbor_ids().collect();
-        let nb: Vec<u64> = b.poly.neighbor_ids().collect();
-        assert_eq!(na, nb);
     }
 }

@@ -11,7 +11,7 @@ use geometry::{Aabb, Vec3};
 use crate::block::{tessellate_block_session, BlockSession, CellObs};
 use crate::ghost::{exchange_ghosts, sort_ghosts, AdaptiveGhostExchange, GhostParticle};
 use crate::model::MeshBlock;
-use crate::params::{GhostSpec, TessParams, AUTO_GHOST_FACTOR};
+use crate::params::{GhostSpec, KernelMode, TessParams, AUTO_GHOST_FACTOR};
 use crate::stats::TessStats;
 
 /// Phase span covering ghost resolution + particle exchange (see
@@ -62,6 +62,9 @@ pub struct TessResult {
     pub stats: TessStats,
     /// The ghost size actually used (resolved if `GhostSpec::Auto`).
     pub ghost_used: f64,
+    /// Per-cell discovery kernel the pass ran with (bench provenance; the
+    /// mesh bits are kernel-independent).
+    pub kernel: KernelMode,
 }
 
 /// Estimated particle spacing: `max over blocks of (block volume / own
@@ -150,6 +153,7 @@ pub fn tessellate(
         blocks,
         stats,
         ghost_used: ghost,
+        kernel: params.kernel,
     }
 }
 
@@ -323,6 +327,7 @@ fn tessellate_adaptive(
         blocks,
         stats,
         ghost_used: radius.values().fold(0.0f64, |a, &b| a.max(b)),
+        kernel: params.kernel,
     }
 }
 

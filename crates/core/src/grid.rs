@@ -1,10 +1,29 @@
 //! Uniform acceleration grid for distance-ordered candidate iteration.
 //!
-//! The local cell computation needs candidate neighbors roughly in order of
+//! The local cell computation needs candidate neighbors in order of
 //! distance from a site so the security-radius test terminates early. A
 //! uniform grid over the ghosted block region gives candidates in
-//! Chebyshev "rings" of bins; the minimum possible distance of ring `r+1`
-//! provides the lower bound used by the termination test.
+//! Chebyshev "rings" of bins; the minimum possible distance to the next
+//! ring provides the lower bound used by the termination test.
+//!
+//! Two consumers sit on top of the binning:
+//!
+//! * the legacy **ring scan** ([`CandidateGrid::ring_candidates`] +
+//!   [`CandidateGrid::ring_min_distance`]), which visits whole rings and
+//!   sorts each one by distance, and
+//! * the **candidate stream** ([`CandidateGrid::stream`]), a lazy min-heap
+//!   merge of the rings that emits candidates one at a time in globally
+//!   non-decreasing distance, prefiltered by an SoA `f32` distance test
+//!   with a provably conservative slack before the exact `f64` distance is
+//!   computed.
+//!
+//! The stream's termination bound is the *center-aware*
+//! [`CandidateGrid::ring_min_distance_from`]: the legacy center-independent
+//! bound treats an axis as attainable whenever the ring fits inside the
+//! axis (`r < dims`), which under-reports the bound for a cell on a block
+//! face of a strongly anisotropic grid — the short axis counts as feasible
+//! even though no ring-`r` bin exists on the center's far side, so the scan
+//! keeps going on rings that provably cannot hold a closer candidate.
 
 use geometry::{Aabb, Vec3};
 
@@ -16,6 +35,15 @@ pub struct CandidateGrid {
     /// Per-axis bin edges — used for ring distance lower bounds.
     h: [f64; 3],
     bins: Vec<Vec<u32>>,
+    /// SoA coordinates relative to `bounds.min`, in `f32`, for the
+    /// prefilter (structure-of-arrays so the per-ring scan stays linear).
+    sx: Vec<f32>,
+    sy: Vec<f32>,
+    sz: Vec<f32>,
+    /// Conservative absolute slack of the `f32` distance computation:
+    /// a true distance `d` always measures at least `d - slack` in `f32`,
+    /// so `d2f > (sqrt(bound2)+slack)^2 (1+1e-6)` proves `d2 > bound2`.
+    prefilter_slack: f64,
 }
 
 impl CandidateGrid {
@@ -41,11 +69,30 @@ impl CandidateGrid {
             inv_h: Vec3::new(1.0 / hx, 1.0 / hy, 1.0 / hz),
             h: [hx, hy, hz],
             bins: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
+            sx: Vec::with_capacity(points.len()),
+            sy: Vec::with_capacity(points.len()),
+            sz: Vec::with_capacity(points.len()),
+            prefilter_slack: 0.0,
         };
+        // Slack scale: the largest |coordinate| that enters an f32
+        // subtraction, covering both stored points and any query center
+        // inside the bounds.
+        let mut scale = e.x.max(e.y).max(e.z);
         for (i, &p) in points.iter().enumerate() {
             let b = grid.bin_of(p);
             grid.bins[b].push(i as u32);
+            let rel = p - bounds.min;
+            grid.sx.push(rel.x as f32);
+            grid.sy.push(rel.y as f32);
+            grid.sz.push(rel.z as f32);
+            scale = scale.max(rel.x.abs()).max(rel.y.abs()).max(rel.z.abs());
         }
+        // Each f32 component difference errs by at most ~3 eps32·scale
+        // (two conversions + one subtraction), the 3-axis norm by √3 of
+        // that; 8 eps32·scale bounds it with margin to spare. The squaring
+        // and summation rounding is relative and absorbed by the 1e-6
+        // factor in `prefilter_bound`.
+        grid.prefilter_slack = 8.0 * (f32::EPSILON as f64) * scale.max(1e-300);
         grid
     }
 
@@ -53,16 +100,19 @@ impl CandidateGrid {
         self.dims
     }
 
-    /// Lower bound on the distance from any point in the center bin to any
-    /// point in a bin at Chebyshev ring `r` (`r >= 1`).
+    /// Center-independent lower bound on the distance from any point in
+    /// *some* bin to any point in a bin at Chebyshev ring `r` (`r >= 1`)
+    /// around it.
     ///
     /// A ring-`r` bin is `r` bin steps away along at least one axis, which
     /// along axis `a` forces a gap of `(r-1)·h[a]` in space — but only an
-    /// axis with at least `r+1` bins can be the one attaining the Chebyshev
-    /// maximum. Taking the minimum over *feasible* axes instead of the
-    /// global smallest edge keeps anisotropic grids from scanning rings
-    /// that provably cannot hold a closer candidate; when no axis is
-    /// feasible the ring is empty and the bound is `+∞`.
+    /// axis with at least `r+1` bins can attain the Chebyshev maximum from
+    /// *some* center. This is valid for every center but loose near block
+    /// faces: an axis the center has already exhausted on one side still
+    /// counts as feasible. Prefer [`Self::ring_min_distance_from`] when the
+    /// center is known (the streamed kernel's termination depends on the
+    /// tighter bound; this variant is kept for center-free consumers and
+    /// the legacy ring kernel).
     pub fn ring_min_distance(&self, r: usize) -> f64 {
         if r == 0 {
             return 0.0;
@@ -72,6 +122,42 @@ impl CandidateGrid {
         for a in 0..3 {
             if r < self.dims[a] {
                 bound = bound.min(steps * self.h[a]);
+            }
+        }
+        bound
+    }
+
+    /// Center-aware lower bound on the distance from `center` to any point
+    /// in a bin at Chebyshev ring `r` around `center`'s bin.
+    ///
+    /// Per axis, the plus side is attainable only while `c+r` is still a
+    /// valid bin index (and symmetrically for the minus side); an
+    /// attainable side's gap is the exact distance from `center` to the
+    /// near wall of the ring-`r` bin slab, not the worst-case `(r-1)·h`.
+    /// `+∞` when no side of any axis is attainable — the ring (and, since
+    /// attainability only shrinks with `r`, every later ring) is empty.
+    /// Non-decreasing in `r`, which is what makes the candidate stream's
+    /// sorted emission proof go through.
+    pub fn ring_min_distance_from(&self, center: Vec3, r: usize) -> f64 {
+        let rel = center - self.bounds.min;
+        self.ring_lb([rel.x, rel.y, rel.z], self.coords_of(center), r)
+    }
+
+    fn ring_lb(&self, rel: [f64; 3], c: [isize; 3], r: usize) -> f64 {
+        if r == 0 {
+            return 0.0;
+        }
+        let ri = r as isize;
+        let mut bound = f64::INFINITY;
+        for a in 0..3 {
+            let h = self.h[a];
+            if c[a] + ri < self.dims[a] as isize {
+                // near wall of the +side ring slab is at (c+r)·h
+                bound = bound.min(((c[a] + ri) as f64 * h - rel[a]).max(0.0));
+            }
+            if c[a] - ri >= 0 {
+                // near wall of the -side ring slab is at (c-r+1)·h
+                bound = bound.min((rel[a] - (c[a] - ri + 1) as f64 * h).max(0.0));
             }
         }
         bound
@@ -99,8 +185,11 @@ impl CandidateGrid {
     /// Point indices in the Chebyshev ring `r` of bins around `center`
     /// (`r = 0` is the center bin itself).
     pub fn ring_candidates(&self, center: Vec3, r: usize, out: &mut Vec<u32>) {
+        self.ring_candidates_at(self.coords_of(center), r, out);
+    }
+
+    fn ring_candidates_at(&self, c: [isize; 3], r: usize, out: &mut Vec<u32>) {
         out.clear();
-        let c = self.coords_of(center);
         let ri = r as isize;
         let (dx0, dx1) = (c[0] - ri, c[0] + ri);
         for z in (c[2] - ri)..=(c[2] + ri) {
@@ -141,6 +230,243 @@ impl CandidateGrid {
     fn index(&self, x: isize, y: isize, z: isize) -> usize {
         x as usize + self.dims[0] * (y as usize + self.dims[1] * z as usize)
     }
+
+    /// `f32` threshold such that `d2f > threshold` proves the exact
+    /// squared distance exceeds `bound2` (conservative: no true candidate
+    /// is ever rejected).
+    #[inline]
+    fn prefilter_bound(&self, bound2: f64) -> f32 {
+        if !bound2.is_finite() {
+            return f32::INFINITY;
+        }
+        ((bound2.sqrt() + self.prefilter_slack).powi(2) * (1.0 + 1e-6)) as f32
+    }
+
+    /// Squared distance in `f32` between stored point `i` and a center
+    /// given relative to `bounds.min`.
+    #[inline]
+    fn rel_dist2_f32(&self, i: u32, c: [f32; 3]) -> f32 {
+        let i = i as usize;
+        let dx = self.sx[i] - c[0];
+        let dy = self.sy[i] - c[1];
+        let dz = self.sz[i] - c[2];
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Open a distance-ordered candidate stream around `center`. `points`
+    /// must be the slice the grid was built from; `skip` is an index to
+    /// omit (the site itself; pass `u32::MAX` to keep everything).
+    pub fn stream<'a>(
+        &'a self,
+        points: &'a [Vec3],
+        center: Vec3,
+        skip: u32,
+        scratch: &'a mut StreamScratch,
+    ) -> NeighborStream<'a> {
+        scratch.heap.clear();
+        scratch.ring.clear();
+        let rel = center - self.bounds.min;
+        NeighborStream {
+            grid: self,
+            points,
+            center,
+            center_rel32: [rel.x as f32, rel.y as f32, rel.z as f32],
+            center_rel: [rel.x, rel.y, rel.z],
+            coords: self.coords_of(center),
+            skip,
+            next_ring: 0,
+            cur_lb2: 0.0,
+            prefilter_skipped: 0,
+            scratch,
+        }
+    }
+
+    /// Gather every candidate with exact squared distance in
+    /// `[1e-24, bound2]` of `center` into `out` as `(d2, index)`, using the
+    /// center-aware ring bound to stop scanning and the `f32` prefilter to
+    /// skip exact distance computations. Effectively-coincident pairs
+    /// (below the `1e-24` floor) are omitted — they have no bisector.
+    /// Returns the number of candidates the prefilter rejected.
+    pub fn ball_candidates(
+        &self,
+        points: &[Vec3],
+        center: Vec3,
+        skip: u32,
+        bound2: f64,
+        ring_buf: &mut Vec<u32>,
+        out: &mut Vec<(f64, u32)>,
+    ) -> u64 {
+        out.clear();
+        let c = self.coords_of(center);
+        let rel = center - self.bounds.min;
+        let rel32 = [rel.x as f32, rel.y as f32, rel.z as f32];
+        let pf = self.prefilter_bound(bound2);
+        let mut skipped = 0u64;
+        for r in 0..=self.max_ring() {
+            let lb = self.ring_lb([rel.x, rel.y, rel.z], c, r);
+            if lb * lb > bound2 {
+                break;
+            }
+            self.ring_candidates_at(c, r, ring_buf);
+            for &i in ring_buf.iter() {
+                if i == skip {
+                    continue;
+                }
+                if self.rel_dist2_f32(i, rel32) > pf {
+                    skipped += 1;
+                    continue;
+                }
+                let d2 = points[i as usize].dist2(center);
+                if (1e-24..=bound2).contains(&d2) {
+                    out.push((d2, i));
+                }
+            }
+        }
+        skipped
+    }
+}
+
+/// Reusable buffers for [`NeighborStream`] (heap + ring scratch), owned by
+/// the caller so streaming millions of cells allocates nothing in steady
+/// state.
+#[derive(Default)]
+pub struct StreamScratch {
+    heap: Vec<(f64, u32)>,
+    ring: Vec<u32>,
+}
+
+/// Lazy distance-ordered merge of the grid rings around one center.
+///
+/// [`NeighborStream::next`] takes the caller's current squared search
+/// bound, which must be **non-increasing** across calls (the security
+/// radius only shrinks as the cell is clipped). Candidates are emitted in
+/// non-decreasing exact distance; `None` means no remaining candidate lies
+/// within the bound — and since the bound never grows, none ever will.
+///
+/// Internally: rings are fetched one at a time into a binary min-heap
+/// keyed on `(d2, index)`. The heap top is only emitted once its distance
+/// is at most the lower bound of the next unfetched ring, which is what
+/// makes the global emission order sorted; candidates are prefiltered with
+/// the `f32` SoA distance before the exact `f64` distance is computed.
+pub struct NeighborStream<'a> {
+    grid: &'a CandidateGrid,
+    points: &'a [Vec3],
+    center: Vec3,
+    center_rel32: [f32; 3],
+    center_rel: [f64; 3],
+    coords: [isize; 3],
+    skip: u32,
+    /// Next ring index to fetch.
+    next_ring: usize,
+    /// Squared lower bound on every not-yet-fetched candidate
+    /// (= ring lower bound of `next_ring`, squared).
+    cur_lb2: f64,
+    prefilter_skipped: u64,
+    scratch: &'a mut StreamScratch,
+}
+
+impl NeighborStream<'_> {
+    /// Next candidate within `bound2` in non-decreasing distance, or
+    /// `None` when every remaining candidate provably lies beyond it.
+    pub fn next(&mut self, bound2: f64) -> Option<(f64, u32)> {
+        loop {
+            if let Some(&(d2, i)) = self.scratch.heap.first() {
+                // safe to emit once nothing unfetched can be closer
+                if d2 <= self.cur_lb2 {
+                    if d2 > bound2 {
+                        return None;
+                    }
+                    heap_pop(&mut self.scratch.heap);
+                    return Some((d2, i));
+                }
+            }
+            if self.cur_lb2 > bound2 {
+                return None;
+            }
+            if self.next_ring > self.grid.max_ring() {
+                // rings exhausted with an infinite bound: heap is empty
+                // (any head would have been emitted against cur_lb2 = +∞)
+                return None;
+            }
+            self.fetch_next_ring(bound2);
+        }
+    }
+
+    /// Candidates rejected by the `f32` prefilter so far.
+    pub fn prefilter_skipped(&self) -> u64 {
+        self.prefilter_skipped
+    }
+
+    fn fetch_next_ring(&mut self, bound2: f64) {
+        let r = self.next_ring;
+        self.next_ring = r + 1;
+        self.grid
+            .ring_candidates_at(self.coords, r, &mut self.scratch.ring);
+        let pf = self.grid.prefilter_bound(bound2);
+        for &i in self.scratch.ring.iter() {
+            if i == self.skip {
+                continue;
+            }
+            if self.grid.rel_dist2_f32(i, self.center_rel32) > pf {
+                self.prefilter_skipped += 1;
+                continue;
+            }
+            let d2 = self.points[i as usize].dist2(self.center);
+            if d2 <= bound2 {
+                heap_push(&mut self.scratch.heap, (d2, i));
+            }
+        }
+        let lb = self
+            .grid
+            .ring_lb(self.center_rel, self.coords, self.next_ring);
+        self.cur_lb2 = lb * lb;
+    }
+}
+
+/// Min-heap order: distance, then index (deterministic pop order for
+/// exact distance ties).
+#[inline]
+fn cand_less(a: (f64, u32), b: (f64, u32)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+fn heap_push(h: &mut Vec<(f64, u32)>, item: (f64, u32)) {
+    h.push(item);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if cand_less(h[i], h[p]) {
+            h.swap(i, p);
+            i = p;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_pop(h: &mut Vec<(f64, u32)>) -> (f64, u32) {
+    let top = h.swap_remove(0);
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut m = i;
+        if l < h.len() && cand_less(h[l], h[m]) {
+            m = l;
+        }
+        if r < h.len() && cand_less(h[r], h[m]) {
+            m = r;
+        }
+        if m == i {
+            break;
+        }
+        h.swap(i, m);
+        i = m;
+    }
+    top
 }
 
 #[cfg(test)]
@@ -153,6 +479,21 @@ mod tests {
                 (0..n).flat_map(move |j| {
                     (0..n).map(move |i| Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5))
                 })
+            })
+            .collect()
+    }
+
+    fn jittered(n: usize, seed: u64, amp: f64) -> Vec<Vec3> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        lattice(n)
+            .into_iter()
+            .map(|p| {
+                p + Vec3::new(
+                    rng.gen_range(-amp..amp),
+                    rng.gen_range(-amp..amp),
+                    rng.gen_range(-amp..amp),
+                )
             })
             .collect()
     }
@@ -259,15 +600,220 @@ mod tests {
     }
 
     #[test]
+    fn face_cell_center_aware_bound_fixes_the_legacy_under_report() {
+        // The boundary case the legacy bound gets wrong: on a strongly
+        // anisotropic grid (short z axis, h[z] < h[x]) the legacy bound
+        // keeps reporting the tiny `(r-1)·h[z]` gap while `r < dims[z]` —
+        // but for a center whose z bin is within one bin of *both* z block
+        // faces, no ring-`r` bin exists on either z side for `r >= 2`, so
+        // the true lower bound is set by the (much larger) x/y gaps. The
+        // center-aware bound must see that and still be valid everywhere.
+        //
+        // Slab sized so the builder picks dims [16, 16, 3]: h[x] = 1 but
+        // h[z] = 2.05/3 ≈ 0.683 — genuinely anisotropic bin edges.
+        let mut pts = Vec::new();
+        for k in 0..4 {
+            for j in 0..16 {
+                for i in 0..16 {
+                    pts.push(Vec3::new(
+                        i as f64 + 0.5,
+                        j as f64 + 0.5,
+                        (k as f64 + 0.5) * 2.05 / 4.0,
+                    ));
+                }
+            }
+        }
+        let bounds = Aabb::new(Vec3::ZERO, Vec3::new(16.0, 16.0, 2.05));
+        let grid = CandidateGrid::build(bounds, &pts, 2.0);
+        assert_eq!(grid.dims(), [16, 16, 3], "test geometry drifted");
+        let [dx, _dy, dz] = grid.dims();
+        let (hx, hz) = (16.0 / dx as f64, 2.05 / dz as f64);
+        assert!(hz < hx * 0.75, "need anisotropic edges: hx {hx} hz {hz}");
+        // center mid-bin in x/y, in the middle z bin — one bin from both
+        // z faces of the block
+        let center = Vec3::new(8.5, 7.5, 1.025);
+        let mut buf = Vec::new();
+        let mut legacy_under_reported = false;
+        for r in 1..grid.max_ring() {
+            let legacy = grid.ring_min_distance(r);
+            let aware = grid.ring_min_distance_from(center, r);
+            // validity: every ring-r candidate is at least `aware` away
+            grid.ring_candidates(center, r, &mut buf);
+            for &i in &buf {
+                let d = pts[i as usize].dist(center);
+                assert!(
+                    d >= aware - 1e-12,
+                    "ring {r}: point at distance {d} < center-aware bound {aware}"
+                );
+            }
+            // the center-aware bound never loosens the legacy bound
+            assert!(
+                aware >= legacy - 1e-12 || legacy.is_infinite(),
+                "ring {r}: aware {aware} < legacy {legacy}"
+            );
+            if r == 2 {
+                // r < dims[z], so legacy still thinks z is attainable and
+                // reports the sub-bin z gap ...
+                assert!(
+                    (legacy - (r - 1) as f64 * hz).abs() < 1e-12,
+                    "ring {r}: legacy bound {legacy} expected {}",
+                    (r - 1) as f64 * hz
+                );
+                // ... but from this center both z sides are exhausted at
+                // r = 2 (middle bin of 3), so the true bound is the mid-bin
+                // x/y gap of 1.5·h[x] — more than a whole bin edge tighter.
+                assert!(
+                    (aware - 1.5 * hx).abs() < 1e-9,
+                    "ring {r}: aware {aware} expected {}",
+                    1.5 * hx
+                );
+                if aware > legacy + hz {
+                    legacy_under_reported = true;
+                }
+            }
+            // monotonicity in r (the sorted-emission proof rests on it)
+            if r > 1 {
+                assert!(
+                    aware >= grid.ring_min_distance_from(center, r - 1) - 1e-15,
+                    "ring bound decreased at r={r}"
+                );
+            }
+        }
+        assert!(
+            legacy_under_reported,
+            "mid-slab cell must expose the legacy under-report"
+        );
+    }
+
+    #[test]
+    fn stream_emits_every_candidate_in_nondecreasing_distance() {
+        let pts = jittered(6, 11, 0.4);
+        let grid = CandidateGrid::build(Aabb::cube(6.0), &pts, 2.0);
+        for (skip, center) in [(17u32, pts[17]), (u32::MAX, Vec3::new(0.1, 5.7, 2.3))] {
+            let mut scratch = StreamScratch::default();
+            let mut stream = grid.stream(&pts, center, skip, &mut scratch);
+            let mut got = Vec::new();
+            let mut last = 0.0f64;
+            while let Some((d2, i)) = stream.next(f64::MAX) {
+                assert!(d2 >= last, "distance decreased: {d2} after {last}");
+                assert!((pts[i as usize].dist2(center) - d2).abs() == 0.0);
+                last = d2;
+                got.push(i);
+            }
+            let mut expect: Vec<u32> = (0..pts.len() as u32).filter(|&i| i != skip).collect();
+            expect.sort_unstable();
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            assert_eq!(got_sorted, expect, "stream must visit every candidate");
+        }
+    }
+
+    #[test]
+    fn stream_respects_a_shrinking_bound_and_never_stops_early() {
+        // With a bound that shrinks between calls, the stream must still
+        // deliver every candidate inside the *final* bound before
+        // returning None (the security-radius contract).
+        let pts = jittered(5, 3, 0.45);
+        let grid = CandidateGrid::build(Aabb::cube(5.0), &pts, 2.0);
+        let center = pts[31];
+        let bounds_seq = [9.0f64, 4.0, 2.5, 2.5, 1.4];
+        let mut scratch = StreamScratch::default();
+        let mut stream = grid.stream(&pts, center, 31, &mut scratch);
+        let mut emitted = Vec::new();
+        let mut k = 0usize;
+        loop {
+            let bound2 = bounds_seq[k.min(bounds_seq.len() - 1)];
+            match stream.next(bound2) {
+                Some((d2, i)) => {
+                    assert!(d2 <= bound2);
+                    emitted.push(i);
+                    k += 1;
+                }
+                None => break,
+            }
+        }
+        let final_bound = *bounds_seq.last().unwrap();
+        for (i, &p) in pts.iter().enumerate() {
+            if i == 31 {
+                continue;
+            }
+            if p.dist2(center) <= final_bound {
+                assert!(
+                    emitted.contains(&(i as u32)),
+                    "candidate {i} inside the final bound was never emitted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_skips_far_candidates_but_never_true_ones() {
+        let pts = jittered(7, 5, 0.3);
+        let grid = CandidateGrid::build(Aabb::cube(7.0), &pts, 2.0);
+        let center = pts[100];
+        let bound2 = 2.25f64; // radius 1.5 in a box of extent 7
+        let mut scratch = StreamScratch::default();
+        let mut stream = grid.stream(&pts, center, 100, &mut scratch);
+        let mut got = Vec::new();
+        while let Some((_, i)) = stream.next(bound2) {
+            got.push(i);
+        }
+        let skipped = stream.prefilter_skipped();
+        // exact oracle: every point within the bound must be emitted
+        let expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| i != 100 && p.dist2(center) <= bound2)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        let mut expect_sorted = expect.clone();
+        expect_sorted.sort_unstable();
+        assert_eq!(got_sorted, expect_sorted);
+        assert!(skipped > 0, "prefilter never fired on a far-candidate scan");
+    }
+
+    #[test]
+    fn ball_candidates_matches_brute_force() {
+        let pts = jittered(6, 29, 0.45);
+        let grid = CandidateGrid::build(Aabb::cube(6.0), &pts, 2.0);
+        let center = pts[77];
+        let bound2 = 3.1f64;
+        let (mut ring_buf, mut out) = (Vec::new(), Vec::new());
+        grid.ball_candidates(&pts, center, 77, bound2, &mut ring_buf, &mut out);
+        let mut got: Vec<u32> = out.iter().map(|&(_, i)| i).collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| i != 77 && (1e-24..=bound2).contains(&p.dist2(center)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        for &(d2, i) in &out {
+            assert_eq!(d2, pts[i as usize].dist2(center), "exact distances only");
+        }
+    }
+
+    #[test]
     fn handles_empty_and_single_point() {
         let grid = CandidateGrid::build(Aabb::cube(1.0), &[], 2.0);
         let mut buf = Vec::new();
         grid.ring_candidates(Vec3::splat(0.5), 0, &mut buf);
         assert!(buf.is_empty());
+        let mut scratch = StreamScratch::default();
+        let mut stream = grid.stream(&[], Vec3::splat(0.5), u32::MAX, &mut scratch);
+        assert!(stream.next(f64::MAX).is_none());
 
-        let grid = CandidateGrid::build(Aabb::cube(1.0), &[Vec3::splat(0.2)], 2.0);
+        let pts = [Vec3::splat(0.2)];
+        let grid = CandidateGrid::build(Aabb::cube(1.0), &pts, 2.0);
         grid.ring_candidates(Vec3::splat(0.9), 0, &mut buf);
         assert_eq!(buf, vec![0]);
+        let mut stream = grid.stream(&pts, Vec3::splat(0.9), u32::MAX, &mut scratch);
+        assert_eq!(stream.next(f64::MAX).map(|(_, i)| i), Some(0));
+        assert!(stream.next(f64::MAX).is_none());
     }
 
     #[test]

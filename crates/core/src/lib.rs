@@ -44,5 +44,5 @@ pub use driver::{
     tessellate, tessellate_serial, TessResult, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI,
 };
 pub use model::{Cell, Face, MeshBlock, NO_NEIGHBOR};
-pub use params::{GhostSpec, HullMode, TessParams, AUTO_GHOST_FACTOR};
+pub use params::{GhostSpec, HullMode, KernelMode, TessParams, AUTO_GHOST_FACTOR};
 pub use stats::TessStats;

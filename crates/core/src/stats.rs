@@ -30,6 +30,9 @@ pub struct TessStats {
     /// Candidate neighbors tested across all cell computations (the
     /// kernel's dominant cost driver).
     pub candidates_tested: u64,
+    /// Candidates rejected by the f32 distance prefilter before the exact
+    /// f64 distance was computed (stream kernel + canonicalisation).
+    pub prefilter_skipped: u64,
     /// Cell computations actually executed, counting re-runs across
     /// adaptive rounds.
     pub cells_computed: u64,
@@ -52,6 +55,7 @@ impl TessStats {
         self.faces += o.faces;
         self.ghost_rounds = self.ghost_rounds.max(o.ghost_rounds);
         self.candidates_tested = self.candidates_tested.saturating_add(o.candidates_tested);
+        self.prefilter_skipped = self.prefilter_skipped.saturating_add(o.prefilter_skipped);
         self.cells_computed = self.cells_computed.saturating_add(o.cells_computed);
         self.cells_reused = self.cells_reused.saturating_add(o.cells_reused);
         self
@@ -72,6 +76,7 @@ impl Encode for TessStats {
             self.faces,
             self.ghost_rounds,
             self.candidates_tested,
+            self.prefilter_skipped,
             self.cells_computed,
             self.cells_reused,
         ] {
@@ -94,6 +99,7 @@ impl Decode for TessStats {
             faces: u64::decode(r)?,
             ghost_rounds: u64::decode(r)?,
             candidates_tested: u64::decode(r)?,
+            prefilter_skipped: u64::decode(r)?,
             cells_computed: u64::decode(r)?,
             cells_reused: u64::decode(r)?,
         })
@@ -154,6 +160,7 @@ mod tests {
             faces: 8,
             ghost_rounds: 2,
             candidates_tested: 1234,
+            prefilter_skipped: 99,
             cells_computed: 11,
             cells_reused: 6,
         };
@@ -164,18 +171,21 @@ mod tests {
     fn work_counters_saturate_on_merge() {
         let a = TessStats {
             candidates_tested: u64::MAX - 1,
+            prefilter_skipped: u64::MAX - 4,
             cells_computed: 5,
             cells_reused: 2,
             ..Default::default()
         };
         let b = TessStats {
             candidates_tested: 10,
+            prefilter_skipped: 10,
             cells_computed: 7,
             cells_reused: 1,
             ..Default::default()
         };
         let m = a.merge(b);
         assert_eq!(m.candidates_tested, u64::MAX);
+        assert_eq!(m.prefilter_skipped, u64::MAX);
         assert_eq!(m.cells_computed, 12);
         assert_eq!(m.cells_reused, 3);
     }

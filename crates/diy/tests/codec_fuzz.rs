@@ -123,7 +123,13 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
         .prop_map(
             |(
@@ -136,7 +142,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
                 culled_late,
                 verts,
                 faces,
-                (ghost_rounds, candidates_tested, cells_computed, cells_reused),
+                (ghost_rounds, candidates_tested, prefilter_skipped, cells_computed, cells_reused),
             )| {
                 TessStats {
                     sites,
@@ -150,6 +156,7 @@ fn arb_stats() -> impl Strategy<Value = TessStats> {
                     faces,
                     ghost_rounds,
                     candidates_tested,
+                    prefilter_skipped,
                     cells_computed,
                     cells_reused,
                 }
@@ -244,10 +251,10 @@ proptest! {
     #[test]
     fn tess_stats_roundtrip_and_truncation(
         stats in arb_stats(),
-        cut in 0usize..104,
+        cut in 0usize..112,
     ) {
         let bytes = stats.to_bytes();
-        prop_assert_eq!(bytes.len(), 104); // 13 × u64
+        prop_assert_eq!(bytes.len(), 112); // 14 × u64
         prop_assert_eq!(TessStats::from_bytes(&bytes).unwrap(), stats);
         if cut < bytes.len() {
             prop_assert!(TessStats::from_bytes(&bytes[..cut]).is_err());

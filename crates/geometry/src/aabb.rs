@@ -92,6 +92,18 @@ impl Aabb {
             && o.min.z <= self.max.z
     }
 
+    /// Support function: `max over x in box of n·x`. With a plane
+    /// `(n, d)`, `support(n) - d <= eps` proves every point of the box —
+    /// and hence of anything the box encloses — classifies inside/on the
+    /// plane at tolerance `eps`, so a clip against it is a provable no-op.
+    #[inline]
+    pub fn support(&self, n: Vec3) -> f64 {
+        let sx = n.x * if n.x >= 0.0 { self.max.x } else { self.min.x };
+        let sy = n.y * if n.y >= 0.0 { self.max.y } else { self.min.y };
+        let sz = n.z * if n.z >= 0.0 { self.max.z } else { self.min.z };
+        sx + sy + sz
+    }
+
     /// Euclidean distance from `p` to the box (0 if inside).
     pub fn distance(&self, p: Vec3) -> f64 {
         let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);

@@ -341,6 +341,25 @@ impl ConvexPolyhedron {
         self.verts.iter().map(|&v| v.dist2(p)).fold(0.0, f64::max)
     }
 
+    /// Tight axis-aligned bounding box of the vertices, together with the
+    /// farthest squared vertex distance from `p` (one fused pass — the
+    /// cell kernel needs both after every mutating clip). Degenerate
+    /// (point-at-`p`) when the polyhedron has no vertices.
+    pub fn vertex_aabb_and_max_dist2(&self, p: Vec3) -> (Aabb, f64) {
+        let (mut lo, mut hi) = (p, p);
+        let mut max_d2 = 0.0f64;
+        for &v in &self.verts {
+            lo.x = lo.x.min(v.x);
+            lo.y = lo.y.min(v.y);
+            lo.z = lo.z.min(v.z);
+            hi.x = hi.x.max(v.x);
+            hi.y = hi.y.max(v.y);
+            hi.z = hi.z.max(v.z);
+            max_d2 = max_d2.max(v.dist2(p));
+        }
+        (Aabb::new(lo, hi), max_d2)
+    }
+
     /// Maximum pairwise squared distance between vertices (cell "diameter"²).
     /// Used by the paper's conservative early volume cull.
     pub fn max_pairwise_dist2(&self) -> f64 {

@@ -2,7 +2,7 @@
 //! configurations (proptest).
 
 use meshing_universe::geometry::{Aabb, Vec3};
-use meshing_universe::tess::{self, GhostSpec, TessParams};
+use meshing_universe::tess::{self, GhostSpec, KernelMode, TessParams};
 use proptest::prelude::*;
 
 /// Jittered periodic lattice: `n³` particles, never collinear or wrapped,
@@ -204,7 +204,10 @@ proptest! {
             &particles,
             domain,
             [true; 3],
-            &TessParams { ghost: GhostSpec::adaptive(), ..TessParams::default() },
+            // explicitly the streamed kernel: the conservation bound must
+            // hold on the default production path regardless of TESS_KERNEL
+            &TessParams { ghost: GhostSpec::adaptive(), ..TessParams::default() }
+                .with_kernel(KernelMode::Stream),
         );
         prop_assert_eq!(stats.incomplete, 0, "adaptive left cells uncertified");
         prop_assert_eq!(stats.cells as usize, particles.len());
@@ -213,6 +216,83 @@ proptest! {
             (total - domain.volume()).abs() < 1e-9 * domain.volume(),
             "total {} vs box {} ({} rounds)", total, domain.volume(), stats.ghost_rounds
         );
+    }
+
+    /// The neighbor stream is a faithful sorted enumeration: against a
+    /// brute-force distance oracle it yields *exactly* the candidates
+    /// within the bound, in non-decreasing distance, with exact f64
+    /// distances (the f32 prefilter may never drop a true candidate).
+    #[test]
+    fn neighbor_stream_matches_the_brute_force_distance_oracle(
+        particles in particles_strategy(40, 5.0),
+        cidx in 0usize..48,
+        bound in 0.5f64..9.0,
+    ) {
+        use meshing_universe::tess::grid::{CandidateGrid, StreamScratch};
+        let region = Aabb::cube(5.0);
+        let pts: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let skip = (cidx % pts.len()) as u32;
+        let center = pts[skip as usize];
+        let bound2 = bound * bound;
+
+        let mut oracle: Vec<(f64, u32)> = pts.iter().enumerate()
+            .filter(|&(i, _)| i as u32 != skip)
+            .map(|(i, p)| (p.dist2(center), i as u32))
+            .filter(|&(d2, _)| d2 <= bound2)
+            .collect();
+        oracle.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let mut scratch = StreamScratch::default();
+        let mut stream = grid.stream(&pts, center, skip, &mut scratch);
+        let mut got: Vec<(f64, u32)> = Vec::new();
+        let mut prev = 0.0f64;
+        while let Some((d2, i)) = stream.next(bound2) {
+            prop_assert!(d2 >= prev, "distance went backwards: {d2} after {prev}");
+            prev = d2;
+            prop_assert_eq!(d2.to_bits(), pts[i as usize].dist2(center).to_bits(),
+                "stream distance is not the exact f64 distance");
+            got.push((d2, i));
+        }
+        let got_set: std::collections::BTreeSet<u32> = got.iter().map(|&(_, i)| i).collect();
+        let oracle_set: std::collections::BTreeSet<u32> = oracle.iter().map(|&(_, i)| i).collect();
+        prop_assert_eq!(got_set, oracle_set, "stream missed or invented candidates");
+    }
+
+    /// Under a shrinking bound (the kernel's security radius only ever
+    /// shrinks), the stream still yields every candidate within the final
+    /// bound before terminating — it never stops early.
+    #[test]
+    fn neighbor_stream_never_terminates_before_the_final_bound(
+        particles in particles_strategy(40, 5.0),
+        cidx in 0usize..48,
+        start in 2.0f64..8.0,
+    ) {
+        use meshing_universe::tess::grid::{CandidateGrid, StreamScratch};
+        let region = Aabb::cube(5.0);
+        let pts: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+        let grid = CandidateGrid::build(region, &pts, 2.0);
+        let skip = (cidx % pts.len()) as u32;
+        let center = pts[skip as usize];
+        let final2 = (start * start) / 16.0;
+
+        let mut scratch = StreamScratch::default();
+        let mut stream = grid.stream(&pts, center, skip, &mut scratch);
+        let mut bound2 = start * start;
+        let mut emitted: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        while let Some((_, i)) = stream.next(bound2) {
+            emitted.insert(i);
+            // shrink the bound after every emission, as a clipping cell
+            // shrinks its security radius, but never below the floor
+            bound2 = (bound2 * 0.7).max(final2);
+        }
+        for (i, p) in pts.iter().enumerate() {
+            if i as u32 == skip { continue; }
+            if p.dist2(center) <= final2 {
+                prop_assert!(emitted.contains(&(i as u32)),
+                    "candidate {i} within the final bound was never emitted");
+            }
+        }
     }
 
     /// The geometry kernels survive degenerate inputs — duplicate,
@@ -228,29 +308,34 @@ proptest! {
         use meshing_universe::tess::{
             cell::{compute_cell, CellContext, CellScratch},
             grid::CandidateGrid,
+            KernelMode,
         };
 
         let points = degenerate_points(family, n, seed);
         let ids: Vec<u64> = (0..points.len() as u64).collect();
         let region = Aabb::cube(4.0);
         let grid = CandidateGrid::build(region, &points, 2.0);
-        let ctx = CellContext {
-            points: &points,
-            ids: &ids,
-            grid: &grid,
-            region: &region,
-            clip_box: &region,
-            eps: 1e-9,
-        };
         let mut scratch = CellScratch::default();
-        for (i, &site) in points.iter().enumerate() {
-            let cell = compute_cell(&ctx, site, i as u32, &mut scratch);
-            let vol = cell.poly.volume();
-            let area = cell.poly.surface_area();
-            prop_assert!(vol.is_finite() && vol >= -1e-9,
-                "family {} site {}: negative volume {}", family, i, vol);
-            prop_assert!(area.is_finite() && area >= -1e-9,
-                "family {} site {}: negative area {}", family, i, area);
+        for kernel in [KernelMode::Ring, KernelMode::Stream] {
+            let ctx = CellContext {
+                points: &points,
+                ids: &ids,
+                grid: &grid,
+                region: &region,
+                clip_box: &region,
+                eps: 1e-9,
+                kernel,
+                canon_incomplete: true,
+            };
+            for (i, &site) in points.iter().enumerate() {
+                let cell = compute_cell(&ctx, site, i as u32, &mut scratch);
+                let vol = cell.poly.volume();
+                let area = cell.poly.surface_area();
+                prop_assert!(vol.is_finite() && vol >= -1e-9,
+                    "family {} site {} ({:?}): negative volume {}", family, i, kernel, vol);
+                prop_assert!(area.is_finite() && area >= -1e-9,
+                    "family {} site {} ({:?}): negative area {}", family, i, kernel, area);
+            }
         }
         // quickhull must reject degeneracy gracefully, never panic; when a
         // hull does come out (duplicates of a full-dimensional set), its
