@@ -45,6 +45,27 @@ echo "==> trace smoke: 4-rank traced run, Chrome-trace validation, <10% overhead
 # bench-out/trace_np16_r4.trace.json (openable at ui.perfetto.dev).
 TESS_THREADS=4 cargo run --release -q -p bench-harness --bin trace_export
 
+echo "==> service gate: query-oracle + snapshot-consistency suites (release)"
+# The resident mesh service: batched point lookups vs a brute-force
+# nearest-seed oracle (exact f64, canonical tie-breaks, periodic images),
+# box/region extraction vs full-cell filters with 1e-9 volume conservation,
+# raced queries matching exactly one epoch's oracle mesh, and writer-epoch
+# × reader-thread stress with exactly-once request-id accounting.
+cargo test --release -q -p meshing-universe --test service_oracle
+cargo test --release -q -p meshing-universe --test service_property
+cargo test --release -q -p meshing-universe --test service_stress
+
+echo "==> service smoke: 4-rank mixed query/update run, bit-identity + p99 bound"
+# bench_service hammers the service from 4 client threads while a particle
+# delta lands mid-flight, then gates on (1) the post-update published mesh
+# being bit-identical to a from-scratch recompute of the final particle
+# set, (2) every response carrying a valid epoch, (3) exactly-once
+# accounting, and (4) client-observed p99 latency under SERVICE_P99_MS
+# (default 500 ms). Writes the `service` section of BENCH_TESS.json.
+TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_service
+# End-to-end smoke of the tess-serve binary's scripted query/update loop.
+cargo run --release -q -p tess --bin tess-serve -- --box 8 --n 200 --demo
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

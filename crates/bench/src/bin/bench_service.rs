@@ -1,0 +1,276 @@
+//! Resident-service throughput smoke: the second headline number beside
+//! cells/sec — requests/sec with p50/p99 latency from a mixed
+//! query/update run against [`tess::MeshService`].
+//!
+//! The run: spawn the service on the perf-smoke workload (np16, 8 blocks,
+//! 4 resident ranks), hammer it from `CLIENTS` threads with a mixed
+//! point/box/region stream while the main thread applies a particle-delta
+//! update mid-flight, then gate on:
+//!
+//! 1. **Bit-identity** — the post-update published mesh must equal a
+//!    from-scratch recompute of the final particle set, bit for bit.
+//! 2. **Epoch consistency** — every response carries epoch 1 or 2 (the
+//!    only certified snapshots this run publishes).
+//! 3. **Accounting** — every accepted request is answered exactly once
+//!    (`enqueued == answered`, no rejects, distinct ids).
+//! 4. **Latency** — client-observed p99 must stay under `SERVICE_P99_MS`
+//!    (default 500 ms — a smoke bound for loaded CI boxes, not a perf
+//!    target).
+//!
+//! The measurement lands in the `service` section of `BENCH_TESS.json`
+//! (preserving the `entries` section written by `perf_smoke`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bench_harness::{
+    evolved_particles_cached, partition_particles, write_bench_service_json, ServiceBenchEntry,
+};
+use diy::comm::Runtime;
+use geometry::{Aabb, Vec3};
+use tess::{tessellate, GhostSpec, MeshService, Query, ServiceConfig, TessParams, Update};
+
+const NP: usize = 16;
+const NSTEPS: usize = 100;
+const NBLOCKS: usize = 8;
+const NRANKS: usize = 4;
+const WORKERS: usize = 2;
+const CLIENTS: usize = 4;
+const REQS_PER_CLIENT: usize = 500;
+/// Fraction (1/MOVE_EVERY) of particles displaced by the mid-run update.
+const MOVE_EVERY: u64 = 20;
+
+/// Cell fingerprint: (volume bits, area bits, face neighbors).
+type CellBits = (u64, u64, Vec<u64>);
+
+fn mesh_bits(blocks: &BTreeMap<u64, tess::MeshBlock>) -> BTreeMap<u64, CellBits> {
+    let mut mesh = BTreeMap::new();
+    for b in blocks.values() {
+        for c in &b.cells {
+            let bits = (
+                c.volume.to_bits(),
+                c.area.to_bits(),
+                c.faces.iter().map(|f| f.neighbor).collect(),
+            );
+            assert!(
+                mesh.insert(b.site_id_of(c), bits).is_none(),
+                "cell duplicated"
+            );
+        }
+    }
+    mesh
+}
+
+/// Deterministic splitmix64 — the workload must not depend on wall clock.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn unit(seed: u64) -> f64 {
+    (mix(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn params() -> TessParams {
+    TessParams {
+        ghost: GhostSpec::Adaptive {
+            initial_factor: 0.5,
+            max_rounds: 8,
+        },
+        ..TessParams::default()
+    }
+}
+
+fn main() {
+    let box_size = NP as f64;
+    let domain = Aabb::cube(box_size);
+    let particles = evolved_particles_cached(NP, NSTEPS);
+
+    // The mid-run delta, built up front so the from-scratch reference uses
+    // bit-identical positions.
+    let upserts: Vec<(u64, Vec3)> = particles
+        .iter()
+        .filter(|(id, _)| id % MOVE_EVERY == 0)
+        .map(|&(id, p)| {
+            let j = |axis: u64| (unit(id * 3 + axis) - 0.5) * 0.1;
+            let wrap = |x: f64| x.rem_euclid(box_size);
+            (
+                id,
+                Vec3::new(wrap(p.x + j(0)), wrap(p.y + j(1)), wrap(p.z + j(2))),
+            )
+        })
+        .collect();
+    let mut final_particles = particles.clone();
+    for &(id, p) in &upserts {
+        final_particles[id as usize] = (id, p);
+    }
+
+    let svc = MeshService::spawn(
+        domain,
+        [true; 3],
+        &particles,
+        ServiceConfig::new(NRANKS, NBLOCKS)
+            .with_workers(WORKERS)
+            .with_params(params()),
+    );
+    println!(
+        "bench_service: epoch {} published, {} cells, {} indexed sites",
+        svc.epoch(),
+        svc.snapshot().total_cells,
+        svc.snapshot().indexed_sites()
+    );
+
+    // Mixed query fire-hose from CLIENTS threads; one delta update lands
+    // mid-flight from the main thread.
+    let bad_epochs = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let svc = &svc;
+        let bad_epochs = &bad_epochs;
+        let mut handles = Vec::new();
+        for client in 0..CLIENTS {
+            handles.push(scope.spawn(move || {
+                let mut lats = Vec::with_capacity(REQS_PER_CLIENT);
+                let mut ids = Vec::with_capacity(REQS_PER_CLIENT);
+                for i in 0..REQS_PER_CLIENT {
+                    let seed = (client * REQS_PER_CLIENT + i) as u64;
+                    let q = match mix(seed) % 10 {
+                        0 => {
+                            let lo = Vec3::new(
+                                unit(seed ^ 1) * box_size * 0.75,
+                                unit(seed ^ 2) * box_size * 0.75,
+                                unit(seed ^ 3) * box_size * 0.75,
+                            );
+                            let ext = 1.0 + unit(seed ^ 4) * 3.0;
+                            Query::BoxCells(Aabb::new(lo, lo + Vec3::splat(ext)))
+                        }
+                        1 => {
+                            let lo = Vec3::new(
+                                unit(seed ^ 5) * box_size * 0.5,
+                                unit(seed ^ 6) * box_size * 0.5,
+                                unit(seed ^ 7) * box_size * 0.5,
+                            );
+                            Query::Region(Aabb::new(lo, lo + Vec3::splat(box_size * 0.5)))
+                        }
+                        _ => Query::Point(Vec3::new(
+                            unit(seed ^ 8) * box_size,
+                            unit(seed ^ 9) * box_size,
+                            unit(seed ^ 10) * box_size,
+                        )),
+                    };
+                    let r = svc.query(q).expect("service open");
+                    if r.epoch != 1 && r.epoch != 2 {
+                        bad_epochs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    lats.push(r.latency_ns);
+                    ids.push(r.id);
+                }
+                (lats, ids)
+            }));
+        }
+        let update_report = svc.update(Update::Delta {
+            upserts: upserts.clone(),
+            removes: Vec::new(),
+        });
+        println!(
+            "bench_service: update published epoch {} ({} particles moved, tess {:.2}s)",
+            update_report.epoch,
+            upserts.len(),
+            update_report.tess_wall_s
+        );
+        for h in handles {
+            let (lats, cids) = h.join().expect("client thread");
+            latencies.extend(lats);
+            ids.extend(cids);
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = svc.shutdown();
+    let hists = svc.hists();
+    let total = (CLIENTS * REQS_PER_CLIENT) as u64;
+
+    // Gate 3: exactly-once accounting.
+    assert_eq!(bad_epochs.load(Ordering::Relaxed), 0, "invalid epochs seen");
+    assert_eq!(latencies.len() as u64, total);
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, total, "duplicate request ids");
+    assert_eq!(
+        stats.enqueued, stats.answered,
+        "requests dropped: {stats:?}"
+    );
+    assert_eq!(stats.rejected, 0);
+    assert!(stats.enqueued >= total);
+    assert_eq!(hists.latency_ns.n(), stats.answered);
+
+    // Gate 1: post-update mesh is bit-identical to a from-scratch
+    // recompute of the final particle set.
+    let service_mesh = mesh_bits(&svc.snapshot().blocks);
+    assert_eq!(svc.snapshot().epoch, 2);
+    let final_ref = &final_particles;
+    let rows = Runtime::run(NRANKS, move |world| {
+        let dec = diy::decomposition::Decomposition::regular(domain, NBLOCKS, [true; 3]);
+        let asn = diy::decomposition::Assignment::new(NBLOCKS, world.nranks());
+        let local = partition_particles(final_ref, &dec, &asn, world.rank());
+        let r = tessellate(world, &dec, &asn, &local, &params());
+        r.blocks
+    });
+    let mut scratch_blocks = BTreeMap::new();
+    for blocks in rows {
+        scratch_blocks.extend(blocks);
+    }
+    let scratch_mesh = mesh_bits(&scratch_blocks);
+    assert_eq!(
+        service_mesh, scratch_mesh,
+        "post-update service mesh differs from from-scratch recompute"
+    );
+    println!(
+        "bench_service: post-update mesh bit-identical to from-scratch recompute ({} cells)",
+        service_mesh.len()
+    );
+
+    // Latency quantiles from the exact client-side samples.
+    latencies.sort_unstable();
+    let q = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] as f64 / 1e6;
+    let (p50_ms, p99_ms) = (q(0.50), q(0.99));
+    let rps = total as f64 / wall_s;
+    println!(
+        "bench_service: {total} requests in {wall_s:.3}s = {rps:.0} req/s, p50 {p50_ms:.3}ms p99 {p99_ms:.3}ms, {} batches (mean {:.1}), {} coalesced, queue-depth p50 {:.0}",
+        stats.batches,
+        stats.answered as f64 / stats.batches.max(1) as f64,
+        stats.coalesced,
+        hists.queue_depth.quantile(0.5),
+    );
+
+    let entry = ServiceBenchEntry {
+        label: format!("bench_service_np{NP}_r{NRANKS}_w{WORKERS}"),
+        requests: total,
+        wall_s,
+        p50_ms,
+        p99_ms,
+        batches: stats.batches,
+        coalesced: stats.coalesced,
+        updates: 1,
+        epochs: stats.epochs_published,
+    };
+    for path in write_bench_service_json(&entry) {
+        println!("bench_service: wrote {}", path.display());
+    }
+
+    // Gate 4: p99 latency bound.
+    let bound_ms: f64 = std::env::var("SERVICE_P99_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500.0);
+    assert!(
+        p99_ms <= bound_ms,
+        "p99 point-lookup latency {p99_ms:.1}ms exceeds the {bound_ms:.0}ms bound"
+    );
+    println!("bench_service: p99 {p99_ms:.3}ms within {bound_ms:.0}ms bound — OK");
+}

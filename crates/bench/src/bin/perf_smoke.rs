@@ -80,6 +80,10 @@ fn run_mode(
             let t0 = Instant::now();
             let r = tessellate(world, dec, &asn, &local, &params);
             let wall = world.all_reduce(t0.elapsed().as_secs_f64(), f64::max);
+            // Exercise the output phase (outside the timed window) so the
+            // per-phase breakdown in BENCH_TESS.json has a real output_s.
+            let out_path = bench_harness::output_dir().join("perf_smoke_mesh.bin");
+            tess::io::write_tessellation(world, &out_path, &r.blocks).expect("write mesh");
             let stats = tess::driver::global_stats(world, r.stats);
             let report = collect_report(world);
             assert!(report.is_conserved(), "transport conservation violated");
@@ -203,15 +207,27 @@ fn main() {
         stream.stats.prefilter_skipped,
     );
 
-    let entry = |label: &str, kernel: &str, r: &ModeRun| TessBenchEntry {
-        label: label.into(),
-        kernel: kernel.into(),
-        stats: r.stats,
-        wall_s: r.wall_s,
-        ghost_bytes: r.ghost_bytes,
-        exchange_s: 0.0,
-        voronoi_s: 0.0,
-        output_s: 0.0,
+    // Per-phase thread-CPU seconds (max across ranks) from the RunReport
+    // spans; the gate below keeps them from silently regressing to 0.0.
+    let entry = |label: &str, kernel: &str, r: &ModeRun| {
+        let e = TessBenchEntry {
+            label: label.into(),
+            kernel: kernel.into(),
+            stats: r.stats,
+            wall_s: r.wall_s,
+            ghost_bytes: r.ghost_bytes,
+            exchange_s: r.report.cpu_max(tess::driver::PHASE_GHOST_EXCHANGE),
+            voronoi_s: r.report.cpu_max(tess::driver::PHASE_VORONOI),
+            output_s: r.report.cpu_max(tess::driver::PHASE_OUTPUT),
+        };
+        assert!(
+            e.exchange_s > 0.0 && e.voronoi_s > 0.0 && e.output_s > 0.0,
+            "{label}: per-phase seconds must be non-zero (exchange {:.6}, voronoi {:.6}, output {:.6})",
+            e.exchange_s,
+            e.voronoi_s,
+            e.output_s
+        );
+        e
     };
     let entries = [
         entry("perf_smoke_baseline_seq_full", "ring", &baseline),

@@ -204,7 +204,12 @@ pub struct TessBenchEntry {
 /// computed cell, cells recomputed vs reused, reuse fraction), ghost
 /// traffic, and the per-phase breakdown. Schema documented in DESIGN.md.
 pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
-    let mut out = String::from("{\n  \"entries\": [\n");
+    compose_bench_doc(Some(&tess_bench_entries_json(entries)), None)
+}
+
+/// Render just the `entries` array of `BENCH_TESS.json`.
+pub fn tess_bench_entries_json(entries: &[TessBenchEntry]) -> String {
+    let mut out = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {
         let s = &e.stats;
         let cells_per_sec = if e.wall_s > 0.0 {
@@ -252,8 +257,134 @@ pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
             sep,
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
     out
+}
+
+/// One resident-service measurement destined for the `service` section of
+/// `BENCH_TESS.json` — the second headline number beside cells/sec.
+pub struct ServiceBenchEntry {
+    pub label: String,
+    /// Total requests answered during the measured window.
+    pub requests: u64,
+    /// Wall-clock seconds of the measured window.
+    pub wall_s: f64,
+    /// Client-observed request latency quantiles, milliseconds.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// Batches drained and duplicate requests coalesced by the workers.
+    pub batches: u64,
+    pub coalesced: u64,
+    /// Mesh updates applied (epochs published) while serving.
+    pub updates: u64,
+    pub epochs: u64,
+}
+
+/// Render the `service` section object for `BENCH_TESS.json`.
+pub fn service_bench_json(e: &ServiceBenchEntry) -> String {
+    let rps = if e.wall_s > 0.0 {
+        e.requests as f64 / e.wall_s
+    } else {
+        0.0
+    };
+    let mean_batch = if e.batches > 0 {
+        e.requests as f64 / e.batches as f64
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"label\": \"{}\", \"requests\": {}, \"wall_s\": {:.6}, ",
+            "\"requests_per_sec\": {:.3}, \"p50_ms\": {:.6}, \"p99_ms\": {:.6}, ",
+            "\"batches\": {}, \"mean_batch\": {:.3}, \"coalesced\": {}, ",
+            "\"updates\": {}, \"epochs\": {}}}"
+        ),
+        e.label,
+        e.requests,
+        e.wall_s,
+        rps,
+        e.p50_ms,
+        e.p99_ms,
+        e.batches,
+        mean_batch,
+        e.coalesced,
+        e.updates,
+        e.epochs,
+    )
+}
+
+/// Extract the raw balanced `[...]`/`{...}` value of a top-level `"key"` in
+/// a JSON document, string-aware. `None` if absent or malformed.
+pub fn extract_json_section(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let open = rest.chars().next()?;
+    let close = match open {
+        '[' => ']',
+        '{' => '}',
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in rest.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            c if c == open => depth += 1,
+            c if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Compose the full `BENCH_TESS.json` document from its sections. Either
+/// section may be absent (`entries` defaults to `[]`).
+pub fn compose_bench_doc(entries_raw: Option<&str>, service_raw: Option<&str>) -> String {
+    let mut out = String::from("{\n  \"entries\": ");
+    out.push_str(entries_raw.unwrap_or("[]"));
+    if let Some(s) = service_raw {
+        out.push_str(",\n  \"service\": ");
+        out.push_str(s);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Write the `service` section of `BENCH_TESS.json` (bench output dir and
+/// repo root), preserving any existing `entries` section in each file.
+/// Returns the paths written.
+pub fn write_bench_service_json(entry: &ServiceBenchEntry) -> Vec<std::path::PathBuf> {
+    let service = service_bench_json(entry);
+    let mut written = Vec::new();
+    for path in [
+        output_dir().join("BENCH_TESS.json"),
+        repo_root().join("BENCH_TESS.json"),
+    ] {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let entries = extract_json_section(&existing, "entries");
+        let doc = compose_bench_doc(entries.as_deref(), Some(&service));
+        if std::fs::write(&path, doc).is_ok() {
+            written.push(path);
+        }
+    }
+    written
 }
 
 /// The workspace root (two levels above this crate's manifest).
@@ -262,17 +393,21 @@ pub fn repo_root() -> std::path::PathBuf {
     root.canonicalize().unwrap_or(root)
 }
 
-/// Write `BENCH_TESS.json` to the bench output dir **and** the repo root,
-/// so CI and dashboards find the latest numbers at a fixed path without
-/// knowing `BENCH_OUT`. Returns the paths written.
+/// Write the `entries` section of `BENCH_TESS.json` to the bench output
+/// dir **and** the repo root, so CI and dashboards find the latest numbers
+/// at a fixed path without knowing `BENCH_OUT`. Any existing `service`
+/// section in each file is preserved. Returns the paths written.
 pub fn write_bench_tess_json(entries: &[TessBenchEntry]) -> Vec<std::path::PathBuf> {
-    let doc = tess_bench_json(entries);
+    let entries_raw = tess_bench_entries_json(entries);
     let mut written = Vec::new();
     for path in [
         output_dir().join("BENCH_TESS.json"),
         repo_root().join("BENCH_TESS.json"),
     ] {
-        if std::fs::write(&path, &doc).is_ok() {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let service = extract_json_section(&existing, "service");
+        let doc = compose_bench_doc(Some(&entries_raw), service.as_deref());
+        if std::fs::write(&path, doc).is_ok() {
             written.push(path);
         }
     }
@@ -342,6 +477,61 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn json_sections_roundtrip() {
+        let e = ServiceBenchEntry {
+            label: "svc".into(),
+            requests: 1000,
+            wall_s: 0.5,
+            p50_ms: 0.2,
+            p99_ms: 1.5,
+            batches: 40,
+            coalesced: 12,
+            updates: 2,
+            epochs: 3,
+        };
+        let svc = service_bench_json(&e);
+        assert!(svc.contains("\"requests_per_sec\": 2000.000"));
+        assert!(svc.contains("\"mean_batch\": 25.000"));
+
+        let entries = "[\n    {\"label\": \"a{]b\", \"wall_s\": 1.0}\n  ]";
+        let doc = compose_bench_doc(Some(entries), Some(&svc));
+        // Both sections extract back verbatim, braces in strings and all.
+        assert_eq!(
+            extract_json_section(&doc, "entries").as_deref(),
+            Some(entries)
+        );
+        assert_eq!(
+            extract_json_section(&doc, "service").as_deref(),
+            Some(svc.as_str())
+        );
+        // Re-splicing one section preserves the other.
+        let doc2 = compose_bench_doc(
+            extract_json_section(&doc, "entries").as_deref(),
+            Some("{\"label\": \"new\"}"),
+        );
+        assert_eq!(
+            extract_json_section(&doc2, "entries").as_deref(),
+            Some(entries)
+        );
+        assert_eq!(
+            extract_json_section(&doc2, "service").as_deref(),
+            Some("{\"label\": \"new\"}")
+        );
+        assert_eq!(extract_json_section("{}", "entries"), None);
+        assert_eq!(extract_json_section("", "service"), None);
+    }
+
+    #[test]
+    fn tess_bench_json_wraps_entries_array() {
+        let doc = tess_bench_json(&[]);
+        assert_eq!(
+            extract_json_section(&doc, "entries").as_deref(),
+            Some("[\n  ]")
+        );
+        assert_eq!(extract_json_section(&doc, "service"), None);
     }
 
     #[test]

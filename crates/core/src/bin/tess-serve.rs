@@ -1,0 +1,343 @@
+//! `tess-serve` — the resident tessellation service as a command-line tool.
+//!
+//! Loads (or generates) a point set, spawns a [`tess::MeshService`], and
+//! answers queries from stdin — one command per line — while the certified
+//! mesh stays resident between requests:
+//!
+//! ```text
+//! tess-serve --n 500 --box 10 [--seed 1] [--ranks 2] [--blocks 8]
+//!            [--workers 2] [--batch 64] [--ghost 3.0] [--no-periodic]
+//!            [--points points.bin] [--demo]
+//!
+//! > point 1.5 2.0 3.25          # nearest-seed cell lookup
+//! > box 0 0 0 2 2 2             # cells whose seed lies in the box
+//! > region 0 0 0 5 5 5          # volume/density summary over the box
+//! > move 17 4.0 4.0 4.0         # upsert particle 17 and re-tessellate
+//! > remove 17                   # drop particle 17 and re-tessellate
+//! > stats                       # queue/batch/epoch counters
+//! > quit
+//! ```
+//!
+//! `--demo` runs a scripted query/update round-trip instead of reading
+//! stdin (used by CI as an end-to-end smoke of the service binary).
+//!
+//! Points files are the workspace codec encoding of `Vec<(u64, Vec3)>`,
+//! as written by `tess-cli generate`.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use diy::codec::Decode;
+use diy::{log_error, log_info};
+use geometry::{Aabb, Vec3};
+use tess::{Answer, MeshService, Query, ServiceConfig, TessParams, Update};
+
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", raw[i]))?;
+            if key == "no-periodic" || key == "demo" {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                flags.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.get(key)?.ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn load_points(args: &Args, box_len: f64) -> Result<Vec<(u64, Vec3)>, String> {
+    if let Some(path) = args.get::<String>("points")? {
+        let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+        return Vec::<(u64, Vec3)>::from_bytes(&bytes).map_err(|e| e.to_string());
+    }
+    use rand::{Rng, SeedableRng};
+    let n: usize = args.require("n")?;
+    let seed: u64 = args.get("seed")?.unwrap_or(42);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    Ok((0..n as u64)
+        .map(|id| {
+            (
+                id,
+                Vec3::new(
+                    rng.gen_range(0.0..box_len),
+                    rng.gen_range(0.0..box_len),
+                    rng.gen_range(0.0..box_len),
+                ),
+            )
+        })
+        .collect())
+}
+
+fn answer_line(svc: &MeshService, query: Query) -> Result<String, String> {
+    let r = svc.query(query).map_err(|_| "service closed".to_string())?;
+    let body = match r.answer {
+        Answer::Point(None) => "point: no cell (empty mesh)".to_string(),
+        Answer::Point(Some(h)) => format!(
+            "point: site {} block {} dist {:.6} volume {:.6} area {:.6} faces {}{}",
+            h.site_id,
+            h.gid,
+            h.dist2.sqrt(),
+            h.volume,
+            h.area,
+            h.faces,
+            if h.complete { "" } else { " (incomplete)" }
+        ),
+        Answer::BoxCells(cells) => {
+            let vol: f64 = cells.iter().map(|c| c.volume).sum();
+            format!("box: {} cells, total volume {vol:.6}", cells.len())
+        }
+        Answer::Region(s) => format!(
+            "region: {} cells, volume {:.6}, area {:.6}, density {:.6} cells/vol",
+            s.cells, s.volume, s.area, s.density
+        ),
+    };
+    Ok(format!(
+        "[epoch {} | {:.2}ms] {body}",
+        r.epoch,
+        r.latency_ns as f64 / 1e6
+    ))
+}
+
+fn parse_vec3(w: &[&str]) -> Result<Vec3, String> {
+    if w.len() != 3 {
+        return Err(format!("expected 3 coordinates, got {}", w.len()));
+    }
+    let p = |s: &str| s.parse::<f64>().map_err(|_| format!("bad number '{s}'"));
+    Ok(Vec3::new(p(w[0])?, p(w[1])?, p(w[2])?))
+}
+
+fn parse_aabb(w: &[&str]) -> Result<Aabb, String> {
+    if w.len() != 6 {
+        return Err(format!("expected 6 coordinates, got {}", w.len()));
+    }
+    Ok(Aabb::new(parse_vec3(&w[..3])?, parse_vec3(&w[3..])?))
+}
+
+fn run_command(svc: &MeshService, line: &str) -> Result<Option<String>, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let Some((cmd, rest)) = words.split_first() else {
+        return Ok(None);
+    };
+    match *cmd {
+        "quit" | "exit" => Ok(None),
+        "point" => answer_line(svc, Query::Point(parse_vec3(rest)?)).map(Some),
+        "box" => answer_line(svc, Query::BoxCells(parse_aabb(rest)?)).map(Some),
+        "region" => answer_line(svc, Query::Region(parse_aabb(rest)?)).map(Some),
+        "move" => {
+            let id: u64 = rest
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or("move needs: id x y z")?;
+            let pos = parse_vec3(rest.get(1..).unwrap_or(&[]))?;
+            let rep = svc.update(Update::Delta {
+                upserts: vec![(id, pos)],
+                removes: Vec::new(),
+            });
+            Ok(Some(format!(
+                "epoch {} published: {} particles, {} cells ({:.2}s)",
+                rep.epoch, rep.particles, rep.cells, rep.tess_wall_s
+            )))
+        }
+        "remove" => {
+            let id: u64 = rest
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or("remove needs: id")?;
+            let rep = svc.update(Update::Delta {
+                upserts: Vec::new(),
+                removes: vec![id],
+            });
+            Ok(Some(format!(
+                "epoch {} published: {} particles, {} cells ({:.2}s)",
+                rep.epoch, rep.particles, rep.cells, rep.tess_wall_s
+            )))
+        }
+        "stats" => {
+            let s = svc.stats();
+            let h = svc.hists();
+            Ok(Some(format!(
+                "epoch {}: {} answered / {} enqueued, {} batches, {} coalesced, \
+                 {} epochs published, latency p50 {:.0}ns",
+                svc.epoch(),
+                s.answered,
+                s.enqueued,
+                s.batches,
+                s.coalesced,
+                s.epochs_published,
+                h.latency_ns.quantile(0.5),
+            )))
+        }
+        other => Err(format!(
+            "unknown command '{other}' (point|box|region|move|remove|stats|quit)"
+        )),
+    }
+}
+
+/// Scripted round-trip for CI: query, update, re-query, check the epoch
+/// advanced and the whole-domain volume stays equal to the box volume
+/// (periodic domains tile space exactly).
+fn demo(svc: &MeshService, domain: Aabb, periodic: bool) -> Result<(), String> {
+    let center = Vec3::new(
+        0.5 * (domain.min.x + domain.max.x),
+        0.5 * (domain.min.y + domain.max.y),
+        0.5 * (domain.min.z + domain.max.z),
+    );
+    for line in [
+        format!("point {} {} {}", center.x, center.y, center.z),
+        format!(
+            "box {} {} {} {} {} {}",
+            domain.min.x, domain.min.y, domain.min.z, center.x, center.y, center.z
+        ),
+        format!(
+            "region {} {} {} {} {} {}",
+            domain.min.x, domain.min.y, domain.min.z, domain.max.x, domain.max.y, domain.max.z
+        ),
+        format!("move 0 {} {} {}", center.x, center.y, center.z),
+        format!("point {} {} {}", center.x, center.y, center.z),
+        "stats".to_string(),
+    ] {
+        let out = run_command(svc, &line)?.unwrap_or_default();
+        log_info!("demo> {line}");
+        log_info!("{out}");
+    }
+    if svc.epoch() != 2 {
+        return Err(format!("demo: expected epoch 2, got {}", svc.epoch()));
+    }
+    if periodic {
+        let snap = svc.snapshot();
+        let vol = domain.volume();
+        if (snap.total_volume - vol).abs() > 1e-9 * vol {
+            return Err(format!(
+                "demo: total cell volume {} != domain volume {vol}",
+                snap.total_volume
+            ));
+        }
+        log_info!("demo: volume conserved to 1e-9 after update — OK");
+    }
+    // After the update the moved particle's cell must contain its new seed.
+    let hit = match svc.query(Query::Point(center)).map_err(|e| e.to_string())? {
+        tess::Response {
+            answer: Answer::Point(Some(h)),
+            ..
+        } => h,
+        _ => return Err("demo: no cell at the moved seed".into()),
+    };
+    if hit.site_id != 0 || hit.dist2 != 0.0 {
+        return Err(format!(
+            "demo: moved particle 0 should own its seed point, got site {} dist2 {}",
+            hit.site_id, hit.dist2
+        ));
+    }
+    log_info!("demo: moved particle owns its seed — OK");
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let box_len: f64 = args.require("box")?;
+    let ranks: usize = args.get("ranks")?.unwrap_or(2);
+    let blocks: usize = args.get("blocks")?.unwrap_or(8);
+    let workers: usize = args.get("workers")?.unwrap_or(2);
+    let batch: usize = args.get("batch")?.unwrap_or(64);
+    let periodic = !args.flags.contains_key("no-periodic");
+    let points = load_points(args, box_len)?;
+
+    let mut params = TessParams::default().with_adaptive_ghost();
+    if let Some(g) = args.get::<f64>("ghost")? {
+        params = params.with_ghost(g);
+    }
+    let domain = Aabb::cube(box_len);
+    let svc = MeshService::spawn(
+        domain,
+        [periodic; 3],
+        &points,
+        ServiceConfig::new(ranks, blocks)
+            .with_workers(workers)
+            .with_batch_max(batch)
+            .with_params(params),
+    );
+    let snap = svc.snapshot();
+    log_info!(
+        "serving {} cells from {} particles (epoch {}, {blocks} blocks on {ranks} ranks, \
+         {workers} workers, batch {batch})",
+        snap.total_cells,
+        points.len(),
+        snap.epoch
+    );
+
+    if args.flags.contains_key("demo") {
+        return demo(&svc, domain, periodic);
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        match run_command(&svc, trimmed) {
+            Ok(Some(out)) => println!("{out}"),
+            Ok(None) => {}
+            Err(e) => log_error!("{e}"),
+        }
+    }
+    let stats = svc.shutdown();
+    log_info!(
+        "shutting down: {} answered, {} epochs published",
+        stats.answered,
+        stats.epochs_published
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            log_error!(
+                "{e}\nusage: tess-serve --box L (--n N | --points FILE) [flags] (see module docs)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            log_error!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -37,6 +37,7 @@ pub mod grid;
 pub mod io;
 pub mod model;
 pub mod params;
+pub mod service;
 pub mod stats;
 
 pub use delaunay_mode::{delaunay_block, DelaunayBlock};
@@ -45,4 +46,9 @@ pub use driver::{
 };
 pub use model::{Cell, Face, MeshBlock, NO_NEIGHBOR};
 pub use params::{GhostSpec, HullMode, KernelMode, TessParams, AUTO_GHOST_FACTOR};
+pub use service::{
+    Answer, CellSummary, MeshService, MeshSnapshot, ParticleStore, Pending, PointHit, Query,
+    RegionSummary, Response, ServiceClosed, ServiceConfig, ServiceHists, ServiceStats, Update,
+    UpdateReport,
+};
 pub use stats::TessStats;

@@ -1,0 +1,1115 @@
+//! Resident tessellation service: the mesh lives beside the data and is
+//! interrogated, not recomputed per question.
+//!
+//! [`MeshService`] owns a persistent rank machine ([`diy::ResidentRuntime`]),
+//! the particle SoA store, and the last certified mesh. Queries — cell-by-
+//! point lookup, bounding-box cell extraction, per-region volume/density
+//! summaries — flow through an async request queue drained by a small pool
+//! of worker threads that batch and coalesce concurrent requests. Updates
+//! (particle deltas or whole new snapshots) re-tessellate on the resident
+//! ranks — internally incremental across adaptive ghost rounds via
+//! `BlockSession` — and atomically publish a new [`MeshSnapshot`] epoch.
+//!
+//! ## Consistency model
+//!
+//! Published meshes are immutable `Arc<MeshSnapshot>`s behind an rw-lock
+//! cell. A worker pins **one** snapshot per batch (an `Arc` clone — the
+//! epoch pin), answers the whole batch against it, and stamps every
+//! response with that snapshot's epoch. An in-flight update builds the next
+//! snapshot privately and swaps the `Arc` only when fully certified, so a
+//! query observes either the pre-update or the post-update mesh in its
+//! entirety — never a mixture. There is no read barrier during updates:
+//! queries keep draining against the previous certified epoch.
+//!
+//! ## Batching and coalescing
+//!
+//! A worker drains up to `batch_max` queued requests at once. Point
+//! lookups in a batch are grouped by owning block (via the decomposition)
+//! and each group is answered in a single distance-ordered kernel pass per
+//! block — one shared [`StreamScratch`], queries walked in canonical
+//! (coordinate-bit) order against the snapshot's candidate grid. Bit-equal
+//! duplicate queries within a batch are coalesced: computed once, answered
+//! to every requester.
+//!
+//! ## Exactness
+//!
+//! Point lookup is the exact argmin-distance seed. The snapshot's lookup
+//! grid indexes every cell site **plus its periodic images within half a
+//! domain extent** of the boundary: for any query point inside the domain,
+//! the minimum-image offset to the true nearest site is at most half the
+//! extent per periodic axis, so the winning image is always indexed. Exact
+//! `f64` distance ties are broken canonically toward the **smallest site
+//! id** (entries are sorted by site id, and the stream kernel pops equal
+//! distances in index order).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use diy::comm::ResidentRuntime;
+use diy::decomposition::{Assignment, Decomposition};
+use diy::hist::LogHistogram;
+use diy::trace::monotonic_ns;
+use geometry::{Aabb, Vec3};
+
+use crate::driver::tessellate;
+use crate::grid::{CandidateGrid, StreamScratch};
+use crate::model::MeshBlock;
+use crate::params::TessParams;
+use crate::stats::TessStats;
+
+/// One query against the resident mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Which cell contains this point? Answered with the exact
+    /// argmin-distance seed (ties toward the smallest site id).
+    Point(Vec3),
+    /// Every cell whose site lies in this half-open box, sorted by site id.
+    BoxCells(Aabb),
+    /// Aggregate volume/density over cells whose sites lie in this box.
+    Region(Aabb),
+}
+
+/// The cell answering a point lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointHit {
+    pub site_id: u64,
+    /// Owning block of the cell.
+    pub gid: u64,
+    /// Exact squared distance from the query to the winning site (its
+    /// nearest periodic image).
+    pub dist2: f64,
+    pub volume: f64,
+    pub area: f64,
+    pub faces: u32,
+    pub complete: bool,
+}
+
+/// One cell row of a box extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSummary {
+    pub site_id: u64,
+    pub gid: u64,
+    pub volume: f64,
+    pub area: f64,
+    pub faces: u32,
+    pub complete: bool,
+}
+
+/// Aggregate over a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionSummary {
+    /// Cells whose site lies in the region.
+    pub cells: u64,
+    /// Sum of their cell volumes (canonical block/cell iteration order).
+    pub volume: f64,
+    /// Sum of their surface areas.
+    pub area: f64,
+    /// Seed number density: `cells / box volume`.
+    pub density: f64,
+}
+
+/// Answer payload, one variant per [`Query`] kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// `None` when the mesh is empty.
+    Point(Option<PointHit>),
+    BoxCells(Vec<CellSummary>),
+    Region(RegionSummary),
+}
+
+/// A completed response. `epoch` identifies the exact published snapshot
+/// the answer was computed against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub id: u64,
+    pub epoch: u64,
+    pub answer: Answer,
+    pub latency_ns: u64,
+}
+
+/// A mesh update: apply a delta to the particle store, or replace it.
+#[derive(Debug, Clone)]
+pub enum Update {
+    Delta {
+        upserts: Vec<(u64, Vec3)>,
+        removes: Vec<u64>,
+    },
+    Snapshot(Vec<(u64, Vec3)>),
+}
+
+/// What an update published.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    pub epoch: u64,
+    pub particles: u64,
+    pub cells: u64,
+    pub stats: TessStats,
+    pub tess_wall_s: f64,
+}
+
+/// Service sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Resident ranks for the update path.
+    pub nranks: usize,
+    /// Blocks in the regular decomposition.
+    pub nblocks: usize,
+    /// Query worker threads.
+    pub workers: usize,
+    /// Max requests drained per batch.
+    pub batch_max: usize,
+    /// Tessellation parameters for the update path.
+    pub params: TessParams,
+}
+
+impl ServiceConfig {
+    pub fn new(nranks: usize, nblocks: usize) -> ServiceConfig {
+        ServiceConfig {
+            nranks,
+            nblocks,
+            workers: 2,
+            batch_max: 64,
+            params: TessParams::default(),
+        }
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    pub fn with_params(mut self, params: TessParams) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+/// One indexed site: the primary position of a cell's seed, or one of its
+/// periodic images near the boundary. Entries are sorted by `site_id` so
+/// the stream kernel's (distance, index) tie-break is a (distance,
+/// site id) tie-break.
+struct SiteEntry {
+    site_id: u64,
+    gid: u64,
+    cell: u32,
+}
+
+/// An immutable certified mesh at one epoch, with the lookup structures
+/// queries run against. Published behind `Arc`; never mutated after build.
+pub struct MeshSnapshot {
+    pub epoch: u64,
+    pub dec: Decomposition,
+    /// The certified mesh blocks, keyed by gid.
+    pub blocks: BTreeMap<u64, MeshBlock>,
+    /// Rank-merged tessellation counters for this epoch.
+    pub stats: TessStats,
+    /// Sum of all cell volumes (canonical iteration order).
+    pub total_volume: f64,
+    pub total_cells: u64,
+    entries: Vec<SiteEntry>,
+    /// Positions parallel to `entries` (primary sites + periodic images).
+    positions: Vec<Vec3>,
+    grid: Option<CandidateGrid>,
+}
+
+impl MeshSnapshot {
+    /// An empty epoch-0 snapshot (pre-first-tessellation placeholder).
+    pub fn empty(dec: Decomposition) -> MeshSnapshot {
+        MeshSnapshot {
+            epoch: 0,
+            dec,
+            blocks: BTreeMap::new(),
+            stats: TessStats::default(),
+            total_volume: 0.0,
+            total_cells: 0,
+            entries: Vec::new(),
+            positions: Vec::new(),
+            grid: None,
+        }
+    }
+
+    /// Index a certified mesh: collect every cell's seed position plus its
+    /// periodic images within half the domain extent of the boundary, sort
+    /// by site id (canonical tie-break), and build the candidate grid.
+    pub fn build(
+        epoch: u64,
+        dec: Decomposition,
+        blocks: BTreeMap<u64, MeshBlock>,
+        stats: TessStats,
+    ) -> MeshSnapshot {
+        let domain = dec.domain;
+        let ext = domain.extent();
+        // Margin per axis: half the extent on periodic axes (covers every
+        // minimum-image offset from an in-domain query), zero otherwise.
+        let margin = Vec3::new(
+            if dec.periodic[0] { ext.x * 0.5 } else { 0.0 },
+            if dec.periodic[1] { ext.y * 0.5 } else { 0.0 },
+            if dec.periodic[2] { ext.z * 0.5 } else { 0.0 },
+        );
+        let lo = domain.min - margin;
+        let hi = domain.max + margin;
+
+        let mut raw: Vec<(u64, u64, u32, Vec3)> = Vec::new();
+        let mut total_volume = 0.0;
+        let mut total_cells = 0u64;
+        let offs = |periodic: bool| -> &'static [i32] {
+            if periodic {
+                &[-1, 0, 1]
+            } else {
+                &[0]
+            }
+        };
+        for (&gid, b) in &blocks {
+            for (ci, cell) in b.cells.iter().enumerate() {
+                total_volume += cell.volume;
+                total_cells += 1;
+                let p = b.site_of(cell);
+                let id = b.site_id_of(cell);
+                for &kx in offs(dec.periodic[0]) {
+                    for &ky in offs(dec.periodic[1]) {
+                        for &kz in offs(dec.periodic[2]) {
+                            let img = p + Vec3::new(
+                                kx as f64 * ext.x,
+                                ky as f64 * ext.y,
+                                kz as f64 * ext.z,
+                            );
+                            let inside = img.x >= lo.x
+                                && img.x <= hi.x
+                                && img.y >= lo.y
+                                && img.y <= hi.y
+                                && img.z >= lo.z
+                                && img.z <= hi.z;
+                            if inside {
+                                raw.push((id, gid, ci as u32, img));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Canonical order: site id first (ties in the kernel resolve to
+        // the smallest index = smallest id), then position bits so the
+        // build is fully deterministic.
+        raw.sort_by(|a, b| {
+            (a.0, a.3.x.to_bits(), a.3.y.to_bits(), a.3.z.to_bits()).cmp(&(
+                b.0,
+                b.3.x.to_bits(),
+                b.3.y.to_bits(),
+                b.3.z.to_bits(),
+            ))
+        });
+        let mut entries = Vec::with_capacity(raw.len());
+        let mut positions = Vec::with_capacity(raw.len());
+        for (site_id, gid, cell, pos) in raw {
+            entries.push(SiteEntry { site_id, gid, cell });
+            positions.push(pos);
+        }
+        let grid = if positions.is_empty() {
+            None
+        } else {
+            Some(CandidateGrid::build(Aabb::new(lo, hi), &positions, 4.0))
+        };
+        MeshSnapshot {
+            epoch,
+            dec,
+            blocks,
+            stats,
+            total_volume,
+            total_cells,
+            entries,
+            positions,
+            grid,
+        }
+    }
+
+    /// Wrap a query point into the domain on periodic axes — but only if
+    /// it is actually outside, so in-domain coordinates keep their exact
+    /// bits (the differential oracle depends on this).
+    pub fn wrap_query(&self, p: Vec3) -> Vec3 {
+        let d = &self.dec.domain;
+        let e = d.extent();
+        let mut q = p;
+        for a in 0..3 {
+            if self.dec.periodic[a] && (q[a] < d.min[a] || q[a] >= d.max[a]) {
+                let mut v = d.min[a] + (q[a] - d.min[a]).rem_euclid(e[a]);
+                if v >= d.max[a] {
+                    v = d.min[a];
+                }
+                q[a] = v;
+            }
+        }
+        q
+    }
+
+    /// Exact nearest-seed lookup (see module docs for the tie-break and
+    /// periodic-image argument). `None` on an empty mesh.
+    pub fn lookup_point(&self, p: Vec3, scratch: &mut StreamScratch) -> Option<PointHit> {
+        let grid = self.grid.as_ref()?;
+        let q = self.wrap_query(p);
+        let mut stream = grid.stream(&self.positions, q, u32::MAX, scratch);
+        let (d2, idx) = stream.next(f64::INFINITY)?;
+        let e = &self.entries[idx as usize];
+        let block = &self.blocks[&e.gid];
+        let cell = &block.cells[e.cell as usize];
+        Some(PointHit {
+            site_id: e.site_id,
+            gid: e.gid,
+            dist2: d2,
+            volume: cell.volume,
+            area: cell.area,
+            faces: cell.faces.len() as u32,
+            complete: cell.complete,
+        })
+    }
+
+    /// Cells whose site lies in the half-open `query` box, sorted by site
+    /// id. Membership uses the site's primary (stored) position, so boxes
+    /// partitioning the domain partition the cells.
+    pub fn box_cells(&self, query: Aabb) -> Vec<CellSummary> {
+        let mut out = Vec::new();
+        for (&gid, b) in &self.blocks {
+            for cell in &b.cells {
+                if query.contains(b.site_of(cell)) {
+                    out.push(CellSummary {
+                        site_id: b.site_id_of(cell),
+                        gid,
+                        volume: cell.volume,
+                        area: cell.area,
+                        faces: cell.faces.len() as u32,
+                        complete: cell.complete,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|c| c.site_id);
+        out
+    }
+
+    /// Aggregate volume/area/density over cells whose sites lie in the
+    /// half-open `query` box (canonical block/cell accumulation order).
+    pub fn region_summary(&self, query: Aabb) -> RegionSummary {
+        let mut cells = 0u64;
+        let mut volume = 0.0;
+        let mut area = 0.0;
+        for b in self.blocks.values() {
+            for cell in &b.cells {
+                if query.contains(b.site_of(cell)) {
+                    cells += 1;
+                    volume += cell.volume;
+                    area += cell.area;
+                }
+            }
+        }
+        let e = query.extent();
+        let box_vol = e.x * e.y * e.z;
+        let density = if box_vol > 0.0 {
+            cells as f64 / box_vol
+        } else {
+            0.0
+        };
+        RegionSummary {
+            cells,
+            volume,
+            area,
+            density,
+        }
+    }
+
+    /// Answer one query directly against this snapshot (the workers'
+    /// batched path calls the same primitives).
+    pub fn answer(&self, q: &Query, scratch: &mut StreamScratch) -> Answer {
+        match q {
+            Query::Point(p) => Answer::Point(self.lookup_point(*p, scratch)),
+            Query::BoxCells(b) => Answer::BoxCells(self.box_cells(*b)),
+            Query::Region(b) => Answer::Region(self.region_summary(*b)),
+        }
+    }
+
+    /// Number of indexed site entries (primaries + periodic images).
+    pub fn indexed_sites(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// SoA particle store with id-indexed upsert/remove.
+#[derive(Default)]
+pub struct ParticleStore {
+    ids: Vec<u64>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+    slot: HashMap<u64, usize>,
+}
+
+impl ParticleStore {
+    pub fn new() -> ParticleStore {
+        ParticleStore::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert or move a particle.
+    pub fn upsert(&mut self, id: u64, p: Vec3) {
+        match self.slot.get(&id) {
+            Some(&i) => {
+                self.xs[i] = p.x;
+                self.ys[i] = p.y;
+                self.zs[i] = p.z;
+            }
+            None => {
+                self.slot.insert(id, self.ids.len());
+                self.ids.push(id);
+                self.xs.push(p.x);
+                self.ys.push(p.y);
+                self.zs.push(p.z);
+            }
+        }
+    }
+
+    /// Remove a particle; `false` if the id was absent.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(i) = self.slot.remove(&id) else {
+            return false;
+        };
+        self.ids.swap_remove(i);
+        self.xs.swap_remove(i);
+        self.ys.swap_remove(i);
+        self.zs.swap_remove(i);
+        if i < self.ids.len() {
+            self.slot.insert(self.ids[i], i);
+        }
+        true
+    }
+
+    pub fn get(&self, id: u64) -> Option<Vec3> {
+        self.slot
+            .get(&id)
+            .map(|&i| Vec3::new(self.xs[i], self.ys[i], self.zs[i]))
+    }
+
+    /// Partition into per-block particle lists, each sorted by particle id
+    /// (canonical: independent of insertion/removal history).
+    pub fn partition(&self, dec: &Decomposition) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
+        let mut local: BTreeMap<u64, Vec<(u64, Vec3)>> = BTreeMap::new();
+        for gid in 0..dec.nblocks() as u64 {
+            local.insert(gid, Vec::new());
+        }
+        for (i, &id) in self.ids.iter().enumerate() {
+            let p = Vec3::new(self.xs[i], self.ys[i], self.zs[i]);
+            let gid = dec.block_of_point(p);
+            local.get_mut(&gid).expect("gid in range").push((id, p));
+        }
+        for v in local.values_mut() {
+            v.sort_by_key(|&(id, _)| id);
+        }
+        local
+    }
+}
+
+/// Running counters. `enqueued == answered` once the queue is drained
+/// (shutdown drains before exiting); `rejected` counts submissions after
+/// shutdown, which never enter the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    pub enqueued: u64,
+    pub answered: u64,
+    pub rejected: u64,
+    pub batches: u64,
+    /// Requests answered from another request's computation (bit-equal
+    /// duplicates within a batch).
+    pub coalesced: u64,
+    pub epochs_published: u64,
+}
+
+/// Queue/batch/latency distributions (log2-bucketed, mergeable).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceHists {
+    pub queue_depth: LogHistogram,
+    pub batch_size: LogHistogram,
+    pub latency_ns: LogHistogram,
+}
+
+struct Counters {
+    enqueued: AtomicU64,
+    answered: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    epochs: AtomicU64,
+}
+
+struct Request {
+    id: u64,
+    enq_ns: u64,
+    query: Query,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    snap: RwLock<Arc<MeshSnapshot>>,
+    next_id: AtomicU64,
+    counters: Counters,
+    hists: Mutex<ServiceHists>,
+    batch_max: usize,
+}
+
+/// A submitted query; `wait` blocks for its response.
+pub struct Pending {
+    pub id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Pending {
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .expect("service answers every accepted request")
+    }
+
+    pub fn try_wait(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The service was shut down; the submission was rejected (and counted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mesh service is shut down")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+struct UpdaterState {
+    dec: Decomposition,
+    asn: Assignment,
+    store: ParticleStore,
+}
+
+/// The resident mesh service. See module docs.
+pub struct MeshService {
+    shared: Arc<Shared>,
+    runtime: ResidentRuntime,
+    updater: Mutex<UpdaterState>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    params: TessParams,
+}
+
+impl MeshService {
+    /// Spawn the resident ranks and query workers, ingest `particles`, and
+    /// publish epoch 1 (the first certified mesh) before returning.
+    pub fn spawn(
+        domain: Aabb,
+        periodic: [bool; 3],
+        particles: &[(u64, Vec3)],
+        cfg: ServiceConfig,
+    ) -> MeshService {
+        assert!(cfg.nranks > 0 && cfg.nblocks > 0);
+        let dec = Decomposition::regular(domain, cfg.nblocks, periodic);
+        let asn = Assignment::new(cfg.nblocks, cfg.nranks);
+        let mut store = ParticleStore::new();
+        for &(id, p) in particles {
+            store.upsert(id, p);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            snap: RwLock::new(Arc::new(MeshSnapshot::empty(dec.clone()))),
+            next_id: AtomicU64::new(1),
+            counters: Counters {
+                enqueued: AtomicU64::new(0),
+                answered: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                epochs: AtomicU64::new(0),
+            },
+            hists: Mutex::new(ServiceHists::default()),
+            batch_max: cfg.batch_max.max(1),
+        });
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mesh-service-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn service worker"),
+            );
+        }
+        let svc = MeshService {
+            shared,
+            runtime: ResidentRuntime::spawn(cfg.nranks),
+            updater: Mutex::new(UpdaterState { dec, asn, store }),
+            workers: Mutex::new(workers),
+            params: cfg.params,
+        };
+        {
+            let mut upd = svc.updater.lock().unwrap();
+            svc.retessellate_publish(&mut upd);
+        }
+        svc
+    }
+
+    /// The currently published snapshot (an epoch pin: the returned mesh
+    /// never changes, even across updates).
+    pub fn snapshot(&self) -> Arc<MeshSnapshot> {
+        self.shared.snap.read().unwrap().clone()
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Submit a query; returns a [`Pending`] handle carrying the request
+    /// id. Rejected (with accounting) after shutdown.
+    pub fn submit(&self, query: Query) -> Result<Pending, ServiceClosed> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.shared.queue.lock().unwrap();
+            if st.shutdown {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceClosed);
+            }
+            st.queue.push_back(Request {
+                id,
+                enq_ns: monotonic_ns(),
+                query,
+                reply: tx,
+            });
+            self.shared
+                .counters
+                .enqueued
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.cv.notify_one();
+        Ok(Pending { id, rx })
+    }
+
+    /// Submit and block for the response.
+    pub fn query(&self, query: Query) -> Result<Response, ServiceClosed> {
+        Ok(self.submit(query)?.wait())
+    }
+
+    /// Apply an update and publish the next epoch. Updates serialize;
+    /// queries keep draining against the previous epoch throughout.
+    pub fn update(&self, u: Update) -> UpdateReport {
+        let mut upd = self.updater.lock().unwrap();
+        match u {
+            Update::Delta { upserts, removes } => {
+                for (id, p) in upserts {
+                    upd.store.upsert(id, p);
+                }
+                for id in removes {
+                    upd.store.remove(id);
+                }
+            }
+            Update::Snapshot(parts) => {
+                upd.store = ParticleStore::new();
+                for (id, p) in parts {
+                    upd.store.upsert(id, p);
+                }
+            }
+        }
+        self.retessellate_publish(&mut upd)
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            enqueued: c.enqueued.load(Ordering::Relaxed),
+            answered: c.answered.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            epochs_published: c.epochs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queue-depth / batch-size / request-latency histograms.
+    pub fn hists(&self) -> ServiceHists {
+        self.shared.hists.lock().unwrap().clone()
+    }
+
+    /// Drain the queue, stop the workers, and return the final counters.
+    /// Every accepted request is answered before workers exit; idempotent.
+    pub fn shutdown(&self) -> ServiceStats {
+        {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        let mut workers = self.workers.lock().unwrap();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+        self.stats()
+    }
+
+    /// Re-tessellate the store on the resident ranks and atomically publish
+    /// the next epoch.
+    fn retessellate_publish(&self, upd: &mut UpdaterState) -> UpdateReport {
+        let local_all = Arc::new(upd.store.partition(&upd.dec));
+        let dec = upd.dec.clone();
+        let asn = upd.asn;
+        let params = self.params;
+        let t0 = std::time::Instant::now();
+        let results = self.runtime.run(move |world| {
+            let mine: BTreeMap<u64, Vec<(u64, Vec3)>> = asn
+                .blocks_of_rank(world.rank())
+                .filter_map(|gid| local_all.get(&gid).map(|v| (gid, v.clone())))
+                .collect();
+            let r = tessellate(world, &dec, &asn, &mine, &params);
+            (r.blocks, r.stats)
+        });
+        let tess_wall_s = t0.elapsed().as_secs_f64();
+        let mut blocks = BTreeMap::new();
+        let mut stats = TessStats::default();
+        for (rank_blocks, rank_stats) in results {
+            stats = stats.merge(rank_stats);
+            blocks.extend(rank_blocks);
+        }
+        let prev_epoch = self.shared.snap.read().unwrap().epoch;
+        let snap = Arc::new(MeshSnapshot::build(
+            prev_epoch + 1,
+            upd.dec.clone(),
+            blocks,
+            stats,
+        ));
+        let report = UpdateReport {
+            epoch: snap.epoch,
+            particles: upd.store.len() as u64,
+            cells: snap.total_cells,
+            stats: snap.stats,
+            tess_wall_s,
+        };
+        *self.shared.snap.write().unwrap() = snap;
+        self.shared.counters.epochs.fetch_add(1, Ordering::Relaxed);
+        report
+    }
+}
+
+impl Drop for MeshService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Coalescing key: the exact bit pattern of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum QueryKey {
+    Point([u64; 3]),
+    BoxCells([u64; 6]),
+    Region([u64; 6]),
+}
+
+fn query_key(q: &Query) -> QueryKey {
+    let bits3 = |v: Vec3| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()];
+    let bits6 = |b: &Aabb| {
+        let lo = bits3(b.min);
+        let hi = bits3(b.max);
+        [lo[0], lo[1], lo[2], hi[0], hi[1], hi[2]]
+    };
+    match q {
+        Query::Point(p) => QueryKey::Point(bits3(*p)),
+        Query::BoxCells(b) => QueryKey::BoxCells(bits6(b)),
+        Query::Region(b) => QueryKey::Region(bits6(b)),
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut scratch = StreamScratch::default();
+    loop {
+        let (depth, batch) = {
+            let mut st = shared.queue.lock().unwrap();
+            while st.queue.is_empty() && !st.shutdown {
+                st = shared.cv.wait(st).unwrap();
+            }
+            if st.queue.is_empty() {
+                // shutdown with an empty queue: drained, exit
+                return;
+            }
+            let depth = st.queue.len();
+            let take = depth.min(shared.batch_max);
+            let batch: Vec<Request> = st.queue.drain(..take).collect();
+            (depth, batch)
+        };
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut h = shared.hists.lock().unwrap();
+            h.queue_depth.observe_u64(depth as u64);
+            h.batch_size.observe_u64(batch.len() as u64);
+        }
+        process_batch(&shared, batch, &mut scratch);
+    }
+}
+
+/// Answer one drained batch against a single pinned snapshot. Point
+/// lookups are grouped by owning block and walked in canonical order with
+/// one shared scratch per block group; bit-equal duplicates are computed
+/// once.
+fn process_batch(shared: &Shared, batch: Vec<Request>, scratch: &mut StreamScratch) {
+    // Pin the epoch for the whole batch.
+    let snap: Arc<MeshSnapshot> = shared.snap.read().unwrap().clone();
+
+    // gid → key → requests (BTreeMaps: deterministic processing order).
+    let mut points: BTreeMap<u64, BTreeMap<QueryKey, Vec<Request>>> = BTreeMap::new();
+    let mut others: BTreeMap<QueryKey, Vec<Request>> = BTreeMap::new();
+    for req in batch {
+        let key = query_key(&req.query);
+        match &req.query {
+            Query::Point(p) => {
+                let gid = snap.dec.block_of_point(snap.wrap_query(*p));
+                points
+                    .entry(gid)
+                    .or_default()
+                    .entry(key)
+                    .or_default()
+                    .push(req);
+            }
+            _ => others.entry(key).or_default().push(req),
+        }
+    }
+
+    let mut coalesced = 0u64;
+    let mut answered = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let reply_all = |reqs: Vec<Request>,
+                     answer: Answer,
+                     coalesced: &mut u64,
+                     answered: &mut u64,
+                     latencies: &mut Vec<u64>| {
+        *coalesced += (reqs.len() as u64).saturating_sub(1);
+        for req in reqs {
+            let latency_ns = monotonic_ns().saturating_sub(req.enq_ns);
+            latencies.push(latency_ns);
+            *answered += 1;
+            let _ = req.reply.send(Response {
+                id: req.id,
+                epoch: snap.epoch,
+                answer: answer.clone(),
+                latency_ns,
+            });
+        }
+    };
+
+    // One distance-ordered kernel pass per block group.
+    for (_gid, group) in points {
+        for (key, reqs) in group {
+            let QueryKey::Point(bits) = key else {
+                unreachable!("point group holds point keys")
+            };
+            let p = Vec3::new(
+                f64::from_bits(bits[0]),
+                f64::from_bits(bits[1]),
+                f64::from_bits(bits[2]),
+            );
+            let answer = Answer::Point(snap.lookup_point(p, scratch));
+            reply_all(reqs, answer, &mut coalesced, &mut answered, &mut latencies);
+        }
+    }
+    for (key, reqs) in others {
+        let q = &reqs[0].query;
+        debug_assert_eq!(query_key(q), key);
+        let answer = snap.answer(&q.clone(), scratch);
+        reply_all(reqs, answer, &mut coalesced, &mut answered, &mut latencies);
+    }
+
+    shared
+        .counters
+        .coalesced
+        .fetch_add(coalesced, Ordering::Relaxed);
+    shared
+        .counters
+        .answered
+        .fetch_add(answered, Ordering::Relaxed);
+    let mut h = shared.hists.lock().unwrap();
+    for ns in latencies {
+        h.latency_ns.observe_u64(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GhostSpec;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 1.0, 1.0))
+    }
+
+    fn lattice(n: usize) -> Vec<(u64, Vec3)> {
+        let mut out = Vec::new();
+        let h = 1.0 / n as f64;
+        let mut id = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    out.push((
+                        id,
+                        Vec3::new(
+                            (i as f64 + 0.5) * h,
+                            (j as f64 + 0.5) * h,
+                            (k as f64 + 0.5) * h,
+                        ),
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn small_service() -> MeshService {
+        let params = TessParams {
+            ghost: GhostSpec::Auto { factor: 2.5 },
+            ..TessParams::default()
+        };
+        MeshService::spawn(
+            unit_box(),
+            [true; 3],
+            &lattice(4),
+            ServiceConfig::new(2, 4).with_workers(2).with_params(params),
+        )
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MeshService>();
+        assert_send_sync::<MeshSnapshot>();
+    }
+
+    #[test]
+    fn store_upsert_remove_roundtrip() {
+        let mut s = ParticleStore::new();
+        s.upsert(7, Vec3::new(0.1, 0.2, 0.3));
+        s.upsert(3, Vec3::new(0.4, 0.5, 0.6));
+        s.upsert(7, Vec3::new(0.9, 0.9, 0.9));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(7), Some(Vec3::new(0.9, 0.9, 0.9)));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(3), Some(Vec3::new(0.4, 0.5, 0.6)));
+        let dec = Decomposition::regular(unit_box(), 2, [false; 3]);
+        let parts = s.partition(&dec);
+        assert_eq!(parts.values().map(|v| v.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn spawn_publishes_epoch_one_and_answers() {
+        let svc = small_service();
+        assert_eq!(svc.epoch(), 1);
+        let r = svc
+            .query(Query::Point(Vec3::new(0.13, 0.62, 0.88)))
+            .unwrap();
+        assert_eq!(r.epoch, 1);
+        let Answer::Point(Some(hit)) = r.answer else {
+            panic!("expected a point hit")
+        };
+        assert!(hit.volume > 0.0);
+        // whole-domain region conserves total volume exactly (same
+        // iteration order as the snapshot total)
+        let snap = svc.snapshot();
+        let whole = svc.query(Query::Region(unit_box())).unwrap();
+        let Answer::Region(sum) = whole.answer else {
+            panic!("expected a region answer")
+        };
+        assert_eq!(sum.cells, snap.total_cells);
+        assert!((sum.volume - snap.total_volume).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_publishes_next_epoch_and_old_pin_survives() {
+        let svc = small_service();
+        let pin = svc.snapshot();
+        let rep = svc.update(Update::Delta {
+            upserts: vec![(1_000_000, Vec3::new(0.51, 0.49, 0.52))],
+            removes: vec![0],
+        });
+        assert_eq!(rep.epoch, 2);
+        assert_eq!(svc.epoch(), 2);
+        // The pinned pre-update snapshot is untouched.
+        assert_eq!(pin.epoch, 1);
+        assert_eq!(pin.total_cells, 64);
+        assert_eq!(svc.snapshot().total_cells, 64); // one removed, one added
+    }
+
+    #[test]
+    fn shutdown_accounting_and_rejection() {
+        let svc = small_service();
+        let p = svc.submit(Query::Point(Vec3::new(0.5, 0.5, 0.5))).unwrap();
+        let r = p.wait();
+        assert!(r.latency_ns > 0);
+        let stats = svc.shutdown();
+        assert_eq!(stats.enqueued, stats.answered);
+        assert_eq!(stats.rejected, 0);
+        assert!(svc.submit(Query::Point(Vec3::new(0.1, 0.1, 0.1))).is_err());
+        assert_eq!(svc.stats().rejected, 1);
+        let h = svc.hists();
+        assert_eq!(h.latency_ns.n(), stats.answered);
+        assert!(h.batch_size.n() >= 1);
+    }
+
+    #[test]
+    fn coalescing_counts_duplicates() {
+        let svc = small_service();
+        let q = Query::Point(Vec3::new(0.25, 0.25, 0.25));
+        let pending: Vec<Pending> = (0..8).map(|_| svc.submit(q.clone()).unwrap()).collect();
+        let responses: Vec<Response> = pending.into_iter().map(|p| p.wait()).collect();
+        let first = &responses[0];
+        for r in &responses {
+            assert_eq!(r.answer, first.answer);
+        }
+        // Distinct ids, each answered exactly once.
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn empty_mesh_answers_none() {
+        let dec = Decomposition::regular(unit_box(), 4, [true; 3]);
+        let snap = MeshSnapshot::empty(dec);
+        let mut scratch = StreamScratch::default();
+        assert_eq!(
+            snap.lookup_point(Vec3::new(0.5, 0.5, 0.5), &mut scratch),
+            None
+        );
+        assert!(snap.box_cells(unit_box()).is_empty());
+        assert_eq!(snap.region_summary(unit_box()).cells, 0);
+    }
+}

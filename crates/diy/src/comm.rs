@@ -96,6 +96,132 @@ impl Runtime {
     }
 }
 
+/// A job shipped to every resident rank thread for collective execution.
+type ResidentJob = Box<dyn FnOnce(&mut World) + Send>;
+
+/// A persistent SPMD machine: like [`Runtime::run`], but the rank threads —
+/// and therefore their `World`s, channel state, and metrics — stay alive
+/// between jobs. A long-lived owner (e.g. a resident analysis service) can
+/// submit many collective jobs without paying thread spawn/teardown or
+/// losing per-rank state accumulated by earlier jobs.
+///
+/// Every job runs on *all* ranks (SPMD); [`ResidentRuntime::run`] blocks
+/// until each rank returns and yields the results indexed by rank, exactly
+/// like `Runtime::run`. Jobs submitted from different threads are serialized
+/// per rank in submission order (the per-rank job queue is FIFO), but
+/// callers that need a consistent cross-rank order must serialize
+/// submissions themselves (e.g. behind a mutex).
+///
+/// Jobs must not panic: a panicking job kills its rank thread and poisons
+/// the machine (subsequent collective jobs would deadlock waiting for the
+/// dead rank).
+pub struct ResidentRuntime {
+    nranks: usize,
+    /// Guarded so concurrent `run` callers submit their job to *all* ranks
+    /// atomically: per-rank queues are FIFO, so holding the lock across
+    /// the broadcast keeps every rank executing jobs in the same order
+    /// (interleaved submissions would scramble collectives).
+    job_txs: std::sync::Mutex<Vec<Sender<ResidentJob>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ResidentRuntime {
+    /// Spawn `nranks` resident rank threads, each owning its `World`.
+    pub fn spawn(nranks: usize) -> Self {
+        assert!(nranks > 0, "need at least one rank");
+        let mut txs: Vec<Sender<Envelope>> = Vec::with_capacity(nranks);
+        let mut rxs: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        let barrier = Arc::new(Barrier::new(nranks));
+        let mut job_txs = Vec::with_capacity(nranks);
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, rx) in rxs.iter_mut().enumerate() {
+            let rx = rx.take().expect("receiver taken once");
+            let (job_tx, job_rx) = unbounded::<ResidentJob>();
+            job_txs.push(job_tx);
+            let txs = txs.clone();
+            let barrier = Arc::clone(&barrier);
+            let handle = std::thread::Builder::new()
+                .name(format!("resident-rank-{rank}"))
+                .spawn(move || {
+                    crate::log::set_thread_rank(Some(rank));
+                    let metrics = MetricsHandle::new();
+                    metrics.set_rank(rank as u64);
+                    let mut world = World {
+                        rank,
+                        nranks,
+                        txs,
+                        rx,
+                        pending: Vec::new(),
+                        barrier,
+                        coll_seq: 0,
+                        metrics,
+                    };
+                    while let Ok(job) = job_rx.recv() {
+                        job(&mut world);
+                    }
+                })
+                .expect("spawn resident rank thread");
+            handles.push(handle);
+        }
+        ResidentRuntime {
+            nranks,
+            job_txs: std::sync::Mutex::new(job_txs),
+            handles,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Run `f` collectively on every resident rank and collect the results
+    /// indexed by rank. Blocks until all ranks have returned.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut World) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let (res_tx, res_rx) = unbounded::<(usize, R)>();
+        {
+            let job_txs = self.job_txs.lock().expect("job submission lock");
+            for job_tx in job_txs.iter() {
+                let f = Arc::clone(&f);
+                let res_tx = res_tx.clone();
+                let job: ResidentJob = Box::new(move |world| {
+                    let r = f(world);
+                    let _ = res_tx.send((world.rank(), r));
+                });
+                job_tx.send(job).expect("resident rank thread alive");
+            }
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<R>> = (0..self.nranks).map(|_| None).collect();
+        for _ in 0..self.nranks {
+            let (rank, r) = res_rx.recv().expect("resident rank returned a result");
+            out[rank] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("exactly one result per rank"))
+            .collect()
+    }
+}
+
+impl Drop for ResidentRuntime {
+    fn drop(&mut self) {
+        // Closing the job channels ends each rank's job loop.
+        self.job_txs.lock().expect("job submission lock").clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 /// One rank's view of the machine: its identity plus communication handles.
 pub struct World {
     rank: usize,
@@ -335,6 +461,41 @@ mod tests {
     fn results_indexed_by_rank() {
         let r = Runtime::run(8, |w| w.rank() * w.rank());
         assert_eq!(r, (0..8).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resident_runtime_runs_collective_jobs() {
+        let rt = ResidentRuntime::spawn(4);
+        let sums = rt.run(|w| w.all_reduce(w.rank() as u64, |a, b| a + b));
+        assert_eq!(sums, vec![6, 6, 6, 6]);
+        let ranks = rt.run(|w| w.rank() * 10);
+        assert_eq!(ranks, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn resident_runtime_worlds_persist_across_jobs() {
+        // A message sent in job 1 is received in job 2: the rank threads and
+        // their channel state stay alive between jobs.
+        let rt = ResidentRuntime::spawn(3);
+        rt.run(|w| {
+            let next = (w.rank() + 1) % w.nranks();
+            w.send(next, 9, &(w.rank() as u64));
+        });
+        let got = rt.run(|w| {
+            let prev = (w.rank() + w.nranks() - 1) % w.nranks();
+            w.recv::<u64>(prev, 9)
+        });
+        assert_eq!(got, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn resident_runtime_single_rank() {
+        let rt = ResidentRuntime::spawn(1);
+        let r = rt.run(|w| {
+            w.barrier();
+            w.nranks()
+        });
+        assert_eq!(r, vec![1]);
     }
 
     #[test]

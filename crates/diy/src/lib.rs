@@ -30,7 +30,7 @@ pub mod timing;
 pub mod trace;
 
 pub use codec::{Decode, Encode, Reader};
-pub use comm::{Runtime, World};
+pub use comm::{ResidentRuntime, Runtime, World};
 pub use decomposition::{Assignment, Decomposition, Neighbor};
 pub use exchange::NeighborExchange;
 pub use hist::LogHistogram;

@@ -102,6 +102,17 @@ impl ToolSchedule {
     }
 }
 
+/// Sizing of the resident mesh service, from a
+/// `service workers=<n> batch=<n>` directive (both options optional).
+/// Consumed by the `serve` tool (see `tools::serve_tool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceDirective {
+    /// Query worker threads.
+    pub workers: Option<usize>,
+    /// Max requests drained per batch.
+    pub batch: Option<usize>,
+}
+
 /// Parsed framework configuration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FrameworkConfig {
@@ -110,6 +121,8 @@ pub struct FrameworkConfig {
     /// Flight-recorder mode from a `trace off|spans|full` directive;
     /// `None` leaves the `TESS_TRACE` environment resolution in charge.
     pub trace: Option<TraceMode>,
+    /// Resident-service sizing from a `service` directive.
+    pub service: Option<ServiceDirective>,
 }
 
 /// Configuration parse errors (line number + message).
@@ -134,6 +147,7 @@ impl FrameworkConfig {
             tools: Vec::new(),
             output_dir: PathBuf::from("."),
             trace: None,
+            service: None,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -187,6 +201,26 @@ impl FrameworkConfig {
                         }
                     }
                     cfg.tools.push(sched);
+                }
+                Some("service") => {
+                    let mut dir = ServiceDirective::default();
+                    for opt in parts {
+                        let (key, value) = opt
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("expected key=value, got '{opt}'")))?;
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| err(format!("bad {key} value '{value}'")))?;
+                        if n == 0 {
+                            return Err(err(format!("{key} must be positive")));
+                        }
+                        match key {
+                            "workers" => dir.workers = Some(n),
+                            "batch" => dir.batch = Some(n),
+                            _ => return Err(err(format!("unknown service option '{key}'"))),
+                        }
+                    }
+                    cfg.service = Some(dir);
                 }
                 Some("output_dir") => {
                     let dir = parts
@@ -343,6 +377,30 @@ mod tests {
             assert_eq!(cfg.trace, Some(want), "{text}");
         }
         assert_eq!(FrameworkConfig::parse("").unwrap().trace, None);
+    }
+
+    #[test]
+    fn parses_service_directive() {
+        let cfg = FrameworkConfig::parse("service workers=3 batch=32\n").unwrap();
+        assert_eq!(
+            cfg.service,
+            Some(ServiceDirective {
+                workers: Some(3),
+                batch: Some(32)
+            })
+        );
+        let cfg = FrameworkConfig::parse("service\n").unwrap();
+        assert_eq!(cfg.service, Some(ServiceDirective::default()));
+        assert_eq!(FrameworkConfig::parse("").unwrap().service, None);
+        for bad in [
+            "service workers=0",
+            "service workers=abc",
+            "service depth=4",
+            "service workers",
+        ] {
+            let e = FrameworkConfig::parse(bad).unwrap_err();
+            assert_eq!(e.line, 1, "{bad}");
+        }
     }
 
     #[test]

@@ -21,11 +21,12 @@ pub mod runner;
 pub mod tool;
 pub mod tools;
 
-pub use config::{FrameworkConfig, ToolSchedule};
+pub use config::{FrameworkConfig, ServiceDirective, ToolSchedule};
 pub use runner::InSituRunner;
 pub use tool::{AnalysisTool, ToolContext, ToolReport};
 pub use tools::halo_finder::{FofHalo, FofParams, HaloFinderTool};
 pub use tools::multistream::MultistreamTool;
+pub use tools::serve_tool::ServeTool;
 pub use tools::stats_tool::StatsTool;
 pub use tools::tess_tool::TessTool;
 pub use tools::voids_tool::VoidsTool;

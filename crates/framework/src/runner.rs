@@ -164,6 +164,56 @@ mod tests {
     }
 
     #[test]
+    fn serve_tool_keeps_a_resident_mesh_across_fires() {
+        use crate::tools::serve_tool::ServeTool;
+        let dir = std::env::temp_dir().join("framework-runner-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reports = Runtime::run(2, |w| {
+            let params = SimParams {
+                np: 8,
+                box_size: 8.0,
+                a_init: 0.1,
+                a_final: 0.6,
+                nsteps: 10,
+                seed: 3,
+                initial_delta_rms: 0.2,
+                spectrum: hacc::power::PowerSpectrum::default(),
+                solver: Default::default(),
+            };
+            let mut sim = hacc::Simulation::init(w, params, 8);
+            let cfg = FrameworkConfig::parse(&format!(
+                "service workers=2 batch=32\n\
+                 tool serve every=5\n\
+                 output_dir {}\n",
+                dir.display()
+            ))
+            .unwrap();
+            let tool = ServeTool::from_config(
+                tess::TessParams::default(),
+                &cfg,
+                cfg.schedule_for("serve").unwrap(),
+            );
+            let mut runner = InSituRunner::new(cfg);
+            runner.register(Box::new(tool));
+            runner.run(w, &mut sim, 10)
+        });
+        for rank_reports in &reports {
+            assert_eq!(rank_reports.len(), 2); // steps 5 and 10
+            assert!(rank_reports.iter().all(|r| r.tool == "serve"));
+        }
+        // Rank 0 hosts the service: the first fire spawns it (epoch 1), the
+        // second pushes the evolved snapshot as an update (epoch 2).
+        let summaries: Vec<&str> = reports[0].iter().map(|r| r.summary.as_str()).collect();
+        assert!(summaries[0].contains("epoch 1"), "{}", summaries[0]);
+        assert!(summaries[1].contains("epoch 2"), "{}", summaries[1]);
+        assert!(summaries.iter().all(|s| s.contains("serving")));
+        // Non-root ranks only feed the gather.
+        assert!(reports[1]
+            .iter()
+            .all(|r| r.summary.contains("service hosted on rank 0")));
+    }
+
+    #[test]
     fn unscheduled_tools_never_fire() {
         let dir = std::env::temp_dir().join("framework-runner-test2");
         std::fs::create_dir_all(&dir).unwrap();

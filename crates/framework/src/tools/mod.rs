@@ -2,6 +2,7 @@
 
 pub mod halo_finder;
 pub mod multistream;
+pub mod serve_tool;
 pub mod stats_tool;
 pub mod tess_tool;
 pub mod voids_tool;
