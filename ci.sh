@@ -66,6 +66,22 @@ TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_service
 # End-to-end smoke of the tess-serve binary's scripted query/update loop.
 cargo run --release -q -p tess --bin tess-serve -- --box 8 --n 200 --demo
 
+echo "==> decomposition-scheme gate: kd equivalence + suites under TESS_DECOMP=kd"
+# The scheme-polymorphic decomposition: (1) the dedicated equivalence
+# matrix proves the merged mesh is bit-identical between the regular grid
+# and the particle-balanced k-d tree across 1/2/4/8 ranks, both kernels,
+# and explicit+adaptive ghosts; (2) the rank-determinism, kernel-oracle,
+# and service-oracle suites rerun with every decomposition built as a k-d
+# tree, so all of their invariants hold on irregular block geometry too.
+cargo test --release -q -p meshing-universe --test decomposition_equivalence
+TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test ghost_adaptive
+TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test kernel_equivalence
+TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test service_oracle
+# Clustered-corpus A/B perf gate at 8 ranks (modeled parallel wall at
+# pool width 1): kd must hit >=1.4x cells/sec over regular with rank
+# imbalance <=1.25 (regular >=3.0) — asserted inside perf_smoke, which
+# also records decomp/imbalance per entry in BENCH_TESS.json.
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

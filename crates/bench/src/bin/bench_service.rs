@@ -28,6 +28,7 @@ use bench_harness::{
     evolved_particles_cached, partition_particles, write_bench_service_json, ServiceBenchEntry,
 };
 use diy::comm::Runtime;
+use diy::decomposition::{Assignment, BalanceStats, DecompScheme};
 use geometry::{Aabb, Vec3};
 use tess::{tessellate, GhostSpec, MeshService, Query, ServiceConfig, TessParams, Update};
 
@@ -40,6 +41,10 @@ const CLIENTS: usize = 4;
 const REQS_PER_CLIENT: usize = 500;
 /// Fraction (1/MOVE_EVERY) of particles displaced by the mid-run update.
 const MOVE_EVERY: u64 = 20;
+/// Every 4th request draws its seed from this many shared values, so
+/// bit-equal queries recur across clients and the workers' batch
+/// coalescing actually fires (gated below).
+const DUP_POOL: u64 = 8;
 
 /// Cell fingerprint: (volume bits, area bits, face neighbors).
 type CellBits = (u64, u64, Vec<u64>);
@@ -108,13 +113,50 @@ fn main() {
         final_particles[id as usize] = (id, p);
     }
 
+    // Decomposition A/B: the service runs the TESS_DECOMP scheme (default
+    // regular); the from-scratch oracle below runs under the same scheme,
+    // and a second recompute under the OTHER scheme checks that every cell
+    // certified by both is bit-identical. Report both schemes'
+    // spawn-snapshot imbalance.
+    let decomp = DecompScheme::from_env();
+    let scratch_decomp = match decomp {
+        DecompScheme::Regular => DecompScheme::Kd {
+            sample: DecompScheme::DEFAULT_KD_SAMPLE,
+        },
+        DecompScheme::Kd { .. } => DecompScheme::Regular,
+    };
+    let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+    let imbalance_of = |scheme: DecompScheme| {
+        let dec = scheme.build(domain, NBLOCKS, [true; 3], &positions);
+        let weights: Vec<u64> = {
+            let mut w = vec![0u64; NBLOCKS];
+            for &p in &positions {
+                w[dec.block_of_point(p) as usize] += 1;
+            }
+            w
+        };
+        let asn = match scheme {
+            DecompScheme::Regular => Assignment::new(NBLOCKS, NRANKS),
+            DecompScheme::Kd { .. } => Assignment::weighted(&weights, NRANKS),
+        };
+        BalanceStats::measure(&dec, &asn, &positions).rank_imbalance()
+    };
+    let imbalance = imbalance_of(decomp);
+    println!(
+        "bench_service: decomp {} rank imbalance {imbalance:.3} (other scheme {}: {:.3})",
+        decomp.label(),
+        scratch_decomp.label(),
+        imbalance_of(scratch_decomp),
+    );
+
     let svc = MeshService::spawn(
         domain,
         [true; 3],
         &particles,
         ServiceConfig::new(NRANKS, NBLOCKS)
             .with_workers(WORKERS)
-            .with_params(params()),
+            .with_params(params())
+            .with_decomp(decomp),
     );
     println!(
         "bench_service: epoch {} published, {} cells, {} indexed sites",
@@ -137,8 +179,37 @@ fn main() {
             handles.push(scope.spawn(move || {
                 let mut lats = Vec::with_capacity(REQS_PER_CLIENT);
                 let mut ids = Vec::with_capacity(REQS_PER_CLIENT);
-                for i in 0..REQS_PER_CLIENT {
-                    let seed = (client * REQS_PER_CLIENT + i) as u64;
+                let mut i = 0;
+                while i < REQS_PER_CLIENT {
+                    let raw = (client * REQS_PER_CLIENT + i) as u64;
+                    // Duplicate-heavy mix: periodically submit a burst of
+                    // bit-identical point lookups together (seed drawn from
+                    // a small shared pool), so duplicates drain in one
+                    // worker batch and the coalescing path is measured.
+                    if i % 16 == 12 {
+                        let seed = 0xD00D_0000 + (raw / 16) % DUP_POOL;
+                        let point = || {
+                            Query::Point(Vec3::new(
+                                unit(seed ^ 8) * box_size,
+                                unit(seed ^ 9) * box_size,
+                                unit(seed ^ 10) * box_size,
+                            ))
+                        };
+                        let pending: Vec<_> = (0..4)
+                            .map(|_| svc.submit(point()).expect("service open"))
+                            .collect();
+                        for p in pending {
+                            let r = p.wait();
+                            if r.epoch != 1 && r.epoch != 2 {
+                                bad_epochs.fetch_add(1, Ordering::Relaxed);
+                            }
+                            lats.push(r.latency_ns);
+                            ids.push(r.id);
+                        }
+                        i += 4;
+                        continue;
+                    }
+                    let seed = raw;
                     let q = match mix(seed) % 10 {
                         0 => {
                             let lo = Vec3::new(
@@ -169,6 +240,7 @@ fn main() {
                     }
                     lats.push(r.latency_ns);
                     ids.push(r.id);
+                    i += 1;
                 }
                 (lats, ids)
             }));
@@ -208,24 +280,32 @@ fn main() {
     assert_eq!(stats.rejected, 0);
     assert!(stats.enqueued >= total);
     assert_eq!(hists.latency_ns.n(), stats.answered);
+    assert!(
+        stats.coalesced > 0,
+        "duplicate-heavy mix never hit the coalescing path (coalesced = 0)"
+    );
 
     // Gate 1: post-update mesh is bit-identical to a from-scratch
     // recompute of the final particle set.
     let service_mesh = mesh_bits(&svc.snapshot().blocks);
     assert_eq!(svc.snapshot().epoch, 2);
     let final_ref = &final_particles;
-    let rows = Runtime::run(NRANKS, move |world| {
-        let dec = diy::decomposition::Decomposition::regular(domain, NBLOCKS, [true; 3]);
-        let asn = diy::decomposition::Assignment::new(NBLOCKS, world.nranks());
-        let local = partition_particles(final_ref, &dec, &asn, world.rank());
-        let r = tessellate(world, &dec, &asn, &local, &params());
-        r.blocks
-    });
-    let mut scratch_blocks = BTreeMap::new();
-    for blocks in rows {
-        scratch_blocks.extend(blocks);
-    }
-    let scratch_mesh = mesh_bits(&scratch_blocks);
+    let scratch = |scheme: DecompScheme| -> BTreeMap<u64, CellBits> {
+        let rows = Runtime::run(NRANKS, move |world| {
+            let positions: Vec<Vec3> = final_ref.iter().map(|&(_, p)| p).collect();
+            let dec = scheme.build(domain, NBLOCKS, [true; 3], &positions);
+            let asn = diy::decomposition::Assignment::new(NBLOCKS, world.nranks());
+            let local = partition_particles(final_ref, &dec, &asn, world.rank());
+            let r = tessellate(world, &dec, &asn, &local, &params());
+            r.blocks
+        });
+        let mut blocks = BTreeMap::new();
+        for b in rows {
+            blocks.extend(b);
+        }
+        mesh_bits(&blocks)
+    };
+    let scratch_mesh = scratch(decomp);
     assert_eq!(
         service_mesh, scratch_mesh,
         "post-update service mesh differs from from-scratch recompute"
@@ -233,6 +313,41 @@ fn main() {
     println!(
         "bench_service: post-update mesh bit-identical to from-scratch recompute ({} cells)",
         service_mesh.len()
+    );
+
+    // Cross-scheme check on the same final snapshot: a certified cell's
+    // bits depend on the particle set alone, but WHICH marginal void cells
+    // certify depends on the scheme's adaptive cap (its min block extent).
+    // So demand bit-identity on every cell published by both schemes, and
+    // bound the scheme-marginal fringe to the handful of uncertified cells.
+    let other_mesh = scratch(scratch_decomp);
+    let mut shared = 0usize;
+    for (id, bits) in &service_mesh {
+        if let Some(ob) = other_mesh.get(id) {
+            shared += 1;
+            assert_eq!(
+                bits,
+                ob,
+                "cell {id} certified by both schemes but bits differ ({} vs {})",
+                decomp.label(),
+                scratch_decomp.label()
+            );
+        }
+    }
+    let fringe = (service_mesh.len() - shared) + (other_mesh.len() - shared);
+    // Each scheme must still certify the bulk of the corpus; the fringe is
+    // whatever void cells fall outside the *smaller* scheme's cap.
+    let floor = final_particles.len() * 9 / 10;
+    assert!(
+        service_mesh.len() >= floor && other_mesh.len() >= floor,
+        "a scheme certified under 90% of cells ({} vs {} of {})",
+        service_mesh.len(),
+        other_mesh.len(),
+        final_particles.len()
+    );
+    println!(
+        "bench_service: cross-scheme check vs {} — {shared} shared cells bit-identical, {fringe} scheme-marginal",
+        scratch_decomp.label(),
     );
 
     // Latency quantiles from the exact client-side samples.
@@ -258,6 +373,8 @@ fn main() {
         coalesced: stats.coalesced,
         updates: 1,
         epochs: stats.epochs_published,
+        decomp: decomp.label().into(),
+        imbalance,
     };
     for path in write_bench_service_json(&entry) {
         println!("bench_service: wrote {}", path.display());

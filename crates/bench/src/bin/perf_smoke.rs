@@ -26,10 +26,11 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use bench_harness::{
-    evolved_particles_cached, partition_particles, print_report_hists, write_bench_tess_json,
-    TessBenchEntry,
+    corpus::ClusterSpec, evolved_particles_cached, partition_particles, print_report_hists,
+    run_decomp_ab, write_bench_tess_json, DecompAbArm, TessBenchEntry,
 };
 use diy::comm::Runtime;
+use diy::decomposition::{Assignment, BalanceStats, DecompScheme};
 use diy::metrics::collect_report;
 use geometry::Aabb;
 use rayon::set_max_parallelism;
@@ -129,6 +130,8 @@ fn run_mode(
 
 type Decomp = diy::decomposition::Decomposition;
 
+const AB_RANKS: usize = 8;
+
 /// Extract `"key": <number>` from a flat JSON document (the baseline file
 /// is written by this binary, so the shape is known).
 fn json_number(doc: &str, key: &str) -> Option<f64> {
@@ -148,6 +151,10 @@ fn cand_per_cell(r: &ModeRun) -> f64 {
 fn main() {
     let particles = evolved_particles_cached(NP, NSTEPS);
     let dec = Decomp::regular(Aabb::cube(NP as f64), NBLOCKS, [true; 3]);
+    let main_imb = {
+        let positions: Vec<geometry::Vec3> = particles.iter().map(|&(_, p)| p).collect();
+        BalanceStats::measure(&dec, &Assignment::new(NBLOCKS, NRANKS), &positions).rank_imbalance()
+    };
 
     // A: seed-equivalent baseline — ring scan, 1-wide pool, full recompute.
     let prev = set_max_parallelism(1);
@@ -219,6 +226,8 @@ fn main() {
             exchange_s: r.report.cpu_max(tess::driver::PHASE_GHOST_EXCHANGE),
             voronoi_s: r.report.cpu_max(tess::driver::PHASE_VORONOI),
             output_s: r.report.cpu_max(tess::driver::PHASE_OUTPUT),
+            decomp: "regular".into(),
+            imbalance: main_imb,
         };
         assert!(
             e.exchange_s > 0.0 && e.voronoi_s > 0.0 && e.output_s > 0.0,
@@ -229,7 +238,7 @@ fn main() {
         );
         e
     };
-    let entries = [
+    let mut entries = vec![
         entry("perf_smoke_baseline_seq_full", "ring", &baseline),
         entry(
             &format!("perf_smoke_ring_threads{threads}_incremental"),
@@ -242,6 +251,94 @@ fn main() {
             &stream,
         ),
     ];
+
+    // ---- Clustered-corpus decomposition A/B: the headline k-d gate ----
+    // A corner-heavy halo corpus makes the regular grid pathological (one
+    // octant owns most of the mass, so the slowest rank sets the wall
+    // clock) while the particle-balanced k-d scheme spreads the same work
+    // evenly. Ranks are threads sharing cores here, so the A/B gates on
+    // the modeled parallel wall clock (see AbRun::modeled_s) with the
+    // cell-kernel pool pinned to one thread so per-rank thread-CPU
+    // attribution is exact. Both schemes must publish the bit-identical
+    // merged mesh — decomposition is a perf axis AND a correctness oracle.
+    let spec = ClusterSpec::corner_heavy(16.0, 24, 40, 42);
+    let corpus = spec.generate();
+    let prev = set_max_parallelism(1);
+    let reg = run_decomp_ab(&corpus, spec.side, AB_RANKS, DecompScheme::Regular, REPS);
+    let kd = run_decomp_ab(
+        &corpus,
+        spec.side,
+        AB_RANKS,
+        DecompScheme::Kd {
+            sample: DecompScheme::DEFAULT_KD_SAMPLE,
+        },
+        REPS,
+    );
+    set_max_parallelism(prev);
+    println!(
+        "perf_smoke: clustered A/B cells regular {} (incomplete {}, rounds {}, imbalance {:.2}), kd {} (incomplete {}, rounds {}, imbalance {:.2})",
+        reg.stats.cells,
+        reg.stats.incomplete,
+        reg.stats.ghost_rounds,
+        reg.imbalance,
+        kd.stats.cells,
+        kd.stats.incomplete,
+        kd.stats.ghost_rounds,
+        kd.imbalance,
+    );
+    assert_eq!(reg.stats.incomplete, 0, "regular arm dropped cells");
+    assert_eq!(kd.stats.incomplete, 0, "kd arm dropped cells");
+    assert_eq!(
+        kd.mesh, reg.mesh,
+        "clustered mesh differs between decomposition schemes"
+    );
+    let (reg_cps, kd_cps) = (reg.cells_per_sec(), kd.cells_per_sec());
+    let kd_speedup = kd_cps / reg_cps;
+    println!(
+        "perf_smoke: clustered A/B at {AB_RANKS} ranks ({} particles): regular {:.0} cells/s (imbalance {:.2}), kd {:.0} cells/s (imbalance {:.2}), kd speedup {kd_speedup:.2}x (modeled parallel wall)",
+        corpus.len(),
+        reg_cps,
+        reg.imbalance,
+        kd_cps,
+        kd.imbalance,
+    );
+    assert!(
+        reg.imbalance >= 3.0,
+        "clustered corpus is not adversarial enough: regular imbalance {:.2} (need >=3x)",
+        reg.imbalance
+    );
+    assert!(
+        kd.imbalance <= 1.25,
+        "kd decomposition left imbalance {:.2} (need <=1.25x)",
+        kd.imbalance
+    );
+    assert!(
+        kd_speedup >= 1.4,
+        "kd is only {kd_speedup:.2}x regular on the clustered corpus (need 1.4x)"
+    );
+    let ab_entry = |label: &str, r: &DecompAbArm, decomp: &str| TessBenchEntry {
+        label: label.into(),
+        kernel: "stream".into(),
+        stats: r.stats,
+        wall_s: r.modeled_s,
+        ghost_bytes: r.ghost_bytes,
+        exchange_s: r.exchange_s,
+        voronoi_s: r.voronoi_s,
+        output_s: 0.0,
+        decomp: decomp.into(),
+        imbalance: r.imbalance,
+    };
+    entries.push(ab_entry(
+        &format!("perf_smoke_clustered_r{AB_RANKS}_regular"),
+        &reg,
+        "regular",
+    ));
+    entries.push(ab_entry(
+        &format!("perf_smoke_clustered_r{AB_RANKS}_kd"),
+        &kd,
+        "kd",
+    ));
+
     for path in write_bench_tess_json(&entries) {
         println!("perf_smoke: wrote {}", path.display());
     }

@@ -333,6 +333,7 @@ fn compute_records(
         grid: &grid,
         region,
         clip_box: &clip_box,
+        canon_extent: params.canon_extent,
         eps: params.eps,
         kernel: params.kernel,
         // Kept-incomplete cells reach the output, so their bits must be

@@ -22,9 +22,12 @@
 //!    — the invariants the kernel A/B switch and incremental
 //!    re-tessellation rest on.
 //!
-//!    Complete cells re-clip from the round-independent `clip_box`
-//!    (falling back to the current region only in single-round fixed-ghost
-//!    configurations whose radius exceeds the canonical box); incomplete
+//!    Complete cells re-clip from a site-centered cube whose half-extent
+//!    the driver derives from the global domain — independent of the
+//!    ghost round, the kernel, *and* the block decomposition, so regular
+//!    and k-d decompositions of the same particle set produce bit-identical
+//!    merged meshes (falling back to the current region only when a cell
+//!    outgrows the canonical box); incomplete
 //!    cells re-clip from the region when they are kept in the output
 //!    (`canon_incomplete`), and otherwise keep their discovery bits — the
 //!    geometry of a dropped cell is discarded anyway.
@@ -63,7 +66,14 @@ pub struct CellContext<'a> {
     pub region: &'a Aabb,
     /// Canonicalisation box: must depend only on the block, never on the
     /// ghost radius, so re-clipping is reproducible across ghost rounds.
+    /// Only the fallback when `canon_extent` is `None`.
     pub clip_box: &'a Aabb,
+    /// Preferred canonical start box: a cube of this half-extent centered
+    /// on the site. The driver derives it from the global domain, making
+    /// it independent of the block *decomposition* as well as of the
+    /// ghost round and kernel — the invariant behind cross-scheme
+    /// bit-identical meshes. `None` uses the block-derived `clip_box`.
+    pub canon_extent: Option<f64>,
     /// Clipping tolerance.
     pub eps: f64,
     /// Discovery strategy; the output bits are kernel-independent.
@@ -134,8 +144,22 @@ pub fn compute_cell(
         // region, which always contains the discovery cell (single-round
         // fixed-ghost configurations, and incomplete cells, whose region
         // walls are legitimately part of the cell).
-        let start_box = if complete && maxvert <= ctx.clip_box.interior_distance(site) {
-            ctx.clip_box
+        let site_cube;
+        let start_box = if complete {
+            match ctx.canon_extent {
+                // Site-centered canonical cube: its corner coordinates are
+                // a function of (site, domain) alone, so every scheme and
+                // round clips the same floats in the same order.
+                Some(h) if maxvert <= h => {
+                    site_cube = Aabb::new(site - Vec3::splat(h), site + Vec3::splat(h));
+                    &site_cube
+                }
+                None if maxvert <= ctx.clip_box.interior_distance(site) => ctx.clip_box,
+                // Cell too large for the canonical box (single-round
+                // fixed-ghost configurations with huge radii): the region
+                // always contains the discovery cell.
+                _ => ctx.region,
+            }
         } else {
             ctx.region
         };
@@ -389,6 +413,7 @@ mod tests {
             grid: &grid,
             region,
             clip_box: region,
+            canon_extent: None,
             eps: 1e-9,
             kernel,
             canon_incomplete: false,
@@ -509,6 +534,7 @@ mod tests {
                 eps: 1e-9,
                 kernel,
                 canon_incomplete: true,
+                canon_extent: None,
             };
             // corner site: clipped by the region walls, never complete
             compute_cell(&ctx, pts[0], 0, &mut CellScratch::default())
@@ -618,6 +644,7 @@ mod tests {
                 eps: 1e-9,
                 kernel,
                 canon_incomplete: false,
+                canon_extent: None,
             };
             compute_cell(&ctx, pts[idx], idx as u32, &mut CellScratch::default())
         };

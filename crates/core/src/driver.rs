@@ -29,6 +29,26 @@ pub const HIST_CANDIDATES: &str = "tess.candidates_per_cell";
 pub const HIST_CELL_COMPUTE_NS: &str = "tess.cell_compute_ns";
 /// Histogram: ghost radius requested per owned block per adaptive round.
 pub const HIST_GHOST_REQUEST_RADIUS: &str = "tess.ghost_request_radius";
+/// Histogram: input particles per owned block (one sample per block, so
+/// the merged histogram's max/mean is the block-level load imbalance).
+pub const HIST_BLOCK_PARTICLES: &str = "tess.block_particles";
+/// Histogram: input particles per rank (one sample per rank; max/mean
+/// across the merged report is the rank-level particle imbalance).
+pub const HIST_RANK_PARTICLES: &str = "tess.rank_particles";
+/// Histogram: cells produced per rank (max/mean = cell imbalance).
+pub const HIST_RANK_CELLS: &str = "tess.rank_cells";
+
+/// Record the decomposition balance counters for this rank's share of the
+/// input: one `tess.block_particles` sample per owned block and one
+/// `tess.rank_particles` sample for the rank total.
+fn record_balance(metrics: &MetricsHandle, local: &BTreeMap<u64, Vec<(u64, Vec3)>>) {
+    let mut total = 0usize;
+    for own in local.values() {
+        metrics.observe(HIST_BLOCK_PARTICLES, own.len() as f64);
+        total += own.len();
+    }
+    metrics.observe(HIST_RANK_PARTICLES, total as f64);
+}
 
 /// Fold one block's per-cell observability into the rank metrics.
 fn record_block_obs(metrics: &MetricsHandle, gid: u64, obs: CellObs) {
@@ -117,6 +137,17 @@ pub fn tessellate(
     // Pool task events are only worth their mutex traffic under full
     // tracing; flip the pool's recording flag to match before any work.
     rayon::set_task_trace(trace_mode() == TraceMode::Full);
+    record_balance(&world.metrics(), local);
+    // Canonical re-clip cube half-extent: a function of the *domain*, so
+    // certified cell bits cannot depend on which decomposition scheme cut
+    // the domain into blocks (see `cell::CellContext::canon_extent`).
+    let params = &TessParams {
+        canon_extent: Some(params.canon_extent.unwrap_or_else(|| {
+            let e = dec.domain.extent();
+            e.x.min(e.y).min(e.z)
+        })),
+        ..*params
+    };
     if let GhostSpec::Adaptive {
         initial_factor,
         max_rounds,
@@ -145,6 +176,7 @@ pub fn tessellate(
         blocks.insert(gid, block);
     }
     stats.ghost_rounds = 1;
+    metrics.observe(HIST_RANK_CELLS, stats.cells as f64);
     // Credit CPU burned by pool workers on our behalf to this rank's
     // voronoi span (the span only sees the submitting thread's clock).
     drain_pool(&metrics);
@@ -181,11 +213,16 @@ fn tessellate_adaptive(
 ) -> TessResult {
     let metrics = world.metrics();
     // The neighborhood exchange only reaches adjacent blocks, so a halo
-    // wider than one block extent would silently miss particles.
-    let cap = {
-        let e = dec.block_bounds(0).extent();
-        e.x.min(e.y).min(e.z)
-    };
+    // wider than the smallest block extent would silently miss particles.
+    // This is the only place the adaptive protocol consults the
+    // decomposition beyond block bounds and links: the radius schedule is
+    // derived from collective data, so the protocol itself is identical
+    // for any scheme whose blocks tile the domain.
+    let cap = dec.min_block_extent();
+    assert!(
+        cap.is_finite() && cap > 0.0,
+        "degenerate decomposition: min block extent {cap}"
+    );
     let (r0, auto_r) = {
         let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
         let spacing = estimated_spacing(world, dec, local);
@@ -323,6 +360,7 @@ fn tessellate_adaptive(
         blocks.insert(gid, block);
     }
     stats.ghost_rounds = rounds;
+    metrics.observe(HIST_RANK_CELLS, stats.cells as f64);
     TessResult {
         blocks,
         stats,

@@ -130,6 +130,12 @@ pub struct TessParams {
     /// Per-cell discovery kernel (`TESS_KERNEL` overrides the default;
     /// both kernels yield bit-identical meshes).
     pub kernel: KernelMode,
+    /// Half-extent of the canonical re-clip start cube centered on each
+    /// site. The distributed driver fills it from the decomposition's
+    /// *domain* (never from a block), which is what makes certified cell
+    /// bits independent of the block decomposition scheme. `None` —
+    /// direct single-block calls — falls back to a block-derived box.
+    pub canon_extent: Option<f64>,
 }
 
 impl Default for TessParams {
@@ -142,6 +148,7 @@ impl Default for TessParams {
             hull_mode: HullMode::Clip,
             incremental_retess: true,
             kernel: KernelMode::from_env(),
+            canon_extent: None,
         }
     }
 }

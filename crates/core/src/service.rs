@@ -48,7 +48,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use diy::comm::ResidentRuntime;
-use diy::decomposition::{Assignment, Decomposition};
+use diy::decomposition::{Assignment, DecompScheme, Decomposition};
 use diy::hist::LogHistogram;
 use diy::trace::monotonic_ns;
 use geometry::{Aabb, Vec3};
@@ -154,7 +154,7 @@ pub struct UpdateReport {
 pub struct ServiceConfig {
     /// Resident ranks for the update path.
     pub nranks: usize,
-    /// Blocks in the regular decomposition.
+    /// Blocks in the decomposition.
     pub nblocks: usize,
     /// Query worker threads.
     pub workers: usize,
@@ -162,6 +162,10 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Tessellation parameters for the update path.
     pub params: TessParams,
+    /// Decomposition scheme for the resident blocks. K-d builds its cuts
+    /// from the spawn-time particle snapshot and pairs with a weighted
+    /// (particle-count) block→rank assignment.
+    pub decomp: DecompScheme,
 }
 
 impl ServiceConfig {
@@ -172,6 +176,7 @@ impl ServiceConfig {
             workers: 2,
             batch_max: 64,
             params: TessParams::default(),
+            decomp: DecompScheme::from_env(),
         }
     }
 
@@ -187,6 +192,11 @@ impl ServiceConfig {
 
     pub fn with_params(mut self, params: TessParams) -> Self {
         self.params = params;
+        self
+    }
+
+    pub fn with_decomp(mut self, decomp: DecompScheme) -> Self {
+        self.decomp = decomp;
         self
     }
 }
@@ -628,8 +638,17 @@ impl MeshService {
         cfg: ServiceConfig,
     ) -> MeshService {
         assert!(cfg.nranks > 0 && cfg.nblocks > 0);
-        let dec = Decomposition::regular(domain, cfg.nblocks, periodic);
-        let asn = Assignment::new(cfg.nblocks, cfg.nranks);
+        let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+        let dec = cfg.decomp.build(domain, cfg.nblocks, periodic, &positions);
+        // Weighted placement: bin the contiguous gid ranges by spawn-time
+        // particle count, so uneven blocks still land balanced on ranks.
+        // The assignment never affects the published mesh (cells are
+        // certified per block), only which resident rank computes them.
+        let mut block_weights = vec![0u64; cfg.nblocks];
+        for &p in &positions {
+            block_weights[dec.block_of_point(p) as usize] += 1;
+        }
+        let asn = Assignment::weighted(&block_weights, cfg.nranks);
         let mut store = ParticleStore::new();
         for &(id, p) in particles {
             store.upsert(id, p);
@@ -782,7 +801,7 @@ impl MeshService {
     fn retessellate_publish(&self, upd: &mut UpdaterState) -> UpdateReport {
         let local_all = Arc::new(upd.store.partition(&upd.dec));
         let dec = upd.dec.clone();
-        let asn = upd.asn;
+        let asn = upd.asn.clone();
         let params = self.params;
         let t0 = std::time::Instant::now();
         let results = self.runtime.run(move |world| {

@@ -19,15 +19,23 @@ use crate::comm::World;
 use crate::decomposition::{Assignment, Decomposition, Neighbor};
 
 /// Helper binding a decomposition and an assignment for exchanges.
+///
+/// Neighbor links are precomputed per block at construction:
+/// [`Decomposition::neighbors`] runs a box-adjacency scan over all blocks,
+/// and the targeted-destination test below runs once per particle.
 pub struct NeighborExchange<'a> {
     pub dec: &'a Decomposition,
     pub asn: &'a Assignment,
+    links: Vec<Vec<Neighbor>>,
 }
 
 impl<'a> NeighborExchange<'a> {
     pub fn new(dec: &'a Decomposition, asn: &'a Assignment) -> Self {
         assert_eq!(dec.nblocks(), asn.nblocks);
-        NeighborExchange { dec, asn }
+        let links = (0..dec.nblocks() as u64)
+            .map(|g| dec.neighbors(g))
+            .collect();
+        NeighborExchange { dec, asn, links }
     }
 
     /// The neighbor links of `gid` whose blocks lie within `ghost` of point
@@ -48,15 +56,15 @@ impl<'a> NeighborExchange<'a> {
         p: Vec3,
         ghost_of: impl Fn(u64) -> Option<f64>,
     ) -> Vec<Neighbor> {
-        self.dec
-            .neighbors(gid)
-            .into_iter()
+        self.links[gid as usize]
+            .iter()
             .filter(|n| {
                 ghost_of(n.gid).is_some_and(|ghost| {
                     let q = p + n.xform;
                     self.dec.block_bounds(n.gid).distance(q) <= ghost
                 })
             })
+            .copied()
             .collect()
     }
 

@@ -14,6 +14,7 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
+use diy::decomposition::DecompScheme;
 use diy::trace::TraceMode;
 
 /// When a tool runs.
@@ -123,6 +124,9 @@ pub struct FrameworkConfig {
     pub trace: Option<TraceMode>,
     /// Resident-service sizing from a `service` directive.
     pub service: Option<ServiceDirective>,
+    /// Block decomposition scheme from a `decomp regular|kd[:<sample>]`
+    /// directive; `None` leaves the `TESS_DECOMP` env resolution in charge.
+    pub decomp: Option<DecompScheme>,
 }
 
 /// Configuration parse errors (line number + message).
@@ -148,6 +152,7 @@ impl FrameworkConfig {
             output_dir: PathBuf::from("."),
             trace: None,
             service: None,
+            decomp: None,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -222,6 +227,19 @@ impl FrameworkConfig {
                     }
                     cfg.service = Some(dir);
                 }
+                // accept both `decomp kd` and the single-token `decomp=kd`
+                Some(tok) if tok == "decomp" || tok.starts_with("decomp=") => {
+                    let value = match tok.split_once('=') {
+                        Some((_, v)) => v,
+                        None => parts
+                            .next()
+                            .ok_or_else(|| err("decomp needs regular|kd[:<sample>]".into()))?,
+                    };
+                    cfg.decomp = Some(
+                        DecompScheme::parse(value)
+                            .ok_or_else(|| err(format!("bad decomp scheme '{value}'")))?,
+                    );
+                }
                 Some("output_dir") => {
                     let dir = parts
                         .next()
@@ -251,6 +269,13 @@ impl FrameworkConfig {
 
     pub fn schedule_for(&self, name: &str) -> Option<&ToolSchedule> {
         self.tools.iter().find(|t| t.name == name)
+    }
+
+    /// The decomposition scheme this run should use: the `decomp`
+    /// directive when present, otherwise the `TESS_DECOMP` env resolution
+    /// (the config file is the run's source of truth, like `trace`).
+    pub fn decomp_scheme(&self) -> DecompScheme {
+        self.decomp.unwrap_or_else(DecompScheme::from_env)
     }
 }
 
@@ -318,6 +343,9 @@ mod tests {
             "trace",
             "trace verbose",
             "trace=bogus",
+            "decomp",
+            "decomp hilbert",
+            "decomp=kd:x",
         ] {
             let e = FrameworkConfig::parse(bad).unwrap_err();
             assert_eq!(e.line, 1, "{bad}");
@@ -401,6 +429,26 @@ mod tests {
             let e = FrameworkConfig::parse(bad).unwrap_err();
             assert_eq!(e.line, 1, "{bad}");
         }
+    }
+
+    #[test]
+    fn parses_decomp_directive() {
+        for (text, want) in [
+            ("decomp regular", DecompScheme::Regular),
+            (
+                "decomp kd",
+                DecompScheme::Kd {
+                    sample: DecompScheme::DEFAULT_KD_SAMPLE,
+                },
+            ),
+            ("decomp kd:2048", DecompScheme::Kd { sample: 2048 }),
+            ("decomp=kd:2048", DecompScheme::Kd { sample: 2048 }),
+        ] {
+            let cfg = FrameworkConfig::parse(text).unwrap();
+            assert_eq!(cfg.decomp, Some(want), "{text}");
+            assert_eq!(cfg.decomp_scheme(), want, "{text}");
+        }
+        assert_eq!(FrameworkConfig::parse("").unwrap().decomp, None);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! epoch, cell count, and probe latency.
 
 use diy::comm::World;
+use diy::decomposition::DecompScheme;
 use geometry::Vec3;
 use tess::{Answer, MeshService, Query, ServiceConfig, TessParams, Update};
 
@@ -26,6 +27,8 @@ pub struct ServeTool {
     pub batch: usize,
     /// Resident ranks of the service's private update machine.
     pub service_ranks: usize,
+    /// Decomposition scheme for the service's resident blocks.
+    pub decomp: DecompScheme,
     /// Per-fire record: (step, epoch published, cells served).
     pub history: Vec<(usize, u64, u64)>,
     service: Option<MeshService>,
@@ -38,14 +41,16 @@ impl ServeTool {
             workers: 2,
             batch: 64,
             service_ranks: 2,
+            decomp: DecompScheme::Regular,
             history: Vec::new(),
             service: None,
         }
     }
 
     /// `new`, with the schedule's `ghost=` directive overriding
-    /// `params.ghost` and the config's `service` directive sizing the
-    /// worker pool / batch cap.
+    /// `params.ghost`, the config's `service` directive sizing the
+    /// worker pool / batch cap, and the config's `decomp` directive
+    /// choosing the service's block decomposition scheme.
     pub fn from_config(params: TessParams, cfg: &FrameworkConfig, sched: &ToolSchedule) -> Self {
         let mut tool = ServeTool::new(params);
         if let Some(d) = sched.ghost {
@@ -58,6 +63,7 @@ impl ServeTool {
         if let Some(b) = batch {
             tool.batch = b;
         }
+        tool.decomp = cfg.decomp_scheme();
         tool
     }
 
@@ -100,7 +106,8 @@ impl AnalysisTool for ServeTool {
                 let cfg = ServiceConfig::new(self.service_ranks, sim.dec.nblocks())
                     .with_workers(self.workers)
                     .with_batch_max(self.batch)
-                    .with_params(self.params);
+                    .with_params(self.params)
+                    .with_decomp(self.decomp);
                 let svc = MeshService::spawn(sim.dec.domain, sim.dec.periodic, &all, cfg);
                 let snap = svc.snapshot();
                 let out = (snap.epoch, snap.total_cells);
@@ -154,6 +161,7 @@ mod tests {
     fn config_sizes_the_service() {
         let cfg = FrameworkConfig::parse(
             "service workers=5 batch=16\n\
+             decomp kd:2048\n\
              tool serve every=2 ghost=auto:3\n",
         )
         .unwrap();
@@ -165,6 +173,7 @@ mod tests {
         assert_eq!(t.workers, 5);
         assert_eq!(t.batch, 16);
         assert_eq!(t.params.ghost, tess::GhostSpec::Auto { factor: 3.0 });
+        assert_eq!(t.decomp, DecompScheme::Kd { sample: 2048 });
         // no service directive → defaults
         let cfg2 = FrameworkConfig::parse("tool serve every=1\n").unwrap();
         let t2 = ServeTool::from_config(

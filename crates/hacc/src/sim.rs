@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use diy::codec::{CodecError, Decode, Encode, Reader};
 use diy::comm::World;
-use diy::decomposition::{Assignment, Decomposition};
+use diy::decomposition::{Assignment, DecompScheme, Decomposition};
 use diy::exchange::NeighborExchange;
 use diy::reduce;
 use fft3d::Grid3;
@@ -150,13 +150,25 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Initialize on every rank of `world` with `nblocks` total blocks.
+    /// Initialize on every rank of `world` with `nblocks` total blocks,
+    /// decomposed by the regular grid scheme.
     pub fn init(world: &mut World, params: SimParams, nblocks: usize) -> Self {
+        Self::init_with_decomp(world, params, nblocks, DecompScheme::Regular)
+    }
+
+    /// [`init`](Self::init) with an explicit decomposition scheme. The k-d
+    /// scheme cuts on the Zel'dovich initial positions — every rank
+    /// generates the same ICs, so every rank derives the same cuts — and
+    /// pairs with a particle-count-weighted block→rank assignment.
+    pub fn init_with_decomp(
+        world: &mut World,
+        params: SimParams,
+        nblocks: usize,
+        decomp: DecompScheme,
+    ) -> Self {
         let _span = world.metrics().phase(PHASE_SIM);
         let cosmo = Cosmology::default();
         let domain = Aabb::cube(params.np as f64);
-        let dec = Decomposition::regular(domain, nblocks, [true; 3]);
-        let asn = Assignment::new(nblocks, world.nranks());
 
         let ic = zeldovich(
             &IcParams {
@@ -169,6 +181,18 @@ impl Simulation {
             &cosmo,
             params.a_init,
         );
+
+        let dec = decomp.build(domain, nblocks, [true; 3], &ic.positions);
+        let asn = match decomp {
+            DecompScheme::Regular => Assignment::new(nblocks, world.nranks()),
+            DecompScheme::Kd { .. } => {
+                let mut weights = vec![0u64; nblocks];
+                for &pos in &ic.positions {
+                    weights[dec.block_of_point(pos) as usize] += 1;
+                }
+                Assignment::weighted(&weights, world.nranks())
+            }
+        };
 
         let mut blocks: BTreeMap<u64, Vec<Particle>> = asn
             .blocks_of_rank(world.rank())

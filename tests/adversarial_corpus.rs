@@ -124,33 +124,21 @@ fn wrap(side: f64, p: Vec3) -> Vec3 {
 
 #[test]
 fn clustered_halo_like_points() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(71);
+    // NFW-ish clumps — tight cores with a handful of far outliers each —
+    // from the shared seeded generator the benches also use.
     let side = 8.0;
-    let sigma = 0.15;
-    let mut pts = Vec::new();
-    // NFW-ish clumps: tight cores with a handful of far outliers each
-    for _ in 0..16 {
-        let c = Vec3::new(
-            rng.gen_range(0.0..side),
-            rng.gen_range(0.0..side),
-            rng.gen_range(0.0..side),
-        );
-        for i in 0..20 {
-            let r = if i < 16 { sigma } else { sigma * 8.0 };
-            let d = Vec3::new(
-                rng.gen_range(-r..r),
-                rng.gen_range(-r..r),
-                rng.gen_range(-r..r),
-            );
-            pts.push(wrap(side, c + d));
-        }
+    let particles = bench_harness::corpus::ClusterSpec {
+        side,
+        nclumps: 16,
+        per_clump: 20,
+        sigma_frac: 0.15 / 8.0,
+        outlier_every: 5,
+        filament: 0,
+        background: 0,
+        cluster_frac: 1.0,
+        seed: 71,
     }
-    let particles: Vec<(u64, Vec3)> = pts
-        .into_iter()
-        .enumerate()
-        .map(|(i, p)| (i as u64, p))
-        .collect();
+    .generate();
     let dec = Decomposition::regular(Aabb::cube(side), 8, [true; 3]);
     exercise("clustered halos", &particles, &dec, false);
 }

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use meshing_universe::diy::comm::Runtime;
-use meshing_universe::diy::decomposition::{Assignment, Decomposition};
+use meshing_universe::diy::decomposition::{Assignment, DecompScheme, Decomposition};
 use meshing_universe::diy::metrics::collect_report;
 use meshing_universe::geometry::{Aabb, Vec3};
 use meshing_universe::tess::ghost::is_ghost_tag;
@@ -36,6 +36,14 @@ fn jittered(n: usize, seed: u64, amp: f64) -> Vec<(u64, Vec3)> {
             )
         })
         .collect()
+}
+
+/// Build the decomposition under the `TESS_DECOMP` scheme (regular unless
+/// the CI kd pass overrides it) so every invariant here is exercised on
+/// both block geometries.
+fn decomp(domain: Aabb, particles: &[(u64, Vec3)]) -> Decomposition {
+    let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+    DecompScheme::from_env().build(domain, 8, [true; 3], &positions)
 }
 
 fn partition(
@@ -102,7 +110,7 @@ fn merged_mesh_is_bit_identical_across_rank_counts() {
     let n = 6;
     let particles = jittered(n, 11, 0.45);
     let domain = Aabb::cube(n as f64);
-    let dec = Decomposition::regular(domain, 8, [true; 3]);
+    let dec = decomp(domain, &particles);
     let modes: [(&str, GhostSpec); 2] = [
         ("explicit", GhostSpec::Explicit(2.5)),
         ("adaptive", GhostSpec::adaptive()),
@@ -133,7 +141,7 @@ fn adaptive_certifies_all_cells_from_half_auto_radius() {
     let n = 6;
     let particles = jittered(n, 29, 0.49);
     let domain = Aabb::cube(n as f64);
-    let dec = Decomposition::regular(domain, 8, [true; 3]);
+    let dec = decomp(domain, &particles);
 
     let run = |ghost: GhostSpec| {
         let particles = &particles;

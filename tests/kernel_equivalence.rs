@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use meshing_universe::diy::comm::Runtime;
-use meshing_universe::diy::decomposition::{Assignment, Decomposition};
+use meshing_universe::diy::decomposition::{Assignment, DecompScheme, Decomposition};
 use meshing_universe::geometry::{Aabb, Vec3};
 use meshing_universe::rayon::set_max_parallelism;
 use meshing_universe::tess::{self, GhostSpec, KernelMode, TessParams};
@@ -53,6 +53,14 @@ fn jittered(n: usize, seed: u64, amp: f64) -> Vec<(u64, Vec3)> {
             )
         })
         .collect()
+}
+
+/// Build the decomposition under the `TESS_DECOMP` scheme (regular unless
+/// the CI kd pass overrides it): the kernel differential oracle must hold
+/// on both block geometries.
+fn decomp(side: f64, periodic: bool, particles: &[(u64, Vec3)]) -> Decomposition {
+    let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+    DecompScheme::from_env().build(Aabb::cube(side), 8, [periodic; 3], &positions)
 }
 
 fn partition(
@@ -139,7 +147,7 @@ fn ghost_modes() -> [(&'static str, GhostSpec); 2] {
 fn kernels_agree_bit_for_bit_at_every_rank_count_and_ghost_mode() {
     let n = 6;
     let particles = jittered(n, 41, 0.45);
-    let dec = Decomposition::regular(Aabb::cube(n as f64), 8, [true; 3]);
+    let dec = decomp(n as f64, true, &particles);
     with_pool_width(2, || {
         for (label, ghost) in ghost_modes() {
             let stream = TessParams {
@@ -173,7 +181,7 @@ fn kernels_agree_bit_for_bit_at_every_rank_count_and_ghost_mode() {
 fn kernels_agree_across_pool_widths() {
     let n = 6;
     let particles = jittered(n, 43, 0.48);
-    let dec = Decomposition::regular(Aabb::cube(n as f64), 8, [true; 3]);
+    let dec = decomp(n as f64, true, &particles);
     let params = |kernel| TessParams {
         ghost: GhostSpec::adaptive(),
         kernel,
@@ -197,7 +205,7 @@ fn kernels_agree_across_pool_widths() {
 fn kernels_agree_for_incremental_and_full_retessellation() {
     let n = 6;
     let particles = jittered(n, 47, 0.48);
-    let dec = Decomposition::regular(Aabb::cube(n as f64), 8, [true; 3]);
+    let dec = decomp(n as f64, true, &particles);
     // a small initial radius forces several adaptive growth rounds — the
     // regime where incremental reuse and the kernels interact
     let ghost = GhostSpec::Adaptive {
@@ -234,7 +242,7 @@ fn kernels_agree_when_incomplete_cells_are_kept() {
     // boundary cells genuinely incomplete.
     let n = 5;
     let particles = jittered(n, 53, 0.4);
-    let dec = Decomposition::regular(Aabb::cube(n as f64), 8, [false; 3]);
+    let dec = decomp(n as f64, false, &particles);
     with_pool_width(2, || {
         let params = |kernel| TessParams {
             ghost: GhostSpec::Explicit(1.0),
@@ -253,51 +261,9 @@ fn kernels_agree_when_incomplete_cells_are_kept() {
 /// background inside `[0, side)^3`. Clustering is what gives the streamed
 /// kernel its edge — void cells are large and elongated, so the ring scan
 /// clips entire security balls while ordered emission + the support
-/// prefilter discard almost all of them.
-fn clustered(
-    side: f64,
-    nclumps: usize,
-    per_clump: usize,
-    background: usize,
-    seed: u64,
-) -> Vec<(u64, Vec3)> {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let sigma = side * 0.02;
-    // Box-Muller; the rand shim has no normal distribution
-    let gauss = move |rng: &mut rand_chacha::ChaCha8Rng| {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    };
-    let mut pts = Vec::new();
-    for _ in 0..nclumps {
-        let c = Vec3::new(
-            rng.gen_range(0.0..side),
-            rng.gen_range(0.0..side),
-            rng.gen_range(0.0..side),
-        );
-        for _ in 0..per_clump {
-            let p = c + Vec3::new(gauss(&mut rng), gauss(&mut rng), gauss(&mut rng));
-            pts.push(Vec3::new(
-                p.x.rem_euclid(side),
-                p.y.rem_euclid(side),
-                p.z.rem_euclid(side),
-            ));
-        }
-    }
-    for _ in 0..background {
-        pts.push(Vec3::new(
-            rng.gen_range(0.0..side),
-            rng.gen_range(0.0..side),
-            rng.gen_range(0.0..side),
-        ));
-    }
-    pts.into_iter()
-        .enumerate()
-        .map(|(i, p)| (i as u64, p))
-        .collect()
-}
+/// prefilter discard almost all of them. Drawn from the shared seeded
+/// generator in `bench_harness::corpus` (same corpora as the benches).
+use bench_harness::corpus::clustered;
 
 #[test]
 fn stream_kernel_does_less_work_for_the_same_mesh() {
@@ -308,7 +274,7 @@ fn stream_kernel_does_less_work_for_the_same_mesh() {
     // the perf_smoke workload, which uses gravitationally evolved points).
     let side = 12.0;
     let particles = clustered(side, 30, 30, 60, 59);
-    let dec = Decomposition::regular(Aabb::cube(side), 8, [true; 3]);
+    let dec = decomp(side, true, &particles);
     with_pool_width(2, || {
         let params = |kernel| TessParams {
             ghost: GhostSpec::Adaptive {

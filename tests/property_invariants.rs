@@ -323,6 +323,7 @@ proptest! {
                 grid: &grid,
                 region: &region,
                 clip_box: &region,
+                canon_extent: None,
                 eps: 1e-9,
                 kernel,
                 canon_incomplete: true,
@@ -343,6 +344,76 @@ proptest! {
         if let Ok(hull) = convex_hull(&points, 1e-9) {
             prop_assert!(hull.volume() >= -1e-9);
             prop_assert!(hull.surface_area() >= -1e-9);
+        }
+    }
+
+    /// Any decomposition — regular grid or particle-balanced k-d, any
+    /// block count, any domain shape — exactly partitions the domain:
+    /// block volumes sum to the domain volume, block interiors are
+    /// pairwise disjoint, `block_of_point` lands every point in a block
+    /// whose bounds contain it, and neighbor links are symmetric under
+    /// the inverse periodic image.
+    #[test]
+    fn decompositions_partition_the_domain(
+        kd in any::<bool>(),
+        nblocks in 1usize..=12,
+        ext in (1.0f64..20.0, 1.0f64..20.0, 1.0f64..20.0),
+        periodic in (any::<bool>(), any::<bool>(), any::<bool>()),
+        seed in any::<u64>(),
+        npts in 16usize..=120,
+    ) {
+        use meshing_universe::diy::decomposition::DecompScheme;
+        use rand::{Rng, SeedableRng};
+
+        let domain = Aabb::new(Vec3::ZERO, Vec3::new(ext.0, ext.1, ext.2));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let pt = |rng: &mut rand_chacha::ChaCha8Rng| Vec3::new(
+            rng.gen_range(0.0..ext.0),
+            rng.gen_range(0.0..ext.1),
+            rng.gen_range(0.0..ext.2),
+        );
+        let points: Vec<Vec3> = (0..npts).map(|_| pt(&mut rng)).collect();
+        let scheme = if kd { DecompScheme::Kd { sample: 64 } } else { DecompScheme::Regular };
+        let periodic = [periodic.0, periodic.1, periodic.2];
+        let dec = scheme.build(domain, nblocks, periodic, &points);
+
+        // Union == domain, interiors disjoint.
+        let vols: f64 = (0..dec.nblocks() as u64)
+            .map(|g| dec.block_bounds(g).volume())
+            .sum();
+        prop_assert!((vols - domain.volume()).abs() <= 1e-9 * domain.volume(),
+            "block volumes sum to {} but the domain has {}", vols, domain.volume());
+        for a in 0..dec.nblocks() as u64 {
+            let ba = dec.block_bounds(a);
+            prop_assert!(domain.contains_closed(ba.min) && domain.contains_closed(ba.max),
+                "block {a} {ba:?} leaks outside the domain");
+            for b in (a + 1)..dec.nblocks() as u64 {
+                let bb = dec.block_bounds(b);
+                let overlap: f64 = (0..3).map(|d| {
+                    (ba.max[d].min(bb.max[d]) - ba.min[d].max(bb.min[d])).max(0.0)
+                }).product();
+                prop_assert!(overlap <= 1e-9 * domain.volume(),
+                    "blocks {a} and {b} overlap with volume {overlap}");
+            }
+        }
+
+        // Ownership agrees with bounds (closed, since faces are shared).
+        for p in points.iter().chain((0..32).map(|_| pt(&mut rng)).collect::<Vec<_>>().iter()) {
+            let gid = dec.block_of_point(*p);
+            prop_assert!(gid < dec.nblocks() as u64);
+            prop_assert!(dec.block_bounds(gid).contains_closed(*p),
+                "point {p:?} assigned to block {gid} whose bounds exclude it");
+        }
+
+        // Neighbor links are symmetric under the inverse periodic image.
+        for a in 0..dec.nblocks() as u64 {
+            for n in dec.neighbors(a) {
+                let back = dec.neighbors(n.gid);
+                prop_assert!(
+                    back.iter().any(|m| m.gid == a && (m.xform + n.xform).norm() < 1e-9),
+                    "link {a} -> {} (xform {:?}) has no inverse", n.gid, n.xform
+                );
+            }
         }
     }
 }

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use meshing_universe::diy::comm::Runtime;
-use meshing_universe::diy::decomposition::{Assignment, Decomposition};
+use meshing_universe::diy::decomposition::{Assignment, DecompScheme, Decomposition};
 use meshing_universe::geometry::{Aabb, Vec3};
 use meshing_universe::rayon::set_max_parallelism;
 use meshing_universe::tess::grid::StreamScratch;
@@ -410,7 +410,10 @@ fn oracle_snapshot(
     box_len: f64,
     kernel: KernelMode,
 ) -> MeshSnapshot {
-    let dec = Decomposition::regular(Aabb::cube(box_len), NBLOCKS, [true; 3]);
+    // Same scheme as the service under test (TESS_DECOMP): the oracle
+    // must recompute the exact mesh the service published.
+    let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+    let dec = DecompScheme::from_env().build(Aabb::cube(box_len), NBLOCKS, [true; 3], &positions);
     let dec_ref = &dec;
     let rows = Runtime::run(2, move |world| {
         let asn = Assignment::new(NBLOCKS, world.nranks());
