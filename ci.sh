@@ -2,90 +2,196 @@
 # Continuous-integration gate (no forge runner in this environment; run
 # locally or from any scheduler). Fails on the first broken step.
 #
-#   ./ci.sh            full gate: build, tests, formatting, lints
+#   ./ci.sh            full gate: every stage below, with a timing summary
+#   ./ci.sh full       same
+#   ./ci.sh quick      build + test + fmt + clippy (no release suites)
+#   ./ci.sh <stage>..  run the named stage(s) only, e.g. ./ci.sh memory schema
+#
+# Stages: build test ghost kernel perf trace service decomp memory schema
+#         fmt clippy
 #
 # Everything runs offline: external dependencies resolve to the vendored
 # shims under crates/shims/ (see crates/shims/README.md).
 set -eu
 
-echo "==> cargo build --release (workspace)"
-cargo build --release --workspace
+# ---- stage timing ----------------------------------------------------------
+TIMING_LOG="${TMPDIR:-/tmp}/ci-stage-times.$$"
+: > "$TIMING_LOG"
+trap 'print_summary' EXIT
 
-echo "==> cargo test -q (workspace)"
-cargo test -q --workspace
+print_summary() {
+    status=$?
+    if [ -s "$TIMING_LOG" ]; then
+        echo
+        echo "==> stage timing summary"
+        awk -F'\t' '{ printf "    %-10s %6ss  %s\n", $1, $2, $3 }' "$TIMING_LOG"
+    fi
+    rm -f "$TIMING_LOG"
+    [ "$status" -eq 0 ] || echo "==> CI FAILED"
+}
 
-echo "==> rank-determinism suite at 8 ranks (release)"
-# The cross-rank ghost invariants (bit-identical merged mesh at 1/2/4/8
-# ranks, adaptive certification) are cheap in release mode and guard the
-# exchange protocol; run them explicitly so optimized codegen is covered.
-cargo test --release -q -p meshing-universe --test ghost_adaptive
+run_stage() {
+    name="$1"
+    start=$(date +%s)
+    if "stage_$name"; then result=ok; else
+        end=$(date +%s)
+        printf '%s\t%s\t%s\n' "$name" "$((end - start))" "FAILED" >> "$TIMING_LOG"
+        exit 1
+    fi
+    end=$(date +%s)
+    printf '%s\t%s\t%s\n' "$name" "$((end - start))" "$result" >> "$TIMING_LOG"
+}
 
-echo "==> kernel equivalence: ring vs stream differential oracle (release)"
-# The two cell kernels (TESS_KERNEL=ring|stream) must produce bit-identical
-# merged meshes across 1/2/4/8 ranks, pool widths, incremental-vs-full
-# re-tessellation, explicit+adaptive ghost modes, and kept-incomplete
-# configurations — and the streamed kernel must clip measurably fewer
-# candidates for the identical mesh.
-cargo test --release -q -p meshing-universe --test kernel_equivalence
-cargo test --release -q -p meshing-universe --test adversarial_corpus
+# ---- stages ----------------------------------------------------------------
 
-echo "==> perf smoke: ring/stream kernels, threaded+incremental vs sequential baseline"
-# Bit-identical meshes across all three configs, conservation, >=2x fewer
-# candidates/cell for the streamed kernel (deterministic), >=2x cells/sec
-# over the sequential full-recompute baseline, and <30% regression against
-# the committed crates/bench/perf_baseline.json (PERF_BASELINE_WRITE=1
-# regenerates it after an intentional perf change).
-TESS_THREADS=4 cargo run --release -q -p bench-harness --bin perf_smoke
+stage_build() {
+    echo "==> [build] cargo build --release (workspace)"
+    cargo build --release --workspace
+}
 
-echo "==> trace smoke: 4-rank traced run, Chrome-trace validation, <10% overhead"
-# Runs the perf_smoke workload untraced and under TESS_TRACE=full, asserts
-# the traced mesh is bit-identical and the wall-clock overhead stays under
-# 10%, and validates the exported Chrome-trace JSON (parses, balanced B/E
-# pairs per track, monotonic timestamps). Artifact:
-# bench-out/trace_np16_r4.trace.json (openable at ui.perfetto.dev).
-TESS_THREADS=4 cargo run --release -q -p bench-harness --bin trace_export
+stage_test() {
+    echo "==> [test] cargo test -q (workspace)"
+    cargo test -q --workspace
+}
 
-echo "==> service gate: query-oracle + snapshot-consistency suites (release)"
-# The resident mesh service: batched point lookups vs a brute-force
-# nearest-seed oracle (exact f64, canonical tie-breaks, periodic images),
-# box/region extraction vs full-cell filters with 1e-9 volume conservation,
-# raced queries matching exactly one epoch's oracle mesh, and writer-epoch
-# × reader-thread stress with exactly-once request-id accounting.
-cargo test --release -q -p meshing-universe --test service_oracle
-cargo test --release -q -p meshing-universe --test service_property
-cargo test --release -q -p meshing-universe --test service_stress
+stage_ghost() {
+    echo "==> [ghost] rank-determinism suite at 8 ranks (release)"
+    # The cross-rank ghost invariants (bit-identical merged mesh at 1/2/4/8
+    # ranks, adaptive certification) are cheap in release mode and guard the
+    # exchange protocol; run them explicitly so optimized codegen is covered.
+    cargo test --release -q -p meshing-universe --test ghost_adaptive
+}
 
-echo "==> service smoke: 4-rank mixed query/update run, bit-identity + p99 bound"
-# bench_service hammers the service from 4 client threads while a particle
-# delta lands mid-flight, then gates on (1) the post-update published mesh
-# being bit-identical to a from-scratch recompute of the final particle
-# set, (2) every response carrying a valid epoch, (3) exactly-once
-# accounting, and (4) client-observed p99 latency under SERVICE_P99_MS
-# (default 500 ms). Writes the `service` section of BENCH_TESS.json.
-TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_service
-# End-to-end smoke of the tess-serve binary's scripted query/update loop.
-cargo run --release -q -p tess --bin tess-serve -- --box 8 --n 200 --demo
+stage_kernel() {
+    echo "==> [kernel] ring vs stream differential oracle (release)"
+    # The two cell kernels (TESS_KERNEL=ring|stream) must produce bit-identical
+    # merged meshes across 1/2/4/8 ranks, pool widths, incremental-vs-full
+    # re-tessellation, explicit+adaptive ghost modes, and kept-incomplete
+    # configurations — and the streamed kernel must clip measurably fewer
+    # candidates for the identical mesh.
+    cargo test --release -q -p meshing-universe --test kernel_equivalence
+    cargo test --release -q -p meshing-universe --test adversarial_corpus
+}
 
-echo "==> decomposition-scheme gate: kd equivalence + suites under TESS_DECOMP=kd"
-# The scheme-polymorphic decomposition: (1) the dedicated equivalence
-# matrix proves the merged mesh is bit-identical between the regular grid
-# and the particle-balanced k-d tree across 1/2/4/8 ranks, both kernels,
-# and explicit+adaptive ghosts; (2) the rank-determinism, kernel-oracle,
-# and service-oracle suites rerun with every decomposition built as a k-d
-# tree, so all of their invariants hold on irregular block geometry too.
-cargo test --release -q -p meshing-universe --test decomposition_equivalence
-TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test ghost_adaptive
-TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test kernel_equivalence
-TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test service_oracle
-# Clustered-corpus A/B perf gate at 8 ranks (modeled parallel wall at
-# pool width 1): kd must hit >=1.4x cells/sec over regular with rank
-# imbalance <=1.25 (regular >=3.0) — asserted inside perf_smoke, which
-# also records decomp/imbalance per entry in BENCH_TESS.json.
+stage_perf() {
+    echo "==> [perf] ring/stream kernels, threaded+incremental vs sequential baseline"
+    # Bit-identical meshes across all three configs, conservation, >=2x fewer
+    # candidates/cell for the streamed kernel (deterministic), >=2x cells/sec
+    # over the sequential full-recompute baseline, and <30% regression against
+    # the committed crates/bench/perf_baseline.json (PERF_BASELINE_WRITE=1
+    # regenerates it after an intentional perf change).
+    TESS_THREADS=4 cargo run --release -q -p bench-harness --bin perf_smoke
+}
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+stage_trace() {
+    echo "==> [trace] 4-rank traced run, Chrome-trace validation, <10% overhead"
+    # Runs the perf_smoke workload untraced and under TESS_TRACE=full, asserts
+    # the traced mesh is bit-identical and the wall-clock overhead stays under
+    # 10%, and validates the exported Chrome-trace JSON (parses, balanced B/E
+    # pairs per track, monotonic timestamps). Artifact:
+    # bench-out/trace_np16_r4.trace.json (openable at ui.perfetto.dev).
+    TESS_THREADS=4 cargo run --release -q -p bench-harness --bin trace_export
+}
 
-echo "==> cargo clippy -D warnings (all targets)"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_service() {
+    echo "==> [service] query-oracle + snapshot-consistency suites (release)"
+    # The resident mesh service: batched point lookups vs a brute-force
+    # nearest-seed oracle (exact f64, canonical tie-breaks, periodic images),
+    # box/region extraction vs full-cell filters with 1e-9 volume conservation,
+    # raced queries matching exactly one epoch's oracle mesh, and writer-epoch
+    # × reader-thread stress with exactly-once request-id accounting.
+    cargo test --release -q -p meshing-universe --test service_oracle
+    cargo test --release -q -p meshing-universe --test service_property
+    cargo test --release -q -p meshing-universe --test service_stress
+
+    echo "==> [service] 4-rank mixed query/update smoke, bit-identity + p99 bound"
+    # bench_service hammers the service from 4 client threads while a particle
+    # delta lands mid-flight, then gates on (1) the post-update published mesh
+    # being bit-identical to a from-scratch recompute of the final particle
+    # set, (2) every response carrying a valid epoch, (3) exactly-once
+    # accounting, and (4) client-observed p99 latency under SERVICE_P99_MS
+    # (default 500 ms). Writes the `service` section of BENCH_TESS.json.
+    TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_service
+    # End-to-end smoke of the tess-serve binary's scripted query/update loop.
+    cargo run --release -q -p tess --bin tess-serve -- --box 8 --n 200 --demo
+}
+
+stage_decomp() {
+    echo "==> [decomp] kd equivalence + suites under TESS_DECOMP=kd"
+    # The scheme-polymorphic decomposition: (1) the dedicated equivalence
+    # matrix proves the merged mesh is bit-identical between the regular grid
+    # and the particle-balanced k-d tree across 1/2/4/8 ranks, both kernels,
+    # and explicit+adaptive ghosts; (2) the rank-determinism, kernel-oracle,
+    # and service-oracle suites rerun with every decomposition built as a k-d
+    # tree, so all of their invariants hold on irregular block geometry too.
+    cargo test --release -q -p meshing-universe --test decomposition_equivalence
+    TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test ghost_adaptive
+    TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test kernel_equivalence
+    TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test service_oracle
+    # Clustered-corpus A/B perf gate at 8 ranks (modeled parallel wall at
+    # pool width 1): kd must hit >=1.4x cells/sec over regular with rank
+    # imbalance <=1.25 (regular >=3.0) — asserted inside perf_smoke (the
+    # perf stage), which also records decomp/imbalance in BENCH_TESS.json.
+}
+
+stage_memory() {
+    echo "==> [memory] streaming output + on-disk format + memory accounting gates"
+    # (1) the streamed-vs-accumulated acceptance matrix: bit-identical
+    # files at 1/2/4/8 ranks under both decomposition schemes and both
+    # kernels, adaptive multi-round streaming, culled streaming, RunReport
+    # memory counters; (2) the on-disk codec fuzz: any single-byte
+    # corruption or truncation of a block file is a typed error, never a
+    # panic; (3) bench_memory: 8-rank clustered streaming vs accumulate A/B
+    # gating on allocator peak (<0.8x), VmHWM growth, the culled
+    # bytes/particle budget, and <5% allocation-accounting overhead.
+    # Writes the `memory` section of BENCH_TESS.json.
+    cargo test --release -q -p meshing-universe --test streaming_output
+    cargo test --release -q -p diy --test blockfile_fuzz
+    cargo run --release -q -p bench-harness --bin bench_memory
+}
+
+stage_schema() {
+    echo "==> [schema] BENCH_TESS.json schema gate"
+    # The bench artifact written by the perf/service/memory stages must
+    # parse and carry the full key set of every section (entries / service
+    # / memory) — a harness emitting a malformed or truncated document
+    # fails here instead of shipping.
+    cargo run --release -q -p bench-harness --bin bench_schema_check
+}
+
+stage_fmt() {
+    echo "==> [fmt] cargo fmt --check"
+    cargo fmt --check
+}
+
+stage_clippy() {
+    echo "==> [clippy] cargo clippy -D warnings (all targets)"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+# ---- drivers ---------------------------------------------------------------
+
+ALL_STAGES="build test ghost kernel perf trace service decomp memory schema fmt clippy"
+QUICK_STAGES="build test fmt clippy"
+
+case "${1:-full}" in
+full)
+    for s in $ALL_STAGES; do run_stage "$s"; done
+    ;;
+quick)
+    for s in $QUICK_STAGES; do run_stage "$s"; done
+    ;;
+*)
+    for s in "$@"; do
+        case " $ALL_STAGES " in
+        *" $s "*) run_stage "$s" ;;
+        *)
+            echo "ci.sh: unknown stage '$s' (stages: $ALL_STAGES)" >&2
+            exit 2
+            ;;
+        esac
+    done
+    ;;
+esac
 
 echo "==> CI green"

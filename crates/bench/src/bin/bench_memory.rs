@@ -1,0 +1,322 @@
+//! CI memory gate for the bounded-memory streaming pipeline.
+//!
+//! One clustered 8-rank workload (64 blocks, so each rank owns 8 and
+//! accumulation actually costs something) runs twice with volume culling:
+//!
+//!   1. **stream** — `tess::tessellate_streaming`: tessellate, write, drop
+//!      block by block; the merged mesh never exists in memory.
+//!   2. **accumulate** — `tess::tessellate` + `write_tessellation`: the
+//!      classic merge-then-write path.
+//!
+//! Gates, any failure exits non-zero:
+//!
+//! 1. **Bit identity** — both files hold byte-identical blocks (streaming
+//!    changes residency, never bits) and the read-back matches the
+//!    accumulated in-memory merge.
+//! 2. **Culled output budget** — serialized payload stays under
+//!    [`BUDGET_BYTES_PER_PARTICLE`] for the culled run (the §III-C2 data
+//!    model gate: a dense-region mesh must not balloon on disk).
+//! 3. **Bounded memory** — the streaming arm's allocator high-water mark
+//!    (process-wide, all 8 rank threads) stays under
+//!    [`STREAM_PEAK_FRACTION`] of the accumulate arm's, and the kernel's
+//!    `VmHWM` climbs by at least [`MIN_HWM_GROWTH_KB`] only after the
+//!    accumulate arm runs (streaming runs first: VmHWM is monotonic).
+//! 4. **Accounting overhead** — the counting global allocator costs < 5%
+//!    (plus scheduler slack) on a serial tessellation A/B with counting
+//!    toggled via `diy::mem::set_enabled`.
+//!
+//! Both arms land in the `memory` section of `BENCH_TESS.json` (labels
+//! `memgate_*`; the fig10 sweep owns the `fig10_*` labels).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bench_harness::{
+    corpus::ClusterSpec, partition_particles, write_bench_memory_json, MemoryBenchEntry,
+};
+use diy::codec::Encode;
+use diy::comm::Runtime;
+use diy::decomposition::{Assignment, DecompScheme};
+use geometry::{Aabb, Vec3};
+use tess::{TessParams, TessStats};
+
+const NBLOCKS: usize = 64;
+const NRANKS: usize = 8;
+/// Culling threshold for the memory A/B: drops the dense clump-core cells
+/// (the paper's threshold mode) while keeping the mesh big enough that
+/// accumulation visibly costs memory.
+const MIN_VOLUME: f64 = 0.01;
+/// Gate 2a: serialized payload bytes per input particle at [`MIN_VOLUME`].
+const BUDGET_BYTES_PER_PARTICLE: f64 = 1100.0;
+/// Aggressive threshold for the production-style culled-output budget: at
+/// ~mean cell volume only the large void/filament cells survive.
+const MIN_VOLUME_TIGHT: f64 = 0.25;
+/// Gate 2b: payload bytes per particle at [`MIN_VOLUME_TIGHT`] — the
+/// paper's regime, where the interesting (large) cells are a small
+/// fraction of the particle count.
+const TIGHT_BUDGET_BYTES_PER_PARTICLE: f64 = 120.0;
+/// Gate 3a: streaming allocator peak as a fraction of the accumulate peak.
+const STREAM_PEAK_FRACTION: f64 = 0.8;
+/// Gate 3b: minimum VmHWM growth the accumulate arm must add on top of the
+/// streaming arm's high-water mark (kB).
+const MIN_HWM_GROWTH_KB: u64 = 1024;
+/// Gate 4: allocator-accounting overhead bound (fraction + absolute slack).
+const OVERHEAD_FRACTION: f64 = 0.05;
+const OVERHEAD_SLACK_S: f64 = 0.02;
+
+struct Arm {
+    stats: TessStats,
+    peak_live_bytes: u64,
+    peak_rss_kb: u64,
+    payload_bytes: u64,
+    file_bytes: u64,
+    wall_s: f64,
+    /// gid → serialized block bytes read back from the arm's file.
+    blocks: BTreeMap<u64, Vec<u8>>,
+}
+
+fn setup(particles: &[(u64, Vec3)], side: f64) -> (diy::decomposition::Decomposition, Assignment) {
+    let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+    let dec = DecompScheme::Regular.build(Aabb::cube(side), NBLOCKS, [true; 3], &positions);
+    let asn = Assignment::new(dec.nblocks(), NRANKS);
+    (dec, asn)
+}
+
+fn read_blocks(path: &std::path::Path) -> BTreeMap<u64, Vec<u8>> {
+    tess::io::read_tessellation(path)
+        .expect("read back")
+        .into_iter()
+        .map(|b| (b.gid, b.to_bytes()))
+        .collect()
+}
+
+fn run_stream(
+    particles: &[(u64, Vec3)],
+    side: f64,
+    params: &TessParams,
+    path: &std::path::Path,
+) -> Arm {
+    let (dec, asn) = setup(particles, side);
+    diy::mem::reset_peak();
+    let before = diy::mem::stats();
+    let t0 = Instant::now();
+    let rows = Runtime::run(NRANKS, |world| {
+        let local = partition_particles(particles, &dec, &asn, world.rank());
+        let s = tess::tessellate_streaming(world, &dec, &asn, &local, params, path)
+            .expect("streaming tessellation");
+        let stats = tess::driver::global_stats(world, s.stats);
+        (stats, s.payload_bytes, s.file_bytes)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = diy::mem::stats();
+    let (_, peak_rss_kb) = diy::mem::proc_status_kb();
+    let (stats, payload_bytes, file_bytes) = rows[0];
+    Arm {
+        stats,
+        peak_live_bytes: after
+            .peak_live_bytes
+            .saturating_sub(before.live_bytes.min(after.peak_live_bytes)),
+        peak_rss_kb,
+        payload_bytes,
+        file_bytes,
+        wall_s,
+        blocks: read_blocks(path),
+    }
+}
+
+fn run_accumulate(
+    particles: &[(u64, Vec3)],
+    side: f64,
+    params: &TessParams,
+    path: &std::path::Path,
+) -> (Arm, BTreeMap<u64, Vec<u8>>) {
+    let (dec, asn) = setup(particles, side);
+    diy::mem::reset_peak();
+    let before = diy::mem::stats();
+    let t0 = Instant::now();
+    let rows = Runtime::run(NRANKS, |world| {
+        let local = partition_particles(particles, &dec, &asn, world.rank());
+        let r = tess::tessellate(world, &dec, &asn, &local, params);
+        let stats = tess::driver::global_stats(world, r.stats);
+        let file_bytes = tess::io::write_tessellation(world, path, &r.blocks).expect("write");
+        let merged: Vec<(u64, Vec<u8>)> = r
+            .blocks
+            .iter()
+            .map(|(&gid, b)| (gid, b.to_bytes()))
+            .collect();
+        (stats, file_bytes, merged)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = diy::mem::stats();
+    let (_, peak_rss_kb) = diy::mem::proc_status_kb();
+    let stats = rows[0].0;
+    let file_bytes = rows[0].1;
+    let mut in_memory = BTreeMap::new();
+    for (_, _, merged) in rows {
+        for (gid, bytes) in merged {
+            assert!(
+                in_memory.insert(gid, bytes).is_none(),
+                "block {gid} owned twice"
+            );
+        }
+    }
+    let payload_bytes = in_memory.values().map(|b| b.len() as u64).sum();
+    let arm = Arm {
+        stats,
+        peak_live_bytes: after
+            .peak_live_bytes
+            .saturating_sub(before.live_bytes.min(after.peak_live_bytes)),
+        peak_rss_kb,
+        payload_bytes,
+        file_bytes,
+        wall_s,
+        blocks: read_blocks(path),
+    };
+    (arm, in_memory)
+}
+
+/// Gate 4: counting on vs off on a serial tessellation, best-of-N.
+fn accounting_overhead(particles: &[(u64, Vec3)], side: f64) {
+    let pts: Vec<(u64, Vec3)> = particles.iter().take(4000).copied().collect();
+    let params = TessParams::default();
+    let time_once = || {
+        let t0 = Instant::now();
+        let (block, _) = tess::tessellate_serial(&pts, Aabb::cube(side), [true; 3], &params);
+        assert!(!block.cells.is_empty());
+        t0.elapsed().as_secs_f64()
+    };
+    let best_of = |n: usize| (0..n).map(|_| time_once()).fold(f64::INFINITY, f64::min);
+    // warm up caches/pools before either measurement
+    let _ = time_once();
+    let was_on = diy::mem::set_enabled(false);
+    let off_s = best_of(5);
+    diy::mem::set_enabled(true);
+    let on_s = best_of(5);
+    diy::mem::set_enabled(was_on);
+    let overhead = (on_s - off_s) / off_s;
+    println!(
+        "bench_memory: accounting A/B counting-off {:.1}ms, counting-on {:.1}ms ({:+.2}% overhead)",
+        off_s * 1e3,
+        on_s * 1e3,
+        overhead * 100.0
+    );
+    assert!(
+        on_s <= off_s * (1.0 + OVERHEAD_FRACTION) + OVERHEAD_SLACK_S,
+        "allocation accounting costs {:.2}% (> {:.0}% + {:.0}ms slack): on {on_s:.4}s vs off {off_s:.4}s",
+        overhead * 100.0,
+        OVERHEAD_FRACTION * 100.0,
+        OVERHEAD_SLACK_S * 1e3,
+    );
+}
+
+fn main() {
+    let spec = ClusterSpec::corner_heavy(16.0, 48, 300, 42);
+    let corpus = spec.generate();
+    let nparticles = corpus.len() as u64;
+    let params = TessParams::default().with_min_volume(MIN_VOLUME);
+    let dir = bench_harness::output_dir();
+    let stream_path = dir.join("memgate_stream.tess");
+    let accum_path = dir.join("memgate_accum.tess");
+
+    // Streaming FIRST: VmHWM only ever grows, so the accumulate arm's
+    // extra footprint must show up as growth past the streaming mark.
+    let stream = run_stream(&corpus, spec.side, &params, &stream_path);
+    let (accum, in_memory) = run_accumulate(&corpus, spec.side, &params, &accum_path);
+
+    // Gate 1: bit identity — streamed file == accumulated file == the
+    // in-memory merge, block for block.
+    assert_eq!(
+        stream.blocks.len(),
+        NBLOCKS,
+        "streamed file must hold every block"
+    );
+    assert_eq!(
+        stream.blocks, accum.blocks,
+        "streamed file differs from the accumulate file"
+    );
+    assert_eq!(
+        stream.blocks, in_memory,
+        "files differ from the in-memory merge"
+    );
+    assert_eq!(stream.stats.cells, accum.stats.cells);
+    assert!(stream.stats.cells > 0);
+    assert_eq!(stream.payload_bytes, accum.payload_bytes);
+
+    // Gate 2: culled output budget.
+    let bpp = stream.payload_bytes as f64 / nparticles as f64;
+    println!(
+        "bench_memory: {} particles -> {} culled cells, {} payload bytes ({bpp:.1} B/particle, budget {BUDGET_BYTES_PER_PARTICLE}), {} file bytes",
+        nparticles, stream.stats.cells, stream.payload_bytes, stream.file_bytes
+    );
+    assert!(
+        bpp <= BUDGET_BYTES_PER_PARTICLE,
+        "culled mesh costs {bpp:.1} B/particle on disk (budget {BUDGET_BYTES_PER_PARTICLE})"
+    );
+
+    // Gate 2b: production-style tight cull, streaming only.
+    let tight_params = TessParams::default().with_min_volume(MIN_VOLUME_TIGHT);
+    let tight_path = dir.join("memgate_tight.tess");
+    let tight = run_stream(&corpus, spec.side, &tight_params, &tight_path);
+    let tight_bpp = tight.payload_bytes as f64 / nparticles as f64;
+    println!(
+        "bench_memory: tight cull (min_volume {MIN_VOLUME_TIGHT}) keeps {} cells, {} payload bytes ({tight_bpp:.1} B/particle, budget {TIGHT_BUDGET_BYTES_PER_PARTICLE})",
+        tight.stats.cells, tight.payload_bytes
+    );
+    assert!(tight.stats.cells > 0, "tight cull dropped everything");
+    assert!(
+        tight_bpp <= TIGHT_BUDGET_BYTES_PER_PARTICLE,
+        "tight-culled mesh costs {tight_bpp:.1} B/particle on disk (budget {TIGHT_BUDGET_BYTES_PER_PARTICLE})"
+    );
+
+    // Gate 3: bounded memory.
+    println!(
+        "bench_memory: allocator peak stream {} vs accumulate {} ({:.2}x), VmHWM stream {} kB -> accumulate {} kB",
+        bench_harness::bytes_h(stream.peak_live_bytes),
+        bench_harness::bytes_h(accum.peak_live_bytes),
+        stream.peak_live_bytes as f64 / accum.peak_live_bytes.max(1) as f64,
+        stream.peak_rss_kb,
+        accum.peak_rss_kb,
+    );
+    assert!(
+        (stream.peak_live_bytes as f64) <= STREAM_PEAK_FRACTION * accum.peak_live_bytes as f64,
+        "streaming allocator peak {} is not under {STREAM_PEAK_FRACTION} of accumulate's {}",
+        stream.peak_live_bytes,
+        accum.peak_live_bytes,
+    );
+    if cfg!(target_os = "linux") {
+        assert!(
+            accum.peak_rss_kb >= stream.peak_rss_kb + MIN_HWM_GROWTH_KB,
+            "accumulate arm grew VmHWM by only {} kB over streaming's {} kB (need >= {MIN_HWM_GROWTH_KB})",
+            accum.peak_rss_kb.saturating_sub(stream.peak_rss_kb),
+            stream.peak_rss_kb,
+        );
+    }
+
+    // Gate 4: accounting overhead.
+    accounting_overhead(&corpus, spec.side);
+
+    let entry = |label: &str, mode: &str, a: &Arm| MemoryBenchEntry {
+        label: label.into(),
+        mode: mode.into(),
+        nranks: NRANKS,
+        particles: nparticles,
+        cells: a.stats.cells,
+        peak_live_bytes: a.peak_live_bytes,
+        peak_rss_kb: a.peak_rss_kb,
+        payload_bytes: a.payload_bytes,
+        file_bytes: a.file_bytes,
+        wall_s: a.wall_s,
+    };
+    let written = write_bench_memory_json(
+        &[
+            entry("memgate_stream_r8", "stream", &stream),
+            entry("memgate_accumulate_r8", "accumulate", &accum),
+            entry("memgate_stream_tight_r8", "stream", &tight),
+        ],
+        "memgate_",
+    );
+    for p in written {
+        println!("bench_memory: wrote {}", p.display());
+    }
+    println!("bench_memory: all gates passed");
+}

@@ -15,8 +15,9 @@
 //! per particle is near flat.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
-use bench_harness::{output_dir, secs, Table};
+use bench_harness::{bytes_h, output_dir, secs, write_bench_memory_json, MemoryBenchEntry, Table};
 use diy::comm::Runtime;
 use diy::metrics::collect_report;
 use geometry::Vec3;
@@ -49,6 +50,55 @@ fn tess_time(np: usize, nsteps: usize, nranks: usize) -> f64 {
             + report.cpu_max(PHASE_OUTPUT)
     });
     times[0]
+}
+
+/// One bounded-memory streaming tessellation of the same workload,
+/// recording the allocator high-water mark over the run, the process
+/// `VmHWM`, and the real serialized byte counts the writer reports.
+fn memory_point(np: usize, nsteps: usize, nranks: usize) -> MemoryBenchEntry {
+    let params = SimParams::paper_like(np);
+    let out = output_dir().join(format!("fig10_mem_np{np}_r{nranks}.tess"));
+    let out_ref = &out;
+    diy::mem::reset_peak();
+    let before = diy::mem::stats();
+    let t0 = Instant::now();
+    let rows = Runtime::run(nranks, |world| {
+        let sim = bench_harness::run_sim(world, params, nranks, nsteps);
+        let local: BTreeMap<u64, Vec<(u64, Vec3)>> = sim
+            .blocks
+            .iter()
+            .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
+            .collect();
+        let s = tess::tessellate_streaming(
+            world,
+            &sim.dec,
+            &sim.asn,
+            &local,
+            &TessParams::default().with_ghost(4.0).with_min_volume(0.2),
+            out_ref,
+        )
+        .expect("streaming write");
+        let stats = tess::driver::global_stats(world, s.stats);
+        (stats.cells, s.payload_bytes, s.file_bytes)
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = diy::mem::stats();
+    let (_, peak_rss_kb) = diy::mem::proc_status_kb();
+    let (cells, payload_bytes, file_bytes) = rows[0];
+    MemoryBenchEntry {
+        label: format!("fig10_np{np}_r{nranks}"),
+        mode: "stream".into(),
+        nranks,
+        particles: (np * np * np) as u64,
+        cells,
+        peak_live_bytes: after
+            .peak_live_bytes
+            .saturating_sub(before.live_bytes.min(after.peak_live_bytes)),
+        peak_rss_kb,
+        payload_bytes,
+        file_bytes,
+        wall_s,
+    }
 }
 
 fn main() {
@@ -122,4 +172,40 @@ fn main() {
     }
     println!("## Weak scaling (paper efficiency: 86%)");
     weak.print();
+
+    // Memory sweep: the same workloads through the bounded-memory
+    // streaming driver, recording allocator peak, VmHWM, and the real
+    // serialized byte counts (culled, min_volume 0.2). Lands in the
+    // `memory` section of BENCH_TESS.json under fig10_* labels.
+    let mut mem = Table::new(&[
+        "Particles",
+        "Ranks",
+        "PeakAlloc",
+        "VmHWM(kB)",
+        "Bytes/particle",
+        "Wall(s)",
+    ]);
+    let mem_configs: Vec<(usize, usize, usize)> = if full {
+        vec![(16, 20, 4), (32, 20, 8), (64, 5, 8)]
+    } else {
+        vec![(16, 20, 4), (32, 20, 8)]
+    };
+    let mut entries = Vec::new();
+    for &(np, nsteps, nranks) in &mem_configs {
+        let e = memory_point(np, nsteps, nranks);
+        mem.row(&[
+            format!("{np}^3"),
+            nranks.to_string(),
+            bytes_h(e.peak_live_bytes),
+            e.peak_rss_kb.to_string(),
+            format!("{:.1}", e.payload_bytes as f64 / e.particles as f64),
+            secs(e.wall_s),
+        ]);
+        entries.push(e);
+    }
+    println!("## Memory sweep (streaming output, culled; paper: ~100 B/particle culled)");
+    mem.print();
+    for p in write_bench_memory_json(&entries, "fig10_") {
+        println!("wrote {}", p.display());
+    }
 }

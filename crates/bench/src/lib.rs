@@ -14,6 +14,7 @@
 //! comparable with the paper; absolute numbers are not.
 
 pub mod corpus;
+pub mod json;
 
 use std::collections::BTreeMap;
 
@@ -338,7 +339,7 @@ pub struct TessBenchEntry {
 /// computed cell, cells recomputed vs reused, reuse fraction), ghost
 /// traffic, and the per-phase breakdown. Schema documented in DESIGN.md.
 pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
-    compose_bench_doc(Some(&tess_bench_entries_json(entries)), None)
+    compose_bench_doc(Some(&tess_bench_entries_json(entries)), None, None)
 }
 
 /// Render just the `entries` array of `BENCH_TESS.json`.
@@ -457,6 +458,108 @@ pub fn service_bench_json(e: &ServiceBenchEntry) -> String {
     )
 }
 
+/// One memory measurement destined for the `memory` section of
+/// `BENCH_TESS.json`: a streaming vs accumulate arm of the bounded-memory
+/// A/B, or one point of the fig10 memory sweep.
+pub struct MemoryBenchEntry {
+    pub label: String,
+    /// Output mode the run used (`"stream"` or `"accumulate"`).
+    pub mode: String,
+    pub nranks: usize,
+    pub particles: u64,
+    pub cells: u64,
+    /// Allocator high-water mark over the measured window (bytes,
+    /// process-wide, from `diy::mem` after `reset_peak`).
+    pub peak_live_bytes: u64,
+    /// Kernel-reported peak RSS (`VmHWM`, kB; 0 off Linux).
+    pub peak_rss_kb: u64,
+    /// Serialized mesh payload bytes in the culled output file.
+    pub payload_bytes: u64,
+    /// Total output file bytes including framing.
+    pub file_bytes: u64,
+    pub wall_s: f64,
+}
+
+/// Render the `memory` section array for `BENCH_TESS.json`.
+pub fn memory_bench_json(entries: &[MemoryBenchEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let bpp = if e.particles > 0 {
+            e.payload_bytes as f64 / e.particles as f64
+        } else {
+            0.0
+        };
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"mode\": \"{}\", \"nranks\": {}, ",
+                "\"particles\": {}, \"cells\": {}, ",
+                "\"peak_live_bytes\": {}, \"peak_rss_kb\": {}, ",
+                "\"payload_bytes\": {}, \"file_bytes\": {}, ",
+                "\"bytes_per_particle\": {:.3}, \"wall_s\": {:.6}}}{}\n"
+            ),
+            e.label,
+            e.mode,
+            e.nranks,
+            e.particles,
+            e.cells,
+            e.peak_live_bytes,
+            e.peak_rss_kb,
+            e.payload_bytes,
+            e.file_bytes,
+            bpp,
+            e.wall_s,
+            sep,
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Write the `memory` section of `BENCH_TESS.json` (bench output dir and
+/// repo root), preserving the `entries` and `service` sections **and** any
+/// existing memory entries whose label does not start with
+/// `replace_prefix` — so the memory gate and the fig10 sweep can each own
+/// their slice of the section without clobbering the other. Returns the
+/// paths written.
+pub fn write_bench_memory_json(
+    entries: &[MemoryBenchEntry],
+    replace_prefix: &str,
+) -> Vec<std::path::PathBuf> {
+    let mut written = Vec::new();
+    for path in [
+        output_dir().join("BENCH_TESS.json"),
+        repo_root().join("BENCH_TESS.json"),
+    ] {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let entries_raw = extract_json_section(&existing, "entries");
+        let service = extract_json_section(&existing, "service");
+        // keep foreign memory entries (other bins' label prefixes)
+        let kept: Vec<String> = extract_json_section(&existing, "memory")
+            .and_then(|raw| json::parse(&raw).ok())
+            .and_then(|v| v.as_arr().map(|a| a.to_vec()))
+            .unwrap_or_default()
+            .iter()
+            .filter(|e| {
+                e.get("label")
+                    .and_then(|l| l.as_str())
+                    .is_some_and(|l| !l.starts_with(replace_prefix))
+            })
+            .map(json::Value::render)
+            .collect();
+        let mut memory = memory_bench_json(entries);
+        if !kept.is_empty() {
+            let spliced: String = kept.iter().map(|e| format!(",\n    {e}")).collect();
+            memory = memory.replace("\n  ]", &format!("{spliced}\n  ]"));
+        }
+        let doc = compose_bench_doc(entries_raw.as_deref(), service.as_deref(), Some(&memory));
+        if std::fs::write(&path, doc).is_ok() {
+            written.push(path);
+        }
+    }
+    written
+}
+
 /// Extract the raw balanced `[...]`/`{...}` value of a top-level `"key"` in
 /// a JSON document, string-aware. `None` if absent or malformed.
 pub fn extract_json_section(doc: &str, key: &str) -> Option<String> {
@@ -498,22 +601,30 @@ pub fn extract_json_section(doc: &str, key: &str) -> Option<String> {
     None
 }
 
-/// Compose the full `BENCH_TESS.json` document from its sections. Either
+/// Compose the full `BENCH_TESS.json` document from its sections. Any
 /// section may be absent (`entries` defaults to `[]`).
-pub fn compose_bench_doc(entries_raw: Option<&str>, service_raw: Option<&str>) -> String {
+pub fn compose_bench_doc(
+    entries_raw: Option<&str>,
+    service_raw: Option<&str>,
+    memory_raw: Option<&str>,
+) -> String {
     let mut out = String::from("{\n  \"entries\": ");
     out.push_str(entries_raw.unwrap_or("[]"));
     if let Some(s) = service_raw {
         out.push_str(",\n  \"service\": ");
         out.push_str(s);
     }
+    if let Some(m) = memory_raw {
+        out.push_str(",\n  \"memory\": ");
+        out.push_str(m);
+    }
     out.push_str("\n}\n");
     out
 }
 
 /// Write the `service` section of `BENCH_TESS.json` (bench output dir and
-/// repo root), preserving any existing `entries` section in each file.
-/// Returns the paths written.
+/// repo root), preserving any existing `entries` and `memory` sections in
+/// each file. Returns the paths written.
 pub fn write_bench_service_json(entry: &ServiceBenchEntry) -> Vec<std::path::PathBuf> {
     let service = service_bench_json(entry);
     let mut written = Vec::new();
@@ -523,7 +634,8 @@ pub fn write_bench_service_json(entry: &ServiceBenchEntry) -> Vec<std::path::Pat
     ] {
         let existing = std::fs::read_to_string(&path).unwrap_or_default();
         let entries = extract_json_section(&existing, "entries");
-        let doc = compose_bench_doc(entries.as_deref(), Some(&service));
+        let memory = extract_json_section(&existing, "memory");
+        let doc = compose_bench_doc(entries.as_deref(), Some(&service), memory.as_deref());
         if std::fs::write(&path, doc).is_ok() {
             written.push(path);
         }
@@ -550,7 +662,8 @@ pub fn write_bench_tess_json(entries: &[TessBenchEntry]) -> Vec<std::path::PathB
     ] {
         let existing = std::fs::read_to_string(&path).unwrap_or_default();
         let service = extract_json_section(&existing, "service");
-        let doc = compose_bench_doc(Some(&entries_raw), service.as_deref());
+        let memory = extract_json_section(&existing, "memory");
+        let doc = compose_bench_doc(Some(&entries_raw), service.as_deref(), memory.as_deref());
         if std::fs::write(&path, doc).is_ok() {
             written.push(path);
         }
@@ -643,8 +756,21 @@ mod tests {
         assert!(svc.contains("\"mean_batch\": 25.000"));
 
         let entries = "[\n    {\"label\": \"a{]b\", \"wall_s\": 1.0}\n  ]";
-        let doc = compose_bench_doc(Some(entries), Some(&svc));
-        // Both sections extract back verbatim, braces in strings and all.
+        let mem = memory_bench_json(&[MemoryBenchEntry {
+            label: "m".into(),
+            mode: "stream".into(),
+            nranks: 8,
+            particles: 1000,
+            cells: 900,
+            peak_live_bytes: 1 << 20,
+            peak_rss_kb: 4096,
+            payload_bytes: 50_000,
+            file_bytes: 51_000,
+            wall_s: 0.25,
+        }]);
+        assert!(mem.contains("\"bytes_per_particle\": 50.000"));
+        let doc = compose_bench_doc(Some(entries), Some(&svc), Some(&mem));
+        // All sections extract back verbatim, braces in strings and all.
         assert_eq!(
             extract_json_section(&doc, "entries").as_deref(),
             Some(entries)
@@ -653,10 +779,15 @@ mod tests {
             extract_json_section(&doc, "service").as_deref(),
             Some(svc.as_str())
         );
-        // Re-splicing one section preserves the other.
+        assert_eq!(
+            extract_json_section(&doc, "memory").as_deref(),
+            Some(mem.as_str())
+        );
+        // Re-splicing one section preserves the others.
         let doc2 = compose_bench_doc(
             extract_json_section(&doc, "entries").as_deref(),
             Some("{\"label\": \"new\"}"),
+            extract_json_section(&doc, "memory").as_deref(),
         );
         assert_eq!(
             extract_json_section(&doc2, "entries").as_deref(),
@@ -665,6 +796,10 @@ mod tests {
         assert_eq!(
             extract_json_section(&doc2, "service").as_deref(),
             Some("{\"label\": \"new\"}")
+        );
+        assert_eq!(
+            extract_json_section(&doc2, "memory").as_deref(),
+            Some(mem.as_str())
         );
         assert_eq!(extract_json_section("{}", "entries"), None);
         assert_eq!(extract_json_section("", "service"), None);

@@ -369,6 +369,289 @@ fn tessellate_adaptive(
     }
 }
 
+/// Result of one bounded-memory streaming pass on one rank: the mesh went
+/// to disk wave by wave, so only counters come back. Global totals are
+/// identical on every rank.
+pub struct StreamSummary {
+    /// This rank's counters (merge across ranks for global stats).
+    pub stats: TessStats,
+    /// The ghost size actually used (resolved if `GhostSpec::Auto`).
+    pub ghost_used: f64,
+    /// Per-cell discovery kernel the pass ran with.
+    pub kernel: KernelMode,
+    /// Blocks written to the file (global).
+    pub blocks_written: u64,
+    /// Mesh payload bytes in the file, excluding framing (global).
+    pub payload_bytes: u64,
+    /// Total file bytes (global).
+    pub file_bytes: u64,
+}
+
+/// Bounded-memory variant of [`tessellate`]: tessellate, serialize, write,
+/// and *drop* blocks instead of accumulating the merged mesh, so peak
+/// memory is one block's mesh (plus ghosts) rather than the whole rank's.
+/// The ghost/certification machinery is byte-for-byte the one
+/// [`tessellate`] uses, and the file read back with
+/// [`crate::io::read_tessellation`] is bit-identical to the accumulated
+/// merge — only the residency changes.
+///
+/// Writes go through [`crate::io::TessStreamWriter`] in collective waves:
+/// under fixed/auto ghosts one wave per owned block (ranks past their
+/// block count contribute empty waves), under adaptive ghosts one wave
+/// per round carrying every block that just left the collective request
+/// map (its mesh is final the moment no round re-requests it).
+pub fn tessellate_streaming(
+    world: &mut World,
+    dec: &Decomposition,
+    asn: &Assignment,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    params: &TessParams,
+    path: &std::path::Path,
+) -> std::io::Result<StreamSummary> {
+    rayon::set_task_trace(trace_mode() == TraceMode::Full);
+    record_balance(&world.metrics(), local);
+    let params = &TessParams {
+        canon_extent: Some(params.canon_extent.unwrap_or_else(|| {
+            let e = dec.domain.extent();
+            e.x.min(e.y).min(e.z)
+        })),
+        ..*params
+    };
+    if let GhostSpec::Adaptive {
+        initial_factor,
+        max_rounds,
+    } = params.ghost
+    {
+        return tessellate_streaming_adaptive(
+            world,
+            dec,
+            asn,
+            local,
+            params,
+            path,
+            initial_factor,
+            max_rounds,
+        );
+    }
+    let metrics = world.metrics();
+    let (ghost, mut ghosts) = {
+        let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+        let ghost = resolve_ghost(world, dec, local, params.ghost);
+        let ghosts = exchange_ghosts(world, dec, asn, local, ghost);
+        (ghost, ghosts)
+    };
+
+    let mut writer = crate::io::TessStreamWriter::create(world, path)?;
+    // every rank runs the same number of collective waves
+    let nwaves = world.all_reduce(local.len() as u64, u64::max);
+    let mut stats = TessStats::default();
+    let gids: Vec<u64> = local.keys().copied().collect();
+    for wave in 0..nwaves as usize {
+        let block = if let Some(&gid) = gids.get(wave) {
+            let own = &local[&gid];
+            let _span = metrics.phase(PHASE_VORONOI);
+            let empty = Vec::new();
+            let g = ghosts.get(&gid).unwrap_or(&empty);
+            let (block, s, _cert, mut session) =
+                tessellate_block_session(gid, dec.block_bounds(gid), own, g, ghost, params);
+            record_block_obs(&metrics, gid, session.take_obs());
+            drain_pool(&metrics);
+            stats = stats.merge(s);
+            Some((gid, block))
+        } else {
+            None
+        };
+        let wave_blocks: Vec<(u64, &MeshBlock)> = block.iter().map(|(gid, b)| (*gid, b)).collect();
+        writer.write_wave(world, &wave_blocks)?;
+        metrics.sample_mem_counters();
+        // drop the block and its ghosts before the next wave
+        if let Some((gid, _)) = block {
+            ghosts.remove(&gid);
+        }
+    }
+    let summary = writer.finish(world)?;
+    stats.ghost_rounds = 1;
+    metrics.observe(HIST_RANK_CELLS, stats.cells as f64);
+
+    Ok(StreamSummary {
+        stats,
+        ghost_used: ghost,
+        kernel: params.kernel,
+        blocks_written: summary.blocks,
+        payload_bytes: summary.payload_bytes,
+        file_bytes: summary.file_bytes,
+    })
+}
+
+/// Adaptive streaming: the round loop is [`tessellate_adaptive`]'s —
+/// identical exchanges, identical radius schedule, identical mesh bits —
+/// but after each round's collective request map is built, every owned
+/// block that is *not* re-requested has its final mesh, so it is written
+/// in that round's wave and dropped. Only still-uncertified stragglers
+/// stay resident.
+#[allow(clippy::too_many_arguments)]
+fn tessellate_streaming_adaptive(
+    world: &mut World,
+    dec: &Decomposition,
+    asn: &Assignment,
+    local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    params: &TessParams,
+    path: &std::path::Path,
+    initial_factor: f64,
+    max_rounds: usize,
+) -> std::io::Result<StreamSummary> {
+    let metrics = world.metrics();
+    let cap = dec.min_block_extent();
+    assert!(
+        cap.is_finite() && cap > 0.0,
+        "degenerate decomposition: min block extent {cap}"
+    );
+    let (r0, auto_r) = {
+        let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+        let spacing = estimated_spacing(world, dec, local);
+        (
+            (initial_factor * spacing).min(cap),
+            (AUTO_GHOST_FACTOR * spacing).min(cap),
+        )
+    };
+
+    let mut writer = crate::io::TessStreamWriter::create(world, path)?;
+    let mut exchanger = AdaptiveGhostExchange::new(dec, asn);
+    let mut ghosts: BTreeMap<u64, Vec<GhostParticle>> =
+        local.keys().map(|&g| (g, Vec::new())).collect();
+    let mut results: BTreeMap<u64, (MeshBlock, TessStats)> = BTreeMap::new();
+    let mut sessions: BTreeMap<u64, BlockSession> = BTreeMap::new();
+    let mut radius: BTreeMap<u64, f64> = (0..dec.nblocks() as u64).map(|g| (g, 0.0)).collect();
+    let mut request: BTreeMap<u64, f64> = (0..dec.nblocks() as u64).map(|g| (g, r0)).collect();
+    let mut rounds = 0u64;
+    let mut stats = TessStats::default();
+
+    loop {
+        let round = rounds as usize;
+        let mut fresh_ghosts: BTreeMap<u64, Vec<GhostParticle>> = BTreeMap::new();
+        {
+            let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+            let _round_span = metrics.phase(format!("ghost_round:{round}"));
+            metrics.mark("ghost_round", rounds);
+            let fresh = exchanger.round(world, local, &request, round);
+            for (gid, items) in fresh {
+                let v = ghosts.get_mut(&gid).expect("owned block");
+                v.extend(items.iter().copied());
+                sort_ghosts(v);
+                fresh_ghosts.insert(gid, items);
+            }
+            for (&g, &r) in &request {
+                if local.contains_key(&g) {
+                    metrics.observe(HIST_GHOST_REQUEST_RADIUS, r);
+                }
+                radius.insert(g, r);
+            }
+        }
+        rounds += 1;
+
+        let mut needed: BTreeMap<u64, f64> = BTreeMap::new();
+        {
+            let _span = metrics.phase(PHASE_VORONOI);
+            for (&gid, own) in local {
+                if !request.contains_key(&gid) {
+                    continue;
+                }
+                let r = radius[&gid];
+                let g = &ghosts[&gid];
+                let (block, s, cert) = match sessions.get_mut(&gid) {
+                    Some(session) if params.incremental_retess => {
+                        let fresh = fresh_ghosts.get(&gid).map_or(&[][..], Vec::as_slice);
+                        session.retessellate(own, g, fresh, r, params)
+                    }
+                    _ => {
+                        let (block, mut s, cert, session) =
+                            tessellate_block_session(gid, dec.block_bounds(gid), own, g, r, params);
+                        if let Some((_, prev)) = results.get(&gid) {
+                            s.candidates_tested =
+                                s.candidates_tested.saturating_add(prev.candidates_tested);
+                            s.cells_computed = s.cells_computed.saturating_add(prev.cells_computed);
+                            s.cells_reused = s.cells_reused.saturating_add(prev.cells_reused);
+                        }
+                        sessions.insert(gid, session);
+                        (block, s, cert)
+                    }
+                };
+                if let Some(session) = sessions.get_mut(&gid) {
+                    record_block_obs(&metrics, gid, session.take_obs());
+                }
+                results.insert(gid, (block, s));
+                if cert.uncertified > 0 && cert.needed_ghost > 0.0 {
+                    needed.insert(gid, cert.needed_ghost);
+                }
+            }
+            drain_pool(&metrics);
+        }
+
+        let my_requests: Vec<(u64, f64)> = {
+            let _span = metrics.phase(PHASE_GHOST_EXCHANGE);
+            let reqs: Vec<(u64, f64)> = needed
+                .iter()
+                .filter_map(|(&gid, &need)| {
+                    let cur = radius[&gid];
+                    if cur >= cap - 1e-12 {
+                        return None;
+                    }
+                    let next = if round < max_rounds {
+                        need.max(cur * 1.25).min(cur * 2.0).min(cap)
+                    } else if round == max_rounds {
+                        auto_r.max(need).min(cap)
+                    } else {
+                        return None;
+                    };
+                    (next > cur + 1e-12).then_some((gid, next))
+                })
+                .collect();
+            let gathered: Vec<Vec<(u64, f64)>> = world.all_gather(&reqs);
+            request = gathered.into_iter().flatten().collect();
+            reqs
+        };
+        let _ = my_requests;
+
+        // Every owned block the next round does not re-request is final:
+        // stream it out in this round's wave and release its memory. The
+        // wave runs even when the loop is about to break so each rank
+        // issues identical collective calls.
+        let finished: Vec<u64> = results
+            .keys()
+            .copied()
+            .filter(|g| !request.contains_key(g))
+            .collect();
+        let mut wave: Vec<(u64, MeshBlock)> = Vec::with_capacity(finished.len());
+        for gid in &finished {
+            let (block, s) = results.remove(gid).expect("finished block");
+            stats = stats.merge(s);
+            wave.push((*gid, block));
+            sessions.remove(gid);
+            ghosts.remove(gid);
+        }
+        let wave_refs: Vec<(u64, &MeshBlock)> = wave.iter().map(|(g, b)| (*g, b)).collect();
+        writer.write_wave(world, &wave_refs)?;
+        metrics.sample_mem_counters();
+        drop(wave);
+
+        if request.is_empty() {
+            break;
+        }
+    }
+
+    let summary = writer.finish(world)?;
+    stats.ghost_rounds = rounds;
+    metrics.observe(HIST_RANK_CELLS, stats.cells as f64);
+    Ok(StreamSummary {
+        stats,
+        ghost_used: radius.values().fold(0.0f64, |a, &b| a.max(b)),
+        kernel: params.kernel,
+        blocks_written: summary.blocks,
+        payload_bytes: summary.payload_bytes,
+        file_bytes: summary.file_bytes,
+    })
+}
+
 /// Standalone (serial) mode: one block covering the whole `domain`.
 /// Periodic dimensions receive mirrored ghost copies of the block's own
 /// particles, exactly as the distributed path would.

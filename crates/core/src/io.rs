@@ -20,10 +20,66 @@ pub fn write_tessellation(
     path: &Path,
     blocks: &BTreeMap<u64, MeshBlock>,
 ) -> io::Result<u64> {
-    let _span = world.metrics().phase(crate::driver::PHASE_OUTPUT);
-    let payloads: Vec<(u64, Vec<u8>)> =
-        blocks.iter().map(|(&gid, b)| (gid, b.to_bytes())).collect();
-    diy::io::write_blocks(world, path, &payloads)
+    let mut w = TessStreamWriter::create(world, path)?;
+    let refs: Vec<(u64, &MeshBlock)> = blocks.iter().map(|(&gid, b)| (gid, b)).collect();
+    w.write_wave(world, &refs)?;
+    Ok(w.finish(world)?.file_bytes)
+}
+
+/// Collective block-streamed mesh writer: serialize and write blocks in
+/// waves as they finish instead of accumulating the merged mesh (see
+/// [`crate::tessellate_streaming`]). Serialization and file traffic are
+/// recorded under the [`crate::driver::PHASE_OUTPUT`] span.
+pub struct TessStreamWriter {
+    inner: diy::io::BlockFileWriter,
+}
+
+/// Totals reported by [`TessStreamWriter::finish`] — global, identical on
+/// every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamWriteSummary {
+    /// Blocks in the file.
+    pub blocks: u64,
+    /// Mesh payload bytes (excluding header/footer/trailer framing).
+    pub payload_bytes: u64,
+    /// Total file bytes including framing.
+    pub file_bytes: u64,
+}
+
+impl TessStreamWriter {
+    /// Create the file (collective).
+    pub fn create(world: &mut World, path: &Path) -> io::Result<TessStreamWriter> {
+        let _span = world.metrics().phase(crate::driver::PHASE_OUTPUT);
+        Ok(TessStreamWriter {
+            inner: diy::io::BlockFileWriter::create(world, path)?,
+        })
+    }
+
+    /// Serialize and write one wave of finished blocks (collective; ranks
+    /// with nothing ready this wave pass an empty slice).
+    pub fn write_wave(
+        &mut self,
+        world: &mut World,
+        blocks: &[(u64, &MeshBlock)],
+    ) -> io::Result<()> {
+        let _span = world.metrics().phase(crate::driver::PHASE_OUTPUT);
+        let payloads: Vec<(u64, Vec<u8>)> =
+            blocks.iter().map(|&(gid, b)| (gid, b.to_bytes())).collect();
+        self.inner.write_wave(world, &payloads)
+    }
+
+    /// Write the index and return global totals (collective).
+    pub fn finish(self, world: &mut World) -> io::Result<StreamWriteSummary> {
+        let _span = world.metrics().phase(crate::driver::PHASE_OUTPUT);
+        let local = (self.inner.local_blocks(), self.inner.local_payload_bytes());
+        let file_bytes = self.inner.finish(world)?;
+        let (blocks, payload_bytes) = world.all_reduce(local, |a, b| (a.0 + b.0, a.1 + b.1));
+        Ok(StreamWriteSummary {
+            blocks,
+            payload_bytes,
+            file_bytes,
+        })
+    }
 }
 
 /// Serial read of every block.

@@ -42,8 +42,10 @@ pub mod stats;
 
 pub use delaunay_mode::{delaunay_block, DelaunayBlock};
 pub use driver::{
-    tessellate, tessellate_serial, TessResult, PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI,
+    tessellate, tessellate_serial, tessellate_streaming, StreamSummary, TessResult,
+    PHASE_GHOST_EXCHANGE, PHASE_OUTPUT, PHASE_VORONOI,
 };
+pub use io::{StreamWriteSummary, TessStreamWriter};
 pub use model::{Cell, Face, MeshBlock, NO_NEIGHBOR};
 pub use params::{GhostSpec, HullMode, KernelMode, TessParams, AUTO_GHOST_FACTOR};
 pub use service::{

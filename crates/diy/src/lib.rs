@@ -24,10 +24,17 @@ pub mod exchange;
 pub mod hist;
 pub mod io;
 pub mod log;
+pub mod mem;
 pub mod metrics;
 pub mod reduce;
 pub mod timing;
 pub mod trace;
+
+/// Every binary linking `diy` counts allocations through [`mem`]; the
+/// wrapper forwards to the system allocator and keeps a few relaxed
+/// atomics (gated under 5% overhead by the `bench_memory` CI stage).
+#[global_allocator]
+static GLOBAL_ALLOCATOR: mem::CountingAlloc = mem::CountingAlloc;
 
 pub use codec::{Decode, Encode, Reader};
 pub use comm::{ResidentRuntime, Runtime, World};

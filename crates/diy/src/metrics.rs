@@ -311,7 +311,20 @@ impl MetricsHandle {
             recv_by_tag: m.recv_by_tag.clone(),
             hists,
             slow: m.slow.clone(),
+            mem: MemStats::sample(),
         }
+    }
+
+    /// Sample the process memory gauges into the flight recorder as
+    /// counter tracks (`mem.live_bytes`, `mem.peak_live_bytes`). No-op
+    /// below full trace mode, like every counter.
+    pub fn sample_mem_counters(&self) {
+        if trace_mode() != TraceMode::Full {
+            return;
+        }
+        let a = crate::mem::stats();
+        self.counter("mem.live_bytes", a.live_bytes);
+        self.counter("mem.peak_live_bytes", a.peak_live_bytes);
     }
 }
 
@@ -408,6 +421,81 @@ impl Decode for NamedHist {
     }
 }
 
+/// Process-wide memory accounting sampled into a rank snapshot: the
+/// [`crate::mem`] allocator counters plus Linux RSS. Every rank of a
+/// threads-as-ranks runtime shares one process, so these are *process*
+/// values and merge across ranks with an elementwise max, never a sum.
+/// All fields are timing-like (non-deterministic run to run), so
+/// [`RunReport::normalized`] zeroes them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Allocations since process start.
+    pub alloc_count: u64,
+    /// Cumulative bytes allocated since process start.
+    pub alloc_bytes_total: u64,
+    /// Bytes live at sample time.
+    pub live_bytes: u64,
+    /// Live-byte high-water mark (resettable; see [`crate::mem::reset_peak`]).
+    pub peak_live_bytes: u64,
+    /// Resident set size (kB) at sample time; 0 off Linux.
+    pub rss_kb: u64,
+    /// Process-lifetime resident-set high-water mark (kB); 0 off Linux.
+    pub peak_rss_kb: u64,
+}
+
+impl MemStats {
+    /// Sample the process-wide counters now.
+    pub fn sample() -> MemStats {
+        let a = crate::mem::stats();
+        let (rss_kb, peak_rss_kb) = crate::mem::proc_status_kb();
+        MemStats {
+            alloc_count: a.alloc_count,
+            alloc_bytes_total: a.alloc_bytes_total,
+            live_bytes: a.live_bytes,
+            peak_live_bytes: a.peak_live_bytes,
+            rss_kb,
+            peak_rss_kb,
+        }
+    }
+
+    /// Elementwise max — associative and commutative, and the right
+    /// reduction for process-global gauges sampled once per rank.
+    pub fn merge(self, o: MemStats) -> MemStats {
+        MemStats {
+            alloc_count: self.alloc_count.max(o.alloc_count),
+            alloc_bytes_total: self.alloc_bytes_total.max(o.alloc_bytes_total),
+            live_bytes: self.live_bytes.max(o.live_bytes),
+            peak_live_bytes: self.peak_live_bytes.max(o.peak_live_bytes),
+            rss_kb: self.rss_kb.max(o.rss_kb),
+            peak_rss_kb: self.peak_rss_kb.max(o.peak_rss_kb),
+        }
+    }
+}
+
+impl Encode for MemStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.alloc_count.encode(buf);
+        self.alloc_bytes_total.encode(buf);
+        self.live_bytes.encode(buf);
+        self.peak_live_bytes.encode(buf);
+        self.rss_kb.encode(buf);
+        self.peak_rss_kb.encode(buf);
+    }
+}
+
+impl Decode for MemStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MemStats {
+            alloc_count: u64::decode(r)?,
+            alloc_bytes_total: u64::decode(r)?,
+            live_bytes: u64::decode(r)?,
+            peak_live_bytes: u64::decode(r)?,
+            rss_kb: u64::decode(r)?,
+            peak_rss_kb: u64::decode(r)?,
+        })
+    }
+}
+
 /// One rank's metrics, detached from the live handle.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankMetrics {
@@ -420,6 +508,8 @@ pub struct RankMetrics {
     pub hists: BTreeMap<String, LogHistogram>,
     /// Slowest cells, descending, ≤ [`TOP_SLOW_CELLS`].
     pub slow: Vec<SlowCell>,
+    /// Process-wide memory accounting at snapshot time.
+    pub mem: MemStats,
 }
 
 impl RankMetrics {
@@ -493,6 +583,8 @@ pub struct RunReport {
     pub hists: Vec<NamedHist>,
     /// Global top-[`TOP_SLOW_CELLS`] slowest cells, descending.
     pub slow_cells: Vec<SlowCell>,
+    /// Process-wide memory accounting, max-merged across ranks.
+    pub memory: MemStats,
 }
 
 impl RunReport {
@@ -542,6 +634,7 @@ impl RunReport {
                 })
                 .collect(),
             slow_cells: m.slow.clone(),
+            memory: m.mem,
         }
     }
 
@@ -604,6 +697,7 @@ impl RunReport {
                 .map(|(name, hist)| NamedHist { name, hist })
                 .collect(),
             slow_cells,
+            memory: self.memory.merge(o.memory),
         }
     }
 
@@ -690,6 +784,8 @@ impl RunReport {
         }
         r.hists.retain(|h| !h.name.ends_with("_ns"));
         r.slow_cells.clear();
+        // memory gauges are as non-deterministic as CPU time
+        r.memory = MemStats::default();
         r
     }
 
@@ -756,6 +852,18 @@ impl RunReport {
         out.push_str(&format!(
             "],\"totals\":{{\"msgs_sent\":{ms},\"bytes_sent\":{bs},\
              \"msgs_recv\":{mr},\"bytes_recv\":{br}}},"
+        ));
+        let m = &self.memory;
+        out.push_str(&format!(
+            "\"memory\":{{\"alloc_count\":{},\"alloc_bytes_total\":{},\
+             \"live_bytes\":{},\"peak_live_bytes\":{},\
+             \"rss_kb\":{},\"peak_rss_kb\":{}}},",
+            m.alloc_count,
+            m.alloc_bytes_total,
+            m.live_bytes,
+            m.peak_live_bytes,
+            m.rss_kb,
+            m.peak_rss_kb,
         ));
         out.push_str(&format!("\"conserved\":{}}}", self.is_conserved()));
         out
@@ -859,6 +967,7 @@ impl Encode for RunReport {
         self.tags.encode(buf);
         self.hists.encode(buf);
         self.slow_cells.encode(buf);
+        self.memory.encode(buf);
     }
 }
 
@@ -870,6 +979,7 @@ impl Decode for RunReport {
             tags: Vec::<TagTraffic>::decode(r)?,
             hists: Vec::<NamedHist>::decode(r)?,
             slow_cells: Vec::<SlowCell>::decode(r)?,
+            memory: MemStats::decode(r)?,
         })
     }
 }
@@ -982,6 +1092,32 @@ mod tests {
         assert_eq!(p.msgs_sent, 3);
         assert_eq!(p.msgs_recv, 3);
         assert!((p.imbalance(2) - 5.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_is_sampled_max_merged_and_stripped_by_normalized() {
+        let m = MetricsHandle::new();
+        let s = m.snapshot();
+        // the allocator wrapper is live in every test binary
+        assert!(s.mem.alloc_count > 0);
+        assert!(s.mem.alloc_bytes_total > 0);
+        #[cfg(target_os = "linux")]
+        assert!(s.mem.peak_rss_kb >= s.mem.rss_kb);
+
+        let mut a = RankMetrics::default();
+        a.mem.peak_live_bytes = 100;
+        a.mem.rss_kb = 7;
+        let mut b = RankMetrics::default();
+        b.mem.peak_live_bytes = 40;
+        b.mem.rss_kb = 90;
+        let r = RunReport::from_rank(&a).merge(RunReport::from_rank(&b));
+        assert_eq!(r.memory.peak_live_bytes, 100);
+        assert_eq!(r.memory.rss_kb, 90);
+        // survives the codec, renders into JSON, and normalizes away
+        let back = RunReport::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back.memory, r.memory);
+        assert!(r.to_json().contains("\"memory\":{\"alloc_count\":0"));
+        assert_eq!(r.normalized().memory, MemStats::default());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use diy::codec::{Decode, Encode};
 use diy::hist::LogHistogram;
-use diy::metrics::{NamedHist, PhaseReport, RunReport, SlowCell, TagTraffic};
+use diy::metrics::{MemStats, NamedHist, PhaseReport, RunReport, SlowCell, TagTraffic};
 use geometry::{Aabb, Vec3};
 use proptest::prelude::*;
 use tess::stats::TessStats;
@@ -62,8 +62,16 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
             (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
             0..8,
         ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
-        .prop_map(|(nranks, phases, tags, hists, slow)| RunReport {
+        .prop_map(|(nranks, phases, tags, hists, slow, mem)| RunReport {
             nranks,
             phases: phases
                 .into_iter()
@@ -107,6 +115,14 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
                     rank,
                 })
                 .collect(),
+            memory: MemStats {
+                alloc_count: mem.0,
+                alloc_bytes_total: mem.1,
+                live_bytes: mem.2,
+                peak_live_bytes: mem.3,
+                rss_kb: mem.4,
+                peak_rss_kb: mem.5,
+            },
         })
 }
 

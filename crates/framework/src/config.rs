@@ -31,6 +31,43 @@ pub struct ToolSchedule {
     /// `auto:<factor>`, `adaptive`, `adaptive:<factor>[:<rounds>]`, or an
     /// explicit radius in domain units. `None` keeps the tool's default.
     pub ghost: Option<GhostDirective>,
+    /// Output-mode directive for tessellating tools: `merged` (accumulate
+    /// the whole rank's mesh, then write) or `stream[:<path>]`
+    /// (bounded-memory: tessellate, write, and drop block by block).
+    /// `None` keeps the tool's default (merged).
+    pub output: Option<OutputDirective>,
+}
+
+/// Parsed `output=` option of a `tool` line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputDirective {
+    /// Accumulate the merged mesh in memory, then write it collectively.
+    Merged,
+    /// Bounded-memory streaming via `tess::tessellate_streaming`; the
+    /// optional path overrides the tool's default `tess_step{N}.stream.bin`
+    /// file name inside `output_dir` (a `{step}` placeholder, when present,
+    /// is replaced by the step number so repeated firings don't clobber).
+    Stream { path: Option<String> },
+}
+
+impl OutputDirective {
+    fn parse(value: &str) -> Result<Self, String> {
+        match value.split_once(':') {
+            None => match value {
+                "merged" => Ok(OutputDirective::Merged),
+                "stream" => Ok(OutputDirective::Stream { path: None }),
+                _ => Err(format!(
+                    "output must be merged|stream[:<path>], got '{value}'"
+                )),
+            },
+            Some(("stream", path)) if !path.is_empty() => Ok(OutputDirective::Stream {
+                path: Some(path.to_string()),
+            }),
+            Some(_) => Err(format!(
+                "output must be merged|stream[:<path>], got '{value}'"
+            )),
+        }
+    }
 }
 
 /// Parsed `ghost=` option of a `tool` line.
@@ -202,6 +239,9 @@ impl FrameworkConfig {
                             "ghost" => {
                                 sched.ghost = Some(GhostDirective::parse(value).map_err(err)?)
                             }
+                            "output" => {
+                                sched.output = Some(OutputDirective::parse(value).map_err(err)?)
+                            }
                             _ => return Err(err(format!("unknown option '{key}'"))),
                         }
                     }
@@ -310,6 +350,7 @@ mod tests {
             at: [7].into_iter().collect(),
             last: true,
             ghost: None,
+            output: None,
         };
         assert!(!s.fires_at(0, 100), "step 0 never fires via every");
         assert!(s.fires_at(10, 100));
@@ -340,6 +381,9 @@ mod tests {
             "tool x ghost=adaptive:2.5:x",
             "tool x ghost=adaptive:1:2:3",
             "tool x ghost=3.0:7",
+            "tool x output=bogus",
+            "tool x output=stream:",
+            "tool x output=merged:path",
             "trace",
             "trace verbose",
             "trace=bogus",
@@ -390,6 +434,27 @@ mod tests {
             })
         );
         assert_eq!(g("g"), None);
+    }
+
+    #[test]
+    fn parses_output_directives() {
+        let cfg = FrameworkConfig::parse(
+            "tool a every=1 output=merged\n\
+             tool b every=1 output=stream\n\
+             tool c every=1 output=stream:mesh_{step}.bin\n\
+             tool d every=1\n",
+        )
+        .unwrap();
+        let o = |n: &str| cfg.schedule_for(n).unwrap().output.clone();
+        assert_eq!(o("a"), Some(OutputDirective::Merged));
+        assert_eq!(o("b"), Some(OutputDirective::Stream { path: None }));
+        assert_eq!(
+            o("c"),
+            Some(OutputDirective::Stream {
+                path: Some("mesh_{step}.bin".into())
+            })
+        );
+        assert_eq!(o("d"), None);
     }
 
     #[test]

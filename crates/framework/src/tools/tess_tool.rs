@@ -5,14 +5,18 @@ use std::collections::BTreeMap;
 
 use diy::comm::World;
 use geometry::Vec3;
-use tess::{tessellate, GhostSpec, TessParams, AUTO_GHOST_FACTOR};
+use tess::{tessellate, tessellate_streaming, GhostSpec, TessParams, AUTO_GHOST_FACTOR};
 
-use crate::config::{GhostDirective, ToolSchedule};
+use crate::config::{GhostDirective, OutputDirective, ToolSchedule};
 use crate::tool::{AnalysisTool, ToolContext, ToolReport};
 
-/// Runs `tess` at scheduled steps and writes `tess_step{N}.bin`.
+/// Runs `tess` at scheduled steps and writes `tess_step{N}.bin` (merged)
+/// or `tess_step{N}.stream.bin` (bounded-memory streaming).
 pub struct TessTool {
     pub params: TessParams,
+    /// `output=stream:<path>` file-name override (inside `output_dir`; a
+    /// `{step}` placeholder is replaced with the step number).
+    pub stream_path: Option<String>,
     /// Global stats per invocation (step, stats, ghost used).
     pub history: Vec<(usize, tess::TessStats, f64)>,
 }
@@ -21,18 +25,32 @@ impl TessTool {
     pub fn new(params: TessParams) -> Self {
         TessTool {
             params,
+            stream_path: None,
             history: Vec::new(),
         }
     }
 
-    /// `new`, with the schedule's `ghost=` directive (if any) overriding
-    /// `params.ghost`.
+    /// `new`, with the schedule's `ghost=` and `output=` directives (if
+    /// any) overriding `params.ghost` / `params.streaming`.
     pub fn from_schedule(params: TessParams, sched: &ToolSchedule) -> Self {
         let mut params = params;
         if let Some(d) = sched.ghost {
             params.ghost = ghost_spec_from_directive(d);
         }
-        TessTool::new(params)
+        let mut stream_path = None;
+        match &sched.output {
+            Some(OutputDirective::Merged) => params.streaming = false,
+            Some(OutputDirective::Stream { path }) => {
+                params.streaming = true;
+                stream_path = path.clone();
+            }
+            None => {}
+        }
+        TessTool {
+            params,
+            stream_path,
+            history: Vec::new(),
+        }
     }
 }
 
@@ -75,6 +93,9 @@ impl AnalysisTool for TessTool {
             .iter()
             .map(|(&gid, ps)| (gid, ps.iter().map(|p| (p.id, p.pos)).collect()))
             .collect();
+        if self.params.streaming {
+            return self.run_streaming(world, ctx, &local);
+        }
         let result = tessellate(world, &sim.dec, &sim.asn, &local, &self.params);
         let stats = tess::driver::global_stats(world, result.stats);
 
@@ -128,6 +149,49 @@ impl AnalysisTool for TessTool {
     }
 }
 
+impl TessTool {
+    /// Bounded-memory path: tessellate, write, and drop block by block via
+    /// [`tess::tessellate_streaming`]; the merged mesh never exists in
+    /// memory, but the file content is bit-identical to the merged mode's.
+    fn run_streaming(
+        &mut self,
+        world: &mut World,
+        ctx: &ToolContext<'_>,
+        local: &BTreeMap<u64, Vec<(u64, Vec3)>>,
+    ) -> ToolReport {
+        let sim = ctx.sim;
+        std::fs::create_dir_all(&ctx.output_dir).ok();
+        let name = match &self.stream_path {
+            Some(p) => p.replace("{step}", &ctx.step.to_string()),
+            None => format!("tess_step{}.stream.bin", ctx.step),
+        };
+        let path = ctx.output_dir.join(name);
+        let s = tessellate_streaming(world, &sim.dec, &sim.asn, local, &self.params, &path)
+            .expect("streaming tessellation write");
+        let stats = tess::driver::global_stats(world, s.stats);
+        self.history.push((ctx.step, stats, s.ghost_used));
+        let summary = format!(
+            "step {}: streamed {} cells in {} blocks ({} incomplete dropped, ghost {:.2} in {} \
+             round{}), {} payload bytes / {} file bytes",
+            ctx.step,
+            stats.cells,
+            s.blocks_written,
+            stats.incomplete,
+            s.ghost_used,
+            stats.ghost_rounds,
+            if stats.ghost_rounds == 1 { "" } else { "s" },
+            s.payload_bytes,
+            s.file_bytes
+        );
+        ToolReport {
+            tool: self.name().to_string(),
+            step: ctx.step,
+            summary,
+            artifacts: vec![path],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +219,30 @@ mod tests {
         // no directive → the tool's own params win
         let p = TessTool::from_schedule(base, cfg.schedule_for("plain").unwrap());
         assert_eq!(p.params.ghost, GhostSpec::Explicit(2.0));
+    }
+
+    #[test]
+    fn schedule_output_selects_streaming() {
+        let cfg = FrameworkConfig::parse(
+            "tool a every=1 output=stream\n\
+             tool b every=1 output=stream:mesh_{step}.bin\n\
+             tool c every=1 output=merged\n\
+             tool d every=1\n",
+        )
+        .unwrap();
+        let base = TessParams::default();
+        let a = TessTool::from_schedule(base, cfg.schedule_for("a").unwrap());
+        assert!(a.params.streaming);
+        assert_eq!(a.stream_path, None);
+        let b = TessTool::from_schedule(base, cfg.schedule_for("b").unwrap());
+        assert!(b.params.streaming);
+        assert_eq!(b.stream_path.as_deref(), Some("mesh_{step}.bin"));
+        // explicit merged overrides even streaming-enabled params
+        let c = TessTool::from_schedule(base.with_streaming(), cfg.schedule_for("c").unwrap());
+        assert!(!c.params.streaming);
+        // no directive → the tool's own params win
+        let d = TessTool::from_schedule(base.with_streaming(), cfg.schedule_for("d").unwrap());
+        assert!(d.params.streaming);
     }
 
     #[test]
