@@ -17,10 +17,16 @@ set -eu
 # ---- stage timing ----------------------------------------------------------
 TIMING_LOG="${TMPDIR:-/tmp}/ci-stage-times.$$"
 : > "$TIMING_LOG"
+CUR_STAGE=""
+CUR_START=0
 trap 'print_summary' EXIT
 
 print_summary() {
     status=$?
+    # A stage that died mid-flight (errexit) never logged its row; add it.
+    if [ "$status" -ne 0 ] && [ -n "$CUR_STAGE" ]; then
+        printf '%s\t%s\t%s\n' "$CUR_STAGE" "$(($(date +%s) - CUR_START))" "FAILED" >> "$TIMING_LOG"
+    fi
     if [ -s "$TIMING_LOG" ]; then
         echo
         echo "==> stage timing summary"
@@ -31,15 +37,16 @@ print_summary() {
 }
 
 run_stage() {
-    name="$1"
-    start=$(date +%s)
-    if "stage_$name"; then result=ok; else
-        end=$(date +%s)
-        printf '%s\t%s\t%s\n' "$name" "$((end - start))" "FAILED" >> "$TIMING_LOG"
-        exit 1
-    fi
-    end=$(date +%s)
-    printf '%s\t%s\t%s\n' "$name" "$((end - start))" "$result" >> "$TIMING_LOG"
+    CUR_STAGE="$1"
+    CUR_START=$(date +%s)
+    # The stage must NOT run as an `if`/`&&`/`||` condition: a tested
+    # context suppresses errexit inside the whole function body, so in a
+    # multi-command stage only the last command's status would be checked.
+    # Called plainly, the first failing command aborts the script and the
+    # EXIT trap records the FAILED row for the summary table.
+    "stage_$CUR_STAGE"
+    printf '%s\t%s\t%s\n' "$CUR_STAGE" "$(($(date +%s) - CUR_START))" "ok" >> "$TIMING_LOG"
+    CUR_STAGE=""
 }
 
 # ---- stages ----------------------------------------------------------------
@@ -69,8 +76,8 @@ stage_kernel() {
     # re-tessellation, explicit+adaptive ghost modes, and kept-incomplete
     # configurations — and the streamed kernel must clip measurably fewer
     # candidates for the identical mesh.
-    cargo test --release -q -p meshing-universe --test kernel_equivalence
-    cargo test --release -q -p meshing-universe --test adversarial_corpus
+    cargo test --release -q -p meshing-universe --test kernel_equivalence &&
+        cargo test --release -q -p meshing-universe --test adversarial_corpus
 }
 
 stage_perf() {
@@ -100,20 +107,19 @@ stage_service() {
     # box/region extraction vs full-cell filters with 1e-9 volume conservation,
     # raced queries matching exactly one epoch's oracle mesh, and writer-epoch
     # × reader-thread stress with exactly-once request-id accounting.
-    cargo test --release -q -p meshing-universe --test service_oracle
-    cargo test --release -q -p meshing-universe --test service_property
-    cargo test --release -q -p meshing-universe --test service_stress
-
-    echo "==> [service] 4-rank mixed query/update smoke, bit-identity + p99 bound"
+    cargo test --release -q -p meshing-universe --test service_oracle &&
+        cargo test --release -q -p meshing-universe --test service_property &&
+        cargo test --release -q -p meshing-universe --test service_stress &&
+        echo "==> [service] 4-rank mixed query/update smoke, bit-identity + p99 bound" &&
     # bench_service hammers the service from 4 client threads while a particle
     # delta lands mid-flight, then gates on (1) the post-update published mesh
     # being bit-identical to a from-scratch recompute of the final particle
     # set, (2) every response carrying a valid epoch, (3) exactly-once
     # accounting, and (4) client-observed p99 latency under SERVICE_P99_MS
     # (default 500 ms). Writes the `service` section of BENCH_TESS.json.
-    TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_service
-    # End-to-end smoke of the tess-serve binary's scripted query/update loop.
-    cargo run --release -q -p tess --bin tess-serve -- --box 8 --n 200 --demo
+        TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_service &&
+        # End-to-end smoke of the tess-serve binary's scripted query/update loop.
+        cargo run --release -q -p tess --bin tess-serve -- --box 8 --n 200 --demo
 }
 
 stage_decomp() {
@@ -124,10 +130,10 @@ stage_decomp() {
     # and explicit+adaptive ghosts; (2) the rank-determinism, kernel-oracle,
     # and service-oracle suites rerun with every decomposition built as a k-d
     # tree, so all of their invariants hold on irregular block geometry too.
-    cargo test --release -q -p meshing-universe --test decomposition_equivalence
-    TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test ghost_adaptive
-    TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test kernel_equivalence
-    TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test service_oracle
+    cargo test --release -q -p meshing-universe --test decomposition_equivalence &&
+        TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test ghost_adaptive &&
+        TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test kernel_equivalence &&
+        TESS_DECOMP=kd cargo test --release -q -p meshing-universe --test service_oracle
     # Clustered-corpus A/B perf gate at 8 ranks (modeled parallel wall at
     # pool width 1): kd must hit >=1.4x cells/sec over regular with rank
     # imbalance <=1.25 (regular >=3.0) — asserted inside perf_smoke (the
@@ -145,9 +151,9 @@ stage_memory() {
     # gating on allocator peak (<0.8x), VmHWM growth, the culled
     # bytes/particle budget, and <5% allocation-accounting overhead.
     # Writes the `memory` section of BENCH_TESS.json.
-    cargo test --release -q -p meshing-universe --test streaming_output
-    cargo test --release -q -p diy --test blockfile_fuzz
-    cargo run --release -q -p bench-harness --bin bench_memory
+    cargo test --release -q -p meshing-universe --test streaming_output &&
+        cargo test --release -q -p diy --test blockfile_fuzz &&
+        cargo run --release -q -p bench-harness --bin bench_memory
 }
 
 stage_schema() {

@@ -57,24 +57,12 @@ impl Value {
     /// Compact single-line JSON rendering (used to re-splice parsed
     /// entries back into a composed document).
     pub fn render(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.chars()
-                .flat_map(|c| match c {
-                    '"' => "\\\"".chars().collect::<Vec<_>>(),
-                    '\\' => "\\\\".chars().collect(),
-                    '\n' => "\\n".chars().collect(),
-                    '\t' => "\\t".chars().collect(),
-                    '\r' => "\\r".chars().collect(),
-                    c => vec![c],
-                })
-                .collect()
-        }
         match self {
             Value::Null => "null".into(),
             Value::Bool(b) => b.to_string(),
             Value::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),
             Value::Num(n) => format!("{n}"),
-            Value::Str(s) => format!("\"{}\"", esc(s)),
+            Value::Str(s) => format!("\"{}\"", escape(s)),
             Value::Arr(items) => format!(
                 "[{}]",
                 items
@@ -87,12 +75,35 @@ impl Value {
                 "{{{}}}",
                 members
                     .iter()
-                    .map(|(k, v)| format!("\"{}\": {}", esc(k), v.render()))
+                    .map(|(k, v)| format!("\"{}\": {}", escape(k), v.render()))
                     .collect::<Vec<_>>()
                     .join(", ")
             ),
         }
     }
+}
+
+/// Escape `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and all control characters (named escapes where JSON has
+/// one, `\u00XX` otherwise). Used both by [`Value::render`] and by the
+/// hand-rolled section writers in the harness, so labels containing
+/// quotes or newlines can never produce a malformed `BENCH_TESS.json`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parse error: byte offset and message.
@@ -258,16 +269,25 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let end = self.pos + 4;
-                            let hex = self
-                                .bytes
-                                .get(self.pos..end)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let mut code = self.hex4()?;
+                            // A high surrogate pairs with an immediately
+                            // following \uDC00..\uDFFF low surrogate
+                            // (standard serializers emit non-BMP chars
+                            // this way); unpaired surrogates decode to
+                            // U+FFFD.
+                            if (0xD800..=0xDBFF).contains(&code)
+                                && self.bytes.get(self.pos..self.pos + 2) == Some(b"\\u".as_slice())
+                            {
+                                let save = self.pos;
+                                self.pos += 2;
+                                match self.hex4() {
+                                    Ok(low) if (0xDC00..=0xDFFF).contains(&low) => {
+                                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    }
+                                    _ => self.pos = save,
+                                }
+                            }
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos = end;
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -284,6 +304,19 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits of a `\u` escape; advances past them on success.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
@@ -334,6 +367,32 @@ mod tests {
         let v = parse(src).unwrap();
         assert_eq!(v.render(), src);
         assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn decodes_unicode_escapes_and_surrogate_pairs() {
+        // BMP escape, a non-BMP char as a UTF-16 surrogate pair (the form
+        // standard serializers emit), and raw UTF-8 passthrough.
+        let v = parse("\"\\u0041\\ud83d\\ude00 ok \\u00e9é\"").unwrap();
+        assert_eq!(v.as_str(), Some("A\u{1F600} ok éé"));
+        // Unpaired surrogates degrade to U+FFFD without derailing the
+        // rest of the string.
+        let lone = parse(r#""\ud83dx""#).unwrap();
+        assert_eq!(lone.as_str(), Some("\u{fffd}x"));
+        let high_then_bmp = parse(r#""\ud83dA""#).unwrap();
+        assert_eq!(high_then_bmp.as_str(), Some("\u{fffd}A"));
+        let lone_low = parse(r#""\ude00""#).unwrap();
+        assert_eq!(lone_low.as_str(), Some("\u{fffd}"));
+        // Truncated pair tail is still a parse error, not a panic.
+        assert!(parse(r#""\ud83d\u00""#).is_err());
+    }
+
+    #[test]
+    fn escape_neutralizes_hostile_strings() {
+        let hostile = "a\"b\\c\nd\te\rf\u{1}g";
+        let rendered = Value::Str(hostile.to_string()).render();
+        assert_eq!(rendered, "\"a\\\"b\\\\c\\nd\\te\\rf\\u0001g\"");
+        assert_eq!(parse(&rendered).unwrap().as_str(), Some(hostile));
     }
 
     #[test]

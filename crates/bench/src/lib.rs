@@ -375,9 +375,9 @@ pub fn tess_bench_entries_json(entries: &[TessBenchEntry]) -> String {
                 "\"ghost_rounds\": {}, \"ghost_bytes\": {}, ",
                 "\"exchange_s\": {:.6}, \"voronoi_s\": {:.6}, \"output_s\": {:.6}}}{}\n"
             ),
-            e.label,
-            e.kernel,
-            e.decomp,
+            json::escape(&e.label),
+            json::escape(&e.kernel),
+            json::escape(&e.decomp),
             e.imbalance,
             s.cells,
             e.wall_s,
@@ -442,8 +442,8 @@ pub fn service_bench_json(e: &ServiceBenchEntry) -> String {
             "\"batches\": {}, \"mean_batch\": {:.3}, \"coalesced\": {}, ",
             "\"updates\": {}, \"epochs\": {}}}"
         ),
-        e.label,
-        e.decomp,
+        json::escape(&e.label),
+        json::escape(&e.decomp),
         e.imbalance,
         e.requests,
         e.wall_s,
@@ -480,40 +480,47 @@ pub struct MemoryBenchEntry {
     pub wall_s: f64,
 }
 
+/// Render one `memory` entry as a single-line JSON object.
+fn memory_entry_json(e: &MemoryBenchEntry) -> String {
+    let bpp = if e.particles > 0 {
+        e.payload_bytes as f64 / e.particles as f64
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"label\": \"{}\", \"mode\": \"{}\", \"nranks\": {}, ",
+            "\"particles\": {}, \"cells\": {}, ",
+            "\"peak_live_bytes\": {}, \"peak_rss_kb\": {}, ",
+            "\"payload_bytes\": {}, \"file_bytes\": {}, ",
+            "\"bytes_per_particle\": {:.3}, \"wall_s\": {:.6}}}"
+        ),
+        json::escape(&e.label),
+        json::escape(&e.mode),
+        e.nranks,
+        e.particles,
+        e.cells,
+        e.peak_live_bytes,
+        e.peak_rss_kb,
+        e.payload_bytes,
+        e.file_bytes,
+        bpp,
+        e.wall_s,
+    )
+}
+
+/// Compose pre-rendered single-line entry objects into the `memory`
+/// section array (the two-space indent matches `compose_bench_doc`).
+fn memory_section_json(rendered: &[String]) -> String {
+    if rendered.is_empty() {
+        return "[]".to_string();
+    }
+    format!("[\n    {}\n  ]", rendered.join(",\n    "))
+}
+
 /// Render the `memory` section array for `BENCH_TESS.json`.
 pub fn memory_bench_json(entries: &[MemoryBenchEntry]) -> String {
-    let mut out = String::from("[\n");
-    for (i, e) in entries.iter().enumerate() {
-        let bpp = if e.particles > 0 {
-            e.payload_bytes as f64 / e.particles as f64
-        } else {
-            0.0
-        };
-        let sep = if i + 1 == entries.len() { "" } else { "," };
-        out.push_str(&format!(
-            concat!(
-                "    {{\"label\": \"{}\", \"mode\": \"{}\", \"nranks\": {}, ",
-                "\"particles\": {}, \"cells\": {}, ",
-                "\"peak_live_bytes\": {}, \"peak_rss_kb\": {}, ",
-                "\"payload_bytes\": {}, \"file_bytes\": {}, ",
-                "\"bytes_per_particle\": {:.3}, \"wall_s\": {:.6}}}{}\n"
-            ),
-            e.label,
-            e.mode,
-            e.nranks,
-            e.particles,
-            e.cells,
-            e.peak_live_bytes,
-            e.peak_rss_kb,
-            e.payload_bytes,
-            e.file_bytes,
-            bpp,
-            e.wall_s,
-            sep,
-        ));
-    }
-    out.push_str("  ]");
-    out
+    memory_section_json(&entries.iter().map(memory_entry_json).collect::<Vec<_>>())
 }
 
 /// Write the `memory` section of `BENCH_TESS.json` (bench output dir and
@@ -547,11 +554,9 @@ pub fn write_bench_memory_json(
             })
             .map(json::Value::render)
             .collect();
-        let mut memory = memory_bench_json(entries);
-        if !kept.is_empty() {
-            let spliced: String = kept.iter().map(|e| format!(",\n    {e}")).collect();
-            memory = memory.replace("\n  ]", &format!("{spliced}\n  ]"));
-        }
+        let mut rendered: Vec<String> = entries.iter().map(memory_entry_json).collect();
+        rendered.extend(kept);
+        let memory = memory_section_json(&rendered);
         let doc = compose_bench_doc(entries_raw.as_deref(), service.as_deref(), Some(&memory));
         if std::fs::write(&path, doc).is_ok() {
             written.push(path);
@@ -803,6 +808,45 @@ mod tests {
         );
         assert_eq!(extract_json_section("{}", "entries"), None);
         assert_eq!(extract_json_section("", "service"), None);
+    }
+
+    #[test]
+    fn memory_section_merge_shapes_stay_valid_json() {
+        // The write path merges freshly rendered entries with kept foreign
+        // ones; every combination — including zero new entries, the shape
+        // that used to splice a leading comma — must stay parseable.
+        let kept = json::parse(r#"{"label": "fig10_a", "mode": "stream"}"#)
+            .unwrap()
+            .render();
+        let fresh = memory_entry_json(&MemoryBenchEntry {
+            label: "memgate \"odd\"\nlabel".into(),
+            mode: "accumulate".into(),
+            nranks: 1,
+            particles: 10,
+            cells: 9,
+            peak_live_bytes: 1,
+            peak_rss_kb: 1,
+            payload_bytes: 1000,
+            file_bytes: 1100,
+            wall_s: 0.1,
+        });
+        for rendered in [
+            vec![],
+            vec![kept.clone()],
+            vec![fresh.clone()],
+            vec![fresh.clone(), kept.clone()],
+        ] {
+            let section = memory_section_json(&rendered);
+            let v = json::parse(&section).expect("merged memory section parses");
+            assert_eq!(v.as_arr().unwrap().len(), rendered.len());
+        }
+        assert_eq!(memory_bench_json(&[]), "[]");
+        // The hostile label survives a parse round-trip intact.
+        let v = json::parse(&fresh).unwrap();
+        assert_eq!(
+            v.get("label").and_then(|l| l.as_str()),
+            Some("memgate \"odd\"\nlabel")
+        );
     }
 
     #[test]
