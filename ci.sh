@@ -7,8 +7,8 @@
 #   ./ci.sh quick      build + test + fmt + clippy (no release suites)
 #   ./ci.sh <stage>..  run the named stage(s) only, e.g. ./ci.sh memory schema
 #
-# Stages: build test ghost kernel perf trace service decomp memory schema
-#         fmt clippy
+# Stages: build test ghost kernel perf trace service decomp memory obs
+#         schema fmt clippy
 #
 # Everything runs offline: external dependencies resolve to the vendored
 # shims under crates/shims/ (see crates/shims/README.md).
@@ -156,12 +156,29 @@ stage_memory() {
         cargo run --release -q -p bench-harness --bin bench_memory
 }
 
+stage_obs() {
+    echo "==> [obs] telemetry neutrality/overhead/round-trip + history trend gate"
+    # (1) unit + integration suites for the metric registry, log formats,
+    # histogram quantile contracts, and the service's live instruments /
+    # request-scoped tracing; (2) bench_obs: telemetry-on mesh bit-identical
+    # to telemetry-off at 4 ranks, <5% wall overhead, Prometheus exposition
+    # round-trips through the parser with exact scalar values, rolling p99
+    # within one log2 bucket of exact. Writes the `telemetry` section of
+    # BENCH_TESS.json. (3) bench_trend: the newest BENCH_HISTORY.jsonl row
+    # per (bench,label) must stay within 30% of the median of the last 5 —
+    # run AFTER perf/service so their freshly appended rows are judged.
+    cargo test --release -q -p diy --test hist_quantiles &&
+        cargo test --release -q -p meshing-universe --test service_telemetry &&
+        TESS_THREADS=4 cargo run --release -q -p bench-harness --bin bench_obs &&
+        cargo run --release -q -p bench-harness --bin bench_trend
+}
+
 stage_schema() {
     echo "==> [schema] BENCH_TESS.json schema gate"
-    # The bench artifact written by the perf/service/memory stages must
+    # The bench artifact written by the perf/service/memory/obs stages must
     # parse and carry the full key set of every section (entries / service
-    # / memory) — a harness emitting a malformed or truncated document
-    # fails here instead of shipping.
+    # / memory / telemetry) — a harness emitting a malformed or truncated
+    # document fails here instead of shipping.
     cargo run --release -q -p bench-harness --bin bench_schema_check
 }
 
@@ -177,7 +194,7 @@ stage_clippy() {
 
 # ---- drivers ---------------------------------------------------------------
 
-ALL_STAGES="build test ghost kernel perf trace service decomp memory schema fmt clippy"
+ALL_STAGES="build test ghost kernel perf trace service decomp memory obs schema fmt clippy"
 QUICK_STAGES="build test fmt clippy"
 
 case "${1:-full}" in

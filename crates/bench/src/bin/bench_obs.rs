@@ -1,0 +1,274 @@
+//! Observability gate (`obs` CI stage): proves the telemetry layer is
+//! honest and free.
+//!
+//! 1. **Neutrality** — tessellating the perf-smoke workload at 4 ranks
+//!    with telemetry mirrors enabled produces a mesh bit-identical to the
+//!    telemetry-off run. Instrumentation must never perturb results.
+//! 2. **Overhead** — the telemetry-on wall clock (best of `REPS`) stays
+//!    within 5% of telemetry-off, plus an absolute noise floor for short
+//!    runs on loaded CI boxes.
+//! 3. **Exposition round-trip** — one registry snapshot rendered as
+//!    Prometheus text re-parses, and every counter/gauge survives with
+//!    its exact value; the JSON rendering of the same snapshot parses and
+//!    agrees on the series count.
+//! 4. **Rolling quantiles** — a windowed histogram's rolling p99 lands
+//!    within one log2 bucket of the exact p99 of the samples currently in
+//!    its window, both while filling and after rotating past an old
+//!    distribution.
+//!
+//! The measurements land in the `telemetry` section of `BENCH_TESS.json`
+//! (preserving the other sections), which `bench_schema_check` validates.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bench_harness::{
+    evolved_particles_cached, mesh_bits, partition_particles, write_bench_telemetry_json, CellBits,
+};
+use diy::comm::Runtime;
+use diy::decomposition::{Assignment, DecompScheme};
+use diy::telemetry::{
+    self, parse_exposition, prom_name, render_json_from, render_prometheus_from, MetricValue,
+    WindowedHistogram,
+};
+use geometry::{Aabb, Vec3};
+use tess::{tessellate, GhostSpec, TessParams};
+
+const NP: usize = 16;
+const NSTEPS: usize = 100;
+const NBLOCKS: usize = 8;
+const NRANKS: usize = 4;
+/// Best-of-N walls to damp scheduler noise.
+const REPS: usize = 3;
+/// Relative overhead bound plus an absolute floor (seconds): a ~1s run on
+/// a busy CI box jitters more than 5% all by itself.
+const OVERHEAD_FRAC: f64 = 0.05;
+const OVERHEAD_FLOOR_S: f64 = 0.10;
+
+fn params() -> TessParams {
+    TessParams {
+        ghost: GhostSpec::Adaptive {
+            initial_factor: 0.5,
+            max_rounds: 8,
+        },
+        ..TessParams::default()
+    }
+}
+
+/// Tessellate the workload once at `NRANKS` ranks; returns (mesh, cells,
+/// wall seconds).
+fn run_once(particles: &[(u64, Vec3)]) -> (BTreeMap<u64, CellBits>, u64, f64) {
+    let domain = Aabb::cube(NP as f64);
+    let t0 = Instant::now();
+    let rows = Runtime::run(NRANKS, move |world| {
+        let positions: Vec<Vec3> = particles.iter().map(|&(_, p)| p).collect();
+        let dec = DecompScheme::Regular.build(domain, NBLOCKS, [true; 3], &positions);
+        let asn = Assignment::new(NBLOCKS, world.nranks());
+        let local = partition_particles(particles, &dec, &asn, world.rank());
+        let r = tessellate(world, &dec, &asn, &local, &params());
+        (r.blocks, r.stats.cells)
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut blocks = BTreeMap::new();
+    let mut cells = 0;
+    for (b, c) in rows {
+        blocks.extend(b);
+        cells += c;
+    }
+    (mesh_bits(&blocks), cells, wall)
+}
+
+/// Best-of-`REPS` wall for one telemetry setting; the mesh must be
+/// identical across reps (it is deterministic), so return the first.
+fn run_best(particles: &[(u64, Vec3)], enabled: bool) -> (BTreeMap<u64, CellBits>, u64, f64) {
+    let prev = telemetry::set_enabled(enabled);
+    let (mesh, cells, mut best) = run_once(particles);
+    for _ in 1..REPS {
+        let (m, _, w) = run_once(particles);
+        assert_eq!(m, mesh, "tessellation is not deterministic across reps");
+        best = best.min(w);
+    }
+    telemetry::set_enabled(prev);
+    (mesh, cells, best)
+}
+
+/// Deterministic splitmix64 for reproducible histogram samples.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The log2 bucket a positive value falls in (matches `LogHistogram`'s
+/// binning: bucket e covers [2^e, 2^(e+1))).
+fn bucket_of(v: f64) -> i32 {
+    v.log2().floor() as i32
+}
+
+/// Exact quantile by sorting (the oracle the histogram approximates).
+fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[((v.len() - 1) as f64 * q) as usize]
+}
+
+/// Gate 4: rolling p99 within one log2 bucket of the exact p99 over the
+/// samples currently windowed. Returns the worst bucket error seen.
+fn check_rolling_quantiles() -> i32 {
+    let mut worst = 0i32;
+    let mut check = |hist: &WindowedHistogram, live: &[f64], what: &str| {
+        let rolling = hist.rolling();
+        for q in [0.5, 0.99] {
+            let approx = rolling.quantile(q);
+            let exact = exact_quantile(live, q);
+            let err = (bucket_of(approx) - bucket_of(exact)).abs();
+            worst = worst.max(err);
+            assert!(
+                err <= 1,
+                "{what}: rolling q{q} = {approx:.1} is {err} log2 buckets from exact {exact:.1}"
+            );
+        }
+    };
+
+    // Filling phase: window 8, four epochs of a wide log-uniform spread —
+    // everything observed is still in the window.
+    let mut hist = WindowedHistogram::new(8);
+    let mut live: Vec<f64> = Vec::new();
+    for epoch in 0..4u64 {
+        for i in 0..2000u64 {
+            // log-uniform over ~[1, 2^20]
+            let v = (2.0f64).powf((mix(epoch * 10_000 + i) % 2000) as f64 / 100.0) + 1.0;
+            hist.observe(v);
+            live.push(v);
+        }
+        hist.advance();
+    }
+    check(&hist, &live, "filling");
+
+    // Rotation phase: push 8 epochs of a much faster distribution; the
+    // slow samples above must age out of the rolling view entirely.
+    live.clear();
+    for epoch in 0..8u64 {
+        for i in 0..2000u64 {
+            let v = 8.0 + (mix(0xF00D + epoch * 10_000 + i) % 64) as f64;
+            hist.observe(v);
+            live.push(v);
+        }
+        hist.advance();
+    }
+    check(&hist, &live, "rotated");
+    // The cumulative total still remembers everything.
+    assert_eq!(hist.total().n(), 4 * 2000 + 8 * 2000);
+    worst
+}
+
+/// Gate 3: one snapshot, two renderers, one parser. Returns the series
+/// count of the exposition.
+fn check_exposition_roundtrip() -> usize {
+    // Make sure some instruments of every kind exist, whatever ran before.
+    telemetry::counter("obs.check_runs", &[("gate", "roundtrip")]).inc();
+    telemetry::gauge("obs.check_gauge", &[]).set(2.5);
+    let h = telemetry::histogram("obs.check_lat_ns", &[("kind", "point")]);
+    for i in 1..=100u64 {
+        h.observe_u64(i * 1000);
+    }
+
+    let samples = telemetry::snapshot();
+    let expo = render_prometheus_from(&samples);
+    let parsed = parse_exposition(&expo).expect("exposition must re-parse");
+
+    // Every counter/gauge survives the round-trip with its exact value.
+    let mut scalar = 0usize;
+    for s in &samples {
+        let name = prom_name(&s.name);
+        let want = match &s.value {
+            MetricValue::Counter(v) => *v as f64,
+            MetricValue::Gauge(v) => *v,
+            MetricValue::Hist(_) => continue,
+        };
+        let hit = parsed.iter().find(|p| {
+            p.name == name
+                && p.labels
+                    == s.labels
+                        .iter()
+                        .map(|(k, v)| (prom_name(k), v.clone()))
+                        .collect::<Vec<_>>()
+        });
+        let hit = hit.unwrap_or_else(|| panic!("series {name} lost in the exposition"));
+        assert_eq!(hit.value, want, "series {name} value drifted");
+        scalar += 1;
+    }
+    assert!(scalar > 0, "snapshot had no counters/gauges");
+    // Histograms surface as quantile rows plus _sum/_count.
+    assert!(
+        parsed.iter().any(|p| p.name == "obs_check_lat_ns"
+            && p.labels.contains(&("quantile".into(), "0.99".into()))),
+        "histogram quantile rows missing"
+    );
+
+    // The JSON rendering of the SAME snapshot parses and agrees on count.
+    let doc = bench_harness::json::parse(&render_json_from(&samples)).expect("telemetry JSON");
+    let metrics = doc
+        .get("metrics")
+        .and_then(bench_harness::json::Value::as_arr)
+        .expect("metrics array");
+    assert_eq!(metrics.len(), samples.len(), "JSON snapshot dropped series");
+
+    parsed.len()
+}
+
+fn main() {
+    let particles = evolved_particles_cached(NP, NSTEPS);
+
+    // Gates 1+2: A/B at 4 ranks.
+    let (mesh_off, cells, wall_off) = run_best(&particles, false);
+    let (mesh_on, _, wall_on) = run_best(&particles, true);
+    assert_eq!(
+        mesh_on, mesh_off,
+        "telemetry-on mesh differs from telemetry-off"
+    );
+    println!(
+        "bench_obs: mesh bit-identical with telemetry on/off ({} cells at {NRANKS} ranks)",
+        mesh_off.len()
+    );
+    let overhead_pct = 100.0 * (wall_on - wall_off) / wall_off;
+    assert!(
+        wall_on <= (1.0 + OVERHEAD_FRAC) * wall_off + OVERHEAD_FLOOR_S,
+        "telemetry overhead too high: {wall_on:.3}s on vs {wall_off:.3}s off ({overhead_pct:+.1}%)"
+    );
+    println!(
+        "bench_obs: wall {wall_off:.3}s off, {wall_on:.3}s on ({overhead_pct:+.1}%, bound {:.0}% + {OVERHEAD_FLOOR_S:.2}s) — OK",
+        100.0 * OVERHEAD_FRAC
+    );
+
+    // Gate 3.
+    let series = check_exposition_roundtrip();
+    println!("bench_obs: exposition round-trip preserved all scalar series ({series} series) — OK");
+
+    // Gate 4.
+    let bucket_err = check_rolling_quantiles();
+    println!(
+        "bench_obs: rolling p50/p99 within one log2 bucket of exact (worst {bucket_err}) — OK"
+    );
+
+    let section = format!(
+        concat!(
+            "{{\"source\": \"bench_obs\", \"nranks\": {}, \"particles\": {}, ",
+            "\"cells\": {}, \"wall_off_s\": {:.6}, \"wall_on_s\": {:.6}, ",
+            "\"overhead_pct\": {:.3}, \"exposition_series\": {}, ",
+            "\"quantile_bucket_err\": {}}}"
+        ),
+        NRANKS,
+        particles.len(),
+        cells,
+        wall_off,
+        wall_on,
+        overhead_pct.max(0.0),
+        series,
+        bucket_err,
+    );
+    for path in write_bench_telemetry_json(&section) {
+        println!("bench_obs: wrote {}", path.display());
+    }
+}

@@ -4,12 +4,15 @@
 //! the schema documented in DESIGN.md:
 //!
 //! * top level: an object with `entries` (required array) and optional
-//!   `service` (object) / `memory` (array) sections, nothing else;
+//!   `service` (object) / `memory` (array) / `telemetry` (object)
+//!   sections, nothing else;
 //! * every `entries` element carries the full measurement key set
 //!   (label/kernel/decomp/imbalance through the per-phase seconds);
 //! * `service` carries the resident-service counters and latencies;
 //! * every `memory` element carries the streaming-vs-accumulate memory
-//!   counters with `mode` in {stream, accumulate}.
+//!   counters with `mode` in {stream, accumulate};
+//! * `telemetry` carries the observability gate's numbers (`bench_obs`):
+//!   A/B overhead, exposition series count, rolling-quantile bucket error.
 //!
 //! Any violation prints the offending path and exits non-zero, so a
 //! harness emitting a malformed or incomplete document fails CI instead of
@@ -109,6 +112,17 @@ const SERVICE_NUMS: &[&str] = &[
     "epochs",
 ];
 
+const TELEMETRY_NUMS: &[&str] = &[
+    "nranks",
+    "particles",
+    "cells",
+    "wall_off_s",
+    "wall_on_s",
+    "overhead_pct",
+    "exposition_series",
+    "quantile_bucket_err",
+];
+
 const MEMORY_NUMS: &[&str] = &[
     "nranks",
     "particles",
@@ -126,7 +140,11 @@ fn check(doc: &Value) -> Vec<String> {
     if !matches!(doc, Value::Obj(_)) {
         return vec!["top level: must be an object".into()];
     }
-    c.no_extras("top level", doc, &["entries", "service", "memory"]);
+    c.no_extras(
+        "top level",
+        doc,
+        &["entries", "service", "memory", "telemetry"],
+    );
 
     match c.want("top level", doc, "entries").and_then(Value::as_arr) {
         None => {
@@ -198,6 +216,22 @@ fn check(doc: &Value) -> Vec<String> {
             }
         }
     }
+    if let Some(t) = doc.get("telemetry") {
+        let at = "telemetry";
+        if !matches!(t, Value::Obj(_)) {
+            c.err(at, "must be an object".into());
+        } else {
+            c.want_str(at, t, "source", Some(&["bench_obs"]));
+            for k in TELEMETRY_NUMS {
+                c.want_num(at, t, k);
+            }
+            let allowed: Vec<&str> = ["source"]
+                .into_iter()
+                .chain(TELEMETRY_NUMS.iter().copied())
+                .collect();
+            c.no_extras(at, t, &allowed);
+        }
+    }
     c.errors
 }
 
@@ -243,9 +277,15 @@ fn main() {
         .and_then(Value::as_arr)
         .map_or(0, <[Value]>::len);
     println!(
-        "bench_schema_check: {} ok ({n_entries} entries, service {}, {n_memory} memory entries)",
+        "bench_schema_check: {} ok ({n_entries} entries, service {}, {n_memory} memory entries, \
+         telemetry {})",
         path.display(),
         if doc.get("service").is_some() {
+            "present"
+        } else {
+            "absent"
+        },
+        if doc.get("telemetry").is_some() {
             "present"
         } else {
             "absent"
@@ -287,7 +327,13 @@ mod tests {
             decomp: "kd".into(),
             imbalance: 1.0,
         }]);
-        let text = bench_harness::compose_bench_doc(Some(&entries), None, Some(&mem));
+        let tele = concat!(
+            "{\"source\": \"bench_obs\", \"nranks\": 4, \"particles\": 4096, ",
+            "\"cells\": 4096, \"wall_off_s\": 0.5, \"wall_on_s\": 0.51, ",
+            "\"overhead_pct\": 2.0, \"exposition_series\": 40, ",
+            "\"quantile_bucket_err\": 0}"
+        );
+        let text = bench_harness::compose_bench_doc(Some(&entries), None, Some(&mem), Some(tele));
         assert_eq!(doc(&text), Vec::<String>::new());
     }
 
@@ -321,6 +367,27 @@ mod tests {
             doc(r#"{"entries": [], "service": {"label": "s", "decomp": "kd", "imbalance": -1}}"#);
         assert!(
             errs.iter().any(|e| e.contains("expected finite and >= 0")),
+            "{errs:?}"
+        );
+        // telemetry: wrong shape, bad source, missing/unknown keys
+        let errs = doc(r#"{"entries": [], "telemetry": []}"#);
+        assert!(
+            errs.iter().any(|e| e.contains("must be an object")),
+            "{errs:?}"
+        );
+        let errs = doc(r#"{"entries": [], "telemetry": {"source": "elsewhere"}}"#);
+        assert!(
+            errs.iter().any(|e| e.contains("expected one of")),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("missing required key \"overhead_pct\"")),
+            "{errs:?}"
+        );
+        let errs = doc(r#"{"entries": [], "telemetry": {"source": "bench_obs", "extra": 1}}"#);
+        assert!(
+            errs.iter().any(|e| e.contains("unknown key \"extra\"")),
             "{errs:?}"
         );
         // entries section entirely absent

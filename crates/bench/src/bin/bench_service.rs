@@ -390,4 +390,22 @@ fn main() {
         "p99 point-lookup latency {p99_ms:.1}ms exceeds the {bound_ms:.0}ms bound"
     );
     println!("bench_service: p99 {p99_ms:.3}ms within {bound_ms:.0}ms bound — OK");
+
+    // Ledger row for bench_trend's cross-run regression gate.
+    let row = bench_harness::history::HistoryRow::now(
+        "bench_service",
+        &format!("np{NP}_r{NRANKS}_w{WORKERS}_{}", decomp.label()),
+        vec![
+            ("requests_per_sec".into(), rps),
+            ("p50_ms".into(), p50_ms),
+            ("p99_ms".into(), p99_ms),
+        ],
+    );
+    let ledger = bench_harness::history::history_path();
+    bench_harness::history::append_history_row(&ledger, &row)
+        .unwrap_or_else(|e| panic!("bench_service: {e}"));
+    println!(
+        "bench_service: history row appended to {}",
+        ledger.display()
+    );
 }

@@ -1,0 +1,240 @@
+//! Trend gate over the bench-history ledger (`BENCH_HISTORY.jsonl`).
+//!
+//! Reads the ledger (path from the first argument, default the repo
+//! root's), groups rows by `(bench, label)`, and for each group compares
+//! the newest row's metrics against the **median of up to 5 preceding
+//! rows**:
+//!
+//! * `*_per_sec` metrics fail when the latest falls more than 30% below
+//!   the median;
+//! * `*_ms` / `*_ns` metrics fail when the latest rises more than 30%
+//!   above the median — but only past an absolute noise floor (0.25 ms /
+//!   250 µs), so microsecond-scale jitter on quiet metrics never gates;
+//! * other metrics are reported but never gate.
+//!
+//! Groups with fewer than 2 prior rows are informational (a fresh ledger
+//! or a brand-new benchmark can't regress against itself). A malformed
+//! ledger is always a hard failure — the writers schema-check each row,
+//! so a bad line means hand-editing, merge damage, or writer drift.
+
+use bench_harness::history::{direction, median, read_history, Direction, HistoryRow};
+
+/// Regression threshold vs the median of prior runs.
+const TOLERANCE: f64 = 0.30;
+/// Prior rows considered per group (the most recent ones).
+const WINDOW: usize = 5;
+/// Lower-better metrics ignore deltas below this (in the metric's own
+/// unit: ms for `*_ms`, ns for `*_ns` — 0.25 ms either way).
+const FLOOR_MS: f64 = 0.25;
+const FLOOR_NS: f64 = 250_000.0;
+
+struct Verdict {
+    group: String,
+    metric: String,
+    latest: f64,
+    baseline: f64,
+    failed: bool,
+    note: &'static str,
+}
+
+/// Compare the newest row against the median of up to `WINDOW` prior
+/// rows. `prior` must be oldest-first.
+fn judge(group: &str, prior: &[HistoryRow], latest: &HistoryRow) -> Vec<Verdict> {
+    let window: Vec<&HistoryRow> = prior.iter().rev().take(WINDOW).collect();
+    let mut out = Vec::new();
+    for (metric, value) in &latest.metrics {
+        let samples: Vec<f64> = window
+            .iter()
+            .filter_map(|r| r.metrics.iter().find(|(k, _)| k == metric).map(|&(_, v)| v))
+            .collect();
+        if samples.is_empty() {
+            continue;
+        }
+        let base = median(&samples);
+        let (failed, note) = match direction(metric) {
+            _ if samples.len() < 2 => (false, "informational (fewer than 2 prior rows)"),
+            Direction::HigherBetter => (*value < (1.0 - TOLERANCE) * base, "higher is better"),
+            Direction::LowerBetter => {
+                let floor = if metric.ends_with("_ns") {
+                    FLOOR_NS
+                } else {
+                    FLOOR_MS
+                };
+                (
+                    *value > (1.0 + TOLERANCE) * base && (*value - base) > floor,
+                    "lower is better",
+                )
+            }
+            Direction::Informational => (false, "informational"),
+        };
+        out.push(Verdict {
+            group: group.to_string(),
+            metric: metric.clone(),
+            latest: *value,
+            baseline: base,
+            failed,
+            note,
+        });
+    }
+    out
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(bench_harness::history::history_path);
+    let rows = match read_history(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_trend: {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    if rows.is_empty() {
+        eprintln!(
+            "bench_trend: {} is missing or empty — run perf_smoke / bench_service first",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+
+    // Group by (bench, label), preserving append (= chronological) order.
+    let mut groups: Vec<(String, Vec<HistoryRow>)> = Vec::new();
+    for r in rows {
+        let key = format!("{}/{}", r.bench, r.label);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(r),
+            None => groups.push((key, vec![r])),
+        }
+    }
+
+    let mut failures = 0usize;
+    for (key, rows) in &groups {
+        let (latest, prior) = rows.split_last().expect("group is non-empty");
+        for v in judge(key, prior, latest) {
+            let delta_pct = if v.baseline != 0.0 {
+                100.0 * (v.latest - v.baseline) / v.baseline
+            } else {
+                0.0
+            };
+            let status = if v.failed { "FAIL" } else { "ok" };
+            println!(
+                "bench_trend: [{status}] {} {} = {:.3} vs median-of-{} {:.3} ({delta_pct:+.1}%, {})",
+                v.group,
+                v.metric,
+                v.latest,
+                prior.len().min(WINDOW),
+                v.baseline,
+                v.note,
+            );
+            if v.failed {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_trend: {failures} metric(s) regressed >{:.0}% vs the recent median",
+            100.0 * TOLERANCE
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_trend: {} group(s) within {:.0}% of their recent medians — OK",
+        groups.len(),
+        100.0 * TOLERANCE
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cps: f64, p99: f64) -> HistoryRow {
+        HistoryRow {
+            t_unix_s: 1,
+            bench: "perf_smoke".into(),
+            label: "l".into(),
+            git: "g".into(),
+            metrics: vec![
+                ("stream_cells_per_sec".into(), cps),
+                ("p99_ms".into(), p99),
+                ("cells".into(), 100.0),
+            ],
+        }
+    }
+
+    fn failures(prior: &[HistoryRow], latest: &HistoryRow) -> Vec<String> {
+        judge("g", prior, latest)
+            .into_iter()
+            .filter(|v| v.failed)
+            .map(|v| v.metric)
+            .collect()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let prior = vec![row(100.0, 1.0), row(110.0, 1.1), row(90.0, 0.9)];
+        assert_eq!(failures(&prior, &row(80.0, 1.2)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn throughput_drop_fails() {
+        let prior = vec![row(100.0, 1.0), row(100.0, 1.0)];
+        assert_eq!(
+            failures(&prior, &row(65.0, 1.0)),
+            vec!["stream_cells_per_sec"]
+        );
+    }
+
+    #[test]
+    fn latency_rise_fails_past_the_floor() {
+        let prior = vec![row(100.0, 1.0), row(100.0, 1.0)];
+        assert_eq!(failures(&prior, &row(100.0, 2.0)), vec!["p99_ms"]);
+        // A 50% rise on a microsecond-scale metric stays under the
+        // absolute floor and passes.
+        let quiet = vec![row(100.0, 0.1), row(100.0, 0.1)];
+        assert_eq!(failures(&quiet, &row(100.0, 0.15)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn median_of_window_absorbs_one_outlier() {
+        // One freak-slow prior run must not poison the baseline.
+        let prior = vec![
+            row(100.0, 1.0),
+            row(100.0, 1.0),
+            row(100.0, 20.0),
+            row(100.0, 1.0),
+            row(100.0, 1.0),
+        ];
+        assert_eq!(failures(&prior, &row(100.0, 1.2)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn only_last_window_rows_count() {
+        // 6 priors; the oldest (very fast) falls outside the window of 5.
+        let mut prior = vec![row(1000.0, 1.0)];
+        prior.extend((0..5).map(|_| row(100.0, 1.0)));
+        assert_eq!(failures(&prior, &row(90.0, 1.0)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn single_prior_row_is_informational() {
+        let prior = vec![row(100.0, 1.0)];
+        assert_eq!(failures(&prior, &row(10.0, 50.0)), Vec::<String>::new());
+        let verdicts = judge("g", &prior, &row(10.0, 50.0));
+        assert!(
+            verdicts.iter().all(|v| v.note.contains("fewer than 2")),
+            "single prior must be informational"
+        );
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let prior = vec![row(100.0, 1.0), row(100.0, 1.0)];
+        let mut latest = row(100.0, 1.0);
+        latest.metrics = vec![("cells".into(), 1.0)];
+        assert_eq!(failures(&prior, &latest), Vec::<String>::new());
+    }
+}

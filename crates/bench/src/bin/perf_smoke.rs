@@ -379,4 +379,19 @@ fn main() {
          (rerun with PERF_BASELINE_WRITE=1 if intentional)"
     );
     println!("perf_smoke: {stream_cps:.0} cells/s vs committed {committed:.0} — OK");
+
+    // Ledger row for bench_trend's cross-run regression gate.
+    let row = bench_harness::history::HistoryRow::now(
+        "perf_smoke",
+        &format!("np{NP}_steps{NSTEPS}_r{NRANKS}_stream"),
+        vec![
+            ("stream_cells_per_sec".into(), stream_cps),
+            ("candidates_per_cell".into(), stream_cand),
+            ("speedup_vs_seq_full".into(), speedup),
+        ],
+    );
+    let ledger = bench_harness::history::history_path();
+    bench_harness::history::append_history_row(&ledger, &row)
+        .unwrap_or_else(|e| panic!("perf_smoke: {e}"));
+    println!("perf_smoke: history row appended to {}", ledger.display());
 }

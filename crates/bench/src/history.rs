@@ -1,0 +1,307 @@
+//! Bench-history ledger: one JSON line per benchmark run, appended to
+//! `BENCH_HISTORY.jsonl` at the repo root.
+//!
+//! The headline harnesses (`perf_smoke`, `bench_service`) append one
+//! [`HistoryRow`] each time they complete, so the repo accumulates a
+//! trend of its own performance across commits. `bench_trend` reads the
+//! ledger back and fails when the newest row regresses more than 30%
+//! against the median of the previous runs (see that binary's docs for
+//! the direction/noise-floor rules).
+//!
+//! Schema (one object per line, no blank lines):
+//!
+//! ```json
+//! {"t_unix_s": 1754610000, "bench": "perf_smoke", "label": "n20000",
+//!  "git": "0395112", "metrics": {"stream_cells_per_sec": 61000.0}}
+//! ```
+//!
+//! `metrics` keys carry their own improvement direction by suffix:
+//! `*_per_sec` is higher-better, `*_ms` / `*_ns` is lower-better,
+//! anything else is informational (tracked, never gated).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Value};
+
+/// File name of the ledger, at [`crate::repo_root`].
+pub const HISTORY_FILE: &str = "BENCH_HISTORY.jsonl";
+
+/// One benchmark run's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Unix timestamp (seconds) when the row was appended.
+    pub t_unix_s: u64,
+    /// Which harness produced the row (`perf_smoke`, `bench_service`).
+    pub bench: String,
+    /// Configuration label within the harness (rows are trended per
+    /// `(bench, label)` group).
+    pub label: String,
+    /// Short commit id at run time (`unknown` outside a git checkout).
+    pub git: String,
+    /// Named measurements; direction encoded in the key suffix.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl HistoryRow {
+    /// A row stamped with the current time and commit.
+    pub fn now(bench: &str, label: &str, metrics: Vec<(String, f64)>) -> HistoryRow {
+        let t_unix_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        HistoryRow {
+            t_unix_s,
+            bench: bench.to_string(),
+            label: label.to_string(),
+            git: git_short_head(),
+            metrics,
+        }
+    }
+
+    /// Render as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json::escape(k), fmt_num(*v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"t_unix_s\": {}, \"bench\": \"{}\", \"label\": \"{}\", \
+             \"git\": \"{}\", \"metrics\": {{{metrics}}}}}",
+            self.t_unix_s,
+            json::escape(&self.bench),
+            json::escape(&self.label),
+            json::escape(&self.git),
+        )
+    }
+}
+
+/// JSON numbers must be finite; non-finite measurements degrade to 0.
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn git_short_head() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(crate::repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The ledger's canonical path: `BENCH_HISTORY.jsonl` at the repo root.
+pub fn history_path() -> PathBuf {
+    crate::repo_root().join(HISTORY_FILE)
+}
+
+/// Append one row to the ledger at `path` (created if absent). The row is
+/// validated through the same schema check `read_history` applies, so a
+/// harness can never write a line `bench_trend` would then reject.
+pub fn append_history_row(path: &Path, row: &HistoryRow) -> Result<(), String> {
+    let line = row.render();
+    let parsed = json::parse(&line).map_err(|e| format!("history row: {e}"))?;
+    validate_row(&parsed).map_err(|e| format!("history row: {e}"))?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(f, "{line}").map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Read and schema-check the whole ledger. Errors carry the 1-based line
+/// number. A missing file reads as an empty history.
+pub fn read_history(path: &Path) -> Result<Vec<HistoryRow>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        rows.push(validate_row(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(rows)
+}
+
+/// Check one parsed line against the row schema.
+pub fn validate_row(v: &Value) -> Result<HistoryRow, String> {
+    let keys = v.keys();
+    if keys != vec!["t_unix_s", "bench", "label", "git", "metrics"] {
+        return Err(format!(
+            "expected keys [t_unix_s, bench, label, git, metrics], got {keys:?}"
+        ));
+    }
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("'{k}' must be a number"))
+    };
+    let st = |k: &str| {
+        v.get(k)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("'{k}' must be a string"))
+    };
+    let t = num("t_unix_s")?;
+    if t < 0.0 || t.fract() != 0.0 {
+        return Err(format!(
+            "'t_unix_s' must be a non-negative integer, got {t}"
+        ));
+    }
+    let metrics = match v.get("metrics") {
+        Some(Value::Obj(members)) if !members.is_empty() => {
+            let mut out = Vec::with_capacity(members.len());
+            for (k, mv) in members {
+                let n = mv
+                    .as_num()
+                    .ok_or_else(|| format!("metric '{k}' must be a number"))?;
+                if !n.is_finite() {
+                    return Err(format!("metric '{k}' must be finite"));
+                }
+                out.push((k.clone(), n));
+            }
+            out
+        }
+        _ => return Err("'metrics' must be a non-empty object of numbers".into()),
+    };
+    Ok(HistoryRow {
+        t_unix_s: t as u64,
+        bench: st("bench")?,
+        label: st("label")?,
+        git: st("git")?,
+        metrics,
+    })
+}
+
+/// Improvement direction of a metric, by name suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    HigherBetter,
+    LowerBetter,
+    /// Tracked but never gated.
+    Informational,
+}
+
+/// `*_per_sec` is higher-better; `*_ms`/`*_ns` is lower-better.
+pub fn direction(metric: &str) -> Direction {
+    if metric.ends_with("_per_sec") {
+        Direction::HigherBetter
+    } else if metric.ends_with("_ms") || metric.ends_with("_ns") {
+        Direction::LowerBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// Median of a non-empty slice (mean of the middle pair when even).
+pub fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> HistoryRow {
+        HistoryRow {
+            t_unix_s: 1_754_610_000,
+            bench: "perf_smoke".into(),
+            label: "n2\"000".into(),
+            git: "abc1234".into(),
+            metrics: vec![
+                ("stream_cells_per_sec".into(), 61234.5),
+                ("p99_ms".into(), 1.75),
+            ],
+        }
+    }
+
+    #[test]
+    fn row_renders_and_round_trips() {
+        let r = row();
+        let line = r.render();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(validate_row(&v).unwrap(), r);
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bench_history_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_HISTORY.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(read_history(&path).unwrap(), Vec::new());
+        append_history_row(&path, &row()).unwrap();
+        append_history_row(&path, &row()).unwrap();
+        let rows = read_history(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], row());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_rows() {
+        for bad in [
+            r#"{"bench": "x"}"#,
+            r#"{"t_unix_s": -5, "bench": "x", "label": "l", "git": "g", "metrics": {"a": 1}}"#,
+            r#"{"t_unix_s": 1.5, "bench": "x", "label": "l", "git": "g", "metrics": {"a": 1}}"#,
+            r#"{"t_unix_s": 1, "bench": "x", "label": "l", "git": "g", "metrics": {}}"#,
+            r#"{"t_unix_s": 1, "bench": "x", "label": "l", "git": "g", "metrics": {"a": "x"}}"#,
+            r#"{"t_unix_s": 1, "bench": 7, "label": "l", "git": "g", "metrics": {"a": 1}}"#,
+            r#"{"t_unix_s": 1, "bench": "x", "label": "l", "git": "g", "metrics": {"a": 1}, "x": 1}"#,
+        ] {
+            let v = json::parse(bad).unwrap();
+            assert!(validate_row(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn read_reports_line_numbers() {
+        let dir = std::env::temp_dir().join(format!("bench_history_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_HISTORY.jsonl");
+        std::fs::write(&path, format!("{}\nnot json\n", row().render())).unwrap();
+        let err = read_history(&path).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directions_by_suffix() {
+        assert_eq!(direction("stream_cells_per_sec"), Direction::HigherBetter);
+        assert_eq!(direction("requests_per_sec"), Direction::HigherBetter);
+        assert_eq!(direction("p99_ms"), Direction::LowerBetter);
+        assert_eq!(direction("latency_ns"), Direction::LowerBetter);
+        assert_eq!(direction("cells"), Direction::Informational);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0]), 5.0);
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median(&[4.0, 1.0, 9.0, 5.0]), 4.5);
+    }
+}

@@ -88,22 +88,10 @@ impl Value {
 /// one, `\u00XX` otherwise). Used both by [`Value::render`] and by the
 /// hand-rolled section writers in the harness, so labels containing
 /// quotes or newlines can never produce a malformed `BENCH_TESS.json`.
+/// Delegates to [`diy::telemetry::json_escape`] so the bench artifacts
+/// and the telemetry snapshot share one escaping implementation.
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    diy::telemetry::json_escape(s)
 }
 
 /// Parse error: byte offset and message.
@@ -419,9 +407,10 @@ mod tests {
             Some("[\n    {\"label\": \"x\", \"cells\": 10}\n  ]"),
             Some("{\"requests\": 5}"),
             Some("[\n    {\"mode\": \"stream\"}\n  ]"),
+            Some("{\"source\": \"bench_obs\"}"),
         );
         let v = parse(&doc).unwrap();
-        assert_eq!(v.keys(), vec!["entries", "service", "memory"]);
+        assert_eq!(v.keys(), vec!["entries", "service", "memory", "telemetry"]);
         assert_eq!(
             v.get("memory").unwrap().as_arr().unwrap()[0]
                 .get("mode")

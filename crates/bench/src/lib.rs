@@ -14,6 +14,7 @@
 //! comparable with the paper; absolute numbers are not.
 
 pub mod corpus;
+pub mod history;
 pub mod json;
 
 use std::collections::BTreeMap;
@@ -339,7 +340,7 @@ pub struct TessBenchEntry {
 /// computed cell, cells recomputed vs reused, reuse fraction), ghost
 /// traffic, and the per-phase breakdown. Schema documented in DESIGN.md.
 pub fn tess_bench_json(entries: &[TessBenchEntry]) -> String {
-    compose_bench_doc(Some(&tess_bench_entries_json(entries)), None, None)
+    compose_bench_doc(Some(&tess_bench_entries_json(entries)), None, None, None)
 }
 
 /// Render just the `entries` array of `BENCH_TESS.json`.
@@ -557,7 +558,13 @@ pub fn write_bench_memory_json(
         let mut rendered: Vec<String> = entries.iter().map(memory_entry_json).collect();
         rendered.extend(kept);
         let memory = memory_section_json(&rendered);
-        let doc = compose_bench_doc(entries_raw.as_deref(), service.as_deref(), Some(&memory));
+        let telemetry = extract_json_section(&existing, "telemetry");
+        let doc = compose_bench_doc(
+            entries_raw.as_deref(),
+            service.as_deref(),
+            Some(&memory),
+            telemetry.as_deref(),
+        );
         if std::fs::write(&path, doc).is_ok() {
             written.push(path);
         }
@@ -612,6 +619,7 @@ pub fn compose_bench_doc(
     entries_raw: Option<&str>,
     service_raw: Option<&str>,
     memory_raw: Option<&str>,
+    telemetry_raw: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n  \"entries\": ");
     out.push_str(entries_raw.unwrap_or("[]"));
@@ -623,8 +631,38 @@ pub fn compose_bench_doc(
         out.push_str(",\n  \"memory\": ");
         out.push_str(m);
     }
+    if let Some(t) = telemetry_raw {
+        out.push_str(",\n  \"telemetry\": ");
+        out.push_str(t);
+    }
     out.push_str("\n}\n");
     out
+}
+
+/// Write the `telemetry` section of `BENCH_TESS.json` (bench output dir
+/// and repo root), preserving the other sections in each file. Returns
+/// the paths written.
+pub fn write_bench_telemetry_json(telemetry_raw: &str) -> Vec<std::path::PathBuf> {
+    let mut written = Vec::new();
+    for path in [
+        output_dir().join("BENCH_TESS.json"),
+        repo_root().join("BENCH_TESS.json"),
+    ] {
+        let existing = std::fs::read_to_string(&path).unwrap_or_default();
+        let entries = extract_json_section(&existing, "entries");
+        let service = extract_json_section(&existing, "service");
+        let memory = extract_json_section(&existing, "memory");
+        let doc = compose_bench_doc(
+            entries.as_deref(),
+            service.as_deref(),
+            memory.as_deref(),
+            Some(telemetry_raw),
+        );
+        if std::fs::write(&path, doc).is_ok() {
+            written.push(path);
+        }
+    }
+    written
 }
 
 /// Write the `service` section of `BENCH_TESS.json` (bench output dir and
@@ -640,7 +678,13 @@ pub fn write_bench_service_json(entry: &ServiceBenchEntry) -> Vec<std::path::Pat
         let existing = std::fs::read_to_string(&path).unwrap_or_default();
         let entries = extract_json_section(&existing, "entries");
         let memory = extract_json_section(&existing, "memory");
-        let doc = compose_bench_doc(entries.as_deref(), Some(&service), memory.as_deref());
+        let telemetry = extract_json_section(&existing, "telemetry");
+        let doc = compose_bench_doc(
+            entries.as_deref(),
+            Some(&service),
+            memory.as_deref(),
+            telemetry.as_deref(),
+        );
         if std::fs::write(&path, doc).is_ok() {
             written.push(path);
         }
@@ -668,7 +712,13 @@ pub fn write_bench_tess_json(entries: &[TessBenchEntry]) -> Vec<std::path::PathB
         let existing = std::fs::read_to_string(&path).unwrap_or_default();
         let service = extract_json_section(&existing, "service");
         let memory = extract_json_section(&existing, "memory");
-        let doc = compose_bench_doc(Some(&entries_raw), service.as_deref(), memory.as_deref());
+        let telemetry = extract_json_section(&existing, "telemetry");
+        let doc = compose_bench_doc(
+            Some(&entries_raw),
+            service.as_deref(),
+            memory.as_deref(),
+            telemetry.as_deref(),
+        );
         if std::fs::write(&path, doc).is_ok() {
             written.push(path);
         }
@@ -774,7 +824,8 @@ mod tests {
             wall_s: 0.25,
         }]);
         assert!(mem.contains("\"bytes_per_particle\": 50.000"));
-        let doc = compose_bench_doc(Some(entries), Some(&svc), Some(&mem));
+        let tele = "{\"source\": \"bench_obs\", \"overhead_pct\": 1.25}";
+        let doc = compose_bench_doc(Some(entries), Some(&svc), Some(&mem), Some(tele));
         // All sections extract back verbatim, braces in strings and all.
         assert_eq!(
             extract_json_section(&doc, "entries").as_deref(),
@@ -788,11 +839,16 @@ mod tests {
             extract_json_section(&doc, "memory").as_deref(),
             Some(mem.as_str())
         );
+        assert_eq!(
+            extract_json_section(&doc, "telemetry").as_deref(),
+            Some(tele)
+        );
         // Re-splicing one section preserves the others.
         let doc2 = compose_bench_doc(
             extract_json_section(&doc, "entries").as_deref(),
             Some("{\"label\": \"new\"}"),
             extract_json_section(&doc, "memory").as_deref(),
+            extract_json_section(&doc, "telemetry").as_deref(),
         );
         assert_eq!(
             extract_json_section(&doc2, "entries").as_deref(),
@@ -805,6 +861,10 @@ mod tests {
         assert_eq!(
             extract_json_section(&doc2, "memory").as_deref(),
             Some(mem.as_str())
+        );
+        assert_eq!(
+            extract_json_section(&doc2, "telemetry").as_deref(),
+            Some(tele)
         );
         assert_eq!(extract_json_section("{}", "entries"), None);
         assert_eq!(extract_json_section("", "service"), None);

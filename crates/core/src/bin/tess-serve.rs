@@ -7,19 +7,27 @@
 //! ```text
 //! tess-serve --n 500 --box 10 [--seed 1] [--ranks 2] [--blocks 8]
 //!            [--workers 2] [--batch 64] [--ghost 3.0] [--no-periodic]
-//!            [--points points.bin] [--demo]
+//!            [--points points.bin] [--telemetry out.prom[:secs]] [--demo]
 //!
 //! > point 1.5 2.0 3.25          # nearest-seed cell lookup
 //! > box 0 0 0 2 2 2             # cells whose seed lies in the box
 //! > region 0 0 0 5 5 5          # volume/density summary over the box
 //! > move 17 4.0 4.0 4.0         # upsert particle 17 and re-tessellate
 //! > remove 17                   # drop particle 17 and re-tessellate
-//! > stats                       # queue/batch/epoch counters
+//! > stats                       # human-readable live-telemetry table
+//! > metrics                     # Prometheus text exposition dump
 //! > quit
 //! ```
 //!
+//! `--telemetry <path>[:<secs>]` starts a periodic exporter: every
+//! interval (default 5 s) it advances the telemetry epoch (rotating the
+//! rolling-quantile windows) and rewrites `<path>` with the Prometheus
+//! exposition, so an external scraper can watch a running service by
+//! reading one file. A final export lands on shutdown.
+//!
 //! `--demo` runs a scripted query/update round-trip instead of reading
-//! stdin (used by CI as an end-to-end smoke of the service binary).
+//! stdin (used by CI as an end-to-end smoke of the service binary); it
+//! exercises `stats` and `metrics` and re-parses the exposition output.
 //!
 //! Points files are the workspace codec encoding of `Vec<(u64, Vec3)>`,
 //! as written by `tess-cli generate`.
@@ -181,25 +189,129 @@ fn run_command(svc: &MeshService, line: &str) -> Result<Option<String>, String> 
                 rep.epoch, rep.particles, rep.cells, rep.tess_wall_s
             )))
         }
-        "stats" => {
-            let s = svc.stats();
-            let h = svc.hists();
-            Ok(Some(format!(
-                "epoch {}: {} answered / {} enqueued, {} batches, {} coalesced, \
-                 {} epochs published, latency p50 {:.0}ns",
-                svc.epoch(),
-                s.answered,
-                s.enqueued,
-                s.batches,
-                s.coalesced,
-                s.epochs_published,
-                h.latency_ns.quantile(0.5),
-            )))
-        }
+        "stats" => Ok(Some(stats_table(svc))),
+        "metrics" => Ok(Some(diy::telemetry::render_prometheus())),
         other => Err(format!(
-            "unknown command '{other}' (point|box|region|move|remove|stats|quit)"
+            "unknown command '{other}' (point|box|region|move|remove|stats|metrics|quit)"
         )),
     }
+}
+
+/// Human-readable live-telemetry table: one `name  value` row per stat,
+/// mixing the mesh snapshot, service counters, and latency quantiles.
+fn stats_table(svc: &MeshService) -> String {
+    let snap = svc.snapshot();
+    let s = svc.stats();
+    let h = svc.hists();
+    let imbalance = diy::telemetry::gauge("service.rank_imbalance", &[]).get();
+    let queue_depth = diy::telemetry::gauge("service.queue_depth", &[]).get();
+    let rate = if s.answered > 0 {
+        s.coalesced as f64 / s.answered as f64
+    } else {
+        0.0
+    };
+    let rows: Vec<(&str, String)> = vec![
+        ("epoch", snap.epoch.to_string()),
+        ("cells", snap.total_cells.to_string()),
+        ("total volume", format!("{:.6}", snap.total_volume)),
+        ("rank imbalance", format!("{imbalance:.3}")),
+        ("queue depth", format!("{queue_depth:.0}")),
+        ("enqueued", s.enqueued.to_string()),
+        ("answered", s.answered.to_string()),
+        ("rejected", s.rejected.to_string()),
+        ("batches", s.batches.to_string()),
+        (
+            "coalesced",
+            format!("{} ({:.1}%)", s.coalesced, 100.0 * rate),
+        ),
+        ("epochs published", s.epochs_published.to_string()),
+        (
+            "batch size p50/p99",
+            format!(
+                "{:.0} / {:.0}",
+                h.batch_size.quantile(0.5),
+                h.batch_size.quantile(0.99)
+            ),
+        ),
+        (
+            "latency p50/p99",
+            format!(
+                "{:.3}ms / {:.3}ms",
+                h.latency_ns.quantile(0.5) / 1e6,
+                h.latency_ns.quantile(0.99) / 1e6
+            ),
+        ),
+    ];
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    rows.iter()
+        .map(|(k, v)| format!("{k:width$}  {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Background exporter for `--telemetry <path>[:<secs>]`: every interval
+/// advances the telemetry epoch (rotating rolling-quantile windows) and
+/// rewrites `path` with the Prometheus exposition. A final export runs on
+/// [`TelemetryExporter::stop`] so short runs still leave a scrape behind.
+struct TelemetryExporter {
+    path: String,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryExporter {
+    fn export(path: &str) {
+        diy::telemetry::advance_epoch();
+        if let Err(e) = std::fs::write(path, diy::telemetry::render_prometheus()) {
+            log_error!("telemetry export to {path}: {e}");
+        }
+    }
+
+    fn start(path: String, interval_s: f64) -> TelemetryExporter {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let p = path.clone();
+        let handle = std::thread::spawn(move || {
+            let tick = std::time::Duration::from_millis(50);
+            let mut next =
+                std::time::Instant::now() + std::time::Duration::from_secs_f64(interval_s);
+            while !flag.load(Ordering::Relaxed) {
+                if std::time::Instant::now() >= next {
+                    TelemetryExporter::export(&p);
+                    next += std::time::Duration::from_secs_f64(interval_s);
+                }
+                std::thread::sleep(tick);
+            }
+        });
+        TelemetryExporter {
+            path,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        TelemetryExporter::export(&self.path);
+        log_info!("telemetry exposition written to {}", self.path);
+    }
+}
+
+/// Parse `--telemetry` (`path` or `path:secs`); bad suffixes are treated
+/// as part of the path rather than rejected.
+fn parse_telemetry_flag(raw: &str) -> (String, f64) {
+    if let Some((path, secs)) = raw.rsplit_once(':') {
+        if let Ok(s) = secs.parse::<f64>() {
+            if s > 0.0 && !path.is_empty() {
+                return (path.to_string(), s);
+            }
+        }
+    }
+    (raw.to_string(), 5.0)
 }
 
 /// Scripted round-trip for CI: query, update, re-query, check the epoch
@@ -229,6 +341,26 @@ fn demo(svc: &MeshService, domain: Aabb, periodic: bool) -> Result<(), String> {
         log_info!("demo> {line}");
         log_info!("{out}");
     }
+    // `metrics` must emit a parseable exposition that reflects the run:
+    // epoch 2 published, and at least as many answers as the script sent.
+    let expo = run_command(svc, "metrics")?.ok_or("demo: metrics returned nothing")?;
+    let samples =
+        diy::telemetry::parse_exposition(&expo).map_err(|e| format!("demo: metrics: {e}"))?;
+    log_info!("demo> metrics ({} samples parsed)", samples.len());
+    let series = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+            .ok_or_else(|| format!("demo: metrics missing series {name}"))
+    };
+    if series("service_epoch")? != 2.0 {
+        return Err("demo: service_epoch gauge should read 2".into());
+    }
+    if series("service_answered")? < 4.0 {
+        return Err("demo: service_answered should count the scripted queries".into());
+    }
+    log_info!("demo: exposition parses and matches the run — OK");
     if svc.epoch() != 2 {
         return Err(format!("demo: expected epoch 2, got {}", svc.epoch()));
     }
@@ -293,8 +425,18 @@ fn run(args: &Args) -> Result<(), String> {
         snap.epoch
     );
 
+    let exporter = args.get::<String>("telemetry")?.map(|raw| {
+        let (path, interval_s) = parse_telemetry_flag(&raw);
+        log_info!("telemetry exposition -> {path} every {interval_s}s");
+        TelemetryExporter::start(path, interval_s)
+    });
+
     if args.flags.contains_key("demo") {
-        return demo(&svc, domain, periodic);
+        let r = demo(&svc, domain, periodic);
+        if let Some(e) = exporter {
+            e.stop();
+        }
+        return r;
     }
 
     let stdin = std::io::stdin();
@@ -314,6 +456,9 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
     let stats = svc.shutdown();
+    if let Some(e) = exporter {
+        e.stop();
+    }
     log_info!(
         "shutting down: {} answered, {} epochs published",
         stats.answered,

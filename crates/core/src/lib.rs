@@ -51,6 +51,6 @@ pub use params::{GhostSpec, HullMode, KernelMode, TessParams, AUTO_GHOST_FACTOR}
 pub use service::{
     Answer, CellSummary, MeshService, MeshSnapshot, ParticleStore, Pending, PointHit, Query,
     RegionSummary, Response, ServiceClosed, ServiceConfig, ServiceHists, ServiceStats, Update,
-    UpdateReport,
+    UpdateReport, SERVICE_TRACE_PID,
 };
 pub use stats::TessStats;

@@ -48,9 +48,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use diy::comm::ResidentRuntime;
-use diy::decomposition::{Assignment, DecompScheme, Decomposition};
+use diy::decomposition::{Assignment, BalanceStats, DecompScheme, Decomposition};
 use diy::hist::LogHistogram;
-use diy::trace::monotonic_ns;
+use diy::telemetry;
+use diy::trace::{monotonic_ns, trace_mode, Event, EventKind, RankTrace, TraceMode, TraceState};
 use geometry::{Aabb, Vec3};
 
 use crate::driver::tessellate;
@@ -510,6 +511,13 @@ impl ParticleStore {
             .map(|&i| Vec3::new(self.xs[i], self.ys[i], self.zs[i]))
     }
 
+    /// All particle positions in slot order (for balance measurement).
+    pub fn positions(&self) -> Vec<Vec3> {
+        (0..self.ids.len())
+            .map(|i| Vec3::new(self.xs[i], self.ys[i], self.zs[i]))
+            .collect()
+    }
+
     /// Partition into per-block particle lists, each sorted by particle id
     /// (canonical: independent of insertion/removal history).
     pub fn partition(&self, dec: &Decomposition) -> BTreeMap<u64, Vec<(u64, Vec3)>> {
@@ -561,6 +569,83 @@ struct Counters {
     epochs: AtomicU64,
 }
 
+/// Live [`diy::telemetry`] handles for this service. Registered once at
+/// spawn under `service.*`; updates are relaxed atomics (counters/gauges)
+/// or a short mutex (histograms), cheap enough for the hot query path.
+struct ServiceTelemetry {
+    queue_depth: telemetry::Gauge,
+    epoch: telemetry::Gauge,
+    particles: telemetry::Gauge,
+    cells: telemetry::Gauge,
+    /// Max/mean particle count over resident ranks (from [`BalanceStats`],
+    /// recomputed at every publish).
+    rank_imbalance: telemetry::Gauge,
+    /// `coalesced / answered` so far (1 request's compute reused N ways).
+    coalesce_rate: telemetry::Gauge,
+    enqueued: telemetry::Counter,
+    answered: telemetry::Counter,
+    rejected: telemetry::Counter,
+    batches: telemetry::Counter,
+    coalesced: telemetry::Counter,
+    epochs_published: telemetry::Counter,
+    batch_size: telemetry::Hist,
+    latency_point: telemetry::Hist,
+    latency_box: telemetry::Hist,
+    latency_region: telemetry::Hist,
+}
+
+impl ServiceTelemetry {
+    fn register() -> ServiceTelemetry {
+        let lat = |kind: &str| telemetry::histogram("service.latency_ns", &[("kind", kind)]);
+        ServiceTelemetry {
+            queue_depth: telemetry::gauge("service.queue_depth", &[]),
+            epoch: telemetry::gauge("service.epoch", &[]),
+            particles: telemetry::gauge("service.particles", &[]),
+            cells: telemetry::gauge("service.cells", &[]),
+            rank_imbalance: telemetry::gauge("service.rank_imbalance", &[]),
+            coalesce_rate: telemetry::gauge("service.coalesce_rate", &[]),
+            enqueued: telemetry::counter("service.enqueued", &[]),
+            answered: telemetry::counter("service.answered", &[]),
+            rejected: telemetry::counter("service.rejected", &[]),
+            batches: telemetry::counter("service.batches", &[]),
+            coalesced: telemetry::counter("service.coalesced", &[]),
+            epochs_published: telemetry::counter("service.epochs_published", &[]),
+            batch_size: telemetry::histogram("service.batch_size", &[]),
+            latency_point: lat("point"),
+            latency_box: lat("box"),
+            latency_region: lat("region"),
+        }
+    }
+
+    fn latency_for(&self, a: &Answer) -> &telemetry::Hist {
+        match a {
+            Answer::Point(_) => &self.latency_point,
+            Answer::BoxCells(_) => &self.latency_box,
+            Answer::Region(_) => &self.latency_region,
+        }
+    }
+}
+
+/// Chrome-trace pid the service's request timeline exports under (the
+/// resident ranks own pids `0..nranks`; this sits far above them).
+pub const SERVICE_TRACE_PID: u64 = 1000;
+
+fn query_span_name(q: &Query) -> &'static str {
+    match q {
+        Query::Point(_) => "query:point",
+        Query::BoxCells(_) => "query:box",
+        Query::Region(_) => "query:region",
+    }
+}
+
+fn answer_span_name(a: &Answer) -> &'static str {
+    match a {
+        Answer::Point(_) => "query:point",
+        Answer::BoxCells(_) => "query:box",
+        Answer::Region(_) => "query:region",
+    }
+}
+
 struct Request {
     id: u64,
     enq_ns: u64,
@@ -581,6 +666,30 @@ struct Shared {
     counters: Counters,
     hists: Mutex<ServiceHists>,
     batch_max: usize,
+    tele: ServiceTelemetry,
+    /// Request-scoped flight recorder: every event for request `id` lands
+    /// on tid `id`, so one query's enqueue→batch→block→reply renders as a
+    /// single Chrome-trace track. Active only when [`trace_mode`] records.
+    trace: Mutex<TraceState>,
+}
+
+impl Shared {
+    /// Record one request-lifecycle event (no-op when tracing is off).
+    fn trace_request(&self, kind: EventKind, name: &str, req_id: u64, a: u64, b: u64) {
+        if trace_mode() < TraceMode::Spans {
+            return;
+        }
+        let mut tr = self.trace.lock().unwrap();
+        let idx = tr.intern(name);
+        tr.push(Event {
+            t_ns: monotonic_ns(),
+            kind,
+            tid: req_id as u32,
+            name: idx,
+            a,
+            b,
+        });
+    }
 }
 
 /// A submitted query; `wait` blocks for its response.
@@ -671,6 +780,8 @@ impl MeshService {
             },
             hists: Mutex::new(ServiceHists::default()),
             batch_max: cfg.batch_max.max(1),
+            tele: ServiceTelemetry::register(),
+            trace: Mutex::new(TraceState::new()),
         });
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for i in 0..cfg.workers.max(1) {
@@ -711,6 +822,7 @@ impl MeshService {
     pub fn submit(&self, query: Query) -> Result<Pending, ServiceClosed> {
         let (tx, rx) = mpsc::channel();
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let span = query_span_name(&query);
         {
             let mut st = self.shared.queue.lock().unwrap();
             if st.shutdown {
@@ -718,8 +830,14 @@ impl MeshService {
                     .counters
                     .rejected
                     .fetch_add(1, Ordering::Relaxed);
+                self.shared.tele.rejected.inc();
                 return Err(ServiceClosed);
             }
+            // Begin the request span before the worker can see (and
+            // answer) the request, so the track always opens before it
+            // closes. Lock order is queue → trace everywhere.
+            self.shared
+                .trace_request(EventKind::SpanBegin, span, id, id, 0);
             st.queue.push_back(Request {
                 id,
                 enq_ns: monotonic_ns(),
@@ -730,6 +848,8 @@ impl MeshService {
                 .counters
                 .enqueued
                 .fetch_add(1, Ordering::Relaxed);
+            self.shared.tele.enqueued.inc();
+            self.shared.tele.queue_depth.set_u64(st.queue.len() as u64);
         }
         self.shared.cv.notify_one();
         Ok(Pending { id, rx })
@@ -779,6 +899,19 @@ impl MeshService {
     /// Queue-depth / batch-size / request-latency histograms.
     pub fn hists(&self) -> ServiceHists {
         self.shared.hists.lock().unwrap().clone()
+    }
+
+    /// Snapshot the request-scoped flight recorder (empty unless
+    /// `TESS_TRACE`/[`diy::trace::set_trace_mode`] enabled recording while
+    /// requests flowed). Every request's enqueue→batch→block→reply events
+    /// share one tid — its id — so `diy::chrome_trace_json` renders each
+    /// query's life as a single track under pid [`SERVICE_TRACE_PID`].
+    pub fn trace_snapshot(&self) -> RankTrace {
+        self.shared
+            .trace
+            .lock()
+            .unwrap()
+            .snapshot(SERVICE_TRACE_PID)
     }
 
     /// Drain the queue, stop the workers, and return the final counters.
@@ -835,6 +968,16 @@ impl MeshService {
         };
         *self.shared.snap.write().unwrap() = snap;
         self.shared.counters.epochs.fetch_add(1, Ordering::Relaxed);
+
+        // Live publish-side telemetry: epoch, sizes, and rank balance of
+        // the particle placement the next update will compute under.
+        let tele = &self.shared.tele;
+        tele.epochs_published.inc();
+        tele.epoch.set_u64(report.epoch);
+        tele.particles.set_u64(report.particles);
+        tele.cells.set_u64(report.cells);
+        let bal = BalanceStats::measure(&upd.dec, &upd.asn, &upd.store.positions());
+        tele.rank_imbalance.set(bal.rank_imbalance());
         report
     }
 }
@@ -882,9 +1025,12 @@ fn worker_loop(shared: Arc<Shared>) {
             let depth = st.queue.len();
             let take = depth.min(shared.batch_max);
             let batch: Vec<Request> = st.queue.drain(..take).collect();
+            shared.tele.queue_depth.set_u64(st.queue.len() as u64);
             (depth, batch)
         };
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared.tele.batches.inc();
+        shared.tele.batch_size.observe_u64(batch.len() as u64);
         {
             let mut h = shared.hists.lock().unwrap();
             h.queue_depth.observe_u64(depth as u64);
@@ -901,6 +1047,12 @@ fn worker_loop(shared: Arc<Shared>) {
 fn process_batch(shared: &Shared, batch: Vec<Request>, scratch: &mut StreamScratch) {
     // Pin the epoch for the whole batch.
     let snap: Arc<MeshSnapshot> = shared.snap.read().unwrap().clone();
+
+    // Each drained request joins this batch on its own trace track
+    // (`a` = the pinned epoch the batch answers against).
+    for req in &batch {
+        shared.trace_request(EventKind::Mark, "batch", req.id, snap.epoch, 0);
+    }
 
     // gid → key → requests (BTreeMaps: deterministic processing order).
     let mut points: BTreeMap<u64, BTreeMap<QueryKey, Vec<Request>>> = BTreeMap::new();
@@ -930,10 +1082,17 @@ fn process_batch(shared: &Shared, batch: Vec<Request>, scratch: &mut StreamScrat
                      answered: &mut u64,
                      latencies: &mut Vec<u64>| {
         *coalesced += (reqs.len() as u64).saturating_sub(1);
+        let lat_hist = shared.tele.latency_for(&answer);
+        let span = answer_span_name(&answer);
         for req in reqs {
             let latency_ns = monotonic_ns().saturating_sub(req.enq_ns);
             latencies.push(latency_ns);
+            lat_hist.observe_u64(latency_ns);
             *answered += 1;
+            // Close the request's span (`b` = latency) BEFORE sending the
+            // reply: a client that snapshots the recorder after `wait()`
+            // returns must always see its track complete.
+            shared.trace_request(EventKind::SpanEnd, span, req.id, req.id, latency_ns);
             let _ = req.reply.send(Response {
                 id: req.id,
                 epoch: snap.epoch,
@@ -944,7 +1103,7 @@ fn process_batch(shared: &Shared, batch: Vec<Request>, scratch: &mut StreamScrat
     };
 
     // One distance-ordered kernel pass per block group.
-    for (_gid, group) in points {
+    for (gid, group) in points {
         for (key, reqs) in group {
             let QueryKey::Point(bits) = key else {
                 unreachable!("point group holds point keys")
@@ -954,6 +1113,9 @@ fn process_batch(shared: &Shared, batch: Vec<Request>, scratch: &mut StreamScrat
                 f64::from_bits(bits[1]),
                 f64::from_bits(bits[2]),
             );
+            for req in &reqs {
+                shared.trace_request(EventKind::Mark, "block", req.id, gid, 0);
+            }
             let answer = Answer::Point(snap.lookup_point(p, scratch));
             reply_all(reqs, answer, &mut coalesced, &mut answered, &mut latencies);
         }
@@ -973,6 +1135,16 @@ fn process_batch(shared: &Shared, batch: Vec<Request>, scratch: &mut StreamScrat
         .counters
         .answered
         .fetch_add(answered, Ordering::Relaxed);
+    shared.tele.coalesced.add(coalesced);
+    shared.tele.answered.add(answered);
+    let total_answered = shared.counters.answered.load(Ordering::Relaxed);
+    if total_answered > 0 {
+        let total_coalesced = shared.counters.coalesced.load(Ordering::Relaxed);
+        shared
+            .tele
+            .coalesce_rate
+            .set(total_coalesced as f64 / total_answered as f64);
+    }
     let mut h = shared.hists.lock().unwrap();
     for ns in latencies {
         h.latency_ns.observe_u64(ns);

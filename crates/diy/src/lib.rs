@@ -27,6 +27,7 @@ pub mod log;
 pub mod mem;
 pub mod metrics;
 pub mod reduce;
+pub mod telemetry;
 pub mod timing;
 pub mod trace;
 

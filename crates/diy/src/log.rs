@@ -1,4 +1,5 @@
-//! A tiny leveled logger: rank-prefixed lines on stderr.
+//! A tiny leveled logger: rank-prefixed, monotonically timestamped lines
+//! on stderr.
 //!
 //! The level is process-wide, read once from `TESS_LOG`
 //! (`error` | `info` | `debug`, default `info`) and overridable at runtime
@@ -6,15 +7,26 @@
 //! [`set_thread_rank`] (done by `Runtime::run`), so messages printed from
 //! inside a simulated rank carry a `r<N>` prefix.
 //!
+//! Every line carries a monotonic timestamp ([`crate::trace::monotonic_ns`],
+//! anchored to the first log call so runs start near zero). The output
+//! format is process-wide, read once from `TESS_LOG_FORMAT`
+//! (`text` | `json`, default `text`) and overridable with [`set_format`]:
+//! `json` emits one structured object per line
+//! (`{"ts_s":…,"level":…,"rank":…,"msg":…}`, escaped via
+//! [`crate::telemetry::json_escape`]) for machine ingestion.
+//!
 //! Use the [`log_error!`](crate::log_error), [`log_info!`](crate::log_info)
 //! and [`log_debug!`](crate::log_debug) macros; they skip formatting
 //! entirely when the level is disabled.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Environment variable selecting the log level (`error|info|debug`).
 pub const LOG_ENV: &str = "TESS_LOG";
+
+/// Environment variable selecting the output format (`text|json`).
+pub const LOG_FORMAT_ENV: &str = "TESS_LOG_FORMAT";
 
 /// Severity, ordered: `Error < Info < Debug`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -88,6 +100,62 @@ pub fn enabled(l: Level) -> bool {
     l <= level()
 }
 
+/// Output format: human text lines or one JSON object per line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Format {
+    Text = 0,
+    Json = 1,
+}
+
+static FORMAT: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+fn decode_format(v: u8) -> Format {
+    if v == 1 {
+        Format::Json
+    } else {
+        Format::Text
+    }
+}
+
+/// The active output format (resolving `TESS_LOG_FORMAT` lazily).
+pub fn format() -> Format {
+    let v = FORMAT.load(Ordering::Relaxed);
+    if v != UNRESOLVED {
+        return decode_format(v);
+    }
+    let f = match std::env::var(LOG_FORMAT_ENV).ok().as_deref() {
+        Some("json") => Format::Json,
+        _ => Format::Text,
+    };
+    let _ = FORMAT.compare_exchange(UNRESOLVED, f as u8, Ordering::Relaxed, Ordering::Relaxed);
+    decode_format(FORMAT.load(Ordering::Relaxed))
+}
+
+/// Override the output format process-wide; returns the previous format.
+pub fn set_format(f: Format) -> Format {
+    let prev = FORMAT.swap(f as u8, Ordering::Relaxed);
+    if prev == UNRESOLVED {
+        Format::Text
+    } else {
+        decode_format(prev)
+    }
+}
+
+/// Monotonic anchor: the first log call defines t=0 so timestamps read as
+/// seconds into the run.
+static T0_NS: AtomicU64 = AtomicU64::new(0);
+
+fn elapsed_s() -> f64 {
+    let now = crate::trace::monotonic_ns();
+    let mut t0 = T0_NS.load(Ordering::Relaxed);
+    if t0 == 0 {
+        let _ = T0_NS.compare_exchange(0, now, Ordering::Relaxed, Ordering::Relaxed);
+        t0 = T0_NS.load(Ordering::Relaxed);
+    }
+    now.saturating_sub(t0) as f64 / 1e9
+}
+
 thread_local! {
     static THREAD_RANK: Cell<i64> = const { Cell::new(-1) };
 }
@@ -97,14 +165,37 @@ pub fn set_thread_rank(rank: Option<usize>) {
     THREAD_RANK.with(|r| r.set(rank.map(|v| v as i64).unwrap_or(-1)));
 }
 
+/// Render one log line in `fmt` (no trailing newline). `rank < 0` means
+/// "no rank": text omits the `r<N>` tag, JSON emits `"rank":null`.
+pub fn format_line(fmt: Format, l: Level, rank: i64, ts_s: f64, msg: &str) -> String {
+    match fmt {
+        Format::Text => {
+            if rank >= 0 {
+                format!("[{ts_s:.6} {} r{rank}] {msg}", l.tag())
+            } else {
+                format!("[{ts_s:.6} {}] {msg}", l.tag())
+            }
+        }
+        Format::Json => {
+            let rank_json = if rank >= 0 {
+                rank.to_string()
+            } else {
+                "null".to_string()
+            };
+            format!(
+                "{{\"ts_s\":{ts_s:.6},\"level\":\"{}\",\"rank\":{rank_json},\"msg\":\"{}\"}}",
+                l.tag(),
+                crate::telemetry::json_escape(msg)
+            )
+        }
+    }
+}
+
 /// Print one formatted line to stderr (used by the macros; call those).
 pub fn write(l: Level, args: std::fmt::Arguments<'_>) {
     let rank = THREAD_RANK.with(Cell::get);
-    if rank >= 0 {
-        eprintln!("[{} r{rank}] {args}", l.tag());
-    } else {
-        eprintln!("[{}] {args}", l.tag());
-    }
+    let line = format_line(format(), l, rank, elapsed_s(), &args.to_string());
+    eprintln!("{line}");
 }
 
 #[macro_export]
@@ -163,5 +254,48 @@ mod tests {
         THREAD_RANK.with(|r| assert_eq!(r.get(), 3));
         set_thread_rank(None);
         THREAD_RANK.with(|r| assert_eq!(r.get(), -1));
+    }
+
+    #[test]
+    fn set_format_round_trips() {
+        let prev = set_format(Format::Json);
+        assert_eq!(format(), Format::Json);
+        assert_eq!(set_format(Format::Text), Format::Json);
+        assert_eq!(format(), Format::Text);
+        set_format(prev);
+    }
+
+    #[test]
+    fn text_line_has_timestamp_and_rank() {
+        let line = format_line(Format::Text, Level::Info, 3, 1.25, "hello");
+        assert_eq!(line, "[1.250000 info r3] hello");
+        let anon = format_line(Format::Text, Level::Error, -1, 0.0, "boom");
+        assert_eq!(anon, "[0.000000 error] boom");
+    }
+
+    #[test]
+    fn json_line_escapes_quotes_and_control_chars() {
+        let msg = "say \"hi\"\\path\nnext\tcol\u{1}end";
+        let line = format_line(Format::Json, Level::Debug, 2, 0.5, msg);
+        assert_eq!(
+            line,
+            "{\"ts_s\":0.500000,\"level\":\"debug\",\"rank\":2,\
+             \"msg\":\"say \\\"hi\\\"\\\\path\\nnext\\tcol\\u0001end\"}"
+        );
+        // rankless lines carry an explicit null
+        let anon = format_line(Format::Json, Level::Info, -1, 2.0, "x");
+        assert!(anon.contains("\"rank\":null"));
+        // the line is one object with balanced quotes (cheap sanity check:
+        // an even number of unescaped quotes)
+        let unescaped = line.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let a = elapsed_s();
+        let b = elapsed_s();
+        assert!(b >= a);
+        assert!(a >= 0.0);
     }
 }

@@ -69,6 +69,29 @@ pub struct Counters {
     pub collectives: u64,
 }
 
+/// Per-tag live telemetry mirror: one counter quartet per message tag,
+/// created lazily on first traffic (active only while
+/// [`crate::telemetry::enabled`] says so, keeping batch runs free).
+struct TagTele {
+    sent_msgs: crate::telemetry::Counter,
+    sent_bytes: crate::telemetry::Counter,
+    recv_msgs: crate::telemetry::Counter,
+    recv_bytes: crate::telemetry::Counter,
+}
+
+impl TagTele {
+    fn new(tag: u64) -> TagTele {
+        let hex = format!("0x{tag:x}");
+        let labels: [(&str, &str); 1] = [("tag", hex.as_str())];
+        TagTele {
+            sent_msgs: crate::telemetry::counter("comm.sent_msgs", &labels),
+            sent_bytes: crate::telemetry::counter("comm.sent_bytes", &labels),
+            recv_msgs: crate::telemetry::counter("comm.recv_msgs", &labels),
+            recv_bytes: crate::telemetry::counter("comm.recv_bytes", &labels),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     /// Rank this handle belongs to (0 until `Runtime::run` wires it).
@@ -89,6 +112,9 @@ struct Inner {
     msg_bytes: LogHistogram,
     /// Slowest cells seen by this rank, descending, ≤ [`TOP_SLOW_CELLS`].
     slow: Vec<SlowCell>,
+    /// Per-tag live telemetry counters (see [`TagTele`]); process-global
+    /// cells, so all ranks' traffic sums into one series per tag.
+    tele_tags: BTreeMap<u64, TagTele>,
 }
 
 impl Inner {
@@ -164,6 +190,11 @@ impl MetricsHandle {
         e.0 += 1;
         e.1 += len as u64;
         m.msg_bytes.observe_u64(len as u64);
+        if crate::telemetry::enabled() {
+            let t = m.tele_tags.entry(tag).or_insert_with(|| TagTele::new(tag));
+            t.sent_msgs.inc();
+            t.sent_bytes.add(len as u64);
+        }
         if trace_mode() == TraceMode::Full {
             m.trace.push(Event {
                 t_ns: monotonic_ns(),
@@ -184,6 +215,11 @@ impl MetricsHandle {
         let e = m.recv_by_tag.entry(tag).or_default();
         e.0 += 1;
         e.1 += len as u64;
+        if crate::telemetry::enabled() {
+            let t = m.tele_tags.entry(tag).or_insert_with(|| TagTele::new(tag));
+            t.recv_msgs.inc();
+            t.recv_bytes.add(len as u64);
+        }
         if trace_mode() == TraceMode::Full {
             m.trace.push(Event {
                 t_ns: monotonic_ns(),

@@ -164,6 +164,12 @@ pub struct FrameworkConfig {
     /// Block decomposition scheme from a `decomp regular|kd[:<sample>]`
     /// directive; `None` leaves the `TESS_DECOMP` env resolution in charge.
     pub decomp: Option<DecompScheme>,
+    /// Telemetry exposition file from a `telemetry <path>` directive:
+    /// tools that host live instruments (the `serve` tool) rewrite this
+    /// file (relative paths land in `output_dir`; a `{step}` placeholder
+    /// is replaced by the firing step) with the Prometheus text
+    /// exposition each time they fire. `None` disables the export.
+    pub telemetry: Option<String>,
 }
 
 /// Configuration parse errors (line number + message).
@@ -190,6 +196,7 @@ impl FrameworkConfig {
             trace: None,
             service: None,
             decomp: None,
+            telemetry: None,
         };
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -285,6 +292,19 @@ impl FrameworkConfig {
                         .next()
                         .ok_or_else(|| err("output_dir needs a path".into()))?;
                     cfg.output_dir = PathBuf::from(dir);
+                }
+                // accept both `telemetry p.prom` and `telemetry=p.prom`
+                Some(tok) if tok == "telemetry" || tok.starts_with("telemetry=") => {
+                    let value = match tok.split_once('=') {
+                        Some((_, v)) => v,
+                        None => parts
+                            .next()
+                            .ok_or_else(|| err("telemetry needs a path".into()))?,
+                    };
+                    if value.is_empty() {
+                        return Err(err("telemetry needs a path".into()));
+                    }
+                    cfg.telemetry = Some(value.to_string());
                 }
                 // accept both `trace full` and the single-token `trace=full`
                 Some(tok) if tok == "trace" || tok.starts_with("trace=") => {
@@ -390,6 +410,8 @@ mod tests {
             "decomp",
             "decomp hilbert",
             "decomp=kd:x",
+            "telemetry",
+            "telemetry=",
         ] {
             let e = FrameworkConfig::parse(bad).unwrap_err();
             assert_eq!(e.line, 1, "{bad}");
@@ -514,6 +536,22 @@ mod tests {
             assert_eq!(cfg.decomp_scheme(), want, "{text}");
         }
         assert_eq!(FrameworkConfig::parse("").unwrap().decomp, None);
+    }
+
+    #[test]
+    fn parses_telemetry_directive() {
+        for text in [
+            "telemetry metrics_{step}.prom",
+            "telemetry=metrics_{step}.prom",
+        ] {
+            let cfg = FrameworkConfig::parse(text).unwrap();
+            assert_eq!(
+                cfg.telemetry.as_deref(),
+                Some("metrics_{step}.prom"),
+                "{text}"
+            );
+        }
+        assert_eq!(FrameworkConfig::parse("").unwrap().telemetry, None);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct ServeTool {
     pub decomp: DecompScheme,
     /// Per-fire record: (step, epoch published, cells served).
     pub history: Vec<(usize, u64, u64)>,
+    /// Prometheus exposition file rewritten per fire (from the config's
+    /// `telemetry` directive; `{step}` expands to the firing step).
+    pub telemetry_path: Option<String>,
     service: Option<MeshService>,
 }
 
@@ -43,6 +46,7 @@ impl ServeTool {
             service_ranks: 2,
             decomp: DecompScheme::Regular,
             history: Vec::new(),
+            telemetry_path: None,
             service: None,
         }
     }
@@ -64,6 +68,7 @@ impl ServeTool {
             tool.batch = b;
         }
         tool.decomp = cfg.decomp_scheme();
+        tool.telemetry_path = cfg.telemetry.clone();
         tool
     }
 
@@ -140,6 +145,24 @@ impl AnalysisTool for ServeTool {
         };
 
         self.history.push((ctx.step, epoch, cells));
+
+        // Per-fire telemetry export: advance the epoch (so rolling
+        // quantiles window per fire) and rewrite the exposition file.
+        let mut artifacts = Vec::new();
+        if let Some(tpl) = &self.telemetry_path {
+            let rel = tpl.replace("{step}", &ctx.step.to_string());
+            let path = if std::path::Path::new(&rel).is_absolute() {
+                std::path::PathBuf::from(rel)
+            } else {
+                ctx.output_dir.join(rel)
+            };
+            diy::telemetry::advance_epoch();
+            match std::fs::write(&path, diy::telemetry::render_prometheus()) {
+                Ok(()) => artifacts.push(path),
+                Err(e) => diy::log_error!("serve: telemetry export {}: {e}", path.display()),
+            }
+        }
+
         ToolReport {
             tool: self.name().to_string(),
             step: ctx.step,
@@ -148,7 +171,7 @@ impl AnalysisTool for ServeTool {
                  (domain volume {:.3}, probe p50 {p50_us:.0}us)",
                 ctx.step, region.volume,
             ),
-            artifacts: Vec::new(),
+            artifacts,
         }
     }
 }
@@ -162,6 +185,7 @@ mod tests {
         let cfg = FrameworkConfig::parse(
             "service workers=5 batch=16\n\
              decomp kd:2048\n\
+             telemetry serve_{step}.prom\n\
              tool serve every=2 ghost=auto:3\n",
         )
         .unwrap();
@@ -174,6 +198,7 @@ mod tests {
         assert_eq!(t.batch, 16);
         assert_eq!(t.params.ghost, tess::GhostSpec::Auto { factor: 3.0 });
         assert_eq!(t.decomp, DecompScheme::Kd { sample: 2048 });
+        assert_eq!(t.telemetry_path.as_deref(), Some("serve_{step}.prom"));
         // no service directive → defaults
         let cfg2 = FrameworkConfig::parse("tool serve every=1\n").unwrap();
         let t2 = ServeTool::from_config(

@@ -1,0 +1,205 @@
+//! Live-telemetry invariants for the resident service:
+//!
+//! * the `service.*` instruments in the process-global registry move in
+//!   step with the service's own counters (asserted with `>=` deltas —
+//!   the registry is shared by every service in the process);
+//! * the Prometheus exposition of a live service re-parses and carries
+//!   the published epoch;
+//! * with `TraceMode::Spans` on, every request's enqueue→reply life is
+//!   recorded under its own tid (= request id) in the service flight
+//!   recorder, and the merged export validates as Chrome-trace JSON.
+//!
+//! Telemetry and the trace mode are process-wide, so the tests serialize
+//! on one mutex and restore the trace mode before releasing it.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use meshing_universe::diy::telemetry;
+use meshing_universe::diy::trace::{
+    chrome_trace_json, set_trace_mode, validate_chrome_trace, EventKind, TraceMode,
+};
+use meshing_universe::geometry::{Aabb, Vec3};
+use meshing_universe::tess::{
+    Answer, MeshService, Query, ServiceConfig, TessParams, Update, SERVICE_TRACE_PID,
+};
+
+static GLOBAL_STATE_LOCK: Mutex<()> = Mutex::new(());
+
+fn jittered(n: usize, seed: u64) -> Vec<(u64, Vec3)> {
+    use meshing_universe::rand::{Rng, SeedableRng};
+    let mut rng = meshing_universe::rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n * n * n)
+        .map(|idx| {
+            let (i, j, k) = (idx % n, (idx / n) % n, idx / (n * n));
+            let p = Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5);
+            let q = p + Vec3::new(
+                rng.gen_range(-0.4..0.4),
+                rng.gen_range(-0.4..0.4),
+                rng.gen_range(-0.4..0.4),
+            );
+            let ng = n as f64;
+            (
+                idx as u64,
+                Vec3::new(q.x.rem_euclid(ng), q.y.rem_euclid(ng), q.z.rem_euclid(ng)),
+            )
+        })
+        .collect()
+}
+
+fn spawn(n: usize, seed: u64) -> MeshService {
+    let particles = jittered(n, seed);
+    MeshService::spawn(
+        Aabb::cube(n as f64),
+        [true; 3],
+        &particles,
+        ServiceConfig::new(2, 4)
+            .with_workers(2)
+            .with_params(TessParams::default().with_adaptive_ghost()),
+    )
+}
+
+#[test]
+fn registry_tracks_service_counters_and_gauges() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let answered_before = telemetry::counter("service.answered", &[]).get();
+    let enqueued_before = telemetry::counter("service.enqueued", &[]).get();
+    let epochs_before = telemetry::counter("service.epochs_published", &[]).get();
+    let point_hist_before = telemetry::histogram("service.latency_ns", &[("kind", "point")])
+        .read()
+        .total()
+        .n();
+
+    let svc = spawn(5, 3);
+    let n_queries = 12u64;
+    for i in 0..n_queries {
+        let p = Vec3::new(0.3 + (i as f64) * 0.35, 2.0, 2.0);
+        let r = svc.query(Query::Point(p)).expect("service open");
+        assert!(matches!(r.answer, Answer::Point(Some(_))));
+    }
+    svc.update(Update::Delta {
+        upserts: vec![(0, Vec3::new(2.5, 2.5, 2.5))],
+        removes: Vec::new(),
+    });
+
+    // Counters only ever move up, by at least this service's activity.
+    let answered = telemetry::counter("service.answered", &[]).get();
+    let enqueued = telemetry::counter("service.enqueued", &[]).get();
+    assert!(
+        answered >= answered_before + n_queries,
+        "answered: {answered}"
+    );
+    assert!(
+        enqueued >= enqueued_before + n_queries,
+        "enqueued: {enqueued}"
+    );
+    assert!(telemetry::counter("service.epochs_published", &[]).get() >= epochs_before + 2);
+    let point_hist = telemetry::histogram("service.latency_ns", &[("kind", "point")]).read();
+    assert!(point_hist.total().n() >= point_hist_before + n_queries);
+    assert!(point_hist.rolling().quantile(0.99) > 0.0);
+
+    // Gauges reflect the most recent publish — ours, under the lock.
+    assert_eq!(telemetry::gauge("service.epoch", &[]).get(), 2.0);
+    assert_eq!(
+        telemetry::gauge("service.particles", &[]).get(),
+        125.0,
+        "particle gauge"
+    );
+    assert!(telemetry::gauge("service.cells", &[]).get() > 0.0);
+    assert!(telemetry::gauge("service.rank_imbalance", &[]).get() >= 1.0);
+    let rate = telemetry::gauge("service.coalesce_rate", &[]).get();
+    assert!((0.0..=1.0).contains(&rate), "coalesce rate {rate}");
+
+    // The exposition of the live registry re-parses and carries the epoch.
+    let samples =
+        telemetry::parse_exposition(&telemetry::render_prometheus()).expect("exposition re-parses");
+    let epoch = samples
+        .iter()
+        .find(|s| s.name == "service_epoch")
+        .expect("service_epoch series");
+    assert_eq!(epoch.value, 2.0);
+
+    svc.shutdown();
+}
+
+#[test]
+fn requests_trace_as_one_track_each() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = set_trace_mode(TraceMode::Spans);
+
+    let svc = spawn(4, 9);
+    let mut expected: BTreeMap<u64, &'static str> = BTreeMap::new();
+    let r = svc
+        .query(Query::Point(Vec3::new(2.0, 2.0, 2.0)))
+        .expect("open");
+    expected.insert(r.id, "query:point");
+    let r = svc
+        .query(Query::BoxCells(Aabb::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 2.0, 2.0),
+        )))
+        .expect("open");
+    expected.insert(r.id, "query:box");
+    let r = svc.query(Query::Region(Aabb::cube(4.0))).expect("open");
+    expected.insert(r.id, "query:region");
+
+    let snap = svc.trace_snapshot();
+    assert_eq!(snap.rank, SERVICE_TRACE_PID);
+    assert_eq!(snap.dropped, 0, "recorder overflowed");
+
+    // Every request's life is one tid: Begin and End carry the span name,
+    // and the batch mark sits between them on the same track.
+    for (&id, &name) in &expected {
+        let tid = id as u32;
+        let track: Vec<_> = snap.events.iter().filter(|e| e.tid == tid).collect();
+        let begins: Vec<_> = track
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin)
+            .collect();
+        let ends: Vec<_> = track
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .collect();
+        assert_eq!(begins.len(), 1, "request {id}: one Begin");
+        assert_eq!(ends.len(), 1, "request {id}: one End");
+        assert_eq!(snap.name(begins[0].name), name);
+        assert_eq!(snap.name(ends[0].name), name);
+        assert!(begins[0].t_ns <= ends[0].t_ns, "request {id}: time order");
+        assert!(ends[0].b > 0, "request {id}: End carries the latency");
+        assert!(
+            track
+                .iter()
+                .any(|e| e.kind == EventKind::Mark && snap.name(e.name) == "batch"),
+            "request {id}: batch mark missing"
+        );
+    }
+
+    // The merged export is well-formed Chrome-trace JSON with at least
+    // one record per request.
+    let json = chrome_trace_json(&[snap]);
+    let n = validate_chrome_trace(&json).expect("chrome trace validates");
+    assert!(
+        n >= expected.len(),
+        "{n} records for {} requests",
+        expected.len()
+    );
+
+    set_trace_mode(prev);
+    svc.shutdown();
+}
+
+#[test]
+fn tracing_off_records_nothing() {
+    let _guard = GLOBAL_STATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = set_trace_mode(TraceMode::Off);
+    let svc = spawn(4, 17);
+    svc.query(Query::Point(Vec3::new(1.0, 1.0, 1.0)))
+        .expect("open");
+    let snap = svc.trace_snapshot();
+    assert!(
+        snap.events.is_empty(),
+        "flight recorder must stay empty with tracing off"
+    );
+    set_trace_mode(prev);
+    svc.shutdown();
+}
